@@ -1,0 +1,298 @@
+// bench_test.go regenerates the paper's evaluation artifacts as Go
+// benchmarks — one per table/figure plus the design-choice ablations from
+// DESIGN.md. Run everything with:
+//
+//	go test -bench . -benchmem
+//
+// Scales are small so the suite completes quickly; cmd/khop-bench runs the
+// same experiments at configurable scale with full seed counts.
+package redisgraph
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"redisgraph/internal/algo"
+	"redisgraph/internal/baseline"
+	"redisgraph/internal/bench"
+	"redisgraph/internal/gen"
+	"redisgraph/internal/graph"
+	"redisgraph/internal/grb"
+)
+
+const benchScale = 12
+
+type fixture struct {
+	name    string
+	edges   *gen.EdgeList
+	g       *graph.Graph
+	engines []baseline.Engine
+	seeds   []int
+}
+
+var fixtures map[string]*fixture
+
+func getFixture(name string) *fixture {
+	if fixtures == nil {
+		fixtures = map[string]*fixture{}
+	}
+	if f, ok := fixtures[name]; ok {
+		return f
+	}
+	var d bench.Dataset
+	switch name {
+	case "graph500":
+		d = bench.Graph500Dataset(benchScale)
+	case "twitter":
+		d = bench.TwitterDataset(benchScale)
+	default:
+		panic("unknown fixture " + name)
+	}
+	f := &fixture{name: name, edges: d.Edges}
+	f.g = bench.BuildGraph(d.Name, d.Edges)
+	f.engines = bench.Systems(f.g, d.Edges)
+	f.seeds = gen.Seeds(d.Edges, 64, 3)
+	fixtures[name] = f
+	return f
+}
+
+func (f *fixture) engine(name string) baseline.Engine {
+	for _, e := range f.engines {
+		if e.Name() == name {
+			return e
+		}
+	}
+	panic("unknown engine " + name)
+}
+
+// ---- E1 / Fig. 1: 1-hop average response time per system ----
+
+func BenchmarkFig1(b *testing.B) {
+	for _, ds := range []string{"graph500", "twitter"} {
+		f := getFixture(ds)
+		for _, sys := range []string{"RedisGraph", "TigerGraph*", "Neo4j*", "Neptune*", "JanusGraph*", "ArangoDB*"} {
+			e := f.engine(sys)
+			b.Run(fmt.Sprintf("%s/%s", ds, sys), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e.KHopCount(f.seeds[i%len(f.seeds)], 1)
+				}
+			})
+		}
+	}
+}
+
+// ---- E2: k-hop table, k ∈ {1,2,3,6} ----
+
+func BenchmarkKHop(b *testing.B) {
+	for _, ds := range []string{"graph500", "twitter"} {
+		f := getFixture(ds)
+		for _, k := range []int{1, 2, 3, 6} {
+			for _, sys := range []string{"RedisGraph", "TigerGraph*", "Neo4j*"} {
+				e := f.engine(sys)
+				b.Run(fmt.Sprintf("%s/k=%d/%s", ds, k, sys), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						e.KHopCount(f.seeds[i%len(f.seeds)], k)
+					}
+				})
+			}
+		}
+	}
+}
+
+// ---- E3: concurrent-throughput architecture comparison ----
+
+func BenchmarkThroughput(b *testing.B) {
+	f := getFixture("graph500")
+	rg := bench.NewRedisGraphEngine(f.g, 1)
+	b.Run("RedisGraphPool", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				rg.KHopCount(f.seeds[i%len(f.seeds)], 1)
+				i++
+			}
+		})
+	})
+	tg := baseline.NewParallelAdjList(f.edges.NumNodes, f.edges.Src, f.edges.Dst, runtime.GOMAXPROCS(0))
+	b.Run("TigerGraphAllCores", func(b *testing.B) {
+		// All-cores engines serialise queries; no RunParallel.
+		for i := 0; i < b.N; i++ {
+			tg.KHopCount(f.seeds[i%len(f.seeds)], 1)
+		}
+	})
+}
+
+// ---- E4: 6-hop robustness ----
+
+func BenchmarkRobust6Hop(b *testing.B) {
+	f := getFixture("graph500")
+	e := f.engine("RedisGraph")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.KHopCount(f.seeds[i%len(f.seeds)], 6)
+	}
+}
+
+// ---- Ablations (DESIGN.md §5) ----
+
+// AblationPendingDelta: SuiteSparse-style pending updates vs materialising
+// after every insert.
+func BenchmarkAblationPendingDelta(b *testing.B) {
+	const n = 4096
+	const edges = 16384
+	el := gen.Uniform(n, edges, 11)
+	b.Run("pending-delta", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := grb.NewMatrix(n, n)
+			for k := range el.Src {
+				_ = m.SetElement(el.Src[k], el.Dst[k], 1)
+			}
+			m.Wait()
+		}
+	})
+	b.Run("wait-every-64-inserts", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := grb.NewMatrix(n, n)
+			for k := range el.Src {
+				_ = m.SetElement(el.Src[k], el.Dst[k], 1)
+				if k%64 == 63 {
+					m.Wait() // forced materialisation mid-stream
+				}
+			}
+			m.Wait()
+		}
+	})
+}
+
+// AblationMaskedTraversal: complement-masked BFS expansion vs unmasked
+// expansion with explicit set difference.
+func BenchmarkAblationMaskedTraversal(b *testing.B) {
+	f := getFixture("graph500")
+	adj := func() *grb.Matrix {
+		m, err := grb.BoolMatrixFromEdges(f.edges.NumNodes, f.edges.NumNodes, f.edges.Src, f.edges.Dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m
+	}()
+	b.Run("masked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := algo.KHopCount(adj, f.seeds[i%len(f.seeds)], 3, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unmasked-diff", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			seed := f.seeds[i%len(f.seeds)]
+			frontier := grb.NewVector(adj.NRows())
+			_ = frontier.SetElement(seed, 1)
+			reached := frontier.Dup()
+			for hop := 0; hop < 3 && frontier.NVals() > 0; hop++ {
+				next := grb.NewVector(adj.NRows())
+				if err := grb.VxM(next, nil, nil, grb.AnyPair, frontier, adj, nil); err != nil {
+					b.Fatal(err)
+				}
+				// Explicit difference: drop already-reached entries.
+				pruned := grb.NewVector(adj.NRows())
+				if err := grb.SelectVector(pruned, reached, nil, grb.ValueNE(0), next, grb.DescRSC); err != nil {
+					b.Fatal(err)
+				}
+				_ = grb.EWiseAddVector(reached, nil, nil, grb.LOr, reached, pruned, nil)
+				frontier = pruned
+			}
+		}
+	})
+}
+
+// AblationOpThreads: single-core query kernels (RedisGraph's model) vs
+// intra-op parallelism for one query.
+func BenchmarkAblationOpThreads(b *testing.B) {
+	f := getFixture("graph500")
+	for _, th := range []int{1, 2, 4} {
+		e := bench.NewRedisGraphEngine(f.g, th)
+		b.Run(fmt.Sprintf("threads=%d", th), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.KHopCount(f.seeds[i%len(f.seeds)], 2)
+			}
+		})
+	}
+}
+
+// AblationMxMMasked: masked vs unmasked triangle-counting matrix product.
+func BenchmarkAblationMxMMasked(b *testing.B) {
+	el := gen.RMAT(gen.Graph500Defaults(10, 5))
+	a, err := grb.BoolMatrixFromEdges(el.NumNodes, el.NumNodes, el.Src, el.Dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := a.NRows()
+	sym := grb.NewMatrix(n, n)
+	_ = grb.EWiseAddMatrix(sym, nil, nil, grb.LOr, a, a, grb.DescT1)
+	l := grb.NewMatrix(n, n)
+	_ = grb.SelectMatrix(l, nil, nil, grb.Tril, sym, nil)
+	b.Run("masked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := grb.NewMatrix(n, n)
+			if err := grb.MxM(c, l, nil, grb.PlusPair, l, l, grb.DescS); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unmasked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := grb.NewMatrix(n, n)
+			if err := grb.MxM(c, nil, nil, grb.PlusPair, l, l, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGraphBLASKernels measures the raw kernels the traversals stand on.
+func BenchmarkGraphBLASKernels(b *testing.B) {
+	el := gen.RMAT(gen.Graph500Defaults(benchScale, 13))
+	a, err := grb.BoolMatrixFromEdges(el.NumNodes, el.NumNodes, el.Src, el.Dst)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := a.NRows()
+	b.Run("vxm-onehot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u := grb.NewVector(n)
+			_ = u.SetElement(i%n, 1)
+			w := grb.NewVector(n)
+			if err := grb.VxM(w, nil, nil, grb.AnyPair, u, a, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("transpose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := grb.NewMatrix(n, n)
+			if err := grb.Transpose(c, nil, nil, a, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reduce-rows", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := grb.NewVector(n)
+			if err := grb.ReduceMatrixToVector(w, nil, nil, grb.PlusMonoid, a, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCypherPipeline isolates the non-kernel part of a query: parse,
+// plan and execute a 1-hop count through the full stack.
+func BenchmarkCypherPipeline(b *testing.B) {
+	f := getFixture("graph500")
+	e := f.engine("RedisGraph")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.KHopCount(f.seeds[i%len(f.seeds)], 1)
+	}
+}

@@ -1,0 +1,46 @@
+// Command khop-bench regenerates every table and figure of the paper's
+// evaluation at laptop scale:
+//
+//	khop-bench -scale 14 -experiment all
+//
+// Experiments: fig1 (E1), khop (E2 + E5 speedups), throughput (E3),
+// robust (E4), or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"redisgraph/internal/bench"
+)
+
+func main() {
+	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | all")
+	queries := flag.Int("queries", 2048, "query count for the throughput experiment")
+	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
+	flag.Parse()
+
+	fmt.Printf("khop-bench: reproducing 'RedisGraph GraphBLAS Enabled Graph Database' (IPDPSW'19)\n")
+	fmt.Printf("scale=%d (paper: graph500 scale≈21, twitter 41.6M nodes; shapes, not absolutes)\n\n", *scale)
+
+	s := bench.NewSuite(*scale, os.Stdout)
+	want := func(name string) bool {
+		return *experiment == "all" || strings.EqualFold(*experiment, name)
+	}
+	if want("fig1") {
+		s.Fig1()
+	}
+	if want("khop") {
+		s.KHopTable([]int{1, 2, 3, 6})
+	}
+	if want("throughput") {
+		s.Throughput(*queries)
+	}
+	if want("robust") {
+		s.Robustness(*timeout)
+	}
+}

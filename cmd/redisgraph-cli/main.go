@@ -1,0 +1,119 @@
+// Command redisgraph-cli is a minimal redis-cli equivalent: one-shot when
+// given a command on the argv, interactive (REPL) otherwise.
+//
+//	redisgraph-cli -addr localhost:6379 GRAPH.QUERY g "MATCH (n) RETURN count(n)"
+//	redisgraph-cli
+//	127.0.0.1:6379> PING
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"redisgraph/internal/client"
+	"redisgraph/internal/resp"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:6379", "server address")
+	flag.Parse()
+
+	c, err := client.Dial(*addr)
+	if err != nil {
+		log.Fatalf("redisgraph-cli: %v", err)
+	}
+	defer c.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		v, err := c.Do(args...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "(error) %v\n", err)
+			os.Exit(1)
+		}
+		printReply(v, 0)
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("%s> ", *addr)
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.EqualFold(line, "quit") || strings.EqualFold(line, "exit") {
+			return
+		}
+		args := splitArgs(line)
+		v, err := c.Do(args...)
+		if err != nil {
+			fmt.Printf("(error) %v\n", err)
+			continue
+		}
+		printReply(v, 0)
+	}
+}
+
+// splitArgs honours single/double quotes, like redis-cli.
+func splitArgs(line string) []string {
+	var out []string
+	var cur strings.Builder
+	quote := byte(0)
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == ' ':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+func printReply(v any, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch v := v.(type) {
+	case nil:
+		fmt.Printf("%s(nil)\n", pad)
+	case resp.SimpleString:
+		fmt.Printf("%s%s\n", pad, string(v))
+	case string:
+		fmt.Printf("%s%q\n", pad, v)
+	case int64:
+		fmt.Printf("%s(integer) %d\n", pad, v)
+	case []any:
+		if len(v) == 0 {
+			fmt.Printf("%s(empty array)\n", pad)
+			return
+		}
+		for i, e := range v {
+			fmt.Printf("%s%d)\n", pad, i+1)
+			printReply(e, depth+1)
+		}
+	default:
+		fmt.Printf("%s%v\n", pad, v)
+	}
+}

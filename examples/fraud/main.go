@@ -1,0 +1,74 @@
+// Fraud: fraud-detection patterns over a payments graph — another use case
+// from the paper's introduction. Detects (a) accounts sharing a card with a
+// flagged account and (b) short payment cycles (money loops).
+// Run with: go run ./examples/fraud
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redisgraph"
+)
+
+func main() {
+	db := redisgraph.Open("fraud")
+
+	db.MustQuery(`CREATE
+		(:Account {id: 'acc1', flagged: false}),
+		(:Account {id: 'acc2', flagged: true}),
+		(:Account {id: 'acc3', flagged: false}),
+		(:Account {id: 'acc4', flagged: false}),
+		(:Card {num: 'card9'}),
+		(:Card {num: 'card7'})`, nil)
+
+	pay := func(from, to string, amt int) {
+		params, _ := redisgraph.Params("f", from, "t", to, "amt", amt)
+		db.MustQuery(`MATCH (a:Account {id: $f}), (b:Account {id: $t})
+			CREATE (a)-[:PAID {amount: $amt}]->(b)`, params)
+	}
+	use := func(acc, card string) {
+		params, _ := redisgraph.Params("a", acc, "c", card)
+		db.MustQuery(`MATCH (a:Account {id: $a}), (c:Card {num: $c})
+			CREATE (a)-[:USES]->(c)`, params)
+	}
+
+	use("acc1", "card9")
+	use("acc2", "card9") // acc2 is flagged; acc1 shares its card
+	use("acc3", "card7")
+	pay("acc1", "acc3", 900)
+	pay("acc3", "acc4", 850)
+	pay("acc4", "acc1", 800) // 3-cycle: acc1 → acc3 → acc4 → acc1
+
+	// Guilt by association: accounts sharing a card with a flagged account.
+	rs, err := db.Query(`
+		MATCH (bad:Account {flagged: true})-[:USES]->(c:Card)<-[:USES]-(suspect:Account)
+		WHERE suspect.flagged = false
+		RETURN suspect.id, c.num`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accounts sharing instruments with flagged accounts:")
+	fmt.Println(rs)
+
+	// Payment cycles of length 3 (money loops back to the origin).
+	rs, err = db.Query(`
+		MATCH (a:Account)-[:PAID]->(b)-[:PAID]->(c), (c)-[:PAID]->(a)
+		WHERE a.id < b.id AND a.id < c.id
+		RETURN a.id, b.id, c.id`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("payment cycles (potential laundering loops):")
+	fmt.Println(rs)
+
+	// Everyone within two payment hops of the flagged account's card-mates.
+	rs, err = db.Query(`
+		MATCH (s:Account {id: 'acc1'})-[:PAID*1..2]->(reach:Account)
+		RETURN count(reach) AS blast_radius`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("blast radius of acc1 within 2 payment hops:")
+	fmt.Println(rs)
+}

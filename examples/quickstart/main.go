@@ -1,0 +1,49 @@
+// Quickstart: open an embedded graph, create data, query it, inspect the
+// execution plan. Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redisgraph"
+)
+
+func main() {
+	db := redisgraph.Open("quickstart")
+
+	// Create a small social graph.
+	db.MustQuery(`CREATE
+		(:Person {name: 'alice', age: 30}),
+		(:Person {name: 'bob', age: 40}),
+		(:Person {name: 'carol', age: 25})`, nil)
+	db.MustQuery(`MATCH (a:Person {name:'alice'}), (b:Person {name:'bob'})
+		CREATE (a)-[:KNOWS {since: 2015}]->(b)`, nil)
+	db.MustQuery(`MATCH (b:Person {name:'bob'}), (c:Person {name:'carol'})
+		CREATE (b)-[:KNOWS {since: 2021}]->(c)`, nil)
+
+	fmt.Printf("graph has %d nodes and %d relationships\n\n", db.NodeCount(), db.EdgeCount())
+
+	// A parameterised read query.
+	params, err := redisgraph.Params("who", "alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := db.Query(`MATCH (a:Person {name: $who})-[:KNOWS*1..2]->(n)
+		RETURN n.name, n.age ORDER BY n.name`, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("friends-of-friends of alice:")
+	fmt.Println(rs)
+
+	// The execution plan shows the traversal compiled to linear algebra.
+	plan, err := db.Explain(`MATCH (a:Person {name: $who})-[:KNOWS*1..2]->(n) RETURN count(n)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("execution plan:")
+	for _, line := range plan {
+		fmt.Println("  " + line)
+	}
+}

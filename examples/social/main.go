@@ -1,0 +1,63 @@
+// Social: a real-time recommendation engine — one of the use cases the
+// paper's introduction motivates. Builds a follower graph and computes
+// "people you may know" (friends-of-friends you don't already follow,
+// ranked by mutual count). Run with: go run ./examples/social
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"redisgraph"
+)
+
+func main() {
+	db := redisgraph.Open("social")
+	rng := rand.New(rand.NewSource(1))
+
+	// 200 users following a preferential mix of others.
+	for i := 0; i < 200; i++ {
+		db.MustQuery(fmt.Sprintf(`CREATE (:User {uid: %d, name: 'user%d'})`, i, i), nil)
+	}
+	db.MustQuery(`CREATE INDEX ON :User(uid)`, nil)
+	for i := 0; i < 200; i++ {
+		for f := 0; f < 8; f++ {
+			j := rng.Intn(200)
+			if j == i {
+				continue
+			}
+			params, _ := redisgraph.Params("a", i, "b", j)
+			db.MustQuery(`MATCH (a:User {uid: $a}), (b:User {uid: $b})
+				CREATE (a)-[:FOLLOWS]->(b)`, params)
+		}
+	}
+	fmt.Printf("social graph: %d users, %d follows\n\n", db.NodeCount(), db.EdgeCount())
+
+	// People user 0 may know: followed by someone user 0 follows, not
+	// already followed, ranked by the number of mutual connections.
+	params, _ := redisgraph.Params("me", 0)
+	rs, err := db.Query(`
+		MATCH (me:User {uid: $me})-[:FOLLOWS]->(friend)-[:FOLLOWS]->(candidate)
+		WHERE candidate.uid <> $me
+		WITH candidate, count(friend) AS mutuals
+		RETURN candidate.name, mutuals
+		ORDER BY mutuals DESC, candidate.name
+		LIMIT 5`, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("people user0 may know:")
+	fmt.Println(rs)
+
+	// Influencers: most-followed users.
+	rs, err = db.Query(`
+		MATCH (u:User)<-[:FOLLOWS]-(f)
+		RETURN u.name, count(f) AS followers
+		ORDER BY followers DESC LIMIT 3`, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top influencers:")
+	fmt.Println(rs)
+}

@@ -1,0 +1,9 @@
+package baseline
+
+import "sync/atomic"
+
+// atomicTestAndSet marks a visited flag, returning true when this caller won
+// the race (the node was unvisited).
+func atomicTestAndSet(flag *int32) bool {
+	return atomic.CompareAndSwapInt32(flag, 0, 1)
+}

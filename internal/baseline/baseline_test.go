@@ -1,0 +1,121 @@
+package baseline
+
+import (
+	"testing"
+	"time"
+
+	"redisgraph/internal/gen"
+)
+
+func engines(e *gen.EdgeList) []Engine {
+	return []Engine{
+		NewAdjList(e.NumNodes, e.Src, e.Dst),
+		NewParallelAdjList(e.NumNodes, e.Src, e.Dst, 4),
+		NewObjectStore(e.NumNodes, e.Src, e.Dst, "objects"),
+		NewRemoteEngine(NewAdjList(e.NumNodes, e.Src, e.Dst), time.Microsecond, 0, "remote"),
+	}
+}
+
+func TestAllEnginesAgreeOnPath(t *testing.T) {
+	e := &gen.EdgeList{NumNodes: 6, Src: []int{0, 1, 2, 3, 4}, Dst: []int{1, 2, 3, 4, 5}}
+	for _, eng := range engines(e) {
+		for k := 1; k <= 5; k++ {
+			if got := eng.KHopCount(0, k); got != k {
+				t.Fatalf("%s: khop(%d) = %d, want %d", eng.Name(), k, got, k)
+			}
+		}
+	}
+}
+
+func TestAllEnginesAgreeOnRMAT(t *testing.T) {
+	e := gen.RMAT(gen.Graph500Defaults(9, 17))
+	engs := engines(e)
+	ref := engs[0]
+	for _, seed := range gen.Seeds(e, 15, 2) {
+		for _, k := range []int{1, 2, 3, 6} {
+			want := ref.KHopCount(seed, k)
+			for _, eng := range engs[1:] {
+				if got := eng.KHopCount(seed, k); got != want {
+					t.Fatalf("%s disagrees with %s at seed %d k %d: %d vs %d",
+						eng.Name(), ref.Name(), seed, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicateEdgesDoNotDoubleCount(t *testing.T) {
+	e := &gen.EdgeList{NumNodes: 3, Src: []int{0, 0, 0}, Dst: []int{1, 1, 2}}
+	for _, eng := range engines(e) {
+		if got := eng.KHopCount(0, 1); got != 2 {
+			t.Fatalf("%s: %d, want 2", eng.Name(), got)
+		}
+	}
+}
+
+func TestSelfLoopNotCounted(t *testing.T) {
+	e := &gen.EdgeList{NumNodes: 2, Src: []int{0, 0}, Dst: []int{0, 1}}
+	a := NewAdjList(e.NumNodes, e.Src, e.Dst)
+	// Seed is pre-visited, so the self loop contributes nothing.
+	if got := a.KHopCount(0, 3); got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+func TestDegreeAndRename(t *testing.T) {
+	a := NewAdjList(3, []int{0, 0, 1}, []int{1, 2, 2})
+	if a.Degree(0) != 2 || a.Degree(2) != 0 {
+		t.Fatalf("degrees: %d %d", a.Degree(0), a.Degree(2))
+	}
+	b := a.Renamed("x")
+	if b.Name() != "x" || a.Name() == "x" {
+		t.Fatal("rename must not mutate the original")
+	}
+	if b.KHopCount(0, 2) != a.KHopCount(0, 2) {
+		t.Fatal("renamed engine diverges")
+	}
+}
+
+func TestCostModelsAddLatency(t *testing.T) {
+	e := gen.RMAT(gen.Graph500Defaults(8, 5))
+	plain := NewObjectStore(e.NumNodes, e.Src, e.Dst, "plain")
+	costed := NewObjectStore(e.NumNodes, e.Src, e.Dst, "costed")
+	costed.PerQueryCost = 2 * time.Millisecond
+	seed := gen.Seeds(e, 1, 1)[0]
+
+	// Use the minimum of several runs so scheduler noise cannot flake the
+	// comparison; the injected cost is 2 ms per query.
+	minRun := func(e Engine) (int, time.Duration) {
+		best := time.Hour
+		count := 0
+		for i := 0; i < 5; i++ {
+			t0 := time.Now()
+			count = e.KHopCount(seed, 2)
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return count, best
+	}
+	c1, d1 := minRun(plain)
+	c2, d2 := minRun(costed)
+	if c1 != c2 {
+		t.Fatalf("costs changed the result: %d vs %d", c1, c2)
+	}
+	if d2-d1 < time.Millisecond {
+		t.Fatalf("per-query cost not applied: %v vs %v", d1, d2)
+	}
+}
+
+func TestParallelAdjListWorkerCounts(t *testing.T) {
+	e := gen.RMAT(gen.Graph500Defaults(9, 23))
+	ref := NewAdjList(e.NumNodes, e.Src, e.Dst)
+	for _, workers := range []int{1, 2, 8, 0} {
+		p := NewParallelAdjList(e.NumNodes, e.Src, e.Dst, workers)
+		for _, seed := range gen.Seeds(e, 5, 3) {
+			if got, want := p.KHopCount(seed, 3), ref.KHopCount(seed, 3); got != want {
+				t.Fatalf("workers=%d seed=%d: %d vs %d", workers, seed, got, want)
+			}
+		}
+	}
+}

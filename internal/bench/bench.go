@@ -1,0 +1,167 @@
+// Package bench reproduces the paper's evaluation: the TigerGraph k-hop
+// neighbourhood-count benchmark over Graph500 (RMAT) and Twitter-like
+// graphs, across RedisGraph and cost-model emulations of the competitor
+// systems, plus the threadpool-throughput and robustness experiments.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"redisgraph/internal/baseline"
+	"redisgraph/internal/core"
+	"redisgraph/internal/gen"
+	"redisgraph/internal/graph"
+	"redisgraph/internal/value"
+)
+
+// Dataset is one benchmark graph.
+type Dataset struct {
+	Name  string
+	Edges *gen.EdgeList
+}
+
+// Graph500Dataset generates the RMAT dataset at the given scale
+// (paper: scale ~21/EF16 → 2.4M vertices, 67M edges; laptop default 14).
+func Graph500Dataset(scale int) Dataset {
+	return Dataset{
+		Name:  fmt.Sprintf("graph500-%d", scale),
+		Edges: gen.RMAT(gen.Graph500Defaults(scale, 42)),
+	}
+}
+
+// TwitterDataset generates the Twitter-like power-law dataset. The paper's
+// crawl has mean degree ~35; the laptop-scale default uses 2^scale nodes
+// with mean out-degree 20.
+func TwitterDataset(scale int) Dataset {
+	return Dataset{
+		Name: fmt.Sprintf("twitter-%d", scale),
+		Edges: gen.Twitter(gen.TwitterConfig{
+			NumNodes:     1 << scale,
+			EdgesPerNode: 20,
+			Seed:         7,
+		}),
+	}
+}
+
+// BuildGraph bulk-loads an edge list into a RedisGraph store: one :Node per
+// vertex carrying an indexed uid property, one :F relationship per edge.
+func BuildGraph(name string, e *gen.EdgeList) *graph.Graph {
+	g := graph.New(name)
+	g.Lock()
+	for v := 0; v < e.NumNodes; v++ {
+		g.CreateNode([]string{"Node"}, map[string]value.Value{
+			"uid": value.NewInt(int64(v)),
+		})
+	}
+	for i := range e.Src {
+		if _, err := g.CreateEdge("F", uint64(e.Src[i]), uint64(e.Dst[i]), nil); err != nil {
+			panic(err)
+		}
+	}
+	g.CreateIndex("Node", "uid")
+	g.Sync()
+	g.Unlock()
+	return g
+}
+
+// redisGraphEngine answers k-hop queries through the full database stack:
+// Cypher parse → plan (index scan + variable-length traversal) → GraphBLAS.
+type redisGraphEngine struct {
+	g   *graph.Graph
+	cfg core.Config
+}
+
+// NewRedisGraphEngine wraps a loaded graph as a benchmark engine.
+func NewRedisGraphEngine(g *graph.Graph, opThreads int) baseline.Engine {
+	return &redisGraphEngine{g: g, cfg: core.Config{OpThreads: opThreads}}
+}
+
+func (r *redisGraphEngine) Name() string { return "RedisGraph" }
+
+func (r *redisGraphEngine) KHopCount(seed, k int) int {
+	q := fmt.Sprintf(`MATCH (s:Node {uid: $seed})-[:F*1..%d]->(n) RETURN count(n)`, k)
+	rs, err := core.ROQuery(r.g, q, map[string]value.Value{"seed": value.NewInt(int64(seed))}, r.cfg)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %v", err))
+	}
+	return int(rs.Rows[0][0].Int())
+}
+
+// Systems assembles the benchmark line-up for a dataset. Each competitor is
+// a documented cost-model emulation (see package comment in baseline).
+func Systems(g *graph.Graph, e *gen.EdgeList) []baseline.Engine {
+	neo := baseline.NewObjectStore(e.NumNodes, e.Src, e.Dst, "Neo4j*")
+	neo.PerQueryCost = 300 * time.Microsecond // Cypher parse + transaction setup
+	janus := baseline.NewObjectStore(e.NumNodes, e.Src, e.Dst, "JanusGraph*")
+	janus.PerQueryCost = 2 * time.Millisecond  // Gremlin traversal compilation
+	janus.PerVertexCost = 2 * time.Microsecond // storage-backend fetch per vertex
+	arango := baseline.NewObjectStore(e.NumNodes, e.Src, e.Dst, "ArangoDB*")
+	arango.PerQueryCost = 500 * time.Microsecond // AQL parse + cursor setup
+	arango.PerEdgeCost = 300 * time.Nanosecond   // document decode per edge
+	neptune := baseline.NewRemoteEngine(
+		baseline.NewAdjList(e.NumNodes, e.Src, e.Dst),
+		500*time.Microsecond, // per-step round trip
+		1*time.Microsecond,   // per-row serialisation
+		"Neptune*",
+	)
+	tiger := baseline.NewParallelAdjList(e.NumNodes, e.Src, e.Dst, runtime.GOMAXPROCS(0))
+	tiger.AdjList = tiger.AdjList.Renamed("TigerGraph*")
+	tiger.QueryOverhead = 150 * time.Microsecond // REST endpoint + GSQL dispatch
+	return []baseline.Engine{
+		NewRedisGraphEngine(g, 1),
+		tiger,
+		neo,
+		neptune,
+		janus,
+		arango,
+	}
+}
+
+// Measurement is one (system, dataset, k) latency sample set.
+type Measurement struct {
+	System  string
+	Dataset string
+	K       int
+	Seeds   int
+	MeanMS  float64
+	P50MS   float64
+	P95MS   float64
+	Counts  []int
+}
+
+// RunKHop measures a system over the given seeds, sequentially, as the
+// paper's single-request benchmark does.
+func RunKHop(e baseline.Engine, dataset string, k int, seeds []int) Measurement {
+	lat := make([]float64, len(seeds))
+	counts := make([]int, len(seeds))
+	for i, s := range seeds {
+		t0 := time.Now()
+		counts[i] = e.KHopCount(s, k)
+		lat[i] = float64(time.Since(t0).Nanoseconds()) / 1e6
+	}
+	sort.Float64s(lat)
+	mean := 0.0
+	for _, l := range lat {
+		mean += l
+	}
+	mean /= float64(len(lat))
+	return Measurement{
+		System: e.Name(), Dataset: dataset, K: k, Seeds: len(seeds),
+		MeanMS: mean,
+		P50MS:  lat[len(lat)/2],
+		P95MS:  lat[(len(lat)*95)/100],
+		Counts: counts,
+	}
+}
+
+// SeedCounts returns the TigerGraph benchmark's per-k seed counts: 300 for
+// one- and two-hop queries, 10 for three- and six-hop.
+func SeedCounts(k int) int {
+	if k <= 2 {
+		return 300
+	}
+	return 10
+}

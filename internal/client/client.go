@@ -1,0 +1,54 @@
+// Package client is a minimal RESP client used by the CLI, the examples and
+// the integration tests.
+package client
+
+import (
+	"fmt"
+	"net"
+
+	"redisgraph/internal/resp"
+)
+
+// Client is a single-connection RESP client. It is not safe for concurrent
+// use; open one client per goroutine (as redis clients conventionally do).
+type Client struct {
+	c net.Conn
+	r *resp.Reader
+	w *resp.Writer
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c, r: resp.NewReader(c), w: resp.NewWriter(c)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// Do sends one command and reads its reply.
+func (c *Client) Do(args ...string) (any, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("client: empty command")
+	}
+	if err := c.w.WriteCommand(args...); err != nil {
+		return nil, err
+	}
+	return c.r.ReadReply()
+}
+
+// Query runs GRAPH.QUERY and returns the raw three-section reply.
+func (c *Client) Query(graphName, query string) ([]any, error) {
+	v, err := c.Do("GRAPH.QUERY", graphName, query)
+	if err != nil {
+		return nil, err
+	}
+	arr, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("client: unexpected reply type %T", v)
+	}
+	return arr, nil
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"redisgraph/internal/graph"
+	"redisgraph/internal/grb"
+)
+
+// algebraicOperand is one matrix factor in a traversal expression: a
+// relation matrix (optionally transposed for inbound traversal) or a
+// diagonal label matrix.
+type algebraicOperand struct {
+	m     *grb.Matrix
+	label string // display name for EXPLAIN
+}
+
+// algebraicExpr is the product RedisGraph builds for each traversal:
+// frontier · (SrcLabel?) · Rel · (DstLabel?). Evaluation is a chain of
+// vector-matrix products over the boolean ANY_PAIR semiring.
+type algebraicExpr struct {
+	operands []algebraicOperand
+	dim      int
+}
+
+func (ae *algebraicExpr) String() string {
+	parts := make([]string, len(ae.operands))
+	for i, o := range ae.operands {
+		parts[i] = o.label
+	}
+	return strings.Join(parts, " * ")
+}
+
+// eval propagates the frontier through every operand.
+func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector) (*grb.Vector, error) {
+	w := frontier
+	for _, op := range ae.operands {
+		out := grb.NewVector(ae.dim)
+		if err := grb.VxM(out, nil, nil, grb.AnyPair, w, op.m, ctx.desc); err != nil {
+			return nil, err
+		}
+		w = out
+	}
+	return w, nil
+}
+
+// evalMasked evaluates with a complemented structural mask (used by
+// variable-length traversal to exclude already-reached nodes).
+func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, notReached *grb.Vector) (*grb.Vector, error) {
+	w := frontier
+	for i, op := range ae.operands {
+		out := grb.NewVector(ae.dim)
+		var mask *grb.Vector
+		d := ctx.desc
+		if i == len(ae.operands)-1 {
+			mask = notReached
+			md := *ctx.desc
+			md.Comp, md.Structure, md.Replace = true, true, true
+			d = &md
+		}
+		if err := grb.VxM(out, mask, nil, grb.AnyPair, w, op.m, d); err != nil {
+			return nil, err
+		}
+		w = out
+	}
+	return w, nil
+}
+
+// relationOperand resolves the matrix for a relationship hop.
+// types empty = any relation (THE adjacency matrix). reverse selects the
+// transposed matrices (inbound), both unions the two directions.
+func relationOperand(g *graph.Graph, typeIDs []int, anyType, reverse, both bool) (algebraicOperand, error) {
+	dim := g.Dim()
+	pick := func(rev bool) *grb.Matrix {
+		if anyType {
+			if rev {
+				return g.TAdjacency()
+			}
+			return g.Adjacency()
+		}
+		if len(typeIDs) == 1 {
+			if rev {
+				return g.TRelationMatrix(typeIDs[0])
+			}
+			return g.RelationMatrix(typeIDs[0])
+		}
+		// Union of several relation types.
+		acc := grb.NewMatrix(dim, dim)
+		for _, t := range typeIDs {
+			m := g.RelationMatrix(t)
+			if rev {
+				m = g.TRelationMatrix(t)
+			}
+			if m == nil {
+				continue
+			}
+			if err := grb.EWiseAddMatrix(acc, nil, nil, grb.LOr, acc, m, nil); err != nil {
+				panic(err) // dimensions are controlled internally
+			}
+		}
+		return acc
+	}
+	name := "ADJ"
+	if !anyType {
+		names := make([]string, len(typeIDs))
+		for i, t := range typeIDs {
+			names[i] = g.Schema.RelTypeName(t)
+		}
+		name = strings.Join(names, "|")
+	}
+	var m *grb.Matrix
+	switch {
+	case both:
+		fwd, rev := pick(false), pick(true)
+		if fwd == nil || rev == nil {
+			return algebraicOperand{}, errEmptyRelation
+		}
+		u := grb.NewMatrix(dim, dim)
+		if err := grb.EWiseAddMatrix(u, nil, nil, grb.LOr, fwd, rev, nil); err != nil {
+			return algebraicOperand{}, err
+		}
+		m = u
+		name = name + "±"
+	case reverse:
+		m = pick(true)
+		name = name + "ᵀ"
+	default:
+		m = pick(false)
+	}
+	if m == nil {
+		return algebraicOperand{}, errEmptyRelation
+	}
+	return algebraicOperand{m: m, label: name}, nil
+}
+
+var errEmptyRelation = fmt.Errorf("core: relation type has no matrix")

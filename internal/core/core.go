@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"redisgraph/internal/cypher"
+	"redisgraph/internal/graph"
+	"redisgraph/internal/grb"
+	"redisgraph/internal/value"
+)
+
+// Config controls query execution.
+type Config struct {
+	// OpThreads bounds intra-operation (GraphBLAS kernel) parallelism.
+	// RedisGraph's architecture runs each query on a single core — the
+	// threadpool provides inter-query parallelism instead — so the default
+	// of 0 is treated as 1. Baseline comparisons set it higher.
+	OpThreads int
+	// Timeout aborts queries exceeding this duration (0 = no timeout).
+	Timeout time.Duration
+}
+
+func (c Config) descriptor() *grb.Descriptor {
+	n := c.OpThreads
+	if n < 1 {
+		n = 1
+	}
+	return &grb.Descriptor{NThreads: n}
+}
+
+// Query parses, plans and executes a Cypher query against g, taking the
+// graph's write or read lock according to the query's effect.
+func Query(g *graph.Graph, query string, params map[string]value.Value, cfg Config) (*ResultSet, error) {
+	ast, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := buildLocked(g, ast)
+	if err != nil {
+		return nil, err
+	}
+	if plan.ReadOnly {
+		g.RLock()
+		defer g.RUnlock()
+	} else {
+		g.Lock()
+		defer func() {
+			g.Sync()
+			g.Unlock()
+		}()
+	}
+	return execute(g, plan, params, cfg)
+}
+
+// ROQuery executes a query that must be read-only (GRAPH.RO_QUERY).
+func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Config) (*ResultSet, error) {
+	ast, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := buildLocked(g, ast)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.ReadOnly {
+		return nil, fmt.Errorf("core: query is not read-only")
+	}
+	g.RLock()
+	defer g.RUnlock()
+	return execute(g, plan, params, cfg)
+}
+
+// buildLocked plans under the read lock (planning consults the schema).
+func buildLocked(g *graph.Graph, ast *cypher.Query) (*Plan, error) {
+	g.RLock()
+	defer g.RUnlock()
+	return BuildPlan(g, ast)
+}
+
+func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Config) (*ResultSet, error) {
+	rs := &ResultSet{Columns: plan.columns}
+	ctx := &execCtx{
+		g:      g,
+		params: params,
+		desc:   cfg.descriptor(),
+		stats:  &rs.Stats,
+	}
+	if cfg.Timeout > 0 {
+		ctx.deadline = time.Now().Add(cfg.Timeout)
+	}
+	start := time.Now()
+	for {
+		r, err := plan.root.next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		if ctx.expired() {
+			return nil, fmt.Errorf("core: query timed out after %s", cfg.Timeout)
+		}
+		if plan.columns != nil {
+			row := make([]value.Value, plan.visible)
+			copy(row, r[:min(plan.visible, len(r))])
+			rs.Rows = append(rs.Rows, row)
+		}
+	}
+	rs.Stats.ExecutionTime = time.Since(start)
+	return rs, nil
+}
+
+// Explain returns the execution-plan tree for a query (GRAPH.EXPLAIN).
+func Explain(g *graph.Graph, query string) ([]string, error) {
+	ast, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := buildLocked(g, ast)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	printPlan(plan.root, 0, &lines, nil)
+	return lines, nil
+}
+
+// Profile executes the query with per-operation accounting and returns the
+// annotated plan tree (GRAPH.PROFILE).
+func Profile(g *graph.Graph, query string, params map[string]value.Value, cfg Config) ([]string, error) {
+	ast, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := buildLocked(g, ast)
+	if err != nil {
+		return nil, err
+	}
+	plan.root = profile(plan.root)
+	if plan.ReadOnly {
+		g.RLock()
+	} else {
+		g.Lock()
+	}
+	_, execErr := execute(g, plan, params, cfg)
+	if plan.ReadOnly {
+		g.RUnlock()
+	} else {
+		g.Sync()
+		g.Unlock()
+	}
+	if execErr != nil {
+		return nil, execErr
+	}
+	var lines []string
+	printPlan(plan.root, 0, &lines, func(op operation) string {
+		if p, ok := op.(*profiledOp); ok {
+			return fmt.Sprintf(" | Records produced: %d, Execution time: %.6f ms",
+				p.records, float64(p.elapsed.Nanoseconds())/1e6)
+		}
+		return ""
+	})
+	return lines, nil
+}
+
+func printPlan(op operation, depth int, out *[]string, annotate func(operation) string) {
+	if op == nil {
+		return
+	}
+	line := strings.Repeat("    ", depth) + op.name()
+	if a := op.args(); a != "" {
+		line += " | " + a
+	}
+	if annotate != nil {
+		line += annotate(op)
+	}
+	*out = append(*out, line)
+	for _, c := range op.children() {
+		printPlan(c, depth+1, out, annotate)
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"redisgraph/internal/graph"
+)
+
+func TestSelfLoopTraversal(t *testing.T) {
+	g := graph.New("t")
+	q(t, g, `CREATE (n:N {uid: 1})`)
+	q(t, g, `MATCH (n:N) CREATE (n)-[:R]->(n)`)
+	if got := singleInt(t, q(t, g, `MATCH (a:N)-[:R]->(b) RETURN count(b)`)); got != 1 {
+		t.Fatalf("self loop out: %d", got)
+	}
+	// Undirected traversal of a self loop yields the node once per edge.
+	if got := singleInt(t, q(t, g, `MATCH (a:N)-[:R]-(b) RETURN count(b)`)); got != 1 {
+		t.Fatalf("self loop both: %d", got)
+	}
+}
+
+func TestMultiTypeAlternation(t *testing.T) {
+	g := socialGraph(t)
+	rs := q(t, g, `MATCH (a:Person {name:'alice'})-[:KNOWS|WORKS_AT]->(x) RETURN count(x)`)
+	if got := singleInt(t, rs); got != 3 { // bob, carol, acme
+		t.Fatalf("alternation = %d", got)
+	}
+}
+
+func TestMultiLabelNode(t *testing.T) {
+	g := graph.New("t")
+	q(t, g, `CREATE (:A:B {x: 1})`)
+	q(t, g, `CREATE (:A {x: 2})`)
+	if got := singleInt(t, q(t, g, `MATCH (n:A) RETURN count(n)`)); got != 2 {
+		t.Fatalf("A = %d", got)
+	}
+	if got := singleInt(t, q(t, g, `MATCH (n:A:B) RETURN count(n)`)); got != 1 {
+		t.Fatalf("A:B = %d", got)
+	}
+	if got := singleInt(t, q(t, g, `MATCH (n:B:A) RETURN count(n)`)); got != 1 {
+		t.Fatalf("B:A = %d", got)
+	}
+}
+
+func TestReturnStarExpansion(t *testing.T) {
+	g := socialGraph(t)
+	rs := q(t, g, `MATCH (a:Person {name:'alice'})-[:WORKS_AT]->(c) RETURN *`)
+	if len(rs.Columns) != 2 || len(rs.Rows) != 1 {
+		t.Fatalf("star: %v %v", rs.Columns, rs.Rows)
+	}
+}
+
+func TestListIndexingInQuery(t *testing.T) {
+	g := graph.New("t")
+	rs := q(t, g, `RETURN [10, 20, 30][1], [10, 20, 30][-1], [1][9]`)
+	row := rs.Rows[0]
+	if row[0].Int() != 20 || row[1].Int() != 30 || !row[2].IsNull() {
+		t.Fatalf("row: %v", row)
+	}
+}
+
+func TestUndirectedEdgeVariable(t *testing.T) {
+	g := socialGraph(t)
+	// Each undirected match binds the actual edge regardless of direction.
+	rs := q(t, g, `MATCH (b:Person {name:'bob'})-[r:KNOWS]-(x) RETURN type(r), x.name ORDER BY x.name`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+	for _, row := range rs.Rows {
+		if row[0].Str() != "KNOWS" {
+			t.Fatalf("type: %v", row)
+		}
+	}
+}
+
+func TestWithOrderLimitPipeline(t *testing.T) {
+	g := socialGraph(t)
+	rs := q(t, g, `MATCH (n:Person) WITH n ORDER BY n.age DESC LIMIT 2 RETURN n.name ORDER BY n.name`)
+	if len(rs.Rows) != 2 || rs.Rows[0][0].Str() != "bob" || rs.Rows[1][0].Str() != "dave" {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+}
+
+func TestAggregateOverEmptyMatch(t *testing.T) {
+	g := graph.New("t")
+	q(t, g, `CREATE (:N)`)
+	rs := q(t, g, `MATCH (n:Missing) RETURN count(n)`)
+	if got := singleInt(t, rs); got != 0 {
+		t.Fatalf("count = %d", got)
+	}
+	// Grouped aggregation over nothing yields no rows.
+	rs = q(t, g, `MATCH (n:Missing) RETURN n.x, count(n)`)
+	if len(rs.Rows) != 0 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+}
+
+func TestXorAndStringFunctions(t *testing.T) {
+	g := graph.New("t")
+	rs := q(t, g, `RETURN true XOR false, true XOR true, toLower('AbC'), trim('  x ')`)
+	row := rs.Rows[0]
+	if !row[0].Bool() || row[1].Bool() || row[2].Str() != "abc" || row[3].Str() != "x" {
+		t.Fatalf("row: %v", row)
+	}
+}
+
+func TestVarLenZeroMin(t *testing.T) {
+	g := socialGraph(t)
+	// *0..1 includes the start node itself.
+	rs := q(t, g, `MATCH (a:Person {name:'alice'})-[:KNOWS*0..1]->(n) RETURN count(n)`)
+	if got := singleInt(t, rs); got != 3 { // alice + bob + carol
+		t.Fatalf("0..1 = %d", got)
+	}
+}
+
+func TestUnboundedVarLenOnCycleTerminates(t *testing.T) {
+	g := graph.New("t")
+	q(t, g, `CREATE (a:N {uid: 0})-[:R]->(b:N {uid: 1})-[:R]->(c:N {uid: 2})`)
+	q(t, g, `MATCH (c:N {uid: 2}), (a:N {uid: 0}) CREATE (c)-[:R]->(a)`)
+	// Variable-length expansion uses BFS reached-set semantics (the k-hop
+	// distinct-neighbour count of the paper's benchmark): the traversal
+	// terminates on the cycle and the seed is never re-reported, so the
+	// reachable set is {1, 2}, not {0, 1, 2}.
+	if got := singleInt(t, q(t, g, `MATCH (a:N {uid: 0})-[:R*]->(n) RETURN count(n)`)); got != 2 {
+		t.Fatalf("cycle reach = %d, want 2", got)
+	}
+}
+
+func TestConcurrentReadOnlyQueries(t *testing.T) {
+	g := socialGraph(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				rs, err := ROQuery(g, `MATCH (a:Person {name:'alice'})-[:KNOWS*1..3]->(n) RETURN count(n)`, nil, Config{})
+				if err != nil || rs.Rows[0][0].Int() != 3 {
+					t.Errorf("concurrent RO: %v %v", rs, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPlanErrors(t *testing.T) {
+	g := socialGraph(t)
+	for _, query := range []string{
+		`MATCH (n) RETURN m`,                            // unbound variable
+		`MATCH (a)-[r*1..2]->(b) RETURN r`,              // varlen edge variable
+		`MATCH (n) RETURN count(n) ORDER BY n.nope + 1`, // non-column order after aggregate
+		`CREATE (a)-[:R]-(b)`,                           // undirected create
+		`CREATE (a)-[:R|S]->(b)`,                        // multi-type create
+		`MATCH (n) RETURN n MATCH (m) RETURN m`,         // clause after RETURN
+		`SET n.x = 1`,                                   // SET without MATCH
+		`DELETE n`,                                      // DELETE without MATCH
+		`RETURN sum(1) + 1`,                             // nested aggregate expression
+		`MATCH (n) WHERE count(n) > 1 RETURN n`,         // aggregate in WHERE
+	} {
+		if _, err := Query(g, query, nil, Config{}); err == nil {
+			t.Fatalf("%q: expected error", query)
+		}
+	}
+}
+
+func TestMergeRelationshipPattern(t *testing.T) {
+	g := graph.New("t")
+	rs := q(t, g, `MERGE (a:U {uid: 1})-[:R]->(b:U {uid: 2})`)
+	if rs.Stats.NodesCreated != 2 || rs.Stats.RelationshipsCreated != 1 {
+		t.Fatalf("first merge: %+v", rs.Stats)
+	}
+	rs = q(t, g, `MERGE (a:U {uid: 1})-[:R]->(b:U {uid: 2})`)
+	if rs.Stats.NodesCreated != 0 || rs.Stats.RelationshipsCreated != 0 {
+		t.Fatalf("second merge: %+v", rs.Stats)
+	}
+}
+
+func TestExplainTransposedTraversal(t *testing.T) {
+	g := socialGraph(t)
+	lines, err := Explain(g, `MATCH (c:Person)<-[:KNOWS]-(x) RETURN count(x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "ᵀ") {
+		t.Fatalf("expected transposed operand in plan:\n%v", lines)
+	}
+}

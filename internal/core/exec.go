@@ -1,0 +1,79 @@
+package core
+
+import (
+	"time"
+
+	"redisgraph/internal/graph"
+	"redisgraph/internal/grb"
+	"redisgraph/internal/value"
+)
+
+// execCtx carries per-query execution state.
+type execCtx struct {
+	g      *graph.Graph
+	params map[string]value.Value
+	desc   *grb.Descriptor
+	stats  *Statistics
+	// deadline, when non-zero, aborts long queries (the benchmark's timeout
+	// guard; the paper reports RedisGraph had none on the large graphs).
+	deadline time.Time
+}
+
+func (ctx *execCtx) expired() bool {
+	return !ctx.deadline.IsZero() && time.Now().After(ctx.deadline)
+}
+
+// operation is one node of an execution plan: a pull-based record iterator.
+type operation interface {
+	// next returns the next record, or nil when depleted.
+	next(ctx *execCtx) (record, error)
+	// name is the operation's display name for EXPLAIN/PROFILE.
+	name() string
+	// args describes operation parameters for EXPLAIN.
+	args() string
+	// children returns input operations (for plan printing).
+	children() []operation
+}
+
+// profiledOp decorates an operation with record/time accounting (GRAPH.PROFILE).
+type profiledOp struct {
+	inner   operation
+	records int
+	elapsed time.Duration
+}
+
+func (p *profiledOp) next(ctx *execCtx) (record, error) {
+	start := time.Now()
+	r, err := p.inner.next(ctx)
+	p.elapsed += time.Since(start)
+	if r != nil {
+		p.records++
+	}
+	return r, err
+}
+
+func (p *profiledOp) name() string { return p.inner.name() }
+func (p *profiledOp) args() string { return p.inner.args() }
+func (p *profiledOp) children() []operation {
+	return p.inner.children()
+}
+
+// profile wraps every node of a plan tree in profiledOps, returning the new
+// root. Child links inside concrete ops are rewritten via the childSetter
+// interface.
+func profile(op operation) operation {
+	if op == nil {
+		return nil
+	}
+	if cs, ok := op.(childSetter); ok {
+		for i, c := range op.children() {
+			cs.setChild(i, profile(c))
+		}
+	}
+	return &profiledOp{inner: op}
+}
+
+// childSetter lets the profiler rewrite child links in place.
+type childSetter interface {
+	setChild(i int, op operation)
+}

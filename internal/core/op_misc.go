@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"redisgraph/internal/value"
+)
+
+// filterOp drops records whose predicate is not true.
+type filterOp struct {
+	child operation
+	pred  evalFn
+	desc  string
+}
+
+func (o *filterOp) next(ctx *execCtx) (record, error) {
+	for {
+		r, err := o.child.next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		v, err := o.pred(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsTrue() {
+			return r, nil
+		}
+	}
+}
+
+func (o *filterOp) name() string                 { return "Filter" }
+func (o *filterOp) args() string                 { return o.desc }
+func (o *filterOp) children() []operation        { return []operation{o.child} }
+func (o *filterOp) setChild(i int, op operation) { o.child = op }
+
+// projectOp evaluates the projection items into a fresh record layout.
+// Hidden trailing slots carry ORDER BY keys for a downstream sortOp.
+type projectOp struct {
+	child    operation
+	items    []evalFn
+	sortKeys []evalFn // evaluated against the INPUT record
+	visible  int
+}
+
+func (o *projectOp) next(ctx *execCtx) (record, error) {
+	in, err := o.child.next(ctx)
+	if err != nil || in == nil {
+		return nil, err
+	}
+	out := newRecord(o.visible + len(o.sortKeys))
+	for i, f := range o.items {
+		v, err := f(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	for i, f := range o.sortKeys {
+		v, err := f(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		out[o.visible+i] = v
+	}
+	return out, nil
+}
+
+func (o *projectOp) name() string                 { return "Project" }
+func (o *projectOp) args() string                 { return fmt.Sprintf("%d columns", o.visible) }
+func (o *projectOp) children() []operation        { return []operation{o.child} }
+func (o *projectOp) setChild(i int, op operation) { o.child = op }
+
+// aggKind enumerates aggregate functions.
+type aggKind uint8
+
+const (
+	aggCount aggKind = iota
+	aggSum
+	aggAvg
+	aggMin
+	aggMax
+	aggCollect
+)
+
+// aggSpec describes one aggregate projection item.
+type aggSpec struct {
+	kind     aggKind
+	arg      evalFn // nil for count(*)
+	distinct bool
+}
+
+type aggState struct {
+	count   int64
+	sum     float64
+	sumIsFl bool
+	minv    value.Value
+	maxv    value.Value
+	list    []value.Value
+	seen    map[string]bool
+}
+
+func (s *aggState) update(spec *aggSpec, v value.Value) {
+	if spec.arg != nil && v.IsNull() {
+		return
+	}
+	if spec.distinct {
+		if s.seen == nil {
+			s.seen = map[string]bool{}
+		}
+		k := v.HashKey()
+		if s.seen[k] {
+			return
+		}
+		s.seen[k] = true
+	}
+	switch spec.kind {
+	case aggCount:
+		s.count++
+	case aggSum, aggAvg:
+		if v.IsNumeric() {
+			s.count++
+			s.sum += v.Float()
+			if v.Kind == value.KindFloat {
+				s.sumIsFl = true
+			}
+		}
+	case aggMin:
+		if s.minv.IsNull() || value.OrderLess(v, s.minv) {
+			s.minv = v
+		}
+	case aggMax:
+		if s.maxv.IsNull() || value.OrderLess(s.maxv, v) {
+			s.maxv = v
+		}
+	case aggCollect:
+		s.list = append(s.list, v)
+	}
+}
+
+func (s *aggState) finalize(spec *aggSpec) value.Value {
+	switch spec.kind {
+	case aggCount:
+		return value.NewInt(s.count)
+	case aggSum:
+		if s.sumIsFl {
+			return value.NewFloat(s.sum)
+		}
+		return value.NewInt(int64(s.sum))
+	case aggAvg:
+		if s.count == 0 {
+			return value.Null
+		}
+		return value.NewFloat(s.sum / float64(s.count))
+	case aggMin:
+		return s.minv
+	case aggMax:
+		return s.maxv
+	default:
+		return value.NewArray(s.list)
+	}
+}
+
+// aggItem is one projection column: either a group key or an aggregate.
+type aggItem struct {
+	key *evalFn  // group-by expression
+	agg *aggSpec // aggregate
+}
+
+// aggregateOp implements hash aggregation over the group keys.
+type aggregateOp struct {
+	child   operation
+	items   []aggItem
+	visible int
+
+	groups map[string]*aggGroup
+	order  []string
+	pos    int
+	primed bool
+}
+
+type aggGroup struct {
+	keys   []value.Value
+	states []*aggState
+}
+
+func (o *aggregateOp) consume(ctx *execCtx) error {
+	o.groups = map[string]*aggGroup{}
+	for {
+		r, err := o.child.next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		if ctx.expired() {
+			return fmt.Errorf("query timed out during aggregation")
+		}
+		// Group key.
+		var kb strings.Builder
+		keyVals := make([]value.Value, 0, len(o.items))
+		for _, it := range o.items {
+			if it.key != nil {
+				v, err := (*it.key)(ctx, r)
+				if err != nil {
+					return err
+				}
+				keyVals = append(keyVals, v)
+				kb.WriteString(v.HashKey())
+				kb.WriteByte('|')
+			}
+		}
+		k := kb.String()
+		grp, ok := o.groups[k]
+		if !ok {
+			grp = &aggGroup{keys: keyVals, states: make([]*aggState, len(o.items))}
+			for i := range grp.states {
+				grp.states[i] = &aggState{}
+			}
+			o.groups[k] = grp
+			o.order = append(o.order, k)
+		}
+		for i, it := range o.items {
+			if it.agg == nil {
+				continue
+			}
+			var v value.Value
+			if it.agg.arg != nil {
+				var err error
+				v, err = it.agg.arg(ctx, r)
+				if err != nil {
+					return err
+				}
+			}
+			grp.states[i].update(it.agg, v)
+		}
+	}
+	// Aggregation over zero rows with no group keys yields one row.
+	if len(o.groups) == 0 && !o.hasKeys() {
+		grp := &aggGroup{states: make([]*aggState, len(o.items))}
+		for i := range grp.states {
+			grp.states[i] = &aggState{}
+		}
+		o.groups[""] = grp
+		o.order = append(o.order, "")
+	}
+	return nil
+}
+
+func (o *aggregateOp) hasKeys() bool {
+	for _, it := range o.items {
+		if it.key != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *aggregateOp) next(ctx *execCtx) (record, error) {
+	if !o.primed {
+		if err := o.consume(ctx); err != nil {
+			return nil, err
+		}
+		o.primed = true
+	}
+	if o.pos >= len(o.order) {
+		return nil, nil
+	}
+	grp := o.groups[o.order[o.pos]]
+	o.pos++
+	out := newRecord(o.visible)
+	ki := 0
+	for i, it := range o.items {
+		if it.key != nil {
+			out[i] = grp.keys[ki]
+			ki++
+		} else {
+			out[i] = grp.states[i].finalize(it.agg)
+		}
+	}
+	return out, nil
+}
+
+func (o *aggregateOp) name() string                 { return "Aggregate" }
+func (o *aggregateOp) args() string                 { return fmt.Sprintf("%d columns", o.visible) }
+func (o *aggregateOp) children() []operation        { return []operation{o.child} }
+func (o *aggregateOp) setChild(i int, op operation) { o.child = op }
+
+// distinctOp deduplicates records over the first `visible` slots.
+type distinctOp struct {
+	child   operation
+	visible int
+	seen    map[string]bool
+}
+
+func (o *distinctOp) next(ctx *execCtx) (record, error) {
+	if o.seen == nil {
+		o.seen = map[string]bool{}
+	}
+	for {
+		r, err := o.child.next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		var kb strings.Builder
+		for i := 0; i < o.visible && i < len(r); i++ {
+			kb.WriteString(r[i].HashKey())
+			kb.WriteByte('|')
+		}
+		k := kb.String()
+		if o.seen[k] {
+			continue
+		}
+		o.seen[k] = true
+		return r, nil
+	}
+}
+
+func (o *distinctOp) name() string                 { return "Distinct" }
+func (o *distinctOp) args() string                 { return "" }
+func (o *distinctOp) children() []operation        { return []operation{o.child} }
+func (o *distinctOp) setChild(i int, op operation) { o.child = op }
+
+// sortOp materialises its input and sorts on the hidden trailing key slots,
+// truncating them from emitted records.
+type sortOp struct {
+	child   operation
+	visible int
+	descs   []bool
+
+	rows   []record
+	pos    int
+	primed bool
+}
+
+func (o *sortOp) next(ctx *execCtx) (record, error) {
+	if !o.primed {
+		for {
+			r, err := o.child.next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				break
+			}
+			o.rows = append(o.rows, r)
+		}
+		sort.SliceStable(o.rows, func(a, b int) bool {
+			ra, rb := o.rows[a], o.rows[b]
+			for k := range o.descs {
+				va, vb := ra[o.visible+k], rb[o.visible+k]
+				if va.Equals(vb) || (va.IsNull() && vb.IsNull()) {
+					continue
+				}
+				less := value.OrderLess(va, vb)
+				if o.descs[k] {
+					return !less
+				}
+				return less
+			}
+			return false
+		})
+		o.primed = true
+	}
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	r := o.rows[o.pos]
+	o.pos++
+	return r[:o.visible], nil
+}
+
+func (o *sortOp) name() string                 { return "Sort" }
+func (o *sortOp) args() string                 { return fmt.Sprintf("%d keys", len(o.descs)) }
+func (o *sortOp) children() []operation        { return []operation{o.child} }
+func (o *sortOp) setChild(i int, op operation) { o.child = op }
+
+// skipOp drops the first n records.
+type skipOp struct {
+	child   operation
+	n       evalFn
+	skipped bool
+}
+
+func (o *skipOp) next(ctx *execCtx) (record, error) {
+	if !o.skipped {
+		o.skipped = true
+		nv, err := o.n(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		for i := int64(0); i < nv.Int(); i++ {
+			r, err := o.child.next(ctx)
+			if err != nil || r == nil {
+				return nil, err
+			}
+		}
+	}
+	return o.child.next(ctx)
+}
+
+func (o *skipOp) name() string                 { return "Skip" }
+func (o *skipOp) args() string                 { return "" }
+func (o *skipOp) children() []operation        { return []operation{o.child} }
+func (o *skipOp) setChild(i int, op operation) { o.child = op }
+
+// limitOp caps the record count.
+type limitOp struct {
+	child   operation
+	n       evalFn
+	limit   int64
+	emitted int64
+	primed  bool
+}
+
+func (o *limitOp) next(ctx *execCtx) (record, error) {
+	if !o.primed {
+		nv, err := o.n(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		o.limit = nv.Int()
+		o.primed = true
+	}
+	if o.emitted >= o.limit {
+		return nil, nil
+	}
+	r, err := o.child.next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	o.emitted++
+	return r, nil
+}
+
+func (o *limitOp) name() string                 { return "Limit" }
+func (o *limitOp) args() string                 { return "" }
+func (o *limitOp) children() []operation        { return []operation{o.child} }
+func (o *limitOp) setChild(i int, op operation) { o.child = op }
+
+// unwindOp expands a list expression into one record per element.
+type unwindOp struct {
+	child operation
+	list  evalFn
+	slot  int
+	width int
+
+	cur   record
+	items []value.Value
+	pos   int
+}
+
+func (o *unwindOp) next(ctx *execCtx) (record, error) {
+	for {
+		if o.cur != nil && o.pos < len(o.items) {
+			out := o.cur.extended(o.width)
+			out[o.slot] = o.items[o.pos]
+			o.pos++
+			return out, nil
+		}
+		in, err := o.child.next(ctx)
+		if err != nil || in == nil {
+			return nil, err
+		}
+		v, err := o.list(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Kind {
+		case value.KindArray:
+			o.items = v.Array()
+		case value.KindNull:
+			o.items = nil
+		default:
+			o.items = []value.Value{v}
+		}
+		o.cur = in
+		o.pos = 0
+	}
+}
+
+func (o *unwindOp) name() string                 { return "Unwind" }
+func (o *unwindOp) args() string                 { return "" }
+func (o *unwindOp) children() []operation        { return []operation{o.child} }
+func (o *unwindOp) setChild(i int, op operation) { o.child = op }

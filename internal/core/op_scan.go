@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+
+	"redisgraph/internal/graph"
+	"redisgraph/internal/value"
+)
+
+// argumentOp emits a single empty record: the leaf of CREATE-only queries
+// and projections with no reading clause (RETURN 1+1).
+type argumentOp struct {
+	width int
+	done  bool
+}
+
+func (o *argumentOp) next(*execCtx) (record, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	return newRecord(o.width), nil
+}
+
+func (o *argumentOp) name() string          { return "Argument" }
+func (o *argumentOp) args() string          { return "" }
+func (o *argumentOp) children() []operation { return nil }
+
+// emptyOp produces nothing (scans over labels that do not exist).
+type emptyOp struct{}
+
+func (o *emptyOp) next(*execCtx) (record, error) { return nil, nil }
+func (o *emptyOp) name() string                  { return "Empty" }
+func (o *emptyOp) args() string                  { return "" }
+func (o *emptyOp) children() []operation         { return nil }
+
+// allNodeScanOp scans every live node. With a child, it re-scans per child
+// record (cartesian product).
+type allNodeScanOp struct {
+	child operation
+	slot  int
+	alias string
+	width int
+
+	cur    record
+	nextID uint64
+	primed bool
+}
+
+func (o *allNodeScanOp) next(ctx *execCtx) (record, error) {
+	for {
+		if !o.primed {
+			if o.child != nil {
+				r, err := o.child.next(ctx)
+				if err != nil || r == nil {
+					return nil, err
+				}
+				o.cur = r
+			} else {
+				if o.cur != nil {
+					return nil, nil // single pass done
+				}
+				o.cur = newRecord(o.width)
+			}
+			o.nextID = 0
+			o.primed = true
+		}
+		high := uint64(ctx.g.Dim())
+		for o.nextID < high {
+			id := o.nextID
+			o.nextID++
+			if n, ok := ctx.g.GetNode(id); ok {
+				out := o.cur.extended(o.width)
+				out[o.slot] = value.NewNode(id, n)
+				return out, nil
+			}
+		}
+		if o.child == nil {
+			return nil, nil
+		}
+		o.primed = false
+	}
+}
+
+func (o *allNodeScanOp) name() string { return "AllNodeScan" }
+func (o *allNodeScanOp) args() string { return o.alias }
+func (o *allNodeScanOp) children() []operation {
+	if o.child == nil {
+		return nil
+	}
+	return []operation{o.child}
+}
+
+func (o *allNodeScanOp) setChild(i int, op operation) { o.child = op }
+
+// labelScanOp scans the diagonal of a label matrix.
+type labelScanOp struct {
+	child operation
+	slot  int
+	alias string
+	label string
+	width int
+
+	cur    record
+	ids    []uint64
+	pos    int
+	primed bool
+}
+
+func (o *labelScanOp) loadIDs(ctx *execCtx) {
+	lid, ok := ctx.g.Schema.LabelID(o.label)
+	if !ok {
+		o.ids = nil
+		return
+	}
+	lm := ctx.g.LabelMatrix(lid)
+	if lm == nil {
+		o.ids = nil
+		return
+	}
+	rows, _, _ := lm.ExtractTuples()
+	ids := make([]uint64, len(rows))
+	for i, r := range rows {
+		ids[i] = uint64(r)
+	}
+	o.ids = ids
+}
+
+func (o *labelScanOp) next(ctx *execCtx) (record, error) {
+	for {
+		if !o.primed {
+			if o.child != nil {
+				r, err := o.child.next(ctx)
+				if err != nil || r == nil {
+					return nil, err
+				}
+				o.cur = r
+			} else {
+				if o.cur != nil {
+					return nil, nil
+				}
+				o.cur = newRecord(o.width)
+			}
+			o.loadIDs(ctx)
+			o.pos = 0
+			o.primed = true
+		}
+		for o.pos < len(o.ids) {
+			id := o.ids[o.pos]
+			o.pos++
+			if n, ok := ctx.g.GetNode(id); ok {
+				out := o.cur.extended(o.width)
+				out[o.slot] = value.NewNode(id, n)
+				return out, nil
+			}
+		}
+		if o.child == nil {
+			return nil, nil
+		}
+		o.primed = false
+	}
+}
+
+func (o *labelScanOp) name() string { return "NodeByLabelScan" }
+func (o *labelScanOp) args() string { return fmt.Sprintf("%s:%s", o.alias, o.label) }
+func (o *labelScanOp) children() []operation {
+	if o.child == nil {
+		return nil
+	}
+	return []operation{o.child}
+}
+
+func (o *labelScanOp) setChild(i int, op operation) { o.child = op }
+
+// indexScanOp resolves nodes through an exact-match attribute index.
+type indexScanOp struct {
+	child operation
+	slot  int
+	alias string
+	label string
+	attr  string
+	val   evalFn
+	width int
+
+	cur    record
+	ids    []uint64
+	pos    int
+	primed bool
+}
+
+func (o *indexScanOp) next(ctx *execCtx) (record, error) {
+	for {
+		if !o.primed {
+			if o.child != nil {
+				r, err := o.child.next(ctx)
+				if err != nil || r == nil {
+					return nil, err
+				}
+				o.cur = r
+			} else {
+				if o.cur != nil {
+					return nil, nil
+				}
+				o.cur = newRecord(o.width)
+			}
+			lid, okL := ctx.g.Schema.LabelID(o.label)
+			aid, okA := ctx.g.Schema.AttrID(o.attr)
+			o.ids = nil
+			if okL && okA {
+				if ix, ok := ctx.g.Schema.Index(lid, aid); ok {
+					v, err := o.val(ctx, o.cur)
+					if err != nil {
+						return nil, err
+					}
+					o.ids = ix.Lookup(v)
+				}
+			}
+			o.pos = 0
+			o.primed = true
+		}
+		for o.pos < len(o.ids) {
+			id := o.ids[o.pos]
+			o.pos++
+			if n, ok := ctx.g.GetNode(id); ok {
+				out := o.cur.extended(o.width)
+				out[o.slot] = value.NewNode(id, n)
+				return out, nil
+			}
+		}
+		if o.child == nil {
+			return nil, nil
+		}
+		o.primed = false
+	}
+}
+
+func (o *indexScanOp) name() string { return "NodeByIndexScan" }
+func (o *indexScanOp) args() string {
+	return fmt.Sprintf("%s:%s(%s)", o.alias, o.label, o.attr)
+}
+func (o *indexScanOp) children() []operation {
+	if o.child == nil {
+		return nil
+	}
+	return []operation{o.child}
+}
+
+func (o *indexScanOp) setChild(i int, op operation) { o.child = op }
+
+// nodeHasLabel filters by interned label id.
+func nodeHasLabel(n *graph.Node, lid int) bool {
+	for _, l := range n.Labels {
+		if l == lid {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"redisgraph/internal/cypher"
+	"redisgraph/internal/graph"
+	"redisgraph/internal/grb"
+	"redisgraph/internal/value"
+)
+
+// condTraverseOp expands records one hop along an algebraic expression:
+// for each input record it builds a one-hot frontier for the source node,
+// evaluates frontier·(Rel·DstLabel), and emits one record per reachable
+// destination (or per connecting edge when an edge variable is bound).
+type condTraverseOp struct {
+	child    operation
+	srcSlot  int
+	dstSlot  int
+	edgeSlot int // -1 when no edge variable
+	width    int
+
+	ae        *algebraicExpr
+	typeIDs   []int // for edge lookup; nil = any type
+	direction cypher.Direction
+	optional  bool
+
+	queue []record
+}
+
+func (o *condTraverseOp) next(ctx *execCtx) (record, error) {
+	for {
+		if len(o.queue) > 0 {
+			r := o.queue[0]
+			o.queue = o.queue[1:]
+			return r, nil
+		}
+		in, err := o.child.next(ctx)
+		if err != nil || in == nil {
+			return nil, err
+		}
+		src := in[o.srcSlot]
+		if src.Kind != value.KindNode {
+			if src.IsNull() && o.optional {
+				out := in.extended(o.width)
+				return out, nil
+			}
+			return nil, fmt.Errorf("traverse: %s is not a node", src.Kind)
+		}
+		frontier := grb.NewVector(o.ae.dim)
+		if err := frontier.SetElement(int(src.ID), 1); err != nil {
+			return nil, err
+		}
+		w, err := o.ae.eval(ctx, frontier)
+		if err != nil {
+			return nil, err
+		}
+		o.emit(ctx, in, src.ID, w)
+		if len(o.queue) == 0 && o.optional {
+			out := in.extended(o.width)
+			return out, nil
+		}
+	}
+}
+
+func (o *condTraverseOp) emit(ctx *execCtx, in record, srcID uint64, w *grb.Vector) {
+	w.Iterate(func(j grb.Index, _ float64) bool {
+		dst, ok := ctx.g.GetNode(uint64(j))
+		if !ok {
+			return true
+		}
+		if o.edgeSlot < 0 {
+			out := in.extended(o.width)
+			out[o.dstSlot] = value.NewNode(uint64(j), dst)
+			o.queue = append(o.queue, out)
+			return true
+		}
+		// One record per connecting edge.
+		for _, eid := range o.connectingEdges(ctx, srcID, uint64(j)) {
+			e, ok := ctx.g.GetEdge(eid)
+			if !ok {
+				continue
+			}
+			out := in.extended(o.width)
+			out[o.dstSlot] = value.NewNode(uint64(j), dst)
+			out[o.edgeSlot] = value.NewEdge(eid, e)
+			o.queue = append(o.queue, out)
+		}
+		return true
+	})
+}
+
+func (o *condTraverseOp) connectingEdges(ctx *execCtx, src, dst uint64) []uint64 {
+	var out []uint64
+	collect := func(a, b uint64) {
+		if o.typeIDs == nil {
+			out = append(out, ctx.g.EdgesBetween(-1, a, b)...)
+			return
+		}
+		for _, t := range o.typeIDs {
+			out = append(out, ctx.g.EdgesBetween(t, a, b)...)
+		}
+	}
+	switch o.direction {
+	case cypher.DirOut:
+		collect(src, dst)
+	case cypher.DirIn:
+		collect(dst, src)
+	default:
+		collect(src, dst)
+		if src != dst {
+			collect(dst, src)
+		}
+	}
+	return out
+}
+
+func (o *condTraverseOp) name() string {
+	if o.optional {
+		return "OptionalTraverse"
+	}
+	return "ConditionalTraverse"
+}
+func (o *condTraverseOp) args() string                 { return o.ae.String() }
+func (o *condTraverseOp) children() []operation        { return []operation{o.child} }
+func (o *condTraverseOp) setChild(i int, op operation) { o.child = op }
+
+// expandIntoOp closes a cycle: both endpoints are bound and the operation
+// checks connectivity (emitting per edge when an edge variable is bound).
+type expandIntoOp struct {
+	child    operation
+	srcSlot  int
+	dstSlot  int
+	edgeSlot int
+	width    int
+
+	ae        *algebraicExpr
+	typeIDs   []int
+	direction cypher.Direction
+
+	queue []record
+}
+
+func (o *expandIntoOp) next(ctx *execCtx) (record, error) {
+	for {
+		if len(o.queue) > 0 {
+			r := o.queue[0]
+			o.queue = o.queue[1:]
+			return r, nil
+		}
+		in, err := o.child.next(ctx)
+		if err != nil || in == nil {
+			return nil, err
+		}
+		src, dst := in[o.srcSlot], in[o.dstSlot]
+		if src.Kind != value.KindNode || dst.Kind != value.KindNode {
+			continue
+		}
+		frontier := grb.NewVector(o.ae.dim)
+		if err := frontier.SetElement(int(src.ID), 1); err != nil {
+			return nil, err
+		}
+		w, err := o.ae.eval(ctx, frontier)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.ExtractElement(int(dst.ID)); err != nil {
+			continue // not connected
+		}
+		if o.edgeSlot < 0 {
+			return in.extended(o.width), nil
+		}
+		ct := condTraverseOp{typeIDs: o.typeIDs, direction: o.direction}
+		for _, eid := range ct.connectingEdges(ctx, src.ID, dst.ID) {
+			e, ok := ctx.g.GetEdge(eid)
+			if !ok {
+				continue
+			}
+			out := in.extended(o.width)
+			out[o.edgeSlot] = value.NewEdge(eid, e)
+			o.queue = append(o.queue, out)
+		}
+	}
+}
+
+func (o *expandIntoOp) name() string                 { return "ExpandInto" }
+func (o *expandIntoOp) args() string                 { return o.ae.String() }
+func (o *expandIntoOp) children() []operation        { return []operation{o.child} }
+func (o *expandIntoOp) setChild(i int, op operation) { o.child = op }
+
+// varLenTraverseOp performs a masked BFS between minHops and maxHops,
+// emitting each newly reached node whose depth lies in range — the k-hop
+// neighbourhood expansion at the heart of the paper's benchmark.
+type varLenTraverseOp struct {
+	child   operation
+	srcSlot int
+	dstSlot int
+	width   int
+
+	ae       *algebraicExpr
+	minHops  int
+	maxHops  int // -1 = unbounded
+	dstLabel int // -1 = unfiltered
+
+	queue []record
+}
+
+func (o *varLenTraverseOp) next(ctx *execCtx) (record, error) {
+	for {
+		if len(o.queue) > 0 {
+			r := o.queue[0]
+			o.queue = o.queue[1:]
+			return r, nil
+		}
+		in, err := o.child.next(ctx)
+		if err != nil || in == nil {
+			return nil, err
+		}
+		src := in[o.srcSlot]
+		if src.Kind != value.KindNode {
+			return nil, fmt.Errorf("traverse: %s is not a node", src.Kind)
+		}
+		if err := o.expand(ctx, in, src.ID); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (o *varLenTraverseOp) expand(ctx *execCtx, in record, srcID uint64) error {
+	dim := o.ae.dim
+	frontier := grb.NewVector(dim)
+	if err := frontier.SetElement(int(srcID), 1); err != nil {
+		return err
+	}
+	reached := frontier.Dup()
+	maxH := o.maxHops
+	if maxH < 0 {
+		maxH = dim // cannot exceed the diameter
+	}
+	if o.minHops == 0 {
+		o.emitFrontier(ctx, in, frontier)
+	}
+	for hop := 1; hop <= maxH; hop++ {
+		if ctx.expired() {
+			return fmt.Errorf("query timed out during variable-length traversal")
+		}
+		next, err := o.ae.evalMasked(ctx, frontier, reached)
+		if err != nil {
+			return err
+		}
+		if next.NVals() == 0 {
+			return nil
+		}
+		if err := grb.EWiseAddVector(reached, nil, nil, grb.LOr, reached, next, nil); err != nil {
+			return err
+		}
+		if hop >= o.minHops {
+			o.emitFrontier(ctx, in, next)
+		}
+		frontier = next
+	}
+	return nil
+}
+
+func (o *varLenTraverseOp) emitFrontier(ctx *execCtx, in record, f *grb.Vector) {
+	f.Iterate(func(j grb.Index, _ float64) bool {
+		n, ok := ctx.g.GetNode(uint64(j))
+		if !ok {
+			return true
+		}
+		if o.dstLabel >= 0 && !nodeHasLabel(n, o.dstLabel) {
+			return true
+		}
+		out := in.extended(o.width)
+		out[o.dstSlot] = value.NewNode(uint64(j), n)
+		o.queue = append(o.queue, out)
+		return true
+	})
+}
+
+func (o *varLenTraverseOp) name() string { return "VarLenTraverse" }
+func (o *varLenTraverseOp) args() string {
+	hi := "∞"
+	if o.maxHops >= 0 {
+		hi = fmt.Sprint(o.maxHops)
+	}
+	return fmt.Sprintf("%s [%d..%s]", o.ae.String(), o.minHops, hi)
+}
+func (o *varLenTraverseOp) children() []operation        { return []operation{o.child} }
+func (o *varLenTraverseOp) setChild(i int, op operation) { o.child = op }
+
+// labelDiagOperand returns the diagonal label matrix operand for filtering
+// traversal destinations.
+func labelDiagOperand(g *graph.Graph, label string) (algebraicOperand, bool) {
+	lid, ok := g.Schema.LabelID(label)
+	if !ok {
+		return algebraicOperand{}, false
+	}
+	m := g.LabelMatrix(lid)
+	if m == nil {
+		return algebraicOperand{}, false
+	}
+	return algebraicOperand{m: m, label: ":" + label}, true
+}

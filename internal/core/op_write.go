@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"redisgraph/internal/value"
+)
+
+// propSetter computes one property value at create/set time.
+type propSetter struct {
+	key string
+	fn  evalFn
+}
+
+// createNodeSpec creates (or reuses, when already bound) one pattern node.
+type createNodeSpec struct {
+	slot   int
+	labels []string
+	props  []propSetter
+}
+
+// createEdgeSpec creates one pattern edge between two pattern nodes.
+type createEdgeSpec struct {
+	slot   int // -1 when anonymous
+	typ    string
+	srcIdx int // index into the pattern's node list
+	dstIdx int
+	props  []propSetter
+}
+
+type createPatternSpec struct {
+	nodes []createNodeSpec
+	edges []createEdgeSpec
+}
+
+// createOp materialises CREATE patterns. It drains its child first so that
+// scans never observe mid-query inserts, then creates per buffered record.
+type createOp struct {
+	child    operation
+	patterns []createPatternSpec
+	width    int
+
+	out    []record
+	pos    int
+	primed bool
+}
+
+func (o *createOp) next(ctx *execCtx) (record, error) {
+	if !o.primed {
+		var buf []record
+		for {
+			r, err := o.child.next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				break
+			}
+			buf = append(buf, r)
+		}
+		for _, r := range buf {
+			r = r.extended(o.width)
+			if err := applyCreate(ctx, r, o.patterns); err != nil {
+				return nil, err
+			}
+			o.out = append(o.out, r)
+		}
+		o.primed = true
+	}
+	if o.pos >= len(o.out) {
+		return nil, nil
+	}
+	r := o.out[o.pos]
+	o.pos++
+	return r, nil
+}
+
+func applyCreate(ctx *execCtx, r record, patterns []createPatternSpec) error {
+	for _, pat := range patterns {
+		ids := make([]uint64, len(pat.nodes))
+		for i, ns := range pat.nodes {
+			if cur := r[ns.slot]; cur.Kind == value.KindNode {
+				ids[i] = cur.ID // bound by an earlier clause
+				continue
+			}
+			props := map[string]value.Value{}
+			for _, ps := range ns.props {
+				v, err := ps.fn(ctx, r)
+				if err != nil {
+					return err
+				}
+				if !v.IsNull() {
+					props[ps.key] = v
+				}
+			}
+			before := ctx.g.Schema.LabelCount()
+			n := ctx.g.CreateNode(ns.labels, props)
+			ctx.stats.LabelsAdded += ctx.g.Schema.LabelCount() - before
+			ctx.stats.NodesCreated++
+			ctx.stats.PropertiesSet += len(props)
+			ids[i] = n.ID
+			r[ns.slot] = value.NewNode(n.ID, n)
+		}
+		for _, es := range pat.edges {
+			props := map[string]value.Value{}
+			for _, ps := range es.props {
+				v, err := ps.fn(ctx, r)
+				if err != nil {
+					return err
+				}
+				if !v.IsNull() {
+					props[ps.key] = v
+				}
+			}
+			e, err := ctx.g.CreateEdge(es.typ, ids[es.srcIdx], ids[es.dstIdx], props)
+			if err != nil {
+				return err
+			}
+			ctx.stats.RelationshipsCreated++
+			ctx.stats.PropertiesSet += len(props)
+			if es.slot >= 0 {
+				r[es.slot] = value.NewEdge(e.ID, e)
+			}
+		}
+	}
+	return nil
+}
+
+func (o *createOp) name() string                 { return "Create" }
+func (o *createOp) args() string                 { return fmt.Sprintf("%d pattern(s)", len(o.patterns)) }
+func (o *createOp) children() []operation        { return []operation{o.child} }
+func (o *createOp) setChild(i int, op operation) { o.child = op }
+
+// mergeOp runs its match sub-plan; when it produces no records, the pattern
+// is created instead (MATCH-or-CREATE).
+type mergeOp struct {
+	matchPlan operation
+	pattern   createPatternSpec
+	width     int
+
+	out    []record
+	pos    int
+	primed bool
+}
+
+func (o *mergeOp) next(ctx *execCtx) (record, error) {
+	if !o.primed {
+		for {
+			r, err := o.matchPlan.next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				break
+			}
+			o.out = append(o.out, r.extended(o.width))
+		}
+		if len(o.out) == 0 {
+			r := newRecord(o.width)
+			if err := applyCreate(ctx, r, []createPatternSpec{o.pattern}); err != nil {
+				return nil, err
+			}
+			o.out = append(o.out, r)
+		}
+		o.primed = true
+	}
+	if o.pos >= len(o.out) {
+		return nil, nil
+	}
+	r := o.out[o.pos]
+	o.pos++
+	return r, nil
+}
+
+func (o *mergeOp) name() string                 { return "Merge" }
+func (o *mergeOp) args() string                 { return "" }
+func (o *mergeOp) children() []operation        { return []operation{o.matchPlan} }
+func (o *mergeOp) setChild(i int, op operation) { o.matchPlan = op }
+
+// deleteOp drains its input, then deletes the referenced entities (edges
+// first; node deletion cascades to incident edges), then emits the records.
+type deleteOp struct {
+	child  operation
+	exprs  []evalFn
+	detach bool
+
+	out    []record
+	pos    int
+	primed bool
+}
+
+func (o *deleteOp) next(ctx *execCtx) (record, error) {
+	if !o.primed {
+		var nodeIDs []uint64
+		var edgeIDs []uint64
+		for {
+			r, err := o.child.next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				break
+			}
+			for _, f := range o.exprs {
+				v, err := f(ctx, r)
+				if err != nil {
+					return nil, err
+				}
+				switch v.Kind {
+				case value.KindNode:
+					nodeIDs = append(nodeIDs, v.ID)
+				case value.KindEdge:
+					edgeIDs = append(edgeIDs, v.ID)
+				case value.KindNull:
+				default:
+					return nil, fmt.Errorf("DELETE expects nodes or relationships, got %s", v.Kind)
+				}
+			}
+			o.out = append(o.out, r)
+		}
+		for _, id := range edgeIDs {
+			if ctx.g.DeleteEdge(id) {
+				ctx.stats.RelationshipsDeleted++
+			}
+		}
+		for _, id := range nodeIDs {
+			if n, ok := ctx.g.GetNode(id); ok {
+				if !o.detach && ctx.g.Adjacency().RowDegree(int(n.ID))+ctx.g.TAdjacency().RowDegree(int(n.ID)) > 0 {
+					return nil, fmt.Errorf("cannot delete node %d with relationships without DETACH", id)
+				}
+			}
+			if edges, ok := ctx.g.DeleteNode(id); ok {
+				ctx.stats.NodesDeleted++
+				ctx.stats.RelationshipsDeleted += edges
+			}
+		}
+		o.primed = true
+	}
+	if o.pos >= len(o.out) {
+		return nil, nil
+	}
+	r := o.out[o.pos]
+	o.pos++
+	return r, nil
+}
+
+func (o *deleteOp) name() string                 { return "Delete" }
+func (o *deleteOp) args() string                 { return "" }
+func (o *deleteOp) children() []operation        { return []operation{o.child} }
+func (o *deleteOp) setChild(i int, op operation) { o.child = op }
+
+// setItemSpec is one SET assignment.
+type setItemSpec struct {
+	slot int
+	key  string
+	fn   evalFn
+}
+
+// setOp applies property assignments as records stream through.
+type setOp struct {
+	child operation
+	items []setItemSpec
+}
+
+func (o *setOp) next(ctx *execCtx) (record, error) {
+	r, err := o.child.next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	for _, it := range o.items {
+		v, err := it.fn(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		target := r[it.slot]
+		switch target.Kind {
+		case value.KindNode:
+			if err := ctx.g.SetNodeProperty(target.ID, it.key, v); err != nil {
+				return nil, err
+			}
+			ctx.stats.PropertiesSet++
+		case value.KindEdge:
+			if err := ctx.g.SetEdgeProperty(target.ID, it.key, v); err != nil {
+				return nil, err
+			}
+			ctx.stats.PropertiesSet++
+		case value.KindNull:
+		default:
+			return nil, fmt.Errorf("SET expects a node or relationship, got %s", target.Kind)
+		}
+	}
+	return r, nil
+}
+
+func (o *setOp) name() string                 { return "Set" }
+func (o *setOp) args() string                 { return fmt.Sprintf("%d assignment(s)", len(o.items)) }
+func (o *setOp) children() []operation        { return []operation{o.child} }
+func (o *setOp) setChild(i int, op operation) { o.child = op }

@@ -1,0 +1,856 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"redisgraph/internal/cypher"
+	"redisgraph/internal/graph"
+	"redisgraph/internal/value"
+)
+
+// Plan is a compiled, executable query plan.
+type Plan struct {
+	root     operation
+	columns  []string
+	visible  int
+	ReadOnly bool
+}
+
+type planBuilder struct {
+	g        *graph.Graph
+	st       *symtab
+	cur      operation
+	bound    map[string]bool
+	readonly bool
+	anon     int
+
+	terminated bool
+	columns    []string
+	visible    int
+}
+
+// BuildPlan compiles a parsed query against a graph.
+func BuildPlan(g *graph.Graph, q *cypher.Query) (*Plan, error) {
+	b := &planBuilder{g: g, st: newSymtab(), bound: map[string]bool{}, readonly: true}
+	for _, c := range q.Clauses {
+		if b.terminated {
+			return nil, fmt.Errorf("core: RETURN must be the final clause")
+		}
+		var err error
+		switch c := c.(type) {
+		case *cypher.MatchClause:
+			err = b.buildMatch(c)
+		case *cypher.CreateClause:
+			err = b.buildCreate(c)
+		case *cypher.MergeClause:
+			err = b.buildMerge(c)
+		case *cypher.DeleteClause:
+			err = b.buildDelete(c)
+		case *cypher.SetClause:
+			err = b.buildSet(c)
+		case *cypher.UnwindClause:
+			err = b.buildUnwind(c)
+		case *cypher.WithClause:
+			err = b.buildProjection(c.Items, c.Distinct, c.OrderBy, c.Skip, c.Limit, c.Where, false)
+		case *cypher.ReturnClause:
+			err = b.buildProjection(c.Items, c.Distinct, c.OrderBy, c.Skip, c.Limit, nil, true)
+		case *cypher.CreateIndexClause:
+			b.readonly = false
+			b.cur = &indexOp{create: true, label: c.Label, attr: c.Attr}
+		case *cypher.DropIndexClause:
+			b.readonly = false
+			b.cur = &indexOp{create: false, label: c.Label, attr: c.Attr}
+		default:
+			err = fmt.Errorf("core: unsupported clause %T", c)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if b.cur == nil {
+		return nil, fmt.Errorf("core: empty plan")
+	}
+	return &Plan{root: b.cur, columns: b.columns, visible: b.visible, ReadOnly: b.readonly}, nil
+}
+
+func (b *planBuilder) anonVar() string {
+	b.anon++
+	return fmt.Sprintf("@anon_%d", b.anon)
+}
+
+// ---- MATCH ----
+
+func (b *planBuilder) buildMatch(c *cypher.MatchClause) error {
+	for _, pat := range c.Patterns {
+		if err := b.buildPattern(pat, c.Optional); err != nil {
+			return err
+		}
+	}
+	if c.Where != nil {
+		pred, err := compileExpr(c.Where, b.st)
+		if err != nil {
+			return err
+		}
+		b.cur = &filterOp{child: b.cur, pred: pred, desc: exprString(c.Where)}
+	}
+	return nil
+}
+
+func (b *planBuilder) buildPattern(pat *cypher.PathPattern, optional bool) error {
+	if pat.Var != "" {
+		return fmt.Errorf("core: named path variables are not supported")
+	}
+	// Name anonymous nodes so they have record slots.
+	names := make([]string, len(pat.Nodes))
+	for i, n := range pat.Nodes {
+		if n.Var == "" {
+			names[i] = b.anonVar()
+		} else {
+			names[i] = n.Var
+		}
+	}
+	// Pick the traversal start.
+	start := -1
+	for i := range pat.Nodes {
+		if b.bound[names[i]] {
+			start = i
+			break
+		}
+	}
+	usedIndexAttr := ""
+	if start < 0 {
+		// Prefer an index-backed equality, then a labelled node.
+		for i, n := range pat.Nodes {
+			if len(n.Labels) == 0 || len(n.Props) == 0 {
+				continue
+			}
+			lid, ok := b.g.Schema.LabelID(n.Labels[0])
+			if !ok {
+				continue
+			}
+			for attr := range n.Props {
+				aid, ok := b.g.Schema.AttrID(attr)
+				if !ok {
+					continue
+				}
+				if _, ok := b.g.Schema.Index(lid, aid); ok {
+					start, usedIndexAttr = i, attr
+					break
+				}
+			}
+			if start >= 0 {
+				break
+			}
+		}
+	}
+	if start < 0 {
+		for i, n := range pat.Nodes {
+			if len(n.Labels) > 0 {
+				start = i
+				break
+			}
+		}
+	}
+	if start < 0 {
+		start = 0
+	}
+
+	if optional && !b.bound[names[start]] {
+		return fmt.Errorf("core: OPTIONAL MATCH requires a previously bound start node")
+	}
+
+	// Scan for the start node unless it is already bound.
+	startNode := pat.Nodes[start]
+	if !b.bound[names[start]] {
+		slot := b.st.add(names[start])
+		width := b.st.size()
+		switch {
+		case usedIndexAttr != "":
+			fn, err := compileExpr(startNode.Props[usedIndexAttr], b.st)
+			if err != nil {
+				return err
+			}
+			b.cur = &indexScanOp{child: b.cur, slot: slot, alias: names[start],
+				label: startNode.Labels[0], attr: usedIndexAttr, val: fn, width: width}
+		case len(startNode.Labels) > 0:
+			if _, ok := b.g.Schema.LabelID(startNode.Labels[0]); !ok {
+				b.cur = &emptyOp{}
+				b.bound[names[start]] = true
+				return nil
+			}
+			b.cur = &labelScanOp{child: b.cur, slot: slot, alias: names[start],
+				label: startNode.Labels[0], width: width}
+		default:
+			b.cur = &allNodeScanOp{child: b.cur, slot: slot, alias: names[start], width: width}
+		}
+		b.bound[names[start]] = true
+		// Residual label / property predicates on the start node.
+		if err := b.addNodeResiduals(names[start], startNode, usedIndexAttr, 1); err != nil {
+			return err
+		}
+	} else if len(startNode.Labels) > 0 || len(startNode.Props) > 0 {
+		if err := b.addNodeResiduals(names[start], startNode, "", 0); err != nil {
+			return err
+		}
+	}
+
+	// Expand right, then left.
+	for i := start; i < len(pat.Rels); i++ {
+		if err := b.buildHop(names[i], pat.Nodes[i+1], names[i+1], pat.Rels[i], false, optional); err != nil {
+			return err
+		}
+	}
+	for i := start - 1; i >= 0; i-- {
+		if err := b.buildHop(names[i+1], pat.Nodes[i], names[i], pat.Rels[i], true, optional); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addNodeResiduals filters labels (beyond skipLabels) and properties (except
+// skipAttr) of a pattern node at runtime.
+func (b *planBuilder) addNodeResiduals(varName string, n *cypher.NodePattern, skipAttr string, skipLabels int) error {
+	slot, _ := b.st.lookup(varName)
+	for _, lbl := range n.Labels[min(skipLabels, len(n.Labels)):] {
+		lid, ok := b.g.Schema.LabelID(lbl)
+		if !ok {
+			b.cur = &emptyOp{}
+			return nil
+		}
+		want := lid
+		b.cur = &filterOp{child: b.cur, desc: fmt.Sprintf("%s:%s", varName, lbl),
+			pred: func(ctx *execCtx, r record) (value.Value, error) {
+				v := r[slot]
+				if v.Kind != value.KindNode {
+					return value.NewBool(false), nil
+				}
+				return value.NewBool(nodeHasLabel(v.Entity.(*graph.Node), want)), nil
+			}}
+	}
+	for attr, ex := range n.Props {
+		if attr == skipAttr {
+			continue
+		}
+		fn, err := compileExpr(ex, b.st)
+		if err != nil {
+			return err
+		}
+		key := attr
+		b.cur = &filterOp{child: b.cur, desc: fmt.Sprintf("%s.%s = %s", varName, key, exprString(ex)),
+			pred: func(ctx *execCtx, r record) (value.Value, error) {
+				v := r[slot]
+				var have value.Value
+				switch v.Kind {
+				case value.KindNode:
+					have = ctx.g.NodeProperty(v.Entity.(*graph.Node), key)
+				case value.KindEdge:
+					have = ctx.g.EdgeProperty(v.Entity.(*graph.Edge), key)
+				default:
+					return value.NewBool(false), nil
+				}
+				want, err := fn(ctx, r)
+				if err != nil {
+					return value.Null, err
+				}
+				return value.NewBool(have.Equals(want)), nil
+			}}
+	}
+	return nil
+}
+
+// buildHop adds one traversal operation from srcVar to dstNode across rel.
+// reversed flips the pattern orientation (expanding leftwards).
+func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVar string, rel *cypher.RelPattern, reversed, optional bool) error {
+	srcSlot, ok := b.st.lookup(srcVar)
+	if !ok {
+		return fmt.Errorf("core: unbound traversal source %q", srcVar)
+	}
+	// Resolve relation types.
+	anyType := len(rel.Types) == 0
+	var typeIDs []int
+	if !anyType {
+		for _, t := range rel.Types {
+			if tid, ok := b.g.Schema.RelTypeID(t); ok {
+				typeIDs = append(typeIDs, tid)
+			}
+		}
+		if len(typeIDs) == 0 {
+			b.cur = &emptyOp{}
+			b.st.add(dstVar)
+			b.bound[dstVar] = true
+			return nil
+		}
+	}
+	// Effective direction after orientation.
+	dir := rel.Direction
+	if reversed && dir != cypher.DirBoth {
+		if dir == cypher.DirOut {
+			dir = cypher.DirIn
+		} else {
+			dir = cypher.DirOut
+		}
+	}
+	rop, err := relationOperand(b.g, typeIDs, anyType, dir == cypher.DirIn, dir == cypher.DirBoth)
+	if err != nil {
+		b.cur = &emptyOp{}
+		b.st.add(dstVar)
+		b.bound[dstVar] = true
+		return nil
+	}
+	ae := &algebraicExpr{operands: []algebraicOperand{rop}, dim: b.g.Dim()}
+
+	dstBound := b.bound[dstVar]
+	dstLabelInAE := false
+	if !dstBound && len(dstNode.Labels) > 0 && !rel.VarLength {
+		if diag, ok := labelDiagOperand(b.g, dstNode.Labels[0]); ok {
+			ae.operands = append(ae.operands, diag)
+			dstLabelInAE = true
+		} else {
+			b.cur = &emptyOp{}
+			b.st.add(dstVar)
+			b.bound[dstVar] = true
+			return nil
+		}
+	}
+
+	if rel.VarLength {
+		if rel.Var != "" {
+			return fmt.Errorf("core: variable-length relationships cannot bind a variable")
+		}
+		if dstBound {
+			return fmt.Errorf("core: variable-length expansion into a bound node is not supported")
+		}
+		if optional {
+			return fmt.Errorf("core: OPTIONAL MATCH with variable-length relationships is not supported")
+		}
+		dstSlot := b.st.add(dstVar)
+		b.bound[dstVar] = true
+		dstLabel := -1
+		if len(dstNode.Labels) > 0 {
+			lid, ok := b.g.Schema.LabelID(dstNode.Labels[0])
+			if !ok {
+				b.cur = &emptyOp{}
+				return nil
+			}
+			dstLabel = lid
+		}
+		b.cur = &varLenTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot,
+			width: b.st.size(), ae: ae, minHops: rel.MinHops, maxHops: rel.MaxHops, dstLabel: dstLabel}
+		if err := b.addNodeResiduals(dstVar, &cypher.NodePattern{Var: dstVar, Labels: dstNode.Labels[min(1, len(dstNode.Labels)):], Props: dstNode.Props}, "", 0); err != nil {
+			return err
+		}
+		return nil
+	}
+
+	edgeSlot := -1
+	if rel.Var != "" {
+		edgeSlot = b.st.add(rel.Var)
+		b.bound[rel.Var] = true
+	} else if len(rel.Props) > 0 {
+		edgeSlot = b.st.add(b.anonVar())
+	}
+
+	if dstBound {
+		dstSlot, _ := b.st.lookup(dstVar)
+		b.cur = &expandIntoOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
+			width: b.st.size(), ae: ae, typeIDs: typeIDs, direction: dir}
+	} else {
+		dstSlot := b.st.add(dstVar)
+		b.bound[dstVar] = true
+		b.cur = &condTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
+			width: b.st.size(), ae: ae, typeIDs: typeIDs, direction: dir, optional: optional}
+	}
+
+	// Residual dst-node predicates (skip the label folded into the AE).
+	if !dstBound {
+		skip := 0
+		if dstLabelInAE {
+			skip = 1
+		}
+		if err := b.addNodeResiduals(dstVar, &cypher.NodePattern{Var: dstVar, Labels: dstNode.Labels[min(skip, len(dstNode.Labels)):], Props: dstNode.Props}, "", 0); err != nil {
+			return err
+		}
+	}
+	// Relationship property predicates.
+	if len(rel.Props) > 0 {
+		edgeVar := rel.Var
+		if edgeVar == "" {
+			edgeVar = fmt.Sprintf("@anon_%d", b.anon)
+		}
+		if err := b.addNodeResiduals(edgeVar, &cypher.NodePattern{Var: edgeVar, Props: rel.Props}, "", 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- writes ----
+
+func (b *planBuilder) compileCreatePattern(pat *cypher.PathPattern) (createPatternSpec, error) {
+	var spec createPatternSpec
+	for _, n := range pat.Nodes {
+		name := n.Var
+		if name == "" {
+			name = b.anonVar()
+		}
+		slot := b.st.add(name)
+		cn := createNodeSpec{slot: slot, labels: n.Labels}
+		for k, ex := range n.Props {
+			fn, err := compileExpr(ex, b.st)
+			if err != nil {
+				return spec, err
+			}
+			cn.props = append(cn.props, propSetter{key: k, fn: fn})
+		}
+		b.bound[name] = true
+		spec.nodes = append(spec.nodes, cn)
+	}
+	for i, r := range pat.Rels {
+		if r.VarLength {
+			return spec, fmt.Errorf("core: cannot CREATE variable-length relationships")
+		}
+		if len(r.Types) != 1 {
+			return spec, fmt.Errorf("core: CREATE requires exactly one relationship type")
+		}
+		src, dst := i, i+1
+		switch r.Direction {
+		case cypher.DirIn:
+			src, dst = dst, src
+		case cypher.DirBoth:
+			return spec, fmt.Errorf("core: CREATE requires a directed relationship")
+		}
+		ce := createEdgeSpec{slot: -1, typ: r.Types[0], srcIdx: src, dstIdx: dst}
+		if r.Var != "" {
+			ce.slot = b.st.add(r.Var)
+			b.bound[r.Var] = true
+		}
+		for k, ex := range r.Props {
+			fn, err := compileExpr(ex, b.st)
+			if err != nil {
+				return spec, err
+			}
+			ce.props = append(ce.props, propSetter{key: k, fn: fn})
+		}
+		spec.edges = append(spec.edges, ce)
+	}
+	return spec, nil
+}
+
+func (b *planBuilder) buildCreate(c *cypher.CreateClause) error {
+	b.readonly = false
+	var specs []createPatternSpec
+	for _, pat := range c.Patterns {
+		spec, err := b.compileCreatePattern(pat)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, spec)
+	}
+	child := b.cur
+	if child == nil {
+		child = &argumentOp{width: 0}
+	}
+	b.cur = &createOp{child: child, patterns: specs, width: b.st.size()}
+	return nil
+}
+
+func (b *planBuilder) buildMerge(c *cypher.MergeClause) error {
+	b.readonly = false
+	if b.cur != nil {
+		return fmt.Errorf("core: MERGE is only supported as the first clause")
+	}
+	// Build the match side against a fresh argument.
+	mb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon}
+	if err := mb.buildPattern(c.Pattern, false); err != nil {
+		return err
+	}
+	b.anon = mb.anon
+	// Compile the create side with the same slots.
+	cb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon}
+	spec, err := cb.compileCreatePattern(c.Pattern)
+	if err != nil {
+		return err
+	}
+	b.anon = cb.anon
+	for v := range mb.bound {
+		b.bound[v] = true
+	}
+	for v := range cb.bound {
+		b.bound[v] = true
+	}
+	b.cur = &mergeOp{matchPlan: mb.cur, pattern: spec, width: b.st.size()}
+	return nil
+}
+
+func (b *planBuilder) buildDelete(c *cypher.DeleteClause) error {
+	b.readonly = false
+	var fns []evalFn
+	for _, e := range c.Exprs {
+		fn, err := compileExpr(e, b.st)
+		if err != nil {
+			return err
+		}
+		fns = append(fns, fn)
+	}
+	if b.cur == nil {
+		return fmt.Errorf("core: DELETE requires a preceding MATCH")
+	}
+	b.cur = &deleteOp{child: b.cur, exprs: fns, detach: c.Detach}
+	return nil
+}
+
+func (b *planBuilder) buildSet(c *cypher.SetClause) error {
+	b.readonly = false
+	if b.cur == nil {
+		return fmt.Errorf("core: SET requires a preceding MATCH")
+	}
+	var items []setItemSpec
+	for _, it := range c.Items {
+		slot, ok := b.st.lookup(it.Target)
+		if !ok {
+			return fmt.Errorf("core: undefined variable %q in SET", it.Target)
+		}
+		fn, err := compileExpr(it.Value, b.st)
+		if err != nil {
+			return err
+		}
+		items = append(items, setItemSpec{slot: slot, key: it.Key, fn: fn})
+	}
+	b.cur = &setOp{child: b.cur, items: items}
+	return nil
+}
+
+func (b *planBuilder) buildUnwind(c *cypher.UnwindClause) error {
+	fn, err := compileExpr(c.Expr, b.st)
+	if err != nil {
+		return err
+	}
+	child := b.cur
+	if child == nil {
+		child = &argumentOp{width: 0}
+	}
+	slot := b.st.add(c.Alias)
+	b.bound[c.Alias] = true
+	b.cur = &unwindOp{child: child, list: fn, slot: slot, width: b.st.size()}
+	return nil
+}
+
+// ---- projections ----
+
+func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
+	orderBy []*cypher.SortItem, skip, limit cypher.Expr, where cypher.Expr, terminal bool) error {
+
+	child := b.cur
+	if child == nil {
+		child = &argumentOp{width: 0}
+	}
+	// Expand RETURN *.
+	var expanded []*cypher.ReturnItem
+	for _, it := range items {
+		if id, ok := it.Expr.(*cypher.Ident); ok && id.Name == "*" {
+			for _, name := range b.st.names {
+				if !strings.HasPrefix(name, "@anon_") {
+					expanded = append(expanded, &cypher.ReturnItem{Expr: &cypher.Ident{Name: name}})
+				}
+			}
+			continue
+		}
+		expanded = append(expanded, it)
+	}
+	if len(expanded) == 0 {
+		return fmt.Errorf("core: nothing to project")
+	}
+
+	names := make([]string, len(expanded))
+	for i, it := range expanded {
+		if it.Alias != "" {
+			names[i] = it.Alias
+		} else {
+			names[i] = exprString(it.Expr)
+		}
+	}
+
+	hasAgg := false
+	for _, it := range expanded {
+		if exprHasAggregate(it.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+
+	outST := newSymtab()
+	for _, n := range names {
+		outST.add(n)
+	}
+	visible := len(names)
+
+	// Resolve ORDER BY keys. A key expression may reference either a
+	// returned column (by alias or text) or, for plain projections, the
+	// pre-projection scope (ORDER BY n.age after RETURN n.name).
+	findColumn := func(e cypher.Expr) int {
+		text := exprString(e)
+		for i, n := range names {
+			if n == text {
+				return i
+			}
+		}
+		return -1
+	}
+
+	if hasAgg {
+		var aggItems []aggItem
+		for _, it := range expanded {
+			if fc, ok := it.Expr.(*cypher.FuncCall); ok && isAggregateFunc(fc.Name) {
+				spec := &aggSpec{distinct: fc.Distinct}
+				switch fc.Name {
+				case "count":
+					spec.kind = aggCount
+				case "sum":
+					spec.kind = aggSum
+				case "avg":
+					spec.kind = aggAvg
+				case "min":
+					spec.kind = aggMin
+				case "max":
+					spec.kind = aggMax
+				case "collect":
+					spec.kind = aggCollect
+				}
+				if !fc.Star {
+					if len(fc.Args) != 1 {
+						return fmt.Errorf("core: %s() expects one argument", fc.Name)
+					}
+					fn, err := compileExpr(fc.Args[0], b.st)
+					if err != nil {
+						return err
+					}
+					spec.arg = fn
+				} else if fc.Name != "count" {
+					return fmt.Errorf("core: * is only valid in count(*)")
+				}
+				aggItems = append(aggItems, aggItem{agg: spec})
+			} else if exprHasAggregate(it.Expr) {
+				return fmt.Errorf("core: aggregates must be top-level projection items")
+			} else {
+				fn, err := compileExpr(it.Expr, b.st)
+				if err != nil {
+					return err
+				}
+				f := fn
+				aggItems = append(aggItems, aggItem{key: &f})
+			}
+		}
+		b.cur = &aggregateOp{child: child, items: aggItems, visible: visible}
+		if len(orderBy) > 0 {
+			// Post-aggregation ordering can only reference output columns.
+			keys := make([]evalFn, len(orderBy))
+			for i, si := range orderBy {
+				col := findColumn(si.Expr)
+				if col < 0 {
+					fn, err := compileExpr(si.Expr, outST)
+					if err != nil {
+						return fmt.Errorf("core: ORDER BY after aggregation must reference returned columns: %w", err)
+					}
+					keys[i] = fn
+					continue
+				}
+				c := col
+				keys[i] = func(_ *execCtx, r record) (value.Value, error) { return r[c], nil }
+			}
+			b.cur = &appendKeysOp{child: b.cur, keys: keys, visible: visible}
+		}
+	} else {
+		var fns []evalFn
+		for _, it := range expanded {
+			fn, err := compileExpr(it.Expr, b.st)
+			if err != nil {
+				return err
+			}
+			fns = append(fns, fn)
+		}
+		var sortFns []evalFn
+		for _, si := range orderBy {
+			if col := findColumn(si.Expr); col >= 0 {
+				sortFns = append(sortFns, fns[col])
+				continue
+			}
+			fn, err := compileExpr(si.Expr, b.st)
+			if err != nil {
+				return fmt.Errorf("core: cannot resolve ORDER BY expression: %w", err)
+			}
+			sortFns = append(sortFns, fn)
+		}
+		b.cur = &projectOp{child: child, items: fns, sortKeys: sortFns, visible: visible}
+	}
+
+	// The projection defines a fresh scope.
+	b.st = outST
+	b.bound = map[string]bool{}
+	for _, n := range names {
+		b.bound[n] = true
+	}
+
+	if distinct {
+		b.cur = &distinctOp{child: b.cur, visible: visible}
+	}
+	if where != nil {
+		pred, err := compileExpr(where, b.st)
+		if err != nil {
+			return err
+		}
+		b.cur = &filterOp{child: b.cur, pred: pred, desc: exprString(where)}
+	}
+	if len(orderBy) > 0 {
+		descs := make([]bool, len(orderBy))
+		for i, si := range orderBy {
+			descs[i] = si.Desc
+		}
+		b.cur = &sortOp{child: b.cur, visible: visible, descs: descs}
+	}
+	if skip != nil {
+		fn, err := compileExpr(skip, b.st)
+		if err != nil {
+			return err
+		}
+		b.cur = &skipOp{child: b.cur, n: fn}
+	}
+	if limit != nil {
+		fn, err := compileExpr(limit, b.st)
+		if err != nil {
+			return err
+		}
+		b.cur = &limitOp{child: b.cur, n: fn}
+	}
+	if terminal {
+		b.terminated = true
+		b.columns = names
+		b.visible = visible
+	}
+	return nil
+}
+
+// appendKeysOp appends hidden ORDER BY key slots evaluated in the output
+// scope.
+type appendKeysOp struct {
+	child   operation
+	keys    []evalFn
+	visible int
+}
+
+func (o *appendKeysOp) next(ctx *execCtx) (record, error) {
+	r, err := o.child.next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := r.extended(o.visible + len(o.keys))
+	for i, fn := range o.keys {
+		v, err := fn(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		out[o.visible+i] = v
+	}
+	return out, nil
+}
+
+func (o *appendKeysOp) name() string                 { return "SortKeys" }
+func (o *appendKeysOp) args() string                 { return "" }
+func (o *appendKeysOp) children() []operation        { return []operation{o.child} }
+func (o *appendKeysOp) setChild(i int, op operation) { o.child = op }
+
+// indexOp creates or drops an index; it emits no records.
+type indexOp struct {
+	create bool
+	label  string
+	attr   string
+	done   bool
+}
+
+func (o *indexOp) next(ctx *execCtx) (record, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	if o.create {
+		if ctx.g.CreateIndex(o.label, o.attr) {
+			ctx.stats.IndicesCreated++
+		}
+	} else {
+		lid, okL := ctx.g.Schema.LabelID(o.label)
+		aid, okA := ctx.g.Schema.AttrID(o.attr)
+		if okL && okA && ctx.g.Schema.DropIndex(lid, aid) {
+			ctx.stats.IndicesDeleted++
+		}
+	}
+	return nil, nil
+}
+
+func (o *indexOp) name() string { return "Index" }
+func (o *indexOp) args() string {
+	verb := "drop"
+	if o.create {
+		verb = "create"
+	}
+	return fmt.Sprintf("%s :%s(%s)", verb, o.label, o.attr)
+}
+func (o *indexOp) children() []operation { return nil }
+
+// exprString renders an AST expression as a column name / EXPLAIN text.
+func exprString(e cypher.Expr) string {
+	switch e := e.(type) {
+	case *cypher.Literal:
+		if e.V.Kind == value.KindString {
+			return "'" + e.V.Str() + "'"
+		}
+		return e.V.String()
+	case *cypher.Ident:
+		return e.Name
+	case *cypher.Param:
+		return "$" + e.Name
+	case *cypher.PropAccess:
+		return exprString(e.E) + "." + e.Key
+	case *cypher.BinaryExpr:
+		op := e.Op
+		switch op {
+		case "STARTSWITH":
+			op = "STARTS WITH"
+		case "ENDSWITH":
+			op = "ENDS WITH"
+		}
+		return exprString(e.L) + " " + op + " " + exprString(e.R)
+	case *cypher.UnaryExpr:
+		if e.Op == "NOT" {
+			return "NOT " + exprString(e.E)
+		}
+		return e.Op + exprString(e.E)
+	case *cypher.IsNullExpr:
+		if e.Negate {
+			return exprString(e.E) + " IS NOT NULL"
+		}
+		return exprString(e.E) + " IS NULL"
+	case *cypher.FuncCall:
+		var args []string
+		if e.Star {
+			args = []string{"*"}
+		}
+		for _, a := range e.Args {
+			args = append(args, exprString(a))
+		}
+		prefix := ""
+		if e.Distinct {
+			prefix = "DISTINCT "
+		}
+		return e.Name + "(" + prefix + strings.Join(args, ", ") + ")"
+	case *cypher.ListExpr:
+		var items []string
+		for _, it := range e.Items {
+			items = append(items, exprString(it))
+		}
+		return "[" + strings.Join(items, ", ") + "]"
+	case *cypher.IndexExpr:
+		return exprString(e.E) + "[" + exprString(e.Idx) + "]"
+	}
+	return "?"
+}

@@ -1,0 +1,59 @@
+// Package core is the RedisGraph query engine: it compiles Cypher ASTs into
+// execution plans whose traversal operations are algebraic expressions over
+// the graph's GraphBLAS matrices, and executes them one record at a time.
+package core
+
+import (
+	"redisgraph/internal/value"
+)
+
+// symtab maps variable names to record slots. Projection barriers (WITH,
+// RETURN) introduce fresh symtabs.
+type symtab struct {
+	slots map[string]int
+	names []string
+}
+
+func newSymtab() *symtab {
+	return &symtab{slots: map[string]int{}}
+}
+
+// add returns the slot for name, creating one if needed.
+func (s *symtab) add(name string) int {
+	if i, ok := s.slots[name]; ok {
+		return i
+	}
+	i := len(s.names)
+	s.slots[name] = i
+	s.names = append(s.names, name)
+	return i
+}
+
+// lookup returns the slot for name.
+func (s *symtab) lookup(name string) (int, bool) {
+	i, ok := s.slots[name]
+	return i, ok
+}
+
+func (s *symtab) size() int { return len(s.names) }
+
+// record is one row of intermediate execution state.
+type record []value.Value
+
+func newRecord(n int) record {
+	return make(record, n)
+}
+
+// clone copies the record so downstream mutation cannot corrupt siblings.
+func (r record) clone() record {
+	out := make(record, len(r))
+	copy(out, r)
+	return out
+}
+
+// extended returns a copy of r grown to n slots.
+func (r record) extended(n int) record {
+	out := make(record, n)
+	copy(out, r)
+	return out
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"redisgraph/internal/value"
+)
+
+// Statistics counts the side effects of a query, mirroring the trailer
+// RedisGraph appends to every reply.
+type Statistics struct {
+	LabelsAdded          int
+	NodesCreated         int
+	NodesDeleted         int
+	RelationshipsCreated int
+	RelationshipsDeleted int
+	PropertiesSet        int
+	IndicesCreated       int
+	IndicesDeleted       int
+	ExecutionTime        time.Duration
+}
+
+// Lines renders non-zero statistics as reply trailer lines.
+func (s *Statistics) Lines() []string {
+	var out []string
+	add := func(n int, what string) {
+		if n > 0 {
+			out = append(out, fmt.Sprintf("%s: %d", what, n))
+		}
+	}
+	add(s.LabelsAdded, "Labels added")
+	add(s.NodesCreated, "Nodes created")
+	add(s.NodesDeleted, "Nodes deleted")
+	add(s.RelationshipsCreated, "Relationships created")
+	add(s.RelationshipsDeleted, "Relationships deleted")
+	add(s.PropertiesSet, "Properties set")
+	add(s.IndicesCreated, "Indices created")
+	add(s.IndicesDeleted, "Indices deleted")
+	out = append(out, fmt.Sprintf("Query internal execution time: %.6f milliseconds",
+		float64(s.ExecutionTime.Nanoseconds())/1e6))
+	return out
+}
+
+// ResultSet is a completed query result.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]value.Value
+	Stats   Statistics
+}
+
+// String renders the result as an aligned text table (CLI output).
+func (rs *ResultSet) String() string {
+	var b strings.Builder
+	if len(rs.Columns) > 0 {
+		widths := make([]int, len(rs.Columns))
+		for i, c := range rs.Columns {
+			widths[i] = len(c)
+		}
+		cells := make([][]string, len(rs.Rows))
+		for ri, row := range rs.Rows {
+			cells[ri] = make([]string, len(row))
+			for ci, v := range row {
+				s := v.String()
+				cells[ri][ci] = s
+				if ci < len(widths) && len(s) > widths[ci] {
+					widths[ci] = len(s)
+				}
+			}
+		}
+		for i, c := range rs.Columns {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+		for ri := range cells {
+			for ci, s := range cells[ri] {
+				if ci > 0 {
+					b.WriteString(" | ")
+				}
+				fmt.Fprintf(&b, "%-*s", widths[ci], s)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, line := range rs.Stats.Lines() {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package cypher
+
+import "redisgraph/internal/value"
+
+// Query is a parsed Cypher query: an ordered list of clauses.
+type Query struct {
+	Clauses []Clause
+}
+
+// Clause is one top-level query clause.
+type Clause interface{ clause() }
+
+// MatchClause is MATCH (and OPTIONAL MATCH) with an optional WHERE.
+type MatchClause struct {
+	Patterns []*PathPattern
+	Where    Expr
+	Optional bool
+}
+
+// CreateClause is CREATE with one or more patterns.
+type CreateClause struct {
+	Patterns []*PathPattern
+}
+
+// MergeClause is MERGE with a single pattern (match-or-create).
+type MergeClause struct {
+	Pattern *PathPattern
+}
+
+// DeleteClause is [DETACH] DELETE expr, ....
+type DeleteClause struct {
+	Exprs  []Expr
+	Detach bool
+}
+
+// SetItem assigns Value to Target.Key (a property).
+type SetItem struct {
+	Target string // variable name
+	Key    string // property name
+	Value  Expr
+}
+
+// SetClause is SET items....
+type SetClause struct {
+	Items []SetItem
+}
+
+// ReturnClause is RETURN with projections, ordering and paging.
+type ReturnClause struct {
+	Distinct bool
+	Items    []*ReturnItem
+	OrderBy  []*SortItem
+	Skip     Expr
+	Limit    Expr
+}
+
+// WithClause is WITH: a mid-query projection barrier, optionally filtered.
+type WithClause struct {
+	Distinct bool
+	Items    []*ReturnItem
+	OrderBy  []*SortItem
+	Skip     Expr
+	Limit    Expr
+	Where    Expr
+}
+
+// UnwindClause is UNWIND list AS name.
+type UnwindClause struct {
+	Expr  Expr
+	Alias string
+}
+
+// CreateIndexClause is CREATE INDEX ON :Label(attr).
+type CreateIndexClause struct {
+	Label string
+	Attr  string
+}
+
+// DropIndexClause is DROP INDEX ON :Label(attr).
+type DropIndexClause struct {
+	Label string
+	Attr  string
+}
+
+func (*MatchClause) clause()       {}
+func (*CreateClause) clause()      {}
+func (*MergeClause) clause()       {}
+func (*DeleteClause) clause()      {}
+func (*SetClause) clause()         {}
+func (*ReturnClause) clause()      {}
+func (*WithClause) clause()        {}
+func (*UnwindClause) clause()      {}
+func (*CreateIndexClause) clause() {}
+func (*DropIndexClause) clause()   {}
+
+// ReturnItem is one projection, optionally aliased.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// SortItem is one ORDER BY key.
+type SortItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Direction of a relationship pattern.
+type Direction uint8
+
+// Relationship directions.
+const (
+	DirOut  Direction = iota // (a)-[]->(b)
+	DirIn                    // (a)<-[]-(b)
+	DirBoth                  // (a)-[]-(b)
+)
+
+// PathPattern is an alternating node/relationship chain, beginning and
+// ending with a node. Var names the whole path when bound (p = (...)-[]-()).
+type PathPattern struct {
+	Var   string
+	Nodes []*NodePattern
+	Rels  []*RelPattern
+}
+
+// NodePattern is (v:Label {prop: expr, ...}).
+type NodePattern struct {
+	Var    string
+	Labels []string
+	Props  map[string]Expr
+}
+
+// RelPattern is -[v:TYPE|TYPE2 *min..max {props}]->.
+type RelPattern struct {
+	Var       string
+	Types     []string
+	Props     map[string]Expr
+	Direction Direction
+	// Variable-length: MinHops..MaxHops; fixed single hop when VarLength is
+	// false. MaxHops < 0 means unbounded.
+	VarLength bool
+	MinHops   int
+	MaxHops   int
+}
+
+// Expr is an expression tree node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ V value.Value }
+
+// Ident references a bound variable.
+type Ident struct{ Name string }
+
+// Param is a $parameter reference.
+type Param struct{ Name string }
+
+// PropAccess is expr.key.
+type PropAccess struct {
+	E   Expr
+	Key string
+}
+
+// BinaryExpr applies Op to L and R. Op is the upper-case operator name:
+// OR AND XOR = <> < <= > >= + - * / % ^ IN STARTSWITH ENDSWITH CONTAINS.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies Op (NOT, -) to E.
+type UnaryExpr struct {
+	Op string
+	E  Expr
+}
+
+// IsNullExpr is expr IS [NOT] NULL.
+type IsNullExpr struct {
+	E      Expr
+	Negate bool
+}
+
+// FuncCall invokes a built-in function; count(*) is Star=true.
+type FuncCall struct {
+	Name     string // lower-case
+	Distinct bool
+	Star     bool
+	Args     []Expr
+}
+
+// ListExpr is a literal list.
+type ListExpr struct{ Items []Expr }
+
+// IndexExpr is list[idx].
+type IndexExpr struct {
+	E   Expr
+	Idx Expr
+}
+
+func (*Literal) expr()    {}
+func (*Ident) expr()      {}
+func (*Param) expr()      {}
+func (*PropAccess) expr() {}
+func (*BinaryExpr) expr() {}
+func (*UnaryExpr) expr()  {}
+func (*IsNullExpr) expr() {}
+func (*FuncCall) expr()   {}
+func (*ListExpr) expr()   {}
+func (*IndexExpr) expr()  {}

@@ -1,0 +1,243 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer turns query text into tokens.
+type Lexer struct {
+	src []rune
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src)}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(k int) rune {
+	if l.pos+k >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+k]
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch {
+		case unicode.IsSpace(l.peek()):
+			l.pos++
+		case l.peek() == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.pos++
+			}
+		case l.peek() == '/' && l.peekAt(1) == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.peek() == '*' && l.peekAt(1) == '/') {
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := l.peek()
+	switch {
+	case unicode.IsLetter(c) || c == '_':
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.pos++
+		}
+		text := string(l.src[start:l.pos])
+		if keywords[strings.ToUpper(text)] {
+			return Token{Kind: TokKeyword, Text: strings.ToUpper(text), Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+	case c == '`':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.peek() != '`' {
+			b.WriteRune(l.peek())
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("cypher: unterminated backquoted identifier at %d", start)
+		}
+		l.pos++
+		return Token{Kind: TokIdent, Text: b.String(), Pos: start}, nil
+	case unicode.IsDigit(c) || (c == '.' && unicode.IsDigit(l.peekAt(1))):
+		isFloat := false
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.pos++
+		}
+		if l.peek() == '.' && unicode.IsDigit(l.peekAt(1)) {
+			isFloat = true
+			l.pos++
+			for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+				l.pos++
+			}
+		}
+		if l.peek() == 'e' || l.peek() == 'E' {
+			save := l.pos
+			l.pos++
+			if l.peek() == '+' || l.peek() == '-' {
+				l.pos++
+			}
+			if unicode.IsDigit(l.peek()) {
+				isFloat = true
+				for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+					l.pos++
+				}
+			} else {
+				l.pos = save
+			}
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: string(l.src[start:l.pos]), Pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) && l.peek() != quote {
+			if l.peek() == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.peek() {
+				case 'n':
+					b.WriteRune('\n')
+				case 't':
+					b.WriteRune('\t')
+				case 'r':
+					b.WriteRune('\r')
+				default:
+					b.WriteRune(l.peek())
+				}
+				l.pos++
+				continue
+			}
+			b.WriteRune(l.peek())
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return Token{}, fmt.Errorf("cypher: unterminated string at %d", start)
+		}
+		l.pos++
+		return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+	case c == '$':
+		l.pos++
+		nstart := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.pos++
+		}
+		if l.pos == nstart {
+			return Token{}, fmt.Errorf("cypher: empty parameter name at %d", start)
+		}
+		return Token{Kind: TokParam, Text: string(l.src[nstart:l.pos]), Pos: start}, nil
+	}
+
+	two := func(kind TokenKind, text string) (Token, error) {
+		l.pos += 2
+		return Token{Kind: kind, Text: text, Pos: start}, nil
+	}
+	one := func(kind TokenKind) (Token, error) {
+		l.pos++
+		return Token{Kind: kind, Text: string(c), Pos: start}, nil
+	}
+	switch c {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case '[':
+		return one(TokLBracket)
+	case ']':
+		return one(TokRBracket)
+	case '{':
+		return one(TokLBrace)
+	case '}':
+		return one(TokRBrace)
+	case ':':
+		return one(TokColon)
+	case ',':
+		return one(TokComma)
+	case '|':
+		return one(TokPipe)
+	case '*':
+		return one(TokStar)
+	case '+':
+		return one(TokPlus)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '^':
+		return one(TokCaret)
+	case '.':
+		if l.peekAt(1) == '.' {
+			return two(TokDotDot, "..")
+		}
+		return one(TokDot)
+	case '=':
+		return one(TokEq)
+	case '<':
+		switch l.peekAt(1) {
+		case '>':
+			return two(TokNeq, "<>")
+		case '=':
+			return two(TokLte, "<=")
+		case '-':
+			return two(TokArrowLeft, "<-")
+		}
+		return one(TokLt)
+	case '>':
+		if l.peekAt(1) == '=' {
+			return two(TokGte, ">=")
+		}
+		return one(TokGt)
+	case '-':
+		if l.peekAt(1) == '>' {
+			return two(TokArrowRight, "->")
+		}
+		return one(TokDash)
+	case '!':
+		if l.peekAt(1) == '=' {
+			return two(TokNeq, "!=")
+		}
+	}
+	return Token{}, fmt.Errorf("cypher: unexpected character %q at %d", c, start)
+}
+
+// Tokenize returns every token in src.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

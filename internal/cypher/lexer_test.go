@@ -1,0 +1,83 @@
+package cypher
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize(`MATCH (n:Person)-[:KNOWS*1..3]->(m) WHERE n.age >= 21 RETURN m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[TokenKind]int{}
+	for _, tok := range toks {
+		kinds[tok.Kind]++
+	}
+	if kinds[TokKeyword] != 3 || kinds[TokDotDot] != 1 || kinds[TokGte] != 1 || kinds[TokArrowRight] != 1 {
+		t.Fatalf("kinds: %v", kinds)
+	}
+}
+
+func TestTokenizeBackquotedIdent(t *testing.T) {
+	toks, err := Tokenize("MATCH (`weird name`) RETURN 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokIdent && tok.Text == "weird name" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("toks: %v", toks)
+	}
+	if _, err := Tokenize("MATCH (`unterminated"); err == nil {
+		t.Fatal("want unterminated-backquote error")
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	toks, err := Tokenize("1 2.5 1e3 1E-2 .5 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []TokenKind{TokInt, TokFloat, TokFloat, TokFloat, TokFloat, TokInt, TokEOF}
+	if len(toks) != len(wantKinds) {
+		t.Fatalf("toks: %v", toks)
+	}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Fatalf("tok %d: %v, want kind %d", i, toks[i], k)
+		}
+	}
+}
+
+func TestTokenizeNeverPanicsOnRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []rune("MATCH()[]{}<>-=.*'\"$:|,+/%!`abc123 \t\nπ")
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(40)
+		buf := make([]rune, n)
+		for i := range buf {
+			buf[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		// Must terminate and never panic; errors are fine.
+		_, _ = Tokenize(string(buf))
+	}
+}
+
+func TestParseNeverPanicsOnRandomInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"MATCH", "(n)", "RETURN", "WHERE", "n", "-", "[", "]", "->",
+		"count", "(", ")", "*", "1", "..", "'x'", ",", "AS", "ORDER", "BY", "$p", ":T"}
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(12)
+		q := ""
+		for i := 0; i < n; i++ {
+			q += words[rng.Intn(len(words))] + " "
+		}
+		_, _ = Parse(q) // must not panic
+	}
+}

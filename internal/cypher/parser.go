@@ -1,0 +1,832 @@
+// Package cypher implements a lexer and recursive-descent parser for the
+// openCypher subset RedisGraph exposes: MATCH / OPTIONAL MATCH with
+// fixed- and variable-length relationship patterns, WHERE, CREATE, MERGE,
+// DELETE, SET, WITH, UNWIND, RETURN with DISTINCT / ORDER BY / SKIP / LIMIT,
+// parameters, and index management statements.
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"redisgraph/internal/value"
+)
+
+// Parser consumes a token stream and produces a Query AST.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a full query.
+func Parse(src string) (*Query, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	q := &Query{}
+	for !p.at(TokEOF) {
+		c, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		q.Clauses = append(q.Clauses, c)
+	}
+	if len(q.Clauses) == 0 {
+		return nil, fmt.Errorf("cypher: empty query")
+	}
+	return q, nil
+}
+
+func (p *Parser) cur() Token          { return p.toks[p.pos] }
+func (p *Parser) at(k TokenKind) bool { return p.cur().Kind == k }
+
+func (p *Parser) atKeyword(kw string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == kw
+}
+
+func (p *Parser) advance() Token {
+	t := p.cur()
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k TokenKind, what string) (Token, error) {
+	if !p.at(k) {
+		return Token{}, fmt.Errorf("cypher: expected %s, found %s at %d", what, p.cur(), p.cur().Pos)
+	}
+	return p.advance(), nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("cypher: expected %s, found %s at %d", kw, p.cur(), p.cur().Pos)
+	}
+	return nil
+}
+
+func (p *Parser) parseClause() (Clause, error) {
+	switch {
+	case p.atKeyword("MATCH"), p.atKeyword("OPTIONAL"):
+		return p.parseMatch()
+	case p.atKeyword("CREATE"):
+		return p.parseCreate()
+	case p.atKeyword("MERGE"):
+		p.advance()
+		pat, err := p.parsePathPattern()
+		if err != nil {
+			return nil, err
+		}
+		return &MergeClause{Pattern: pat}, nil
+	case p.atKeyword("DELETE"), p.atKeyword("DETACH"):
+		return p.parseDelete()
+	case p.atKeyword("SET"):
+		return p.parseSet()
+	case p.atKeyword("RETURN"):
+		return p.parseReturn()
+	case p.atKeyword("WITH"):
+		return p.parseWith()
+	case p.atKeyword("UNWIND"):
+		return p.parseUnwind()
+	case p.atKeyword("DROP"):
+		return p.parseDropIndex()
+	}
+	return nil, fmt.Errorf("cypher: unexpected %s at %d", p.cur(), p.cur().Pos)
+}
+
+func (p *Parser) parseMatch() (Clause, error) {
+	optional := p.acceptKeyword("OPTIONAL")
+	if err := p.expectKeyword("MATCH"); err != nil {
+		return nil, err
+	}
+	var pats []*PathPattern
+	for {
+		pat, err := p.parsePathPattern()
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, pat)
+		if !p.at(TokComma) {
+			break
+		}
+		p.advance()
+	}
+	m := &MatchClause{Patterns: pats, Optional: optional}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		m.Where = w
+	}
+	return m, nil
+}
+
+func (p *Parser) parseCreate() (Clause, error) {
+	p.advance() // CREATE
+	if p.acceptKeyword("INDEX") {
+		// CREATE INDEX [FOR|ON] :Label(attr)
+		p.acceptKeyword("ON")
+		p.acceptKeyword("FOR")
+		return p.parseIndexSpec(func(l, a string) Clause { return &CreateIndexClause{Label: l, Attr: a} })
+	}
+	var pats []*PathPattern
+	for {
+		pat, err := p.parsePathPattern()
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, pat)
+		if !p.at(TokComma) {
+			break
+		}
+		p.advance()
+	}
+	return &CreateClause{Patterns: pats}, nil
+}
+
+func (p *Parser) parseDropIndex() (Clause, error) {
+	p.advance() // DROP
+	if err := p.expectKeyword("INDEX"); err != nil {
+		return nil, err
+	}
+	p.acceptKeyword("ON")
+	return p.parseIndexSpec(func(l, a string) Clause { return &DropIndexClause{Label: l, Attr: a} })
+}
+
+func (p *Parser) parseIndexSpec(mk func(label, attr string) Clause) (Clause, error) {
+	if _, err := p.expect(TokColon, ":"); err != nil {
+		return nil, err
+	}
+	label, err := p.expect(TokIdent, "label")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	attr, err := p.expect(TokIdent, "attribute")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return mk(label.Text, attr.Text), nil
+}
+
+func (p *Parser) parseDelete() (Clause, error) {
+	detach := p.acceptKeyword("DETACH")
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	var exprs []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		if !p.at(TokComma) {
+			break
+		}
+		p.advance()
+	}
+	return &DeleteClause{Exprs: exprs, Detach: detach}, nil
+}
+
+func (p *Parser) parseSet() (Clause, error) {
+	p.advance() // SET
+	var items []SetItem
+	for {
+		target, err := p.expect(TokIdent, "variable")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokDot, "."); err != nil {
+			return nil, err
+		}
+		key, err := p.expect(TokIdent, "property name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEq, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, SetItem{Target: target.Text, Key: key.Text, Value: val})
+		if !p.at(TokComma) {
+			break
+		}
+		p.advance()
+	}
+	return &SetClause{Items: items}, nil
+}
+
+func (p *Parser) parseProjection() (items []*ReturnItem, distinct bool, orderBy []*SortItem, skip, limit Expr, err error) {
+	distinct = p.acceptKeyword("DISTINCT")
+	for {
+		if p.at(TokStar) {
+			p.advance()
+			items = append(items, &ReturnItem{Expr: &Ident{Name: "*"}})
+		} else {
+			var e Expr
+			e, err = p.parseExpr()
+			if err != nil {
+				return
+			}
+			item := &ReturnItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				var alias Token
+				alias, err = p.expect(TokIdent, "alias")
+				if err != nil {
+					return
+				}
+				item.Alias = alias.Text
+			}
+			items = append(items, item)
+		}
+		if !p.at(TokComma) {
+			break
+		}
+		p.advance()
+	}
+	if p.acceptKeyword("ORDER") {
+		if err = p.expectKeyword("BY"); err != nil {
+			return
+		}
+		for {
+			var e Expr
+			e, err = p.parseExpr()
+			if err != nil {
+				return
+			}
+			si := &SortItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				si.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			orderBy = append(orderBy, si)
+			if !p.at(TokComma) {
+				break
+			}
+			p.advance()
+		}
+	}
+	if p.acceptKeyword("SKIP") {
+		skip, err = p.parseExpr()
+		if err != nil {
+			return
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		limit, err = p.parseExpr()
+		if err != nil {
+			return
+		}
+	}
+	return
+}
+
+func (p *Parser) parseReturn() (Clause, error) {
+	p.advance() // RETURN
+	items, distinct, orderBy, skip, limit, err := p.parseProjection()
+	if err != nil {
+		return nil, err
+	}
+	return &ReturnClause{Distinct: distinct, Items: items, OrderBy: orderBy, Skip: skip, Limit: limit}, nil
+}
+
+func (p *Parser) parseWith() (Clause, error) {
+	p.advance() // WITH
+	items, distinct, orderBy, skip, limit, err := p.parseProjection()
+	if err != nil {
+		return nil, err
+	}
+	w := &WithClause{Distinct: distinct, Items: items, OrderBy: orderBy, Skip: skip, Limit: limit}
+	if p.acceptKeyword("WHERE") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		w.Where = cond
+	}
+	return w, nil
+}
+
+func (p *Parser) parseUnwind() (Clause, error) {
+	p.advance() // UNWIND
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	alias, err := p.expect(TokIdent, "alias")
+	if err != nil {
+		return nil, err
+	}
+	return &UnwindClause{Expr: e, Alias: alias.Text}, nil
+}
+
+// ---- patterns ----
+
+func (p *Parser) parsePathPattern() (*PathPattern, error) {
+	pat := &PathPattern{}
+	// p = (...)
+	if p.at(TokIdent) && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokEq {
+		pat.Var = p.advance().Text
+		p.advance() // =
+	}
+	n, err := p.parseNodePattern()
+	if err != nil {
+		return nil, err
+	}
+	pat.Nodes = append(pat.Nodes, n)
+	for p.at(TokDash) || p.at(TokArrowLeft) {
+		rel, err := p.parseRelPattern()
+		if err != nil {
+			return nil, err
+		}
+		next, err := p.parseNodePattern()
+		if err != nil {
+			return nil, err
+		}
+		pat.Rels = append(pat.Rels, rel)
+		pat.Nodes = append(pat.Nodes, next)
+	}
+	return pat, nil
+}
+
+func (p *Parser) parseNodePattern() (*NodePattern, error) {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	n := &NodePattern{}
+	if p.at(TokIdent) {
+		n.Var = p.advance().Text
+	}
+	for p.at(TokColon) {
+		p.advance()
+		lbl, err := p.expect(TokIdent, "label")
+		if err != nil {
+			return nil, err
+		}
+		n.Labels = append(n.Labels, lbl.Text)
+	}
+	if p.at(TokLBrace) {
+		props, err := p.parseProps()
+		if err != nil {
+			return nil, err
+		}
+		n.Props = props
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (p *Parser) parseRelPattern() (*RelPattern, error) {
+	r := &RelPattern{Direction: DirBoth, MinHops: 1, MaxHops: 1}
+	leftArrow := false
+	switch {
+	case p.at(TokArrowLeft):
+		leftArrow = true
+		p.advance()
+	case p.at(TokDash):
+		p.advance()
+	default:
+		return nil, fmt.Errorf("cypher: expected relationship at %d", p.cur().Pos)
+	}
+	if p.at(TokLBracket) {
+		p.advance()
+		if p.at(TokIdent) {
+			r.Var = p.advance().Text
+		}
+		if p.at(TokColon) {
+			for {
+				p.advance() // : or |
+				// Allow |:TYPE and |TYPE alternation forms.
+				if p.at(TokColon) {
+					p.advance()
+				}
+				typ, err := p.expect(TokIdent, "relationship type")
+				if err != nil {
+					return nil, err
+				}
+				r.Types = append(r.Types, typ.Text)
+				if !p.at(TokPipe) {
+					break
+				}
+			}
+		}
+		if p.at(TokStar) {
+			p.advance()
+			r.VarLength = true
+			r.MinHops, r.MaxHops = 1, -1
+			if p.at(TokInt) {
+				lo, _ := strconv.Atoi(p.advance().Text)
+				r.MinHops, r.MaxHops = lo, lo
+			}
+			if p.at(TokDotDot) {
+				p.advance()
+				r.MaxHops = -1
+				if p.at(TokInt) {
+					hi, _ := strconv.Atoi(p.advance().Text)
+					r.MaxHops = hi
+				}
+			}
+		}
+		if p.at(TokLBrace) {
+			props, err := p.parseProps()
+			if err != nil {
+				return nil, err
+			}
+			r.Props = props
+		}
+		if _, err := p.expect(TokRBracket, "]"); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case p.at(TokArrowRight):
+		p.advance()
+		if leftArrow {
+			return nil, fmt.Errorf("cypher: relationship cannot point both ways at %d", p.cur().Pos)
+		}
+		r.Direction = DirOut
+	case p.at(TokDash):
+		p.advance()
+		if leftArrow {
+			r.Direction = DirIn
+		} else {
+			r.Direction = DirBoth
+		}
+	default:
+		return nil, fmt.Errorf("cypher: unterminated relationship at %d", p.cur().Pos)
+	}
+	return r, nil
+}
+
+func (p *Parser) parseProps() (map[string]Expr, error) {
+	p.advance() // {
+	props := map[string]Expr{}
+	for !p.at(TokRBrace) {
+		key, err := p.expect(TokIdent, "property name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon, ":"); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		props[key.Text] = val
+		if p.at(TokComma) {
+			p.advance()
+		}
+	}
+	p.advance() // }
+	return props, nil
+}
+
+// ---- expressions ----
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.advance()
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseXor() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("XOR") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "XOR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.at(TokEq):
+			op = "="
+		case p.at(TokNeq):
+			op = "<>"
+		case p.at(TokLt):
+			op = "<"
+		case p.at(TokLte):
+			op = "<="
+		case p.at(TokGt):
+			op = ">"
+		case p.at(TokGte):
+			op = ">="
+		case p.atKeyword("IN"):
+			op = "IN"
+		case p.atKeyword("CONTAINS"):
+			op = "CONTAINS"
+		case p.atKeyword("STARTS"):
+			p.advance()
+			if err := p.expectKeyword("WITH"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "STARTSWITH", L: l, R: r}
+			continue
+		case p.atKeyword("ENDS"):
+			p.advance()
+			if err := p.expectKeyword("WITH"); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: "ENDSWITH", L: l, R: r}
+			continue
+		case p.atKeyword("IS"):
+			p.advance()
+			negate := p.acceptKeyword("NOT")
+			if err := p.expectKeyword("NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNullExpr{E: l, Negate: negate}
+			continue
+		default:
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokPlus) || p.at(TokDash) {
+		op := "+"
+		if p.at(TokDash) {
+			op = "-"
+		}
+		p.advance()
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokStar) || p.at(TokSlash) || p.at(TokPercent) {
+		var op string
+		switch {
+		case p.at(TokStar):
+			op = "*"
+		case p.at(TokSlash):
+			op = "/"
+		default:
+			op = "%"
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.at(TokDash) {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	if p.at(TokPlus) {
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	e, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokDot):
+			p.advance()
+			key, err := p.expect(TokIdent, "property name")
+			if err != nil {
+				return nil, err
+			}
+			e = &PropAccess{E: e, Key: key.Text}
+		case p.at(TokLBracket):
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket, "]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{E: e, Idx: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parseAtom() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.advance()
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cypher: bad integer %q at %d", t.Text, t.Pos)
+		}
+		return &Literal{V: value.NewInt(i)}, nil
+	case TokFloat:
+		p.advance()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cypher: bad float %q at %d", t.Text, t.Pos)
+		}
+		return &Literal{V: value.NewFloat(f)}, nil
+	case TokString:
+		p.advance()
+		return &Literal{V: value.NewString(t.Text)}, nil
+	case TokParam:
+		p.advance()
+		return &Param{Name: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokLBracket:
+		p.advance()
+		le := &ListExpr{}
+		for !p.at(TokRBracket) {
+			item, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			le.Items = append(le.Items, item)
+			if p.at(TokComma) {
+				p.advance()
+			}
+		}
+		p.advance()
+		return le, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.advance()
+			return &Literal{V: value.NewBool(true)}, nil
+		case "FALSE":
+			p.advance()
+			return &Literal{V: value.NewBool(false)}, nil
+		case "NULL":
+			p.advance()
+			return &Literal{V: value.Null}, nil
+		case "COUNT":
+			p.advance()
+			return p.parseCallArgs("count")
+		}
+	case TokIdent:
+		if p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokLParen {
+			name := strings.ToLower(p.advance().Text)
+			return p.parseCallArgs(name)
+		}
+		p.advance()
+		return &Ident{Name: t.Text}, nil
+	}
+	return nil, fmt.Errorf("cypher: unexpected %s at %d", t, t.Pos)
+}
+
+func (p *Parser) parseCallArgs(name string) (Expr, error) {
+	if _, err := p.expect(TokLParen, "("); err != nil {
+		return nil, err
+	}
+	fc := &FuncCall{Name: name}
+	fc.Distinct = p.acceptKeyword("DISTINCT")
+	if p.at(TokStar) {
+		p.advance()
+		fc.Star = true
+	} else {
+		for !p.at(TokRParen) {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = append(fc.Args, arg)
+			if p.at(TokComma) {
+				p.advance()
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen, ")"); err != nil {
+		return nil, err
+	}
+	return fc, nil
+}

@@ -1,0 +1,281 @@
+package cypher
+
+import (
+	"testing"
+
+	"redisgraph/internal/value"
+)
+
+func parse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return q
+}
+
+func TestParseSimpleMatchReturn(t *testing.T) {
+	q := parse(t, `MATCH (n:Person) RETURN n`)
+	if len(q.Clauses) != 2 {
+		t.Fatalf("clauses: %d", len(q.Clauses))
+	}
+	m := q.Clauses[0].(*MatchClause)
+	if len(m.Patterns) != 1 || len(m.Patterns[0].Nodes) != 1 {
+		t.Fatalf("patterns: %+v", m.Patterns)
+	}
+	n := m.Patterns[0].Nodes[0]
+	if n.Var != "n" || len(n.Labels) != 1 || n.Labels[0] != "Person" {
+		t.Fatalf("node: %+v", n)
+	}
+	r := q.Clauses[1].(*ReturnClause)
+	if len(r.Items) != 1 {
+		t.Fatalf("items: %+v", r.Items)
+	}
+}
+
+func TestParseRelationshipDirections(t *testing.T) {
+	cases := []struct {
+		src string
+		dir Direction
+	}{
+		{`MATCH (a)-[:R]->(b) RETURN a`, DirOut},
+		{`MATCH (a)<-[:R]-(b) RETURN a`, DirIn},
+		{`MATCH (a)-[:R]-(b) RETURN a`, DirBoth},
+		{`MATCH (a)-->(b) RETURN a`, DirOut},
+		{`MATCH (a)<--(b) RETURN a`, DirIn},
+		{`MATCH (a)--(b) RETURN a`, DirBoth},
+	}
+	for _, c := range cases {
+		q := parse(t, c.src)
+		rel := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+		if rel.Direction != c.dir {
+			t.Fatalf("%s: dir = %v, want %v", c.src, rel.Direction, c.dir)
+		}
+	}
+}
+
+func TestParseVarLength(t *testing.T) {
+	cases := []struct {
+		src      string
+		min, max int
+	}{
+		{`MATCH (a)-[:R*]->(b) RETURN a`, 1, -1},
+		{`MATCH (a)-[:R*3]->(b) RETURN a`, 3, 3},
+		{`MATCH (a)-[:R*1..6]->(b) RETURN a`, 1, 6},
+		{`MATCH (a)-[:R*2..]->(b) RETURN a`, 2, -1},
+	}
+	for _, c := range cases {
+		rel := parse(t, c.src).Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+		if !rel.VarLength || rel.MinHops != c.min || rel.MaxHops != c.max {
+			t.Fatalf("%s: got %d..%d varlen=%v", c.src, rel.MinHops, rel.MaxHops, rel.VarLength)
+		}
+	}
+}
+
+func TestParseRelTypeAlternation(t *testing.T) {
+	rel := parse(t, `MATCH (a)-[r:KNOWS|WORKS_AT]->(b) RETURN r`).Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+	if rel.Var != "r" || len(rel.Types) != 2 || rel.Types[1] != "WORKS_AT" {
+		t.Fatalf("rel: %+v", rel)
+	}
+}
+
+func TestParsePropertiesAndParams(t *testing.T) {
+	q := parse(t, `MATCH (n:Person {name: $who, age: 30}) RETURN n`)
+	n := q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0]
+	if len(n.Props) != 2 {
+		t.Fatalf("props: %+v", n.Props)
+	}
+	if _, ok := n.Props["name"].(*Param); !ok {
+		t.Fatalf("name prop: %T", n.Props["name"])
+	}
+	lit, ok := n.Props["age"].(*Literal)
+	if !ok || lit.V.Int() != 30 {
+		t.Fatalf("age prop: %+v", n.Props["age"])
+	}
+}
+
+func TestParseWhereExprPrecedence(t *testing.T) {
+	q := parse(t, `MATCH (n) WHERE n.a = 1 OR n.b < 2 AND NOT n.c >= 3 RETURN n`)
+	w := q.Clauses[0].(*MatchClause).Where
+	or, ok := w.(*BinaryExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top: %+v", w)
+	}
+	and, ok := or.R.(*BinaryExpr)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("right: %+v", or.R)
+	}
+	if _, ok := and.R.(*UnaryExpr); !ok {
+		t.Fatalf("not: %+v", and.R)
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	q := parse(t, `RETURN 1 + 2 * 3`)
+	e := q.Clauses[0].(*ReturnClause).Items[0].Expr.(*BinaryExpr)
+	if e.Op != "+" {
+		t.Fatalf("top op: %s", e.Op)
+	}
+	if r, ok := e.R.(*BinaryExpr); !ok || r.Op != "*" {
+		t.Fatalf("right: %+v", e.R)
+	}
+}
+
+func TestParseReturnModifiers(t *testing.T) {
+	q := parse(t, `MATCH (n) RETURN DISTINCT n.name AS name ORDER BY name DESC, n.age SKIP 2 LIMIT 10`)
+	r := q.Clauses[1].(*ReturnClause)
+	if !r.Distinct || r.Items[0].Alias != "name" {
+		t.Fatalf("return: %+v", r)
+	}
+	if len(r.OrderBy) != 2 || !r.OrderBy[0].Desc || r.OrderBy[1].Desc {
+		t.Fatalf("orderby: %+v", r.OrderBy)
+	}
+	if r.Skip.(*Literal).V.Int() != 2 || r.Limit.(*Literal).V.Int() != 10 {
+		t.Fatalf("skip/limit: %+v %+v", r.Skip, r.Limit)
+	}
+}
+
+func TestParseCreateDeleteSet(t *testing.T) {
+	q := parse(t, `CREATE (a:X {v: 1})-[:R]->(b:Y)`)
+	c := q.Clauses[0].(*CreateClause)
+	if len(c.Patterns[0].Nodes) != 2 || len(c.Patterns[0].Rels) != 1 {
+		t.Fatalf("create: %+v", c.Patterns[0])
+	}
+	q = parse(t, `MATCH (n) DETACH DELETE n`)
+	d := q.Clauses[1].(*DeleteClause)
+	if !d.Detach || len(d.Exprs) != 1 {
+		t.Fatalf("delete: %+v", d)
+	}
+	q = parse(t, `MATCH (n) SET n.x = 5, n.y = 'a'`)
+	s := q.Clauses[1].(*SetClause)
+	if len(s.Items) != 2 || s.Items[1].Key != "y" {
+		t.Fatalf("set: %+v", s)
+	}
+}
+
+func TestParseWithUnwind(t *testing.T) {
+	q := parse(t, `UNWIND [1,2] AS x WITH x WHERE x > 1 RETURN x`)
+	u := q.Clauses[0].(*UnwindClause)
+	if u.Alias != "x" {
+		t.Fatalf("unwind: %+v", u)
+	}
+	w := q.Clauses[1].(*WithClause)
+	if w.Where == nil {
+		t.Fatalf("with: %+v", w)
+	}
+}
+
+func TestParseIndexStatements(t *testing.T) {
+	q := parse(t, `CREATE INDEX ON :Person(name)`)
+	ci := q.Clauses[0].(*CreateIndexClause)
+	if ci.Label != "Person" || ci.Attr != "name" {
+		t.Fatalf("create index: %+v", ci)
+	}
+	q = parse(t, `DROP INDEX ON :Person(name)`)
+	di := q.Clauses[0].(*DropIndexClause)
+	if di.Label != "Person" {
+		t.Fatalf("drop index: %+v", di)
+	}
+}
+
+func TestParseCountStar(t *testing.T) {
+	q := parse(t, `MATCH (n) RETURN count(*)`)
+	fc := q.Clauses[1].(*ReturnClause).Items[0].Expr.(*FuncCall)
+	if fc.Name != "count" || !fc.Star {
+		t.Fatalf("count: %+v", fc)
+	}
+	q = parse(t, `MATCH (n) RETURN count(DISTINCT n)`)
+	fc = q.Clauses[1].(*ReturnClause).Items[0].Expr.(*FuncCall)
+	if !fc.Distinct || len(fc.Args) != 1 {
+		t.Fatalf("count distinct: %+v", fc)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := parse(t, `RETURN 'it\'s', "a\nb"`)
+	items := q.Clauses[0].(*ReturnClause).Items
+	if items[0].Expr.(*Literal).V.Str() != "it's" {
+		t.Fatalf("escape: %q", items[0].Expr.(*Literal).V.Str())
+	}
+	if items[1].Expr.(*Literal).V.Str() != "a\nb" {
+		t.Fatalf("escape: %q", items[1].Expr.(*Literal).V.Str())
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := parse(t, `RETURN true, false, null, 3.25, 1e3, [1, 'a']`)
+	items := q.Clauses[0].(*ReturnClause).Items
+	if !items[0].Expr.(*Literal).V.Bool() || items[1].Expr.(*Literal).V.Bool() {
+		t.Fatal("bools")
+	}
+	if !items[2].Expr.(*Literal).V.IsNull() {
+		t.Fatal("null")
+	}
+	if items[3].Expr.(*Literal).V.Float() != 3.25 {
+		t.Fatal("float")
+	}
+	if items[4].Expr.(*Literal).V.Float() != 1000 {
+		t.Fatal("exponent")
+	}
+	if len(items[5].Expr.(*ListExpr).Items) != 2 {
+		t.Fatal("list")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := parse(t, "MATCH (n) // line comment\n /* block */ RETURN n")
+	if len(q.Clauses) != 2 {
+		t.Fatalf("clauses: %d", len(q.Clauses))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		``,
+		`MATCH (n`,
+		`MATCH (a)-[:R->(b) RETURN a`,
+		`MATCH (a)<-[:R]->(b) RETURN a`,
+		`RETURN 'unterminated`,
+		`FOO (n)`,
+		`MATCH (n) RETURN`,
+		`CREATE INDEX ON Person(name)`,
+		`RETURN $`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("%q: expected parse error", src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q := parse(t, `match (n:Person) where n.age > 1 return n order by n.age`)
+	if len(q.Clauses) != 2 {
+		t.Fatalf("clauses: %d", len(q.Clauses))
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	q := parse(t, `MATCH (n) WHERE n.x IS NOT NULL RETURN n`)
+	e := q.Clauses[0].(*MatchClause).Where.(*IsNullExpr)
+	if !e.Negate {
+		t.Fatalf("isnull: %+v", e)
+	}
+}
+
+func TestParseMergeClause(t *testing.T) {
+	q := parse(t, `MERGE (n:Person {name: 'x'}) RETURN n`)
+	m := q.Clauses[0].(*MergeClause)
+	if m.Pattern.Nodes[0].Labels[0] != "Person" {
+		t.Fatalf("merge: %+v", m)
+	}
+}
+
+func TestParamValueTypes(t *testing.T) {
+	// Sanity-check the Literal → value plumbing.
+	q := parse(t, `RETURN -5`)
+	u := q.Clauses[0].(*ReturnClause).Items[0].Expr.(*UnaryExpr)
+	if u.Op != "-" || u.E.(*Literal).V.Kind != value.KindInt {
+		t.Fatalf("neg: %+v", u)
+	}
+}

@@ -1,0 +1,72 @@
+package cypher
+
+import "fmt"
+
+// TokenKind enumerates lexical token categories.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokParam // $name
+	TokLParen
+	TokRParen
+	TokLBracket
+	TokRBracket
+	TokLBrace
+	TokRBrace
+	TokColon
+	TokComma
+	TokDot
+	TokDotDot
+	TokPipe
+	TokStar
+	TokPlus
+	TokMinus
+	TokSlash
+	TokPercent
+	TokCaret
+	TokEq
+	TokNeq
+	TokLt
+	TokLte
+	TokGt
+	TokGte
+	TokArrowRight // ->
+	TokArrowLeft  // <-
+	TokDash       // -
+)
+
+// Token is one lexical unit with its source position (for error messages).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords is the set of reserved words, stored upper-case.
+var keywords = map[string]bool{
+	"MATCH": true, "OPTIONAL": true, "WHERE": true, "RETURN": true,
+	"CREATE": true, "DELETE": true, "DETACH": true, "SET": true,
+	"WITH": true, "UNWIND": true, "AS": true, "ORDER": true, "BY": true,
+	"SKIP": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"AND": true, "OR": true, "XOR": true, "NOT": true, "IN": true,
+	"IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"DISTINCT": true, "STARTS": true, "ENDS": true, "CONTAINS": true,
+	"MERGE": true, "INDEX": true, "ON": true, "DROP": true, "FOR": true,
+	"COUNT": true,
+}

@@ -1,0 +1,95 @@
+// Package datablock provides RedisGraph's DataBlock: a slab allocator with
+// stable uint64 IDs, O(1) lookup, and free-list reuse of deleted slots.
+// Node and edge entities live in DataBlocks so that matrices can index them
+// by row/column without pointer chasing.
+package datablock
+
+const blockSize = 4096
+
+type slot[T any] struct {
+	alive bool
+	v     T
+}
+
+// DataBlock stores values of type T in fixed-size slabs.
+type DataBlock[T any] struct {
+	blocks [][]slot[T]
+	free   []uint64
+	high   uint64 // high-water mark: next never-used ID
+	active int
+}
+
+// New returns an empty DataBlock.
+func New[T any]() *DataBlock[T] {
+	return &DataBlock[T]{}
+}
+
+// Allocate reserves a slot, reusing freed IDs first, and returns the ID and
+// a pointer to the (zeroed) value.
+func (d *DataBlock[T]) Allocate() (uint64, *T) {
+	var id uint64
+	if n := len(d.free); n > 0 {
+		id = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		id = d.high
+		d.high++
+		if int(id/blockSize) >= len(d.blocks) {
+			d.blocks = append(d.blocks, make([]slot[T], blockSize))
+		}
+	}
+	s := &d.blocks[id/blockSize][id%blockSize]
+	var zero T
+	s.v = zero
+	s.alive = true
+	d.active++
+	return id, &s.v
+}
+
+// Get returns a pointer to the value at id, or (nil, false) if the id was
+// never allocated or has been deleted.
+func (d *DataBlock[T]) Get(id uint64) (*T, bool) {
+	if id >= d.high {
+		return nil, false
+	}
+	s := &d.blocks[id/blockSize][id%blockSize]
+	if !s.alive {
+		return nil, false
+	}
+	return &s.v, true
+}
+
+// Delete frees the slot at id for reuse. Deleting a dead or unknown id is a
+// no-op returning false.
+func (d *DataBlock[T]) Delete(id uint64) bool {
+	if id >= d.high {
+		return false
+	}
+	s := &d.blocks[id/blockSize][id%blockSize]
+	if !s.alive {
+		return false
+	}
+	s.alive = false
+	var zero T
+	s.v = zero
+	d.free = append(d.free, id)
+	d.active--
+	return true
+}
+
+// Len returns the number of live values.
+func (d *DataBlock[T]) Len() int { return d.active }
+
+// HighWater returns one past the largest ID ever allocated; matrices are
+// sized against this.
+func (d *DataBlock[T]) HighWater() uint64 { return d.high }
+
+// ForEach visits every live value in ID order; fn returning false stops.
+func (d *DataBlock[T]) ForEach(fn func(id uint64, v *T) bool) {
+	for id := uint64(0); id < d.high; id++ {
+		s := &d.blocks[id/blockSize][id%blockSize]
+		if s.alive && !fn(id, &s.v) {
+			return
+		}
+	}
+}

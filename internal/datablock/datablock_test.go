@@ -1,0 +1,133 @@
+package datablock
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAllocateGetDelete(t *testing.T) {
+	d := New[string]()
+	id1, p1 := d.Allocate()
+	*p1 = "a"
+	id2, p2 := d.Allocate()
+	*p2 = "b"
+	if id1 != 0 || id2 != 1 {
+		t.Fatalf("ids: %d %d", id1, id2)
+	}
+	if v, ok := d.Get(id1); !ok || *v != "a" {
+		t.Fatalf("get: %v %v", v, ok)
+	}
+	if d.Len() != 2 || d.HighWater() != 2 {
+		t.Fatalf("len=%d high=%d", d.Len(), d.HighWater())
+	}
+	if !d.Delete(id1) {
+		t.Fatal("delete failed")
+	}
+	if _, ok := d.Get(id1); ok {
+		t.Fatal("deleted slot still readable")
+	}
+	if d.Delete(id1) {
+		t.Fatal("double delete must fail")
+	}
+	if d.Delete(99) {
+		t.Fatal("unknown delete must fail")
+	}
+}
+
+func TestIDReuse(t *testing.T) {
+	d := New[int]()
+	id, _ := d.Allocate()
+	d.Allocate()
+	d.Delete(id)
+	reused, p := d.Allocate()
+	if reused != id {
+		t.Fatalf("expected reuse of %d, got %d", id, reused)
+	}
+	if *p != 0 {
+		t.Fatal("reused slot not zeroed")
+	}
+	if d.HighWater() != 2 {
+		t.Fatalf("high water grew: %d", d.HighWater())
+	}
+}
+
+func TestCrossBlockAllocation(t *testing.T) {
+	d := New[uint64]()
+	n := blockSize*2 + 17
+	for i := 0; i < n; i++ {
+		id, p := d.Allocate()
+		*p = id * 3
+	}
+	if d.Len() != n {
+		t.Fatalf("len=%d", d.Len())
+	}
+	for i := uint64(0); i < uint64(n); i += 97 {
+		v, ok := d.Get(i)
+		if !ok || *v != i*3 {
+			t.Fatalf("get(%d): %v %v", i, v, ok)
+		}
+	}
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	d := New[int]()
+	for i := 0; i < 10; i++ {
+		_, p := d.Allocate()
+		*p = i
+	}
+	d.Delete(3)
+	d.Delete(7)
+	var seen []uint64
+	d.ForEach(func(id uint64, v *int) bool {
+		seen = append(seen, id)
+		return true
+	})
+	if len(seen) != 8 {
+		t.Fatalf("seen: %v", seen)
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("out of order: %v", seen)
+		}
+	}
+	count := 0
+	d.ForEach(func(uint64, *int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop: %d", count)
+	}
+}
+
+func TestRandomizedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := New[int]()
+	ref := map[uint64]int{}
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) != 0 || len(ref) == 0 {
+			id, p := d.Allocate()
+			*p = step
+			if _, exists := ref[id]; exists {
+				t.Fatalf("allocated live id %d", id)
+			}
+			ref[id] = step
+		} else {
+			// Delete a random live id.
+			for id := range ref {
+				d.Delete(id)
+				delete(ref, id)
+				break
+			}
+		}
+	}
+	if d.Len() != len(ref) {
+		t.Fatalf("len=%d ref=%d", d.Len(), len(ref))
+	}
+	for id, want := range ref {
+		v, ok := d.Get(id)
+		if !ok || *v != want {
+			t.Fatalf("get(%d) = %v,%v want %d", id, v, ok, want)
+		}
+	}
+}

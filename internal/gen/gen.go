@@ -1,0 +1,182 @@
+// Package gen produces the benchmark workloads: Graph500 Kronecker (RMAT)
+// edge streams, a Twitter-like preferential-attachment power-law graph, and
+// uniform random graphs, plus seed selection for the k-hop query workload.
+//
+// The paper's datasets were Graph500 (2.4M vertices / 67M edges, i.e. scale
+// ~21 with edge factor 16... the reported sizes) and a Twitter crawl (41.6M
+// vertices / 1.47B edges). This package generates the same *kinds* of graphs
+// at laptop scale.
+package gen
+
+import (
+	"math/rand"
+)
+
+// EdgeList is a generated directed graph.
+type EdgeList struct {
+	NumNodes int
+	Src, Dst []int
+}
+
+// NumEdges returns the edge count.
+func (e *EdgeList) NumEdges() int { return len(e.Src) }
+
+// RMATConfig parameterises the Graph500 Kronecker generator.
+type RMATConfig struct {
+	Scale      int // 2^Scale vertices
+	EdgeFactor int // edges = EdgeFactor * 2^Scale
+	A, B, C    float64
+	Seed       int64
+	// Permute relabels vertices to break the locality the recursion creates,
+	// as the Graph500 spec requires.
+	Permute bool
+	// NoSelfLoops drops i→i edges.
+	NoSelfLoops bool
+}
+
+// Graph500Defaults returns the Graph500 reference parameters
+// (A=0.57 B=0.19 C=0.19, edge factor 16).
+func Graph500Defaults(scale int, seed int64) RMATConfig {
+	return RMATConfig{
+		Scale: scale, EdgeFactor: 16,
+		A: 0.57, B: 0.19, C: 0.19,
+		Seed: seed, Permute: true, NoSelfLoops: true,
+	}
+}
+
+// RMAT generates a Kronecker/RMAT edge list per the Graph500 specification.
+// Parallel duplicate edges are kept (the adjacency-matrix build dedups).
+func RMAT(cfg RMATConfig) *EdgeList {
+	n := 1 << cfg.Scale
+	m := cfg.EdgeFactor * n
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ab := cfg.A + cfg.B
+	cNorm := cfg.C / (1 - ab)
+	aNorm := cfg.A / ab
+
+	out := &EdgeList{NumNodes: n, Src: make([]int, 0, m), Dst: make([]int, 0, m)}
+	for k := 0; k < m; k++ {
+		src, dst := 0, 0
+		for bit := 1 << (cfg.Scale - 1); bit > 0; bit >>= 1 {
+			if rng.Float64() > ab {
+				src |= bit
+				if rng.Float64() > cNorm {
+					dst |= bit
+				}
+			} else if rng.Float64() > aNorm {
+				dst |= bit
+			}
+		}
+		if cfg.NoSelfLoops && src == dst {
+			continue
+		}
+		out.Src = append(out.Src, src)
+		out.Dst = append(out.Dst, dst)
+	}
+	if cfg.Permute {
+		perm := rng.Perm(n)
+		for i := range out.Src {
+			out.Src[i] = perm[out.Src[i]]
+			out.Dst[i] = perm[out.Dst[i]]
+		}
+	}
+	return out
+}
+
+// TwitterConfig parameterises the Twitter-like power-law generator: a
+// preferential-attachment process producing the heavy-tailed in-degree
+// distribution characteristic of follower graphs.
+type TwitterConfig struct {
+	NumNodes int
+	// EdgesPerNode is the mean out-degree (Twitter's crawl averages ~35;
+	// laptop-scale runs use less).
+	EdgesPerNode int
+	Seed         int64
+}
+
+// Twitter generates a directed preferential-attachment graph: each new node
+// emits EdgesPerNode edges whose targets are chosen proportionally to
+// current in-degree + 1 (sampled from an endpoint list, the Barabási–Albert
+// trick, which yields a power-law in-degree tail).
+func Twitter(cfg TwitterConfig) *EdgeList {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.NumNodes
+	out := &EdgeList{NumNodes: n}
+	// targets doubles as the attachment distribution: every edge endpoint
+	// appended biases future choices toward high-in-degree nodes.
+	targets := make([]int, 0, n*cfg.EdgesPerNode)
+	for v := 0; v < n; v++ {
+		for e := 0; e < cfg.EdgesPerNode; e++ {
+			var t int
+			if len(targets) == 0 || rng.Float64() < 0.15 {
+				// Uniform escape hatch keeps the graph connected-ish and
+				// seeds the distribution.
+				t = rng.Intn(n)
+			} else {
+				t = targets[rng.Intn(len(targets))]
+			}
+			if t == v {
+				continue
+			}
+			out.Src = append(out.Src, v)
+			out.Dst = append(out.Dst, t)
+			targets = append(targets, t)
+		}
+	}
+	return out
+}
+
+// Uniform generates an Erdős–Rényi G(n, m) multigraph.
+func Uniform(n, m int, seed int64) *EdgeList {
+	rng := rand.New(rand.NewSource(seed))
+	out := &EdgeList{NumNodes: n, Src: make([]int, m), Dst: make([]int, m)}
+	for i := 0; i < m; i++ {
+		out.Src[i] = rng.Intn(n)
+		out.Dst[i] = rng.Intn(n)
+	}
+	return out
+}
+
+// Seeds picks k query seeds among nodes with at least one outgoing edge,
+// mirroring the TigerGraph benchmark's seed files (seeds must not be
+// isolated or every query returns instantly).
+func Seeds(e *EdgeList, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	hasOut := make([]bool, e.NumNodes)
+	for _, s := range e.Src {
+		hasOut[s] = true
+	}
+	var candidates []int
+	for v, ok := range hasOut {
+		if ok {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = candidates[rng.Intn(len(candidates))]
+	}
+	return out
+}
+
+// OutDegreeHistogram returns the out-degree of every node (for distribution
+// sanity checks in tests).
+func OutDegreeHistogram(e *EdgeList) []int {
+	deg := make([]int, e.NumNodes)
+	for _, s := range e.Src {
+		deg[s]++
+	}
+	return deg
+}
+
+// InDegreeHistogram returns the in-degree of every node.
+func InDegreeHistogram(e *EdgeList) []int {
+	deg := make([]int, e.NumNodes)
+	for _, d := range e.Dst {
+		deg[d]++
+	}
+	return deg
+}

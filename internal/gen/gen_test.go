@@ -1,0 +1,126 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestRMATSizesAndDeterminism(t *testing.T) {
+	cfg := Graph500Defaults(10, 42)
+	e1 := RMAT(cfg)
+	e2 := RMAT(cfg)
+	if e1.NumNodes != 1024 {
+		t.Fatalf("nodes = %d", e1.NumNodes)
+	}
+	// Edge factor 16 minus dropped self loops.
+	if e1.NumEdges() < 15*1024 || e1.NumEdges() > 16*1024 {
+		t.Fatalf("edges = %d", e1.NumEdges())
+	}
+	if len(e1.Src) != len(e2.Src) {
+		t.Fatal("not deterministic")
+	}
+	for i := range e1.Src {
+		if e1.Src[i] != e2.Src[i] || e1.Dst[i] != e2.Dst[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	for i := range e1.Src {
+		if e1.Src[i] < 0 || e1.Src[i] >= 1024 || e1.Dst[i] < 0 || e1.Dst[i] >= 1024 {
+			t.Fatalf("edge out of range: %d→%d", e1.Src[i], e1.Dst[i])
+		}
+		if e1.Src[i] == e1.Dst[i] {
+			t.Fatal("self loop survived NoSelfLoops")
+		}
+	}
+}
+
+func TestRMATSkew(t *testing.T) {
+	// RMAT with Graph500 parameters is heavily skewed: the top 1% of nodes
+	// by out-degree should own far more than 1% of edges.
+	e := RMAT(Graph500Defaults(12, 7))
+	deg := OutDegreeHistogram(e)
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	top := 0
+	for _, d := range deg[:len(deg)/100] {
+		top += d
+	}
+	frac := float64(top) / float64(e.NumEdges())
+	if frac < 0.10 {
+		t.Fatalf("top-1%% owns only %.1f%% of edges; RMAT should be skewed", frac*100)
+	}
+}
+
+func TestRMATDifferentSeedsDiffer(t *testing.T) {
+	a := RMAT(Graph500Defaults(8, 1))
+	b := RMAT(Graph500Defaults(8, 2))
+	same := 0
+	for i := 0; i < min(len(a.Src), len(b.Src)); i++ {
+		if a.Src[i] == b.Src[i] && a.Dst[i] == b.Dst[i] {
+			same++
+		}
+	}
+	if same == min(len(a.Src), len(b.Src)) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestTwitterPowerLawTail(t *testing.T) {
+	e := Twitter(TwitterConfig{NumNodes: 4096, EdgesPerNode: 10, Seed: 3})
+	if e.NumNodes != 4096 {
+		t.Fatalf("nodes = %d", e.NumNodes)
+	}
+	indeg := InDegreeHistogram(e)
+	sort.Sort(sort.Reverse(sort.IntSlice(indeg)))
+	mean := float64(e.NumEdges()) / 4096
+	// Preferential attachment: the most-followed node far exceeds the mean.
+	if float64(indeg[0]) < 8*mean {
+		t.Fatalf("max in-degree %d vs mean %.1f: tail not heavy", indeg[0], mean)
+	}
+	for i := range e.Src {
+		if e.Src[i] == e.Dst[i] {
+			t.Fatal("self loop")
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	e := Uniform(100, 1000, 5)
+	if e.NumNodes != 100 || e.NumEdges() != 1000 {
+		t.Fatalf("%d %d", e.NumNodes, e.NumEdges())
+	}
+	deg := OutDegreeHistogram(e)
+	// Uniform: no node should own a huge share.
+	for _, d := range deg {
+		if d > 40 {
+			t.Fatalf("out-degree %d too large for uniform", d)
+		}
+	}
+}
+
+func TestSeedsHaveOutEdges(t *testing.T) {
+	e := RMAT(Graph500Defaults(9, 8))
+	hasOut := make([]bool, e.NumNodes)
+	for _, s := range e.Src {
+		hasOut[s] = true
+	}
+	seeds := Seeds(e, 300, 1)
+	if len(seeds) != 300 {
+		t.Fatalf("seeds = %d", len(seeds))
+	}
+	for _, s := range seeds {
+		if !hasOut[s] {
+			t.Fatalf("seed %d has no out-edges", s)
+		}
+	}
+	// Deterministic.
+	again := Seeds(e, 300, 1)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("seeds not deterministic")
+		}
+	}
+	// Empty graph.
+	if s := Seeds(&EdgeList{NumNodes: 10}, 5, 1); s != nil {
+		t.Fatalf("seeds on empty graph: %v", s)
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"redisgraph/internal/value"
+)
+
+// Node is a graph vertex. Its ID is the row/column index in every matrix.
+type Node struct {
+	ID     uint64
+	Labels []int
+	Props  map[int]value.Value
+}
+
+// Edge is a typed, directed relationship between two nodes.
+type Edge struct {
+	ID    uint64
+	Type  int
+	Src   uint64
+	Dst   uint64
+	Props map[int]value.Value
+}
+
+// String renders the node compactly for result sets and debugging.
+func (n *Node) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%d", n.ID)
+	for _, l := range n.Labels {
+		fmt.Fprintf(&b, ":L%d", l)
+	}
+	writeProps(&b, n.Props)
+	b.WriteByte(')')
+	return b.String()
+}
+
+// String renders the edge compactly.
+func (e *Edge) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d:T%d %d->%d", e.ID, e.Type, e.Src, e.Dst)
+	writeProps(&b, e.Props)
+	b.WriteByte(']')
+	return b.String()
+}
+
+func writeProps(b *strings.Builder, props map[int]value.Value) {
+	if len(props) == 0 {
+		return
+	}
+	keys := make([]int, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	b.WriteString(" {")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(b, "%d:%s", k, props[k])
+	}
+	b.WriteByte('}')
+}
+
+// Path is an alternating node/edge sequence produced by variable-length
+// traversals.
+type Path struct {
+	Nodes []*Node
+	Edges []*Edge
+}
+
+// Len returns the number of edges in the path.
+func (p *Path) Len() int { return len(p.Edges) }
+
+// String renders the path.
+func (p *Path) String() string {
+	var b strings.Builder
+	for i, n := range p.Nodes {
+		if i > 0 {
+			b.WriteString("-")
+			b.WriteString(p.Edges[i-1].String())
+			b.WriteString("->")
+		}
+		b.WriteString(n.String())
+	}
+	return b.String()
+}

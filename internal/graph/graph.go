@@ -1,0 +1,421 @@
+// Package graph implements the RedisGraph property-graph store: entities in
+// DataBlocks, connectivity as GraphBLAS boolean matrices — one adjacency
+// matrix per relationship type (plus its transpose), a combined adjacency
+// matrix, and one diagonal matrix per node label.
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"redisgraph/internal/datablock"
+	"redisgraph/internal/grb"
+	"redisgraph/internal/value"
+)
+
+// growthChunk is the matrix-dimension growth quantum; RedisGraph grows its
+// matrices in chunks so node creation rarely resizes.
+const growthChunk = 16384
+
+type edgeKey struct{ src, dst uint64 }
+
+// relationStore keeps one relationship type: its adjacency matrix R, the
+// transposed matrix R' for inbound traversals, and the multi-edge registry
+// mapping (src,dst) to edge IDs (matrix entries are boolean).
+type relationStore struct {
+	m     *grb.Matrix
+	tm    *grb.Matrix
+	edges map[edgeKey][]uint64
+}
+
+// Graph is a single named property graph. The embedded RWMutex serialises
+// writers against readers; read-only queries take RLock (the server layer
+// enforces this, matching RedisGraph's per-graph locking).
+type Graph struct {
+	sync.RWMutex
+
+	Name   string
+	Schema *Schema
+
+	nodes *datablock.DataBlock[Node]
+	edges *datablock.DataBlock[Edge]
+
+	dim       int
+	adj       *grb.Matrix
+	tadj      *grb.Matrix
+	labels    []*grb.Matrix
+	relations []*relationStore
+}
+
+// New returns an empty graph with the given name.
+func New(name string) *Graph {
+	return &Graph{
+		Name:   name,
+		Schema: NewSchema(),
+		nodes:  datablock.New[Node](),
+		edges:  datablock.New[Edge](),
+		dim:    growthChunk,
+		adj:    grb.NewMatrix(growthChunk, growthChunk),
+		tadj:   grb.NewMatrix(growthChunk, growthChunk),
+	}
+}
+
+// Dim returns the current matrix dimension (≥ the number of nodes).
+func (g *Graph) Dim() int { return g.dim }
+
+// NodeCount returns the number of live nodes.
+func (g *Graph) NodeCount() int { return g.nodes.Len() }
+
+// EdgeCount returns the number of live edges.
+func (g *Graph) EdgeCount() int { return g.edges.Len() }
+
+// Adjacency returns THE adjacency matrix over all relationship types.
+func (g *Graph) Adjacency() *grb.Matrix { return g.adj }
+
+// TAdjacency returns the transposed adjacency matrix.
+func (g *Graph) TAdjacency() *grb.Matrix { return g.tadj }
+
+// RelationMatrix returns the adjacency matrix for a relationship type, or
+// nil if the type is unknown.
+func (g *Graph) RelationMatrix(typeID int) *grb.Matrix {
+	if typeID < 0 || typeID >= len(g.relations) {
+		return nil
+	}
+	return g.relations[typeID].m
+}
+
+// TRelationMatrix returns the transposed matrix for a relationship type.
+func (g *Graph) TRelationMatrix(typeID int) *grb.Matrix {
+	if typeID < 0 || typeID >= len(g.relations) {
+		return nil
+	}
+	return g.relations[typeID].tm
+}
+
+// LabelMatrix returns the diagonal matrix for a label, or nil if unknown.
+func (g *Graph) LabelMatrix(labelID int) *grb.Matrix {
+	if labelID < 0 || labelID >= len(g.labels) {
+		return nil
+	}
+	return g.labels[labelID]
+}
+
+func (g *Graph) grow(needed uint64) {
+	if int(needed) < g.dim {
+		return
+	}
+	newDim := g.dim
+	for int(needed) >= newDim {
+		newDim += growthChunk
+	}
+	g.adj.Resize(newDim, newDim)
+	g.tadj.Resize(newDim, newDim)
+	for _, l := range g.labels {
+		l.Resize(newDim, newDim)
+	}
+	for _, r := range g.relations {
+		r.m.Resize(newDim, newDim)
+		r.tm.Resize(newDim, newDim)
+	}
+	g.dim = newDim
+}
+
+func (g *Graph) labelMatrixFor(id int) *grb.Matrix {
+	for id >= len(g.labels) {
+		g.labels = append(g.labels, grb.NewMatrix(g.dim, g.dim))
+	}
+	return g.labels[id]
+}
+
+func (g *Graph) relationFor(id int) *relationStore {
+	for id >= len(g.relations) {
+		g.relations = append(g.relations, &relationStore{
+			m:     grb.NewMatrix(g.dim, g.dim),
+			tm:    grb.NewMatrix(g.dim, g.dim),
+			edges: map[edgeKey][]uint64{},
+		})
+	}
+	return g.relations[id]
+}
+
+// CreateNode allocates a node with the given labels and properties.
+func (g *Graph) CreateNode(labels []string, props map[string]value.Value) *Node {
+	id, n := g.nodes.Allocate()
+	g.grow(id)
+	n.ID = id
+	n.Props = map[int]value.Value{}
+	for _, lbl := range labels {
+		lid := g.Schema.AddLabel(lbl)
+		n.Labels = append(n.Labels, lid)
+		lm := g.labelMatrixFor(lid)
+		if err := lm.SetElement(int(id), int(id), 1); err != nil {
+			panic(fmt.Sprintf("graph: label matrix set: %v", err))
+		}
+	}
+	for k, v := range props {
+		g.setPropLocked(n, g.Schema.AddAttr(k), v)
+	}
+	return n
+}
+
+// GetNode returns the node with the given ID.
+func (g *Graph) GetNode(id uint64) (*Node, bool) { return g.nodes.Get(id) }
+
+// GetEdge returns the edge with the given ID.
+func (g *Graph) GetEdge(id uint64) (*Edge, bool) { return g.edges.Get(id) }
+
+// CreateEdge connects src→dst with the given relationship type.
+func (g *Graph) CreateEdge(typ string, src, dst uint64, props map[string]value.Value) (*Edge, error) {
+	if _, ok := g.nodes.Get(src); !ok {
+		return nil, fmt.Errorf("graph: source node %d does not exist", src)
+	}
+	if _, ok := g.nodes.Get(dst); !ok {
+		return nil, fmt.Errorf("graph: destination node %d does not exist", dst)
+	}
+	tid := g.Schema.AddRelType(typ)
+	rs := g.relationFor(tid)
+	id, e := g.edges.Allocate()
+	e.ID, e.Type, e.Src, e.Dst = id, tid, src, dst
+	e.Props = map[int]value.Value{}
+	for k, v := range props {
+		e.Props[g.Schema.AddAttr(k)] = v
+	}
+	k := edgeKey{src, dst}
+	rs.edges[k] = append(rs.edges[k], id)
+	si, di := int(src), int(dst)
+	if err := rs.m.SetElement(si, di, 1); err != nil {
+		return nil, err
+	}
+	if err := rs.tm.SetElement(di, si, 1); err != nil {
+		return nil, err
+	}
+	if err := g.adj.SetElement(si, di, 1); err != nil {
+		return nil, err
+	}
+	if err := g.tadj.SetElement(di, si, 1); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// EdgesBetween returns the IDs of edges of the given type from src to dst.
+// A negative typeID scans every relationship type.
+func (g *Graph) EdgesBetween(typeID int, src, dst uint64) []uint64 {
+	if typeID >= 0 {
+		if typeID >= len(g.relations) {
+			return nil
+		}
+		return g.relations[typeID].edges[edgeKey{src, dst}]
+	}
+	var out []uint64
+	for _, rs := range g.relations {
+		out = append(out, rs.edges[edgeKey{src, dst}]...)
+	}
+	return out
+}
+
+// DeleteEdge removes an edge, fixing up the relation, adjacency and
+// transpose matrices.
+func (g *Graph) DeleteEdge(id uint64) bool {
+	e, ok := g.edges.Get(id)
+	if !ok {
+		return false
+	}
+	rs := g.relations[e.Type]
+	k := edgeKey{e.Src, e.Dst}
+	list := rs.edges[k]
+	for i, eid := range list {
+		if eid == id {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(rs.edges, k)
+		si, di := int(e.Src), int(e.Dst)
+		_ = rs.m.RemoveElement(si, di)
+		_ = rs.tm.RemoveElement(di, si)
+		// The combined adjacency keeps its entry while any other relation
+		// still connects the pair.
+		still := false
+		for _, other := range g.relations {
+			if len(other.edges[k]) > 0 {
+				still = true
+				break
+			}
+		}
+		if !still {
+			_ = g.adj.RemoveElement(si, di)
+			_ = g.tadj.RemoveElement(di, si)
+		}
+	} else {
+		rs.edges[k] = list
+	}
+	g.edges.Delete(id)
+	return true
+}
+
+// DeleteNode removes a node and every incident edge, returning the number of
+// edges deleted.
+func (g *Graph) DeleteNode(id uint64) (int, bool) {
+	n, ok := g.nodes.Get(id)
+	if !ok {
+		return 0, false
+	}
+	// Collect incident edges from the combined adjacency row (out) and
+	// transposed row (in).
+	var victims []uint64
+	g.adj.Wait()
+	g.tadj.Wait()
+	g.adj.IterateRow(int(id), func(j grb.Index, _ float64) bool {
+		victims = append(victims, g.EdgesBetween(-1, id, uint64(j))...)
+		return true
+	})
+	g.tadj.IterateRow(int(id), func(j grb.Index, _ float64) bool {
+		if uint64(j) != id { // self-loops already collected
+			victims = append(victims, g.EdgesBetween(-1, uint64(j), id)...)
+		}
+		return true
+	})
+	for _, eid := range victims {
+		g.DeleteEdge(eid)
+	}
+	// Unindex properties and clear label diagonals.
+	for _, lid := range n.Labels {
+		for attr, v := range n.Props {
+			if ix, ok := g.Schema.Index(lid, attr); ok {
+				ix.remove(id, v)
+			}
+		}
+		_ = g.labels[lid].RemoveElement(int(id), int(id))
+	}
+	g.nodes.Delete(id)
+	return len(victims), true
+}
+
+// SetNodeProperty sets (or, with a null value, removes) a node property,
+// maintaining any indexes.
+func (g *Graph) SetNodeProperty(id uint64, attr string, v value.Value) error {
+	n, ok := g.nodes.Get(id)
+	if !ok {
+		return fmt.Errorf("graph: node %d does not exist", id)
+	}
+	g.setPropLocked(n, g.Schema.AddAttr(attr), v)
+	return nil
+}
+
+func (g *Graph) setPropLocked(n *Node, aid int, v value.Value) {
+	if old, ok := n.Props[aid]; ok {
+		for _, lid := range n.Labels {
+			if ix, ok := g.Schema.Index(lid, aid); ok {
+				ix.remove(n.ID, old)
+			}
+		}
+	}
+	if v.IsNull() {
+		delete(n.Props, aid)
+		return
+	}
+	n.Props[aid] = v
+	for _, lid := range n.Labels {
+		if ix, ok := g.Schema.Index(lid, aid); ok {
+			ix.add(n.ID, v)
+		}
+	}
+}
+
+// SetEdgeProperty sets (or removes, with null) an edge property.
+func (g *Graph) SetEdgeProperty(id uint64, attr string, v value.Value) error {
+	e, ok := g.edges.Get(id)
+	if !ok {
+		return fmt.Errorf("graph: edge %d does not exist", id)
+	}
+	aid := g.Schema.AddAttr(attr)
+	if v.IsNull() {
+		delete(e.Props, aid)
+	} else {
+		e.Props[aid] = v
+	}
+	return nil
+}
+
+// NodeProperty reads a node property by attribute name.
+func (g *Graph) NodeProperty(n *Node, attr string) value.Value {
+	aid, ok := g.Schema.AttrID(attr)
+	if !ok {
+		return value.Null
+	}
+	if v, ok := n.Props[aid]; ok {
+		return v
+	}
+	return value.Null
+}
+
+// EdgeProperty reads an edge property by attribute name.
+func (g *Graph) EdgeProperty(e *Edge, attr string) value.Value {
+	aid, ok := g.Schema.AttrID(attr)
+	if !ok {
+		return value.Null
+	}
+	if v, ok := e.Props[aid]; ok {
+		return v
+	}
+	return value.Null
+}
+
+// CreateIndex builds an exact-match index over (label, attr), backfilling
+// existing nodes. It reports whether a new index was created.
+func (g *Graph) CreateIndex(label, attr string) bool {
+	lid := g.Schema.AddLabel(label)
+	g.labelMatrixFor(lid)
+	aid := g.Schema.AddAttr(attr)
+	if _, exists := g.Schema.Index(lid, aid); exists {
+		return false
+	}
+	ix := g.Schema.CreateIndex(lid, aid)
+	g.nodes.ForEach(func(id uint64, n *Node) bool {
+		if !hasLabel(n, lid) {
+			return true
+		}
+		if v, ok := n.Props[aid]; ok {
+			ix.add(id, v)
+		}
+		return true
+	})
+	return true
+}
+
+func hasLabel(n *Node, lid int) bool {
+	for _, l := range n.Labels {
+		if l == lid {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEachNode visits all live nodes in ID order.
+func (g *Graph) ForEachNode(fn func(n *Node) bool) {
+	g.nodes.ForEach(func(_ uint64, n *Node) bool { return fn(n) })
+}
+
+// ForEachEdge visits all live edges in ID order.
+func (g *Graph) ForEachEdge(fn func(e *Edge) bool) {
+	g.edges.ForEach(func(_ uint64, e *Edge) bool { return fn(e) })
+}
+
+// Sync materialises every matrix (folds pending updates). The server calls
+// it before releasing the write lock so that concurrent read-only queries
+// never contend on materialisation.
+func (g *Graph) Sync() {
+	g.adj.Wait()
+	g.tadj.Wait()
+	for _, l := range g.labels {
+		l.Wait()
+	}
+	for _, r := range g.relations {
+		r.m.Wait()
+		r.tm.Wait()
+	}
+}

@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"testing"
+
+	"redisgraph/internal/value"
+)
+
+func props(kv ...any) map[string]value.Value {
+	m := map[string]value.Value{}
+	for i := 0; i < len(kv); i += 2 {
+		switch v := kv[i+1].(type) {
+		case int:
+			m[kv[i].(string)] = value.NewInt(int64(v))
+		case string:
+			m[kv[i].(string)] = value.NewString(v)
+		}
+	}
+	return m
+}
+
+func TestCreateNodesAndEdges(t *testing.T) {
+	g := New("t")
+	a := g.CreateNode([]string{"Person"}, props("name", "a"))
+	b := g.CreateNode([]string{"Person"}, props("name", "b"))
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("ids: %d %d", a.ID, b.ID)
+	}
+	e, err := g.CreateEdge("KNOWS", a.ID, b.ID, props("w", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 2 || g.EdgeCount() != 1 {
+		t.Fatalf("counts: %d %d", g.NodeCount(), g.EdgeCount())
+	}
+	// Adjacency and transpose entries.
+	if v, err := g.Adjacency().ExtractElement(0, 1); err != nil || v != 1 {
+		t.Fatalf("adj: %v %v", v, err)
+	}
+	if v, err := g.TAdjacency().ExtractElement(1, 0); err != nil || v != 1 {
+		t.Fatalf("tadj: %v %v", v, err)
+	}
+	tid, _ := g.Schema.RelTypeID("KNOWS")
+	if v, err := g.RelationMatrix(tid).ExtractElement(0, 1); err != nil || v != 1 {
+		t.Fatalf("rel: %v %v", v, err)
+	}
+	// Label diagonal.
+	lid, _ := g.Schema.LabelID("Person")
+	if v, err := g.LabelMatrix(lid).ExtractElement(1, 1); err != nil || v != 1 {
+		t.Fatalf("label: %v %v", v, err)
+	}
+	if ids := g.EdgesBetween(tid, a.ID, b.ID); len(ids) != 1 || ids[0] != e.ID {
+		t.Fatalf("edgesBetween: %v", ids)
+	}
+}
+
+func TestCreateEdgeValidatesEndpoints(t *testing.T) {
+	g := New("t")
+	n := g.CreateNode(nil, nil)
+	if _, err := g.CreateEdge("R", n.ID, 999, nil); err == nil {
+		t.Fatal("want error for missing destination")
+	}
+	if _, err := g.CreateEdge("R", 999, n.ID, nil); err == nil {
+		t.Fatal("want error for missing source")
+	}
+}
+
+func TestMultiEdgeSameEndpoints(t *testing.T) {
+	g := New("t")
+	a := g.CreateNode(nil, nil)
+	b := g.CreateNode(nil, nil)
+	e1, _ := g.CreateEdge("R", a.ID, b.ID, nil)
+	e2, _ := g.CreateEdge("R", a.ID, b.ID, nil)
+	tid, _ := g.Schema.RelTypeID("R")
+	if ids := g.EdgesBetween(tid, a.ID, b.ID); len(ids) != 2 {
+		t.Fatalf("multi-edge: %v", ids)
+	}
+	// Deleting one keeps the matrix entry; deleting both clears it.
+	g.DeleteEdge(e1.ID)
+	if _, err := g.RelationMatrix(tid).ExtractElement(0, 1); err != nil {
+		t.Fatal("matrix entry dropped while an edge remains")
+	}
+	g.DeleteEdge(e2.ID)
+	if _, err := g.RelationMatrix(tid).ExtractElement(0, 1); err == nil {
+		t.Fatal("matrix entry should be gone")
+	}
+	if _, err := g.Adjacency().ExtractElement(0, 1); err == nil {
+		t.Fatal("adjacency entry should be gone")
+	}
+}
+
+func TestAdjacencySharedAcrossRelations(t *testing.T) {
+	g := New("t")
+	a := g.CreateNode(nil, nil)
+	b := g.CreateNode(nil, nil)
+	e1, _ := g.CreateEdge("R1", a.ID, b.ID, nil)
+	g.CreateEdge("R2", a.ID, b.ID, nil)
+	g.DeleteEdge(e1.ID)
+	// R2 still connects the pair → adjacency entry must survive.
+	if _, err := g.Adjacency().ExtractElement(0, 1); err != nil {
+		t.Fatal("adjacency entry dropped while R2 edge remains")
+	}
+}
+
+func TestDeleteNodeCascades(t *testing.T) {
+	g := New("t")
+	a := g.CreateNode([]string{"X"}, nil)
+	b := g.CreateNode([]string{"X"}, nil)
+	c := g.CreateNode([]string{"X"}, nil)
+	g.CreateEdge("R", a.ID, b.ID, nil)
+	g.CreateEdge("R", c.ID, b.ID, nil)
+	g.CreateEdge("R", b.ID, b.ID, nil) // self loop
+	edges, ok := g.DeleteNode(b.ID)
+	if !ok || edges != 3 {
+		t.Fatalf("cascade: edges=%d ok=%v", edges, ok)
+	}
+	if g.NodeCount() != 2 || g.EdgeCount() != 0 {
+		t.Fatalf("counts: %d %d", g.NodeCount(), g.EdgeCount())
+	}
+	lid, _ := g.Schema.LabelID("X")
+	if g.LabelMatrix(lid).NVals() != 2 {
+		t.Fatalf("label diag: %d", g.LabelMatrix(lid).NVals())
+	}
+}
+
+func TestPropertiesAndIndex(t *testing.T) {
+	g := New("t")
+	a := g.CreateNode([]string{"P"}, props("name", "alice"))
+	g.CreateNode([]string{"P"}, props("name", "bob"))
+	if !g.CreateIndex("P", "name") {
+		t.Fatal("index not created")
+	}
+	if g.CreateIndex("P", "name") {
+		t.Fatal("duplicate index must report false")
+	}
+	lid, _ := g.Schema.LabelID("P")
+	aid, _ := g.Schema.AttrID("name")
+	ix, _ := g.Schema.Index(lid, aid)
+	if ids := ix.Lookup(value.NewString("alice")); len(ids) != 1 || ids[0] != a.ID {
+		t.Fatalf("lookup: %v", ids)
+	}
+	// Update maintains the index.
+	g.SetNodeProperty(a.ID, "name", value.NewString("ally"))
+	if ids := ix.Lookup(value.NewString("alice")); len(ids) != 0 {
+		t.Fatalf("stale: %v", ids)
+	}
+	if ids := ix.Lookup(value.NewString("ally")); len(ids) != 1 {
+		t.Fatalf("missing: %v", ids)
+	}
+	// Null removes the property and the index entry.
+	g.SetNodeProperty(a.ID, "name", value.Null)
+	if ids := ix.Lookup(value.NewString("ally")); len(ids) != 0 {
+		t.Fatalf("after null: %v", ids)
+	}
+	if v := g.NodeProperty(a, "name"); !v.IsNull() {
+		t.Fatalf("prop: %v", v)
+	}
+}
+
+func TestGrowthPastChunk(t *testing.T) {
+	g := New("t")
+	// Force growth beyond the initial dimension.
+	n := 16384 + 10
+	var last *Node
+	for i := 0; i < n; i++ {
+		last = g.CreateNode(nil, nil)
+	}
+	if g.Dim() <= 16384 {
+		t.Fatalf("dim did not grow: %d", g.Dim())
+	}
+	first, _ := g.GetNode(0)
+	if _, err := g.CreateEdge("R", first.ID, last.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := g.Adjacency().ExtractElement(0, int(last.ID)); err != nil || v != 1 {
+		t.Fatalf("edge after growth: %v %v", v, err)
+	}
+}
+
+func TestSchemaInterning(t *testing.T) {
+	s := NewSchema()
+	if s.AddLabel("A") != s.AddLabel("A") {
+		t.Fatal("label interning broken")
+	}
+	if s.AddRelType("R") != 0 || s.AddRelType("S") != 1 {
+		t.Fatal("reltype ids")
+	}
+	if s.RelTypeName(1) != "S" || s.LabelName(99) != "" {
+		t.Fatal("name lookups")
+	}
+	if _, ok := s.LabelID("missing"); ok {
+		t.Fatal("missing label resolved")
+	}
+}
+
+func TestEdgePropertyRoundTrip(t *testing.T) {
+	g := New("t")
+	a := g.CreateNode(nil, nil)
+	b := g.CreateNode(nil, nil)
+	e, _ := g.CreateEdge("R", a.ID, b.ID, props("w", 5))
+	if v := g.EdgeProperty(e, "w"); v.Int() != 5 {
+		t.Fatalf("w=%v", v)
+	}
+	g.SetEdgeProperty(e.ID, "w", value.NewInt(9))
+	if v := g.EdgeProperty(e, "w"); v.Int() != 9 {
+		t.Fatalf("w=%v", v)
+	}
+}

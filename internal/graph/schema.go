@@ -1,0 +1,177 @@
+package graph
+
+import "redisgraph/internal/value"
+
+// Schema interns label, relationship-type and attribute names to dense
+// integer IDs, and owns secondary indexes.
+type Schema struct {
+	labels    map[string]int
+	labelName []string
+	relTypes  map[string]int
+	relName   []string
+	attrs     map[string]int
+	attrName  []string
+
+	// indexes[label][attr] is the exact-match index, when created.
+	indexes map[int]map[int]*AttrIndex
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{
+		labels:   map[string]int{},
+		relTypes: map[string]int{},
+		attrs:    map[string]int{},
+		indexes:  map[int]map[int]*AttrIndex{},
+	}
+}
+
+// LabelID resolves a label name without creating it.
+func (s *Schema) LabelID(name string) (int, bool) {
+	id, ok := s.labels[name]
+	return id, ok
+}
+
+// AddLabel resolves or interns a label name.
+func (s *Schema) AddLabel(name string) int {
+	if id, ok := s.labels[name]; ok {
+		return id
+	}
+	id := len(s.labelName)
+	s.labels[name] = id
+	s.labelName = append(s.labelName, name)
+	return id
+}
+
+// LabelName returns the name for a label ID.
+func (s *Schema) LabelName(id int) string {
+	if id < 0 || id >= len(s.labelName) {
+		return ""
+	}
+	return s.labelName[id]
+}
+
+// LabelCount returns the number of labels.
+func (s *Schema) LabelCount() int { return len(s.labelName) }
+
+// RelTypeID resolves a relationship type name without creating it.
+func (s *Schema) RelTypeID(name string) (int, bool) {
+	id, ok := s.relTypes[name]
+	return id, ok
+}
+
+// AddRelType resolves or interns a relationship type name.
+func (s *Schema) AddRelType(name string) int {
+	if id, ok := s.relTypes[name]; ok {
+		return id
+	}
+	id := len(s.relName)
+	s.relTypes[name] = id
+	s.relName = append(s.relName, name)
+	return id
+}
+
+// RelTypeName returns the name for a relationship type ID.
+func (s *Schema) RelTypeName(id int) string {
+	if id < 0 || id >= len(s.relName) {
+		return ""
+	}
+	return s.relName[id]
+}
+
+// RelTypeCount returns the number of relationship types.
+func (s *Schema) RelTypeCount() int { return len(s.relName) }
+
+// AttrID resolves an attribute name without creating it.
+func (s *Schema) AttrID(name string) (int, bool) {
+	id, ok := s.attrs[name]
+	return id, ok
+}
+
+// AddAttr resolves or interns an attribute name.
+func (s *Schema) AddAttr(name string) int {
+	if id, ok := s.attrs[name]; ok {
+		return id
+	}
+	id := len(s.attrName)
+	s.attrs[name] = id
+	s.attrName = append(s.attrName, name)
+	return id
+}
+
+// AttrName returns the name for an attribute ID.
+func (s *Schema) AttrName(id int) string {
+	if id < 0 || id >= len(s.attrName) {
+		return ""
+	}
+	return s.attrName[id]
+}
+
+// AttrIndex is an exact-match secondary index from property value to the
+// node IDs holding it.
+type AttrIndex struct {
+	byValue map[string][]uint64
+}
+
+func newAttrIndex() *AttrIndex { return &AttrIndex{byValue: map[string][]uint64{}} }
+
+func (ix *AttrIndex) add(id uint64, v value.Value) {
+	k := v.HashKey()
+	ix.byValue[k] = append(ix.byValue[k], id)
+}
+
+func (ix *AttrIndex) remove(id uint64, v value.Value) {
+	k := v.HashKey()
+	s := ix.byValue[k]
+	for i, e := range s {
+		if e == id {
+			s[i] = s[len(s)-1]
+			ix.byValue[k] = s[:len(s)-1]
+			return
+		}
+	}
+}
+
+// Lookup returns the node IDs whose indexed attribute equals v.
+func (ix *AttrIndex) Lookup(v value.Value) []uint64 {
+	return ix.byValue[v.HashKey()]
+}
+
+// CreateIndex registers an exact-match index for (label, attr). The caller
+// (Graph.CreateIndex) backfills existing nodes.
+func (s *Schema) CreateIndex(label, attr int) *AttrIndex {
+	m, ok := s.indexes[label]
+	if !ok {
+		m = map[int]*AttrIndex{}
+		s.indexes[label] = m
+	}
+	if ix, ok := m[attr]; ok {
+		return ix
+	}
+	ix := newAttrIndex()
+	m[attr] = ix
+	return ix
+}
+
+// DropIndex removes the (label, attr) index, reporting whether it existed.
+func (s *Schema) DropIndex(label, attr int) bool {
+	m, ok := s.indexes[label]
+	if !ok {
+		return false
+	}
+	if _, ok := m[attr]; !ok {
+		return false
+	}
+	delete(m, attr)
+	return true
+}
+
+// Index returns the (label, attr) index if one exists.
+func (s *Schema) Index(label, attr int) (*AttrIndex, bool) {
+	m, ok := s.indexes[label]
+	if !ok {
+		return nil, false
+	}
+	ix, ok := m[attr]
+	return ix, ok
+}

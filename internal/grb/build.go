@@ -1,0 +1,66 @@
+package grb
+
+// MatrixFromCOO builds a matrix from coordinate triples, combining
+// duplicates with dup (last-wins when dup is the zero BinaryOp).
+func MatrixFromCOO(nrows, ncols int, rows, cols []Index, values []float64, dup BinaryOp) (*Matrix, error) {
+	m := NewMatrix(nrows, ncols)
+	if err := m.Build(rows, cols, values, dup); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BoolMatrixFromEdges builds an nrows × ncols boolean (0/1) matrix from an
+// edge list, deduplicating parallel edges — the adjacency-matrix constructor
+// used by generators and tests.
+func BoolMatrixFromEdges(nrows, ncols int, src, dst []Index) (*Matrix, error) {
+	vals := make([]float64, len(src))
+	for i := range vals {
+		vals[i] = 1
+	}
+	return MatrixFromCOO(nrows, ncols, src, dst, vals, First)
+}
+
+// IdentityMatrix returns the n × n identity.
+func IdentityMatrix(n int) *Matrix {
+	m := NewMatrix(n, n)
+	m.colInd = make([]Index, n)
+	m.val = make([]float64, n)
+	for i := 0; i < n; i++ {
+		m.rowPtr[i+1] = i + 1
+		m.colInd[i] = i
+		m.val[i] = 1
+	}
+	return m
+}
+
+// DiagMatrix places vector v on the diagonal of a new square matrix.
+// RedisGraph label matrices are diagonal booleans built this way.
+func DiagMatrix(v *Vector) *Matrix {
+	m := NewMatrix(v.Size(), v.Size())
+	ind, val := v.ExtractTuples()
+	m.colInd = append([]Index(nil), ind...)
+	m.val = append([]float64(nil), val...)
+	k := 0
+	for i := 0; i < m.nrows; i++ {
+		if k < len(ind) && ind[k] == i {
+			k++
+		}
+		m.rowPtr[i+1] = k
+	}
+	return m
+}
+
+// DenseVector returns a vector with every index set to x.
+func DenseVector(n int, x float64) *Vector {
+	v := NewVector(n)
+	v.dense = true
+	v.dval = make([]float64, n)
+	v.dok = make([]bool, n)
+	for i := range v.dval {
+		v.dval[i] = x
+		v.dok[i] = true
+	}
+	v.nnz = n
+	return v
+}

@@ -1,0 +1,185 @@
+package grb
+
+// EWiseAddVector computes w<mask> = accum(w, u ⊕ v) over the set union of
+// patterns (GrB_eWiseAdd): where only one operand has an entry, that value
+// passes through unchanged.
+func EWiseAddVector(w *Vector, mask *Vector, accum *BinaryOp, op BinaryOp, u, v *Vector, d *Descriptor) error {
+	if w == nil || u == nil || v == nil {
+		return ErrNilObject
+	}
+	if u.n != v.n || w.n != u.n {
+		return dimErr("ewiseadd: w %d, u %d, v %d", w.n, u.n, v.n)
+	}
+	comp, structure := d.comp(), d.structure()
+	t := NewVector(w.n)
+	ui, uv := u.ExtractTuples()
+	vi, vv := v.ExtractTuples()
+	a, b := 0, 0
+	push := func(i Index, x float64) {
+		if (mask != nil || comp) && !mask.maskAllows(i, comp, structure) {
+			return
+		}
+		t.ind = append(t.ind, i)
+		t.val = append(t.val, x)
+	}
+	for a < len(ui) || b < len(vi) {
+		switch {
+		case b >= len(vi) || (a < len(ui) && ui[a] < vi[b]):
+			push(ui[a], uv[a])
+			a++
+		case a >= len(ui) || vi[b] < ui[a]:
+			push(vi[b], vv[b])
+			b++
+		default:
+			push(ui[a], op.F(uv[a], vv[b]))
+			a++
+			b++
+		}
+	}
+	t.maybeDensify()
+	mergeVector(w, mask, accum, t, d)
+	return nil
+}
+
+// EWiseMultVector computes w<mask> = accum(w, u ⊗ v) over the pattern
+// intersection (GrB_eWiseMult).
+func EWiseMultVector(w *Vector, mask *Vector, accum *BinaryOp, op BinaryOp, u, v *Vector, d *Descriptor) error {
+	if w == nil || u == nil || v == nil {
+		return ErrNilObject
+	}
+	if u.n != v.n || w.n != u.n {
+		return dimErr("ewisemult: w %d, u %d, v %d", w.n, u.n, v.n)
+	}
+	comp, structure := d.comp(), d.structure()
+	t := NewVector(w.n)
+	ui, uv := u.ExtractTuples()
+	vi, vv := v.ExtractTuples()
+	a, b := 0, 0
+	for a < len(ui) && b < len(vi) {
+		switch {
+		case ui[a] < vi[b]:
+			a++
+		case vi[b] < ui[a]:
+			b++
+		default:
+			i := ui[a]
+			if mask == nil && !comp || mask.maskAllows(i, comp, structure) {
+				t.ind = append(t.ind, i)
+				t.val = append(t.val, op.F(uv[a], vv[b]))
+			}
+			a++
+			b++
+		}
+	}
+	t.maybeDensify()
+	mergeVector(w, mask, accum, t, d)
+	return nil
+}
+
+// EWiseAddMatrix computes C<Mask> = accum(C, A ⊕ B) over the union pattern.
+// Descriptor TranA/TranB transpose the inputs. RedisGraph uses this to fold
+// per-relation matrices into the combined adjacency matrix.
+func EWiseAddMatrix(c *Matrix, mask *Matrix, accum *BinaryOp, op BinaryOp, a, b *Matrix, d *Descriptor) error {
+	if c == nil || a == nil || b == nil {
+		return ErrNilObject
+	}
+	a.Wait()
+	b.Wait()
+	if mask != nil {
+		mask.Wait()
+	}
+	if d.tranA() {
+		a = transposed(a)
+	}
+	if d.tranB() {
+		b = transposed(b)
+	}
+	if a.nrows != b.nrows || a.ncols != b.ncols {
+		return dimErr("ewiseadd: A %dx%d, B %dx%d", a.nrows, a.ncols, b.nrows, b.ncols)
+	}
+	if c.nrows != a.nrows || c.ncols != a.ncols {
+		return dimErr("ewiseadd: C %dx%d, want %dx%d", c.nrows, c.ncols, a.nrows, a.ncols)
+	}
+	comp, structure := d.comp(), d.structure()
+	t := NewMatrix(c.nrows, c.ncols)
+	for i := 0; i < a.nrows; i++ {
+		ac, av := a.rowView(i)
+		bc, bv := b.rowView(i)
+		x, y := 0, 0
+		push := func(j Index, v float64) {
+			if (mask != nil || comp) && !mask.maskAllowsM(i, j, comp, structure) {
+				return
+			}
+			t.colInd = append(t.colInd, j)
+			t.val = append(t.val, v)
+		}
+		for x < len(ac) || y < len(bc) {
+			switch {
+			case y >= len(bc) || (x < len(ac) && ac[x] < bc[y]):
+				push(ac[x], av[x])
+				x++
+			case x >= len(ac) || bc[y] < ac[x]:
+				push(bc[y], bv[y])
+				y++
+			default:
+				push(ac[x], op.F(av[x], bv[y]))
+				x++
+				y++
+			}
+		}
+		t.rowPtr[i+1] = len(t.colInd)
+	}
+	mergeMatrix(c, mask, accum, t, d)
+	return nil
+}
+
+// EWiseMultMatrix computes C<Mask> = accum(C, A ⊗ B) over the intersection
+// pattern.
+func EWiseMultMatrix(c *Matrix, mask *Matrix, accum *BinaryOp, op BinaryOp, a, b *Matrix, d *Descriptor) error {
+	if c == nil || a == nil || b == nil {
+		return ErrNilObject
+	}
+	a.Wait()
+	b.Wait()
+	if mask != nil {
+		mask.Wait()
+	}
+	if d.tranA() {
+		a = transposed(a)
+	}
+	if d.tranB() {
+		b = transposed(b)
+	}
+	if a.nrows != b.nrows || a.ncols != b.ncols {
+		return dimErr("ewisemult: A %dx%d, B %dx%d", a.nrows, a.ncols, b.nrows, b.ncols)
+	}
+	if c.nrows != a.nrows || c.ncols != a.ncols {
+		return dimErr("ewisemult: C %dx%d, want %dx%d", c.nrows, c.ncols, a.nrows, a.ncols)
+	}
+	comp, structure := d.comp(), d.structure()
+	t := NewMatrix(c.nrows, c.ncols)
+	for i := 0; i < a.nrows; i++ {
+		ac, av := a.rowView(i)
+		bc, bv := b.rowView(i)
+		x, y := 0, 0
+		for x < len(ac) && y < len(bc) {
+			switch {
+			case ac[x] < bc[y]:
+				x++
+			case bc[y] < ac[x]:
+				y++
+			default:
+				j := ac[x]
+				if mask == nil && !comp || mask.maskAllowsM(i, j, comp, structure) {
+					t.colInd = append(t.colInd, j)
+					t.val = append(t.val, op.F(av[x], bv[y]))
+				}
+				x++
+				y++
+			}
+		}
+		t.rowPtr[i+1] = len(t.colInd)
+	}
+	mergeMatrix(c, mask, accum, t, d)
+	return nil
+}

@@ -1,0 +1,123 @@
+package grb
+
+// VectorExtract computes w<mask> = accum(w, u(I)) (GrB_extract). A nil I
+// (grb.All) selects every index.
+func VectorExtract(w *Vector, mask *Vector, accum *BinaryOp, u *Vector, i []Index, d *Descriptor) error {
+	if w == nil || u == nil {
+		return ErrNilObject
+	}
+	ni := len(i)
+	if i == nil {
+		ni = u.n
+	}
+	if w.n != ni {
+		return dimErr("extract: w %d, |I| %d", w.n, ni)
+	}
+	comp, structure := d.comp(), d.structure()
+	t := NewVector(w.n)
+	for k := 0; k < ni; k++ {
+		src := k
+		if i != nil {
+			src = i[k]
+		}
+		if src < 0 || src >= u.n {
+			return boundsErr("extract index %d size %d", src, u.n)
+		}
+		if x, ok := u.get(src); ok {
+			if mask == nil && !comp || mask.maskAllows(k, comp, structure) {
+				t.ind = append(t.ind, k)
+				t.val = append(t.val, x)
+			}
+		}
+	}
+	t.maybeDensify()
+	mergeVector(w, mask, accum, t, d)
+	return nil
+}
+
+// MatrixExtract computes C<Mask> = accum(C, A(I, J)). nil index lists select
+// all rows/columns.
+func MatrixExtract(c *Matrix, mask *Matrix, accum *BinaryOp, a *Matrix, i, j []Index, d *Descriptor) error {
+	if c == nil || a == nil {
+		return ErrNilObject
+	}
+	a.Wait()
+	if mask != nil {
+		mask.Wait()
+	}
+	if d.tranA() {
+		a = transposed(a)
+	}
+	ni, nj := len(i), len(j)
+	if i == nil {
+		ni = a.nrows
+	}
+	if j == nil {
+		nj = a.ncols
+	}
+	if c.nrows != ni || c.ncols != nj {
+		return dimErr("extract: C %dx%d, want %dx%d", c.nrows, c.ncols, ni, nj)
+	}
+	// Column selector: position of each source column in J, or -1.
+	var colPos []int
+	if j != nil {
+		colPos = make([]int, a.ncols)
+		for k := range colPos {
+			colPos[k] = -1
+		}
+		for p, jj := range j {
+			if jj < 0 || jj >= a.ncols {
+				return boundsErr("extract col %d of %d", jj, a.ncols)
+			}
+			colPos[jj] = p
+		}
+	}
+	comp, structure := d.comp(), d.structure()
+	t := NewMatrix(ni, nj)
+	type jv struct {
+		j Index
+		v float64
+	}
+	var rowBuf []jv
+	for out := 0; out < ni; out++ {
+		src := out
+		if i != nil {
+			src = i[out]
+		}
+		if src < 0 || src >= a.nrows {
+			return boundsErr("extract row %d of %d", src, a.nrows)
+		}
+		ac, av := a.rowView(src)
+		rowBuf = rowBuf[:0]
+		for k, jj := range ac {
+			outJ := jj
+			if colPos != nil {
+				outJ = colPos[jj]
+				if outJ < 0 {
+					continue
+				}
+			}
+			if (mask != nil || comp) && !mask.maskAllowsM(out, outJ, comp, structure) {
+				continue
+			}
+			rowBuf = append(rowBuf, jv{outJ, av[k]})
+		}
+		// Column permutations may unsort the row.
+		for x := 1; x < len(rowBuf); x++ {
+			e := rowBuf[x]
+			y := x - 1
+			for y >= 0 && rowBuf[y].j > e.j {
+				rowBuf[y+1] = rowBuf[y]
+				y--
+			}
+			rowBuf[y+1] = e
+		}
+		for _, e := range rowBuf {
+			t.colInd = append(t.colInd, e.j)
+			t.val = append(t.val, e.v)
+		}
+		t.rowPtr[out+1] = len(t.colInd)
+	}
+	mergeMatrix(c, mask, accum, t, d)
+	return nil
+}

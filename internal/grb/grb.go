@@ -1,0 +1,47 @@
+// Package grb is a pure-Go implementation of the GraphBLAS C API subset that
+// RedisGraph depends on (SuiteSparse:GraphBLAS in the paper).
+//
+// It provides sparse matrices in CSR form with SuiteSparse-style pending
+// ("non-blocking") updates, sparse/dense dual-mode vectors, user-visible
+// semirings, monoids, binary/unary/index operators, masks and descriptors,
+// and the core operations: MxM, MxV, VxM, element-wise add/multiply, apply,
+// select, reduce, extract, assign, transpose and Kronecker product.
+//
+// Values are float64 throughout; boolean matrices store 1.0 and pair with
+// structural semirings (AnyPair, LorLand) whose kernels never inspect values,
+// which is how adjacency traversals avoid per-entry function-call overhead.
+//
+// Concurrency: a Matrix or Vector may be read concurrently only after Wait
+// has folded pending updates (the graph layer enforces this under its write
+// lock). Mutating calls are not goroutine-safe.
+package grb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Index is the type of row/column indices. GraphBLAS uses uint64; int keeps
+// Go slice indexing natural and is wide enough for any in-memory graph here.
+type Index = int
+
+// Errors mirror the GrB_Info failure codes that callers can act on.
+var (
+	ErrDimensionMismatch = errors.New("grb: dimension mismatch")
+	ErrIndexOutOfBounds  = errors.New("grb: index out of bounds")
+	ErrNoValue           = errors.New("grb: no entry at index")
+	ErrNilObject         = errors.New("grb: nil object")
+	ErrInvalidValue      = errors.New("grb: invalid value")
+)
+
+func dimErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrDimensionMismatch, fmt.Sprintf(format, args...))
+}
+
+func boundsErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrIndexOutOfBounds, fmt.Sprintf(format, args...))
+}
+
+// All is passed as an index list to Extract/Assign to mean "all indices",
+// like GrB_ALL in the C API.
+var All []Index

@@ -1,0 +1,47 @@
+package grb
+
+// Kron computes C = accum(C, kron(A, B)) with op combining values
+// (GrB_kronecker). The Graph500 generator is Kronecker-based; Kron provides
+// the exact (non-sampled) construction used in tests to validate the sampled
+// RMAT stream's expected structure.
+func Kron(c *Matrix, mask *Matrix, accum *BinaryOp, op BinaryOp, a, b *Matrix, d *Descriptor) error {
+	if c == nil || a == nil || b == nil {
+		return ErrNilObject
+	}
+	a.Wait()
+	b.Wait()
+	if d.tranA() {
+		a = transposed(a)
+	}
+	if d.tranB() {
+		b = transposed(b)
+	}
+	if c.nrows != a.nrows*b.nrows || c.ncols != a.ncols*b.ncols {
+		return dimErr("kron: C %dx%d, want %dx%d", c.nrows, c.ncols, a.nrows*b.nrows, a.ncols*b.ncols)
+	}
+	comp, structure := d.comp(), d.structure()
+	if mask != nil {
+		mask.Wait()
+	}
+	t := NewMatrix(c.nrows, c.ncols)
+	for ia := 0; ia < a.nrows; ia++ {
+		ac, av := a.rowView(ia)
+		for ib := 0; ib < b.nrows; ib++ {
+			i := ia*b.nrows + ib
+			bc, bv := b.rowView(ib)
+			for ka, ja := range ac {
+				for kb, jb := range bc {
+					j := ja*b.ncols + jb
+					if (mask != nil || comp) && !mask.maskAllowsM(i, j, comp, structure) {
+						continue
+					}
+					t.colInd = append(t.colInd, j)
+					t.val = append(t.val, op.F(av[ka], bv[kb]))
+				}
+			}
+			t.rowPtr[i+1] = len(t.colInd)
+		}
+	}
+	mergeMatrix(c, mask, accum, t, d)
+	return nil
+}

@@ -1,0 +1,405 @@
+package grb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+type pos struct{ i, j Index }
+
+// Matrix is a sparse GraphBLAS matrix of float64 values in CSR form.
+//
+// Mutations (SetElement / RemoveElement) are buffered as pending updates and
+// folded into the CSR structure by Wait, mirroring SuiteSparse:GraphBLAS
+// non-blocking mode; RedisGraph leans on this so that bulk inserts do not
+// rebuild the matrix per edge. All compute operations call Wait on their
+// inputs first.
+//
+// A materialised (non-dirty) Matrix is safe for concurrent readers. Wait is
+// internally locked so that concurrent read-only queries racing to
+// materialise the same matrix are safe; mutating calls are not.
+type Matrix struct {
+	nrows, ncols int
+
+	rowPtr []int
+	colInd []Index
+	val    []float64
+
+	mu      sync.Mutex
+	dirty   atomic.Bool
+	pendSet map[pos]float64
+	pendDel map[pos]struct{}
+}
+
+// NewMatrix returns an empty nrows × ncols matrix.
+func NewMatrix(nrows, ncols int) *Matrix {
+	if nrows < 0 || ncols < 0 {
+		panic("grb: negative matrix dimension")
+	}
+	return &Matrix{
+		nrows:  nrows,
+		ncols:  ncols,
+		rowPtr: make([]int, nrows+1),
+	}
+}
+
+// NRows returns the number of rows.
+func (m *Matrix) NRows() int { return m.nrows }
+
+// NCols returns the number of columns.
+func (m *Matrix) NCols() int { return m.ncols }
+
+// NVals returns the number of stored entries (after folding pending updates).
+func (m *Matrix) NVals() int {
+	m.Wait()
+	return len(m.colInd)
+}
+
+// Pending returns the number of buffered, not-yet-materialised updates.
+func (m *Matrix) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pendSet) + len(m.pendDel)
+}
+
+// Clear removes all entries, keeping dimensions.
+func (m *Matrix) Clear() {
+	m.rowPtr = make([]int, m.nrows+1)
+	m.colInd = nil
+	m.val = nil
+	m.pendSet = nil
+	m.pendDel = nil
+	m.dirty.Store(false)
+}
+
+// Dup returns a deep copy (with pending updates folded in).
+func (m *Matrix) Dup() *Matrix {
+	m.Wait()
+	return &Matrix{
+		nrows:  m.nrows,
+		ncols:  m.ncols,
+		rowPtr: append([]int(nil), m.rowPtr...),
+		colInd: append([]Index(nil), m.colInd...),
+		val:    append([]float64(nil), m.val...),
+	}
+}
+
+// Resize grows or shrinks the matrix to nrows × ncols, dropping out-of-range
+// entries when shrinking. RedisGraph grows its matrices in chunks as nodes
+// are created.
+func (m *Matrix) Resize(nrows, ncols int) {
+	if nrows < 0 || ncols < 0 {
+		panic("grb: negative matrix dimension")
+	}
+	m.Wait()
+	if nrows == m.nrows && ncols == m.ncols {
+		return
+	}
+	if nrows >= m.nrows && ncols >= m.ncols {
+		// Pure growth: extend the row pointer array.
+		rp := make([]int, nrows+1)
+		copy(rp, m.rowPtr)
+		for i := m.nrows + 1; i <= nrows; i++ {
+			rp[i] = rp[m.nrows]
+		}
+		m.rowPtr = rp
+		m.nrows, m.ncols = nrows, ncols
+		return
+	}
+	// Shrink: rebuild, filtering out-of-range entries.
+	rp := make([]int, nrows+1)
+	var ci []Index
+	var vv []float64
+	rows := min(nrows, m.nrows)
+	for i := 0; i < rows; i++ {
+		rp[i] = len(ci)
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if m.colInd[k] < ncols {
+				ci = append(ci, m.colInd[k])
+				vv = append(vv, m.val[k])
+			}
+		}
+	}
+	for i := rows; i <= nrows; i++ {
+		rp[i] = len(ci)
+	}
+	m.rowPtr, m.colInd, m.val = rp, ci, vv
+	m.nrows, m.ncols = nrows, ncols
+}
+
+// SetElement stores x at (i, j), overwriting any existing entry. The update
+// is buffered; Wait folds it into the CSR structure.
+func (m *Matrix) SetElement(i, j Index, x float64) error {
+	if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols {
+		return boundsErr("matrix index (%d,%d) dims (%d,%d)", i, j, m.nrows, m.ncols)
+	}
+	m.mu.Lock()
+	if m.pendSet == nil {
+		m.pendSet = make(map[pos]float64)
+	}
+	p := pos{i, j}
+	delete(m.pendDel, p)
+	m.pendSet[p] = x
+	m.dirty.Store(true)
+	m.mu.Unlock()
+	return nil
+}
+
+// RemoveElement deletes the entry at (i, j) if present.
+func (m *Matrix) RemoveElement(i, j Index) error {
+	if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols {
+		return boundsErr("matrix index (%d,%d) dims (%d,%d)", i, j, m.nrows, m.ncols)
+	}
+	m.mu.Lock()
+	p := pos{i, j}
+	delete(m.pendSet, p)
+	if m.pendDel == nil {
+		m.pendDel = make(map[pos]struct{})
+	}
+	m.pendDel[p] = struct{}{}
+	m.dirty.Store(true)
+	m.mu.Unlock()
+	return nil
+}
+
+// ExtractElement returns the entry at (i, j) or ErrNoValue if absent.
+func (m *Matrix) ExtractElement(i, j Index) (float64, error) {
+	if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols {
+		return 0, boundsErr("matrix index (%d,%d) dims (%d,%d)", i, j, m.nrows, m.ncols)
+	}
+	if m.dirty.Load() {
+		m.mu.Lock()
+		p := pos{i, j}
+		if x, ok := m.pendSet[p]; ok {
+			m.mu.Unlock()
+			return x, nil
+		}
+		if _, ok := m.pendDel[p]; ok {
+			m.mu.Unlock()
+			return 0, ErrNoValue
+		}
+		m.mu.Unlock()
+	}
+	k, ok := m.find(i, j)
+	if !ok {
+		return 0, ErrNoValue
+	}
+	return m.val[k], nil
+}
+
+func (m *Matrix) find(i, j Index) (int, bool) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	k := lo + sort.Search(hi-lo, func(k int) bool { return m.colInd[lo+k] >= j })
+	if k < hi && m.colInd[k] == j {
+		return k, true
+	}
+	return 0, false
+}
+
+// Wait folds pending updates into the CSR structure (GrB_Matrix_wait).
+func (m *Matrix) Wait() {
+	if !m.dirty.Load() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirty.Load() {
+		return
+	}
+	// Sort pending inserts by (row, col) for a linear merge with the CSR.
+	ins := make([]pos, 0, len(m.pendSet))
+	for p := range m.pendSet {
+		ins = append(ins, p)
+	}
+	sort.Slice(ins, func(a, b int) bool {
+		if ins[a].i != ins[b].i {
+			return ins[a].i < ins[b].i
+		}
+		return ins[a].j < ins[b].j
+	})
+
+	rp := make([]int, m.nrows+1)
+	ci := make([]Index, 0, len(m.colInd)+len(ins))
+	vv := make([]float64, 0, len(m.val)+len(ins))
+	k := 0 // cursor into ins
+	for i := 0; i < m.nrows; i++ {
+		rp[i] = len(ci)
+		a := m.rowPtr[i]
+		for a < m.rowPtr[i+1] || (k < len(ins) && ins[k].i == i) {
+			switch {
+			case a >= m.rowPtr[i+1]:
+				p := ins[k]
+				ci = append(ci, p.j)
+				vv = append(vv, m.pendSet[p])
+				k++
+			case k >= len(ins) || ins[k].i != i || m.colInd[a] < ins[k].j:
+				j := m.colInd[a]
+				if _, del := m.pendDel[pos{i, j}]; !del {
+					ci = append(ci, j)
+					vv = append(vv, m.val[a])
+				}
+				a++
+			case m.colInd[a] == ins[k].j:
+				p := ins[k]
+				ci = append(ci, p.j)
+				vv = append(vv, m.pendSet[p])
+				a++
+				k++
+			default: // pending insert comes first
+				p := ins[k]
+				ci = append(ci, p.j)
+				vv = append(vv, m.pendSet[p])
+				k++
+			}
+		}
+	}
+	rp[m.nrows] = len(ci)
+	m.rowPtr, m.colInd, m.val = rp, ci, vv
+	m.pendSet, m.pendDel = nil, nil
+	m.dirty.Store(false)
+}
+
+// rowView returns the column indices and values of row i. The caller must
+// have materialised the matrix (Wait).
+func (m *Matrix) rowView(i Index) ([]Index, []float64) {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	return m.colInd[lo:hi], m.val[lo:hi]
+}
+
+// RowDegree returns the number of entries in row i.
+func (m *Matrix) RowDegree(i Index) int {
+	m.Wait()
+	if i < 0 || i >= m.nrows {
+		return 0
+	}
+	return m.rowPtr[i+1] - m.rowPtr[i]
+}
+
+// Build populates an empty matrix from COO triples, combining duplicates
+// with dup (Second/last-wins if the zero BinaryOp).
+func (m *Matrix) Build(rows, cols []Index, values []float64, dup BinaryOp) error {
+	if len(rows) != len(cols) || len(rows) != len(values) {
+		return dimErr("build: %d rows, %d cols, %d values", len(rows), len(cols), len(values))
+	}
+	m.Wait()
+	if len(m.colInd) != 0 {
+		return fmt.Errorf("%w: build target not empty", ErrInvalidValue)
+	}
+	if dup.F == nil {
+		dup = Second
+	}
+	type triple struct {
+		i, j Index
+		v    float64
+	}
+	tmp := make([]triple, len(rows))
+	for k := range rows {
+		if rows[k] < 0 || rows[k] >= m.nrows || cols[k] < 0 || cols[k] >= m.ncols {
+			return boundsErr("build entry (%d,%d) dims (%d,%d)", rows[k], cols[k], m.nrows, m.ncols)
+		}
+		tmp[k] = triple{rows[k], cols[k], values[k]}
+	}
+	sort.SliceStable(tmp, func(a, b int) bool {
+		if tmp[a].i != tmp[b].i {
+			return tmp[a].i < tmp[b].i
+		}
+		return tmp[a].j < tmp[b].j
+	})
+	// Deduplicate adjacent (sorted) entries, then build row pointers.
+	di := make([]Index, 0, len(tmp))
+	ci := make([]Index, 0, len(tmp))
+	vv := make([]float64, 0, len(tmp))
+	for _, t := range tmp {
+		if n := len(ci); n > 0 && di[n-1] == t.i && ci[n-1] == t.j {
+			vv[n-1] = dup.F(vv[n-1], t.v)
+			continue
+		}
+		di = append(di, t.i)
+		ci = append(ci, t.j)
+		vv = append(vv, t.v)
+	}
+	rp := make([]int, m.nrows+1)
+	for _, i := range di {
+		rp[i+1]++
+	}
+	for i := 0; i < m.nrows; i++ {
+		rp[i+1] += rp[i]
+	}
+	m.rowPtr, m.colInd, m.val = rp, ci, vv
+	return nil
+}
+
+// ExtractTuples returns all entries as parallel COO slices in row-major order.
+func (m *Matrix) ExtractTuples() (rows, cols []Index, values []float64) {
+	m.Wait()
+	rows = make([]Index, 0, len(m.colInd))
+	cols = append([]Index(nil), m.colInd...)
+	values = append([]float64(nil), m.val...)
+	for i := 0; i < m.nrows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			rows = append(rows, i)
+		}
+	}
+	return rows, cols, values
+}
+
+// Iterate calls fn for every entry in row-major order; fn returning false
+// stops the iteration.
+func (m *Matrix) Iterate(fn func(i, j Index, x float64) bool) {
+	m.Wait()
+	for i := 0; i < m.nrows; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if !fn(i, m.colInd[k], m.val[k]) {
+				return
+			}
+		}
+	}
+}
+
+// IterateRow calls fn for every entry of row i in column order.
+func (m *Matrix) IterateRow(i Index, fn func(j Index, x float64) bool) {
+	m.Wait()
+	if i < 0 || i >= m.nrows {
+		return
+	}
+	for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+		if !fn(m.colInd[k], m.val[k]) {
+			return
+		}
+	}
+}
+
+// maskAllowsM reports whether a write at (i, j) is permitted under this
+// matrix as mask. A nil receiver permits everything (unless complemented).
+func (m *Matrix) maskAllowsM(i, j Index, comp, structure bool) bool {
+	if m == nil {
+		return !comp
+	}
+	k, ok := m.find(i, j)
+	in := ok && (structure || m.val[k] != 0)
+	if comp {
+		return !in
+	}
+	return in
+}
+
+// String renders small matrices for debugging and tests.
+func (m *Matrix) String() string {
+	m.Wait()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Matrix(%dx%d, nvals=%d){", m.nrows, m.ncols, len(m.colInd))
+	first := true
+	m.Iterate(func(i, j Index, x float64) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "(%d,%d):%g", i, j, x)
+		return true
+	})
+	b.WriteString("}")
+	return b.String()
+}

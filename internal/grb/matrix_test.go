@@ -1,0 +1,214 @@
+package grb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixSetExtract(t *testing.T) {
+	m := NewMatrix(4, 5)
+	if err := m.SetElement(1, 2, 3.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetElement(3, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	// Read through pending, before Wait.
+	if x, err := m.ExtractElement(1, 2); err != nil || x != 3.5 {
+		t.Fatalf("pending read: %v %v", x, err)
+	}
+	m.Wait()
+	if x, err := m.ExtractElement(1, 2); err != nil || x != 3.5 {
+		t.Fatalf("materialised read: %v %v", x, err)
+	}
+	if _, err := m.ExtractElement(0, 0); !errors.Is(err, ErrNoValue) {
+		t.Fatalf("want ErrNoValue, got %v", err)
+	}
+	if m.NVals() != 2 {
+		t.Fatalf("nvals = %d, want 2", m.NVals())
+	}
+}
+
+func TestMatrixOverwriteAndRemove(t *testing.T) {
+	m := NewMatrix(3, 3)
+	check := func(i, j Index, want float64, present bool) {
+		t.Helper()
+		x, err := m.ExtractElement(i, j)
+		if present && (err != nil || x != want) {
+			t.Fatalf("(%d,%d): got %v,%v want %v", i, j, x, err, want)
+		}
+		if !present && !errors.Is(err, ErrNoValue) {
+			t.Fatalf("(%d,%d): want absent, got %v,%v", i, j, x, err)
+		}
+	}
+	must(t, m.SetElement(0, 0, 1))
+	must(t, m.SetElement(0, 0, 2)) // overwrite while pending
+	check(0, 0, 2, true)
+	m.Wait()
+	must(t, m.SetElement(0, 0, 3)) // overwrite materialised
+	check(0, 0, 3, true)
+	m.Wait()
+	check(0, 0, 3, true)
+
+	must(t, m.RemoveElement(0, 0))
+	check(0, 0, 0, false)
+	m.Wait()
+	check(0, 0, 0, false)
+	if m.NVals() != 0 {
+		t.Fatalf("nvals = %d, want 0", m.NVals())
+	}
+	// Remove of an absent entry is a no-op.
+	must(t, m.RemoveElement(2, 2))
+	m.Wait()
+	// Set after remove resurrects.
+	must(t, m.SetElement(0, 0, 9))
+	check(0, 0, 9, true)
+}
+
+func TestMatrixOutOfBounds(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, f := range []func() error{
+		func() error { return m.SetElement(2, 0, 1) },
+		func() error { return m.SetElement(0, -1, 1) },
+		func() error { return m.RemoveElement(5, 5) },
+		func() error { _, err := m.ExtractElement(0, 2); return err },
+	} {
+		if err := f(); !errors.Is(err, ErrIndexOutOfBounds) {
+			t.Fatalf("want ErrIndexOutOfBounds, got %v", err)
+		}
+	}
+}
+
+func TestMatrixWaitMergesSortedRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(20, 20)
+	ref := map[pos]float64{}
+	// Interleave direct inserts and waits.
+	for step := 0; step < 500; step++ {
+		i, j := rng.Intn(20), rng.Intn(20)
+		if rng.Intn(5) == 0 {
+			must(t, m.RemoveElement(i, j))
+			delete(ref, pos{i, j})
+		} else {
+			x := rng.Float64()
+			must(t, m.SetElement(i, j, x))
+			ref[pos{i, j}] = x
+		}
+		if rng.Intn(50) == 0 {
+			m.Wait()
+		}
+	}
+	m.Wait()
+	if m.NVals() != len(ref) {
+		t.Fatalf("nvals = %d, want %d", m.NVals(), len(ref))
+	}
+	// Rows must be sorted and match the reference.
+	prev := pos{-1, -1}
+	m.Iterate(func(i, j Index, x float64) bool {
+		if i < prev.i || (i == prev.i && j <= prev.j) {
+			t.Fatalf("iteration out of order: (%d,%d) after (%d,%d)", i, j, prev.i, prev.j)
+		}
+		prev = pos{i, j}
+		if ref[pos{i, j}] != x {
+			t.Fatalf("(%d,%d): got %g want %g", i, j, x, ref[pos{i, j}])
+		}
+		return true
+	})
+}
+
+func TestMatrixBuildDedup(t *testing.T) {
+	m := NewMatrix(3, 3)
+	rows := []Index{0, 1, 0, 2, 0}
+	cols := []Index{1, 1, 1, 0, 2}
+	vals := []float64{1, 5, 2, 7, 9}
+	must(t, m.Build(rows, cols, vals, Plus))
+	if m.NVals() != 4 {
+		t.Fatalf("nvals = %d, want 4", m.NVals())
+	}
+	if x, _ := m.ExtractElement(0, 1); x != 3 {
+		t.Fatalf("dup combine: got %g want 3", x)
+	}
+	if x, _ := m.ExtractElement(2, 0); x != 7 {
+		t.Fatalf("got %g want 7", x)
+	}
+}
+
+func TestMatrixBuildRejectsNonEmpty(t *testing.T) {
+	m := NewMatrix(2, 2)
+	must(t, m.SetElement(0, 0, 1))
+	if err := m.Build([]Index{0}, []Index{1}, []float64{1}, BinaryOp{}); err == nil {
+		t.Fatal("want error building into non-empty matrix")
+	}
+}
+
+func TestMatrixResizeGrowShrink(t *testing.T) {
+	m := NewMatrix(3, 3)
+	must(t, m.SetElement(0, 0, 1))
+	must(t, m.SetElement(2, 2, 2))
+	m.Resize(5, 5)
+	if m.NRows() != 5 || m.NCols() != 5 || m.NVals() != 2 {
+		t.Fatalf("after grow: %dx%d nvals=%d", m.NRows(), m.NCols(), m.NVals())
+	}
+	must(t, m.SetElement(4, 4, 3))
+	m.Resize(2, 2)
+	if m.NVals() != 1 {
+		t.Fatalf("after shrink: nvals=%d want 1", m.NVals())
+	}
+	if x, _ := m.ExtractElement(0, 0); x != 1 {
+		t.Fatalf("surviving entry: %g", x)
+	}
+}
+
+func TestMatrixDupIndependence(t *testing.T) {
+	m := NewMatrix(2, 2)
+	must(t, m.SetElement(0, 1, 4))
+	d := m.Dup()
+	must(t, m.SetElement(0, 1, 5))
+	m.Wait()
+	if x, _ := d.ExtractElement(0, 1); x != 4 {
+		t.Fatalf("dup mutated: %g", x)
+	}
+}
+
+func TestMatrixExtractTuples(t *testing.T) {
+	m := NewMatrix(2, 3)
+	must(t, m.SetElement(1, 2, 9))
+	must(t, m.SetElement(0, 1, 8))
+	r, c, v := m.ExtractTuples()
+	if len(r) != 2 || r[0] != 0 || c[0] != 1 || v[0] != 8 || r[1] != 1 || c[1] != 2 || v[1] != 9 {
+		t.Fatalf("tuples: %v %v %v", r, c, v)
+	}
+}
+
+func TestMatrixPendingCount(t *testing.T) {
+	m := NewMatrix(4, 4)
+	must(t, m.SetElement(0, 0, 1))
+	must(t, m.SetElement(1, 1, 1))
+	if m.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", m.Pending())
+	}
+	m.Wait()
+	if m.Pending() != 0 {
+		t.Fatalf("pending after wait = %d", m.Pending())
+	}
+}
+
+func TestRowDegree(t *testing.T) {
+	m := NewMatrix(3, 3)
+	must(t, m.SetElement(1, 0, 1))
+	must(t, m.SetElement(1, 2, 1))
+	if d := m.RowDegree(1); d != 2 {
+		t.Fatalf("degree = %d, want 2", d)
+	}
+	if d := m.RowDegree(0); d != 0 {
+		t.Fatalf("degree = %d, want 0", d)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,200 @@
+package grb
+
+import "sync"
+
+// MxV computes w<mask> = accum(w, A·u) (GrB_mxv). With desc.TranA it
+// computes A'·u, which is routed to the push (scatter) kernel since A is CSR.
+//
+// The plain form uses a pull (dot-product) kernel: each output row
+// intersects one CSR row with u, with monoid-terminal early exit — this is
+// the fast direction for a one-hop "who points at my frontier" query.
+func MxV(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, a *Matrix, u *Vector, d *Descriptor) error {
+	if w == nil || a == nil || u == nil {
+		return ErrNilObject
+	}
+	a.Wait()
+	if d.tranA() {
+		// A'·u is a push over CSR rows of A.
+		return vxmInternal(w, mask, accum, s, u, a, d)
+	}
+	if a.ncols != u.n {
+		return dimErr("mxv: A is %dx%d, u has size %d", a.nrows, a.ncols, u.n)
+	}
+	if w.n != a.nrows {
+		return dimErr("mxv: w has size %d, want %d", w.n, a.nrows)
+	}
+	if mask != nil && mask.n != w.n {
+		return dimErr("mxv: mask has size %d, want %d", mask.n, w.n)
+	}
+	comp, structure := d.comp(), d.structure()
+
+	// Pull kernel. Densify u for O(1) lookups if it is sparse but large.
+	var uval []float64
+	var uok []bool
+	if u.dense {
+		uval, uok = u.dval, u.dok
+	} else {
+		uval = make([]float64, u.n)
+		uok = make([]bool, u.n)
+		for k, i := range u.ind {
+			uval[i] = u.val[k]
+			uok[i] = true
+		}
+	}
+
+	t := NewVector(w.n)
+	nth := d.nthreads()
+	type partial struct {
+		ind []Index
+		val []float64
+	}
+	parts := make([]partial, nth)
+	parallelRanges(a.nrows, nth, func(part, lo, hi int) {
+		p := &parts[part]
+		for i := lo; i < hi; i++ {
+			if (mask != nil || comp) && !mask.maskAllows(i, comp, structure) {
+				continue
+			}
+			ac, av := a.rowView(i)
+			acc := s.Add.Identity
+			found := false
+			for k, j := range ac {
+				if !uok[j] {
+					continue
+				}
+				var m float64
+				if s.Structural {
+					m = 1
+				} else {
+					m = s.Mul.F(av[k], uval[j])
+				}
+				if !found {
+					acc = m
+					found = true
+				} else {
+					acc = s.Add.Op.F(acc, m)
+				}
+				if s.Add.Terminal != nil && acc == *s.Add.Terminal {
+					break
+				}
+			}
+			if found {
+				p.ind = append(p.ind, i)
+				p.val = append(p.val, acc)
+			}
+		}
+	})
+	for _, p := range parts {
+		t.ind = append(t.ind, p.ind...)
+		t.val = append(t.val, p.val...)
+	}
+	t.maybeDensify()
+	mergeVector(w, mask, accum, t, d)
+	return nil
+}
+
+// VxM computes w<mask> = accum(w, u'·A) (GrB_vxm), the push direction used
+// by frontier expansion in BFS and the traversal operations. With desc.TranB
+// the matrix is used transposed, which routes to the pull kernel.
+func VxM(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, a *Matrix, d *Descriptor) error {
+	if w == nil || a == nil || u == nil {
+		return ErrNilObject
+	}
+	a.Wait()
+	if d.tranB() {
+		// u'·A' = (A·u)'; use the pull kernel without the transpose flag.
+		d2 := Descriptor{}
+		if d != nil {
+			d2 = *d
+		}
+		d2.TranA, d2.TranB = false, false
+		return MxV(w, mask, accum, s, a, u, &d2)
+	}
+	return vxmInternal(w, mask, accum, s, u, a, d)
+}
+
+// vxmInternal is the push (scatter) kernel: for every entry k of u, row k of
+// A scatters into a dense accumulator over the output.
+func vxmInternal(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, a *Matrix, d *Descriptor) error {
+	if u.n != a.nrows {
+		return dimErr("vxm: u has size %d, A is %dx%d", u.n, a.nrows, a.ncols)
+	}
+	if w.n != a.ncols {
+		return dimErr("vxm: w has size %d, want %d", w.n, a.ncols)
+	}
+	if mask != nil && mask.n != w.n {
+		return dimErr("vxm: mask has size %d, want %d", mask.n, w.n)
+	}
+	comp, structure := d.comp(), d.structure()
+
+	ws := getWorkspace(a.ncols)
+	defer putWorkspace(ws)
+	wval, wok := ws.val, ws.ok
+	var outs []Index
+	scatter := func(k Index, x float64) {
+		ac, av := a.rowView(k)
+		for kk, j := range ac {
+			if (mask != nil || comp) && !wok[j] {
+				if !mask.maskAllows(j, comp, structure) {
+					continue
+				}
+			}
+			var m float64
+			if s.Structural {
+				if wok[j] {
+					continue // any witness suffices
+				}
+				m = 1
+			} else {
+				m = s.Mul.F(x, av[kk])
+			}
+			if !wok[j] {
+				wok[j] = true
+				wval[j] = m
+				outs = append(outs, j)
+			} else {
+				wval[j] = s.Add.Op.F(wval[j], m)
+			}
+		}
+	}
+	u.Iterate(func(k Index, x float64) bool {
+		scatter(k, x)
+		return true
+	})
+
+	t := NewVector(w.n)
+	insertionSort(outs)
+	t.ind = make([]Index, 0, len(outs))
+	t.val = make([]float64, 0, len(outs))
+	for _, j := range outs {
+		t.ind = append(t.ind, j)
+		t.val = append(t.val, wval[j])
+		wok[j] = false // scrub the pooled workspace for reuse
+	}
+	t.maybeDensify()
+	mergeVector(w, mask, accum, t, d)
+	return nil
+}
+
+// workspace is a reusable dense scatter buffer. Entries of ok must be false
+// when the workspace is returned to the pool; kernels scrub exactly the
+// entries they set, so reuse costs O(touched) rather than O(n).
+type workspace struct {
+	val []float64
+	ok  []bool
+}
+
+var workspacePool = sync.Pool{New: func() any { return &workspace{} }}
+
+func getWorkspace(n int) *workspace {
+	ws := workspacePool.Get().(*workspace)
+	if cap(ws.val) < n {
+		ws.val = make([]float64, n)
+		ws.ok = make([]bool, n)
+	}
+	ws.val = ws.val[:n]
+	ws.ok = ws.ok[:n]
+	return ws
+}
+
+func putWorkspace(ws *workspace) { workspacePool.Put(ws) }

@@ -1,0 +1,168 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func denseMxV(a *dense, u *Vector, s Semiring) map[Index]float64 {
+	out := map[Index]float64{}
+	for i := 0; i < a.nr; i++ {
+		acc := s.Add.Identity
+		found := false
+		for j := 0; j < a.nc; j++ {
+			av, aok := a.at(i, j)
+			uv, uok := u.get(j)
+			if aok && uok {
+				m := s.Mul.F(av, uv)
+				if s.Structural {
+					m = 1
+				}
+				if !found {
+					acc, found = m, true
+				} else {
+					acc = s.Add.Op.F(acc, m)
+				}
+			}
+		}
+		if found {
+			out[i] = acc
+		}
+	}
+	return out
+}
+
+func TestMxVAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, s := range []Semiring{PlusTimes, MinPlus, LorLand, AnyPair, PlusSecond} {
+		for trial := 0; trial < 8; trial++ {
+			a := randMatrix(rng, 15, 12, 0.3)
+			u := randVector(rng, 12, 0.4)
+			w := NewVector(15)
+			must(t, MxV(w, nil, nil, s, a, u, nil))
+			expectVecEq(t, w, denseMxV(toDenseM(a), u, s))
+		}
+	}
+}
+
+func TestVxMEqualsMxVOnTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 8; trial++ {
+		a := randMatrix(rng, 10, 14, 0.3)
+		u := randVector(rng, 10, 0.5)
+		w1 := NewVector(14)
+		must(t, VxM(w1, nil, nil, PlusTimes, u, a, nil))
+		w2 := NewVector(14)
+		must(t, MxV(w2, nil, nil, PlusTimes, a, u, DescT0))
+		i1, v1 := w1.ExtractTuples()
+		i2, v2 := w2.ExtractTuples()
+		if len(i1) != len(i2) {
+			t.Fatalf("nvals %d vs %d", len(i1), len(i2))
+		}
+		for k := range i1 {
+			if i1[k] != i2[k] || v1[k] != v2[k] {
+				t.Fatalf("mismatch at %d: (%d,%g) vs (%d,%g)", k, i1[k], v1[k], i2[k], v2[k])
+			}
+		}
+	}
+}
+
+func TestVxMComplementMaskBFS(t *testing.T) {
+	// Path graph 0→1→2→3; frontier expansion with complemented visited mask.
+	a := NewMatrix(4, 4)
+	for i := 0; i < 3; i++ {
+		must(t, a.SetElement(i, i+1, 1))
+	}
+	frontier := NewVector(4)
+	must(t, frontier.SetElement(0, 1))
+	visited := frontier.Dup()
+
+	// Hop 1: frontier<!visited> = frontier·A
+	must(t, VxM(frontier, visited, nil, AnyPair, frontier, a, DescRSC))
+	expectVecEq(t, frontier, map[Index]float64{1: 1})
+	must(t, EWiseAddVector(visited, nil, nil, LOr, visited, frontier, nil))
+
+	must(t, VxM(frontier, visited, nil, AnyPair, frontier, a, DescRSC))
+	expectVecEq(t, frontier, map[Index]float64{2: 1})
+	must(t, EWiseAddVector(visited, nil, nil, LOr, visited, frontier, nil))
+
+	must(t, VxM(frontier, visited, nil, AnyPair, frontier, a, DescRSC))
+	expectVecEq(t, frontier, map[Index]float64{3: 1})
+	must(t, EWiseAddVector(visited, nil, nil, LOr, visited, frontier, nil))
+
+	// Hop 4: no new nodes.
+	must(t, VxM(frontier, visited, nil, AnyPair, frontier, a, DescRSC))
+	if frontier.NVals() != 0 {
+		t.Fatalf("frontier should be empty: %v", frontier)
+	}
+	if visited.NVals() != 4 {
+		t.Fatalf("visited %v", visited)
+	}
+}
+
+func TestVxMCycleMaskPreventsRevisit(t *testing.T) {
+	// 3-cycle: without the mask the frontier loops forever; with the
+	// complement mask it empties after 3 hops.
+	a := NewMatrix(3, 3)
+	must(t, a.SetElement(0, 1, 1))
+	must(t, a.SetElement(1, 2, 1))
+	must(t, a.SetElement(2, 0, 1))
+	frontier := NewVector(3)
+	must(t, frontier.SetElement(0, 1))
+	visited := frontier.Dup()
+	hops := 0
+	for frontier.NVals() > 0 && hops < 10 {
+		must(t, VxM(frontier, visited, nil, AnyPair, frontier, a, DescRSC))
+		must(t, EWiseAddVector(visited, nil, nil, LOr, visited, frontier, nil))
+		hops++
+	}
+	if hops != 3 {
+		t.Fatalf("hops = %d, want 3", hops)
+	}
+}
+
+func TestMxVMaskedPull(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a := randMatrix(rng, 12, 12, 0.4)
+	u := randVector(rng, 12, 0.5)
+	mask := randVector(rng, 12, 0.5)
+	w := NewVector(12)
+	must(t, MxV(w, mask, nil, PlusTimes, a, u, &Descriptor{Structure: true, Replace: true}))
+	ref := denseMxV(toDenseM(a), u, PlusTimes)
+	for i := range ref {
+		if _, ok := mask.get(i); !ok {
+			delete(ref, i)
+		}
+	}
+	expectVecEq(t, w, ref)
+}
+
+func TestMxVAccumAddsIntoExisting(t *testing.T) {
+	a := IdentityMatrix(3)
+	u := NewVector(3)
+	must(t, u.SetElement(1, 5))
+	w := NewVector(3)
+	must(t, w.SetElement(1, 2))
+	must(t, w.SetElement(2, 7))
+	must(t, MxV(w, nil, &Plus, PlusTimes, a, u, nil))
+	expectVecEq(t, w, map[Index]float64{1: 7, 2: 7})
+}
+
+func TestMinPlusRelaxation(t *testing.T) {
+	// Bellman-Ford step: dist' = min(dist, dist ⊕ A) over min-plus.
+	inf := 1e18
+	a := NewMatrix(3, 3)
+	must(t, a.SetElement(0, 1, 4))
+	must(t, a.SetElement(0, 2, 10))
+	must(t, a.SetElement(1, 2, 2))
+	dist := NewVector(3)
+	must(t, dist.SetElement(0, 0))
+	must(t, dist.SetElement(1, inf))
+	must(t, dist.SetElement(2, inf))
+	for iter := 0; iter < 2; iter++ {
+		must(t, VxM(dist, nil, &Min, MinPlus, dist, a, nil))
+	}
+	if x, _ := dist.ExtractElement(2); x != 6 {
+		t.Fatalf("dist[2] = %g, want 6", x)
+	}
+}

@@ -1,0 +1,27 @@
+package grb
+
+import "sync"
+
+// parallelRanges splits [0, n) into nthreads contiguous ranges and runs fn
+// on each concurrently. With nthreads <= 1 (the RedisGraph per-query
+// configuration) fn runs inline on the calling goroutine.
+func parallelRanges(n, nthreads int, fn func(part, lo, hi int)) {
+	if nthreads <= 1 || n <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	if nthreads > n {
+		nthreads = n
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < nthreads; p++ {
+		lo := p * n / nthreads
+		hi := (p + 1) * n / nthreads
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			fn(p, lo, hi)
+		}(p, lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,177 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"redisgraph/internal/core"
+	"redisgraph/internal/graph"
+	"redisgraph/internal/value"
+)
+
+func buildSample(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New("sample")
+	run := func(q string) {
+		t.Helper()
+		if _, err := core.Query(g, q, nil, core.Config{}); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	run(`CREATE (:Person {name: 'alice', age: 30, tags: ['x', 1, 2.5, true, null]})`)
+	run(`CREATE (:Person {name: 'bob'})`)
+	run(`CREATE (:Person {name: 'gone'})`)
+	run(`CREATE (:City {name: 'rome'})`)
+	run(`MATCH (a:Person {name:'alice'}), (b:Person {name:'bob'}) CREATE (a)-[:KNOWS {since: 2010}]->(b)`)
+	run(`MATCH (a:Person {name:'alice'}), (c:City) CREATE (a)-[:VISITED]->(c)`)
+	run(`MATCH (b:Person {name:'bob'}), (c:City) CREATE (b)-[:VISITED {year: 2020}]->(c)`)
+	// Leave holes in both ID spaces.
+	run(`MATCH (n:Person {name:'gone'}) DETACH DELETE n`)
+	run(`MATCH (a:Person {name:'alice'})-[r:VISITED]->() DELETE r`)
+	run(`CREATE INDEX ON :Person(name)`)
+	return g
+}
+
+func roundTrip(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	var buf bytes.Buffer
+	g.RLock()
+	err := Save(g, &buf)
+	g.RUnlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g2
+}
+
+func TestRoundTripPreservesEverything(t *testing.T) {
+	g := buildSample(t)
+	g2 := roundTrip(t, g)
+
+	if g2.Name != "sample" {
+		t.Fatalf("name: %s", g2.Name)
+	}
+	if g2.NodeCount() != g.NodeCount() || g2.EdgeCount() != g.EdgeCount() {
+		t.Fatalf("counts: %d/%d vs %d/%d", g2.NodeCount(), g2.EdgeCount(), g.NodeCount(), g.EdgeCount())
+	}
+	// Same IDs for surviving entities.
+	var ids, ids2 []uint64
+	g.ForEachNode(func(n *graph.Node) bool { ids = append(ids, n.ID); return true })
+	g2.ForEachNode(func(n *graph.Node) bool { ids2 = append(ids2, n.ID); return true })
+	if len(ids) != len(ids2) {
+		t.Fatalf("id sets differ: %v vs %v", ids, ids2)
+	}
+	for i := range ids {
+		if ids[i] != ids2[i] {
+			t.Fatalf("id sets differ: %v vs %v", ids, ids2)
+		}
+	}
+	// Properties (including nested arrays) survive.
+	q := func(g *graph.Graph, query string) *core.ResultSet {
+		rs, err := core.Query(g, query, nil, core.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", query, err)
+		}
+		return rs
+	}
+	rs := q(g2, `MATCH (n:Person {name:'alice'}) RETURN n.age, n.tags`)
+	if rs.Rows[0][0].Int() != 30 || len(rs.Rows[0][1].Array()) != 5 {
+		t.Fatalf("props: %v", rs.Rows)
+	}
+	// Topology survives: alice-KNOWS->bob, bob-VISITED->rome only.
+	rs = q(g2, `MATCH (a)-[r]->(b) RETURN a.name, type(r), b.name ORDER BY b.name`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("edges: %v", rs.Rows)
+	}
+	if rs.Rows[0][1].Str() != "KNOWS" || rs.Rows[1][1].Str() != "VISITED" {
+		t.Fatalf("edge types: %v", rs.Rows)
+	}
+	// Edge property.
+	rs = q(g2, `MATCH ()-[r:VISITED]->() RETURN r.year`)
+	if rs.Rows[0][0].Int() != 2020 {
+		t.Fatalf("edge prop: %v", rs.Rows)
+	}
+	// Index was rebuilt and is queryable via index scan.
+	lines, err := core.Explain(g2, `MATCH (n:Person {name:'bob'}) RETURN n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "NodeByIndexScan") {
+		t.Fatalf("index not rebuilt:\n%v", lines)
+	}
+}
+
+func TestIDReuseAfterLoadMatches(t *testing.T) {
+	g := buildSample(t)
+	g2 := roundTrip(t, g)
+	// Creating a node in both graphs must reuse the same freed ID.
+	n1 := func() uint64 {
+		g.Lock()
+		defer g.Unlock()
+		return g.CreateNode(nil, nil).ID
+	}()
+	n2 := func() uint64 {
+		g2.Lock()
+		defer g2.Unlock()
+		return g2.CreateNode(nil, nil).ID
+	}()
+	if n1 != n2 {
+		t.Fatalf("freed-id reuse differs: %d vs %d", n1, n2)
+	}
+}
+
+func TestQueriesAgreeAfterRoundTrip(t *testing.T) {
+	g := buildSample(t)
+	g2 := roundTrip(t, g)
+	for _, query := range []string{
+		`MATCH (n) RETURN count(n)`,
+		`MATCH (n:Person) RETURN count(n)`,
+		`MATCH (a)-[:KNOWS]->(b) RETURN count(b)`,
+		`MATCH (a:Person {name:'alice'})-[*1..3]->(n) RETURN count(n)`,
+	} {
+		r1, err := core.Query(g, query, nil, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := core.Query(g2, query, nil, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Rows[0][0].Int() != r2.Rows[0][0].Int() {
+			t.Fatalf("%s: %v vs %v", query, r1.Rows, r2.Rows)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("want magic error")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("want EOF error")
+	}
+	// Truncated valid prefix.
+	g := graph.New("t")
+	g.CreateNode([]string{"A"}, map[string]value.Value{"x": value.NewInt(1)})
+	var buf bytes.Buffer
+	if err := Save(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("want truncation error")
+	}
+}
+
+func TestEmptyGraphRoundTrip(t *testing.T) {
+	g := graph.New("empty")
+	g2 := roundTrip(t, g)
+	if g2.NodeCount() != 0 || g2.EdgeCount() != 0 || g2.Name != "empty" {
+		t.Fatalf("empty graph: %d %d %s", g2.NodeCount(), g2.EdgeCount(), g2.Name)
+	}
+}

@@ -1,0 +1,244 @@
+// Package resp implements the Redis Serialization Protocol (RESP2): the
+// wire format between redis-cli-style clients and the server substrate.
+package resp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SimpleString marks a reply to be encoded as +text (not a bulk string).
+type SimpleString string
+
+// ErrorReply encodes as a RESP error (-text).
+type ErrorReply string
+
+func (e ErrorReply) Error() string { return string(e) }
+
+// Reader decodes client commands and server replies.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// ReadCommand reads one client command: either a RESP array of bulk strings
+// or an inline space-separated line.
+func (r *Reader) ReadCommand() ([]string, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, fmt.Errorf("resp: empty command")
+	}
+	if line[0] != '*' {
+		// Inline command.
+		return splitInline(line), nil
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("resp: bad array header %q", line)
+	}
+	args := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		hdr, err := r.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(hdr) == 0 || hdr[0] != '$' {
+			return nil, fmt.Errorf("resp: expected bulk string, got %q", hdr)
+		}
+		ln, err := strconv.Atoi(hdr[1:])
+		if err != nil || ln < 0 {
+			return nil, fmt.Errorf("resp: bad bulk length %q", hdr)
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, err
+		}
+		args = append(args, string(buf[:ln]))
+	}
+	return args, nil
+}
+
+// ReadReply decodes one server reply into Go values: SimpleString, string
+// (bulk), int64, nil, []any, or ErrorReply (returned as error).
+func (r *Reader) ReadReply() (any, error) {
+	line, err := r.readLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(line) == 0 {
+		return nil, fmt.Errorf("resp: empty reply")
+	}
+	switch line[0] {
+	case '+':
+		return SimpleString(line[1:]), nil
+	case '-':
+		return nil, ErrorReply(line[1:])
+	case ':':
+		n, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("resp: bad integer %q", line)
+		}
+		return n, nil
+	case '$':
+		ln, err := strconv.Atoi(line[1:])
+		if err != nil {
+			return nil, fmt.Errorf("resp: bad bulk length %q", line)
+		}
+		if ln < 0 {
+			return nil, nil // null bulk string
+		}
+		buf := make([]byte, ln+2)
+		if _, err := io.ReadFull(r.br, buf); err != nil {
+			return nil, err
+		}
+		return string(buf[:ln]), nil
+	case '*':
+		n, err := strconv.Atoi(line[1:])
+		if err != nil {
+			return nil, fmt.Errorf("resp: bad array length %q", line)
+		}
+		if n < 0 {
+			return nil, nil
+		}
+		out := make([]any, n)
+		for i := range out {
+			v, err := r.ReadReply()
+			if err != nil {
+				if e, ok := err.(ErrorReply); ok {
+					out[i] = e
+					continue
+				}
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("resp: unknown reply type %q", line[0])
+}
+
+func (r *Reader) readLine() (string, error) {
+	s, err := r.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(s, "\r\n"), nil
+}
+
+func splitInline(line string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := byte(0)
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote != 0:
+			if c == inQuote {
+				inQuote = 0
+			} else if c == '\\' && i+1 < len(line) && line[i+1] == inQuote {
+				i++
+				cur.WriteByte(line[i])
+			} else {
+				cur.WriteByte(c)
+			}
+		case c == '"' || c == '\'':
+			inQuote = c
+		case c == ' ' || c == '\t':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// Writer encodes commands and replies.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// WriteCommand encodes a client command as an array of bulk strings.
+func (w *Writer) WriteCommand(args ...string) error {
+	fmt.Fprintf(w.bw, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(w.bw, "$%d\r\n%s\r\n", len(a), a)
+	}
+	return w.bw.Flush()
+}
+
+// WriteReply encodes a server reply. Supported payloads: SimpleString,
+// string, []byte, error/ErrorReply, int/int64, nil, []any and []string.
+func (w *Writer) WriteReply(v any) error {
+	if err := w.writeValue(v); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+func (w *Writer) writeValue(v any) error {
+	switch v := v.(type) {
+	case nil:
+		_, err := w.bw.WriteString("$-1\r\n")
+		return err
+	case SimpleString:
+		_, err := fmt.Fprintf(w.bw, "+%s\r\n", string(v))
+		return err
+	case ErrorReply:
+		_, err := fmt.Fprintf(w.bw, "-%s\r\n", string(v))
+		return err
+	case error:
+		_, err := fmt.Fprintf(w.bw, "-ERR %s\r\n", strings.ReplaceAll(v.Error(), "\r\n", " "))
+		return err
+	case string:
+		_, err := fmt.Fprintf(w.bw, "$%d\r\n%s\r\n", len(v), v)
+		return err
+	case []byte:
+		_, err := fmt.Fprintf(w.bw, "$%d\r\n%s\r\n", len(v), v)
+		return err
+	case int:
+		_, err := fmt.Fprintf(w.bw, ":%d\r\n", v)
+		return err
+	case int64:
+		_, err := fmt.Fprintf(w.bw, ":%d\r\n", v)
+		return err
+	case []string:
+		fmt.Fprintf(w.bw, "*%d\r\n", len(v))
+		for _, e := range v {
+			if err := w.writeValue(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	case []any:
+		fmt.Fprintf(w.bw, "*%d\r\n", len(v))
+		for _, e := range v {
+			if err := w.writeValue(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("resp: cannot encode %T", v)
+}

@@ -1,0 +1,131 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteCommand("GRAPH.QUERY", "g", "MATCH (n) RETURN n"); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 3 || args[0] != "GRAPH.QUERY" || args[2] != "MATCH (n) RETURN n" {
+		t.Fatalf("args: %v", args)
+	}
+}
+
+func TestInlineCommand(t *testing.T) {
+	r := NewReader(strings.NewReader("PING hello\r\n"))
+	args, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 2 || args[1] != "hello" {
+		t.Fatalf("args: %v", args)
+	}
+	// Quoted inline arguments.
+	r = NewReader(strings.NewReader(`GRAPH.QUERY g "MATCH (n) RETURN n"` + "\r\n"))
+	args, err = r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(args) != 3 || args[2] != "MATCH (n) RETURN n" {
+		t.Fatalf("args: %v", args)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	cases := []any{
+		SimpleString("OK"),
+		"bulk",
+		int64(-42),
+		nil,
+		[]any{SimpleString("a"), int64(1), nil, []any{"nested"}},
+		[]string{"x", "y"},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteReply(c); err != nil {
+			t.Fatal(err)
+		}
+		got, err := NewReader(&buf).ReadReply()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch want := c.(type) {
+		case nil:
+			if got != nil {
+				t.Fatalf("nil: %v", got)
+			}
+		case SimpleString:
+			if got.(SimpleString) != want {
+				t.Fatalf("simple: %v", got)
+			}
+		case string:
+			if got.(string) != want {
+				t.Fatalf("bulk: %v", got)
+			}
+		case int64:
+			if got.(int64) != want {
+				t.Fatalf("int: %v", got)
+			}
+		case []string:
+			arr := got.([]any)
+			if len(arr) != len(want) {
+				t.Fatalf("strs: %v", got)
+			}
+		case []any:
+			arr := got.([]any)
+			if len(arr) != len(want) {
+				t.Fatalf("array: %v", got)
+			}
+		}
+	}
+}
+
+func TestErrorReply(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteReply(errors.New("ERR something bad")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewReader(&buf).ReadReply()
+	var er ErrorReply
+	if !errors.As(err, &er) || !strings.Contains(string(er), "something bad") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBinarySafeBulk(t *testing.T) {
+	var buf bytes.Buffer
+	payload := "line1\r\nline2\x00bin"
+	NewWriter(&buf).WriteReply(payload)
+	got, err := NewReader(&buf).ReadReply()
+	if err != nil || got.(string) != payload {
+		t.Fatalf("%q %v", got, err)
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	for _, in := range []string{
+		"*2\r\n$3\r\nab", // truncated
+		"*x\r\n",         // bad count
+		"$5\r\nab\r\n",   // short bulk
+		"!weird\r\n",     // unknown type
+	} {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.ReadReply(); err == nil {
+			if _, err := r.ReadCommand(); err == nil {
+				t.Fatalf("%q: expected error", in)
+			}
+		}
+	}
+}

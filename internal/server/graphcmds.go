@@ -1,0 +1,186 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"redisgraph/internal/core"
+	"redisgraph/internal/resp"
+	"redisgraph/internal/value"
+)
+
+// graphCommand executes one GRAPH.* module command on a threadpool worker.
+func (s *Server) graphCommand(cmd string, args []string) (any, error) {
+	switch cmd {
+	case "GRAPH.QUERY", "GRAPH.RO_QUERY":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("ERR wrong number of arguments for '%s' command", strings.ToLower(cmd))
+		}
+		g := s.Graph(args[0])
+		params, query := parseCypherPrefix(args[1])
+		cfg := core.Config{OpThreads: 1, Timeout: s.opts.QueryTimeout}
+		var rs *core.ResultSet
+		var err error
+		if cmd == "GRAPH.RO_QUERY" {
+			rs, err = core.ROQuery(g, query, params, cfg)
+		} else {
+			rs, err = core.Query(g, query, params, cfg)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ERR %v", err)
+		}
+		return encodeResultSet(rs), nil
+
+	case "GRAPH.EXPLAIN":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("ERR wrong number of arguments for 'graph.explain' command")
+		}
+		g := s.Graph(args[0])
+		_, query := parseCypherPrefix(args[1])
+		lines, err := core.Explain(g, query)
+		if err != nil {
+			return nil, fmt.Errorf("ERR %v", err)
+		}
+		return toAnySlice(lines), nil
+
+	case "GRAPH.PROFILE":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("ERR wrong number of arguments for 'graph.profile' command")
+		}
+		g := s.Graph(args[0])
+		params, query := parseCypherPrefix(args[1])
+		lines, err := core.Profile(g, query, params, core.Config{OpThreads: 1, Timeout: s.opts.QueryTimeout})
+		if err != nil {
+			return nil, fmt.Errorf("ERR %v", err)
+		}
+		return toAnySlice(lines), nil
+
+	case "GRAPH.DELETE":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("ERR wrong number of arguments for 'graph.delete' command")
+		}
+		if !s.deleteGraph(args[0]) {
+			return nil, fmt.Errorf("ERR graph %q does not exist", args[0])
+		}
+		return resp.SimpleString("OK"), nil
+
+	case "GRAPH.LIST":
+		return toAnySlice(s.graphNames()), nil
+
+	case "GRAPH.CONFIG":
+		if len(args) >= 2 && strings.ToUpper(args[0]) == "GET" {
+			switch strings.ToUpper(args[1]) {
+			case "THREAD_COUNT":
+				return []any{"THREAD_COUNT", int64(s.pool.Size())}, nil
+			case "TIMEOUT":
+				return []any{"TIMEOUT", int64(s.opts.QueryTimeout.Milliseconds())}, nil
+			}
+			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
+		}
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET THREAD_COUNT|TIMEOUT")
+	}
+	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))
+}
+
+// parseCypherPrefix strips RedisGraph's "CYPHER name=value ..." parameter
+// prefix from a query string.
+func parseCypherPrefix(q string) (map[string]value.Value, string) {
+	trimmed := strings.TrimLeft(q, " \t\r\n")
+	if len(trimmed) < 7 || !strings.EqualFold(trimmed[:6], "CYPHER") {
+		return nil, q
+	}
+	rest := trimmed[6:]
+	params := map[string]value.Value{}
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		eq := strings.IndexByte(rest, '=')
+		sp := strings.IndexAny(rest, " \t")
+		if eq < 0 || (sp >= 0 && sp < eq) {
+			break
+		}
+		name := rest[:eq]
+		val, remaining := scanParamValue(rest[eq+1:])
+		params[name] = val
+		rest = remaining
+	}
+	return params, rest
+}
+
+func scanParamValue(s string) (value.Value, string) {
+	if s == "" {
+		return value.Null, ""
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		quote := s[0]
+		for i := 1; i < len(s); i++ {
+			if s[i] == quote {
+				return value.NewString(s[1:i]), s[i+1:]
+			}
+		}
+		return value.NewString(s[1:]), ""
+	}
+	end := strings.IndexAny(s, " \t")
+	tok := s
+	rest := ""
+	if end >= 0 {
+		tok, rest = s[:end], s[end:]
+	}
+	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return value.NewInt(i), rest
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return value.NewFloat(f), rest
+	}
+	switch strings.ToLower(tok) {
+	case "true":
+		return value.NewBool(true), rest
+	case "false":
+		return value.NewBool(false), rest
+	case "null":
+		return value.Null, rest
+	}
+	return value.NewString(tok), rest
+}
+
+// encodeResultSet renders a ResultSet in RedisGraph's three-section reply
+// shape: [columns], [rows...], [statistics...].
+func encodeResultSet(rs *core.ResultSet) []any {
+	header := make([]any, len(rs.Columns))
+	for i, c := range rs.Columns {
+		header[i] = c
+	}
+	rows := make([]any, len(rs.Rows))
+	for i, row := range rs.Rows {
+		cells := make([]any, len(row))
+		for j, v := range row {
+			cells[j] = encodeValue(v)
+		}
+		rows[i] = cells
+	}
+	return []any{header, rows, toAnySlice(rs.Stats.Lines())}
+}
+
+func encodeValue(v value.Value) any {
+	switch v.Kind {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.Int()
+	case value.KindBool:
+		if v.Bool() {
+			return int64(1)
+		}
+		return int64(0)
+	default:
+		return v.String()
+	}
+}
+
+func toAnySlice(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}

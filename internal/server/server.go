@@ -1,0 +1,375 @@
+// Package server implements the Redis-like server hosting the graph module.
+//
+// Architecture (paper Section II): a single dispatcher goroutine — the
+// "Redis main thread" — receives every command. Keyspace commands execute
+// inline on that thread. GRAPH.* commands are handed to the module
+// threadpool, where each query runs on exactly one worker; per-connection
+// reply order is preserved by an ordered future queue per connection.
+package server
+
+import (
+	"fmt"
+	"net"
+	"path"
+	"strings"
+	"sync"
+	"time"
+
+	"redisgraph/internal/graph"
+	"redisgraph/internal/pool"
+	"redisgraph/internal/resp"
+)
+
+// Options configures the server.
+type Options struct {
+	Addr string
+	// ThreadCount is the module threadpool size (paper: configured at
+	// module load time). Defaults to 8.
+	ThreadCount int
+	// QueryTimeout bounds each query (0 = none).
+	QueryTimeout time.Duration
+	// SnapshotPath, when set, enables the SAVE command and loading the
+	// snapshot at Start (the role of an RDB file).
+	SnapshotPath string
+}
+
+// Server is a Redis-like TCP server with the graph module loaded.
+type Server struct {
+	opts Options
+	ln   net.Listener
+	pool *pool.Pool
+
+	mu       sync.RWMutex
+	graphs   map[string]*graph.Graph
+	keyspace map[string]string
+
+	dispatch chan *request
+	quit     chan struct{}
+	wg       sync.WaitGroup
+}
+
+type request struct {
+	args  []string
+	conn  *connState
+	reply *pool.Future
+}
+
+type connState struct {
+	c       net.Conn
+	w       *resp.Writer
+	replies chan *pool.Future
+	closed  chan struct{}
+}
+
+// New creates a server (not yet listening).
+func New(opts Options) *Server {
+	if opts.ThreadCount <= 0 {
+		opts.ThreadCount = 8
+	}
+	return &Server{
+		opts:     opts,
+		pool:     pool.New(opts.ThreadCount),
+		graphs:   map[string]*graph.Graph{},
+		keyspace: map[string]string{},
+		dispatch: make(chan *request, 1024),
+		quit:     make(chan struct{}),
+	}
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.opts.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Start begins listening and serving. It returns once the listener is
+// bound; serving continues in background goroutines until Close.
+func (s *Server) Start() error {
+	if err := s.LoadSnapshot(); err != nil {
+		return fmt.Errorf("server: loading snapshot: %w", err)
+	}
+	ln, err := net.Listen("tcp", s.opts.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.wg.Add(2)
+	go s.acceptLoop()
+	go s.dispatchLoop()
+	return nil
+}
+
+// Close stops the server and waits for shutdown.
+func (s *Server) Close() {
+	close(s.quit)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+	s.pool.Close()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.quit:
+				return
+			default:
+				continue
+			}
+		}
+		cs := &connState{
+			c:       c,
+			w:       resp.NewWriter(c),
+			replies: make(chan *pool.Future, 1024),
+			closed:  make(chan struct{}),
+		}
+		go s.readLoop(cs)
+		go s.writeLoop(cs)
+	}
+}
+
+// readLoop parses commands and forwards them to the dispatcher.
+func (s *Server) readLoop(cs *connState) {
+	defer func() {
+		close(cs.closed)
+		cs.c.Close()
+	}()
+	r := resp.NewReader(cs.c)
+	for {
+		args, err := r.ReadCommand()
+		if err != nil {
+			return
+		}
+		if len(args) == 0 {
+			continue
+		}
+		if strings.ToUpper(args[0]) == "QUIT" {
+			f := immediateReply(resp.SimpleString("OK"))
+			cs.replies <- f
+			return
+		}
+		req := &request{args: args, conn: cs}
+		select {
+		case s.dispatch <- req:
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// writeLoop delivers replies in submission order.
+func (s *Server) writeLoop(cs *connState) {
+	for {
+		select {
+		case f := <-cs.replies:
+			v, err := f.Wait()
+			if err != nil {
+				v = err
+			}
+			if werr := cs.w.WriteReply(v); werr != nil {
+				return
+			}
+		case <-cs.closed:
+			// Drain anything already queued, then stop.
+			for {
+				select {
+				case f := <-cs.replies:
+					v, err := f.Wait()
+					if err != nil {
+						v = err
+					}
+					cs.w.WriteReply(v)
+				default:
+					return
+				}
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func immediateReply(v any) *pool.Future {
+	f, done := pool.NewResolvedFuture()
+	done(v, nil)
+	return f
+}
+
+// dispatchLoop is the single "Redis main thread".
+func (s *Server) dispatchLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case req := <-s.dispatch:
+			s.handle(req)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *request) {
+	cmd := strings.ToUpper(req.args[0])
+	if strings.HasPrefix(cmd, "GRAPH.") {
+		// Module command: runs on one threadpool worker.
+		f, err := s.pool.Submit(func() (any, error) {
+			return s.graphCommand(cmd, req.args[1:])
+		})
+		if err != nil {
+			f = immediateReply(fmt.Errorf("ERR %v", err))
+		}
+		req.conn.replies <- f
+		return
+	}
+	// Keyspace command: executes inline on the dispatcher thread.
+	v, err := s.keyspaceCommand(cmd, req.args[1:])
+	f, done := pool.NewResolvedFuture()
+	done(v, err)
+	req.conn.replies <- f
+}
+
+// Graph returns (creating on demand) the named graph.
+func (s *Server) Graph(name string) *graph.Graph {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g, ok := s.graphs[name]
+	if !ok {
+		g = graph.New(name)
+		s.graphs[name] = g
+	}
+	return g
+}
+
+func (s *Server) graphNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.graphs))
+	for n := range s.graphs {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (s *Server) deleteGraph(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.graphs[name]; !ok {
+		return false
+	}
+	delete(s.graphs, name)
+	return true
+}
+
+func (s *Server) keyspaceCommand(cmd string, args []string) (any, error) {
+	switch cmd {
+	case "PING":
+		if len(args) == 1 {
+			return args[0], nil
+		}
+		return resp.SimpleString("PONG"), nil
+	case "ECHO":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("ERR wrong number of arguments for 'echo' command")
+		}
+		return args[0], nil
+	case "SET":
+		if len(args) < 2 {
+			return nil, fmt.Errorf("ERR wrong number of arguments for 'set' command")
+		}
+		s.mu.Lock()
+		s.keyspace[args[0]] = args[1]
+		s.mu.Unlock()
+		return resp.SimpleString("OK"), nil
+	case "GET":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("ERR wrong number of arguments for 'get' command")
+		}
+		s.mu.RLock()
+		v, ok := s.keyspace[args[0]]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, nil
+		}
+		return v, nil
+	case "DEL":
+		n := 0
+		s.mu.Lock()
+		for _, k := range args {
+			if _, ok := s.keyspace[k]; ok {
+				delete(s.keyspace, k)
+				n++
+			}
+			if _, ok := s.graphs[k]; ok {
+				delete(s.graphs, k)
+				n++
+			}
+		}
+		s.mu.Unlock()
+		return n, nil
+	case "EXISTS":
+		n := 0
+		s.mu.RLock()
+		for _, k := range args {
+			if _, ok := s.keyspace[k]; ok {
+				n++
+			} else if _, ok := s.graphs[k]; ok {
+				n++
+			}
+		}
+		s.mu.RUnlock()
+		return n, nil
+	case "KEYS":
+		pattern := "*"
+		if len(args) > 0 {
+			pattern = args[0]
+		}
+		var out []any
+		s.mu.RLock()
+		for k := range s.keyspace {
+			if ok, _ := path.Match(pattern, k); ok {
+				out = append(out, k)
+			}
+		}
+		for k := range s.graphs {
+			if ok, _ := path.Match(pattern, k); ok {
+				out = append(out, k)
+			}
+		}
+		s.mu.RUnlock()
+		return out, nil
+	case "DBSIZE":
+		s.mu.RLock()
+		n := len(s.keyspace) + len(s.graphs)
+		s.mu.RUnlock()
+		return n, nil
+	case "FLUSHALL":
+		s.mu.Lock()
+		s.keyspace = map[string]string{}
+		s.graphs = map[string]*graph.Graph{}
+		s.mu.Unlock()
+		return resp.SimpleString("OK"), nil
+	case "SAVE", "BGSAVE":
+		return s.saveCommand()
+	case "INFO":
+		return s.info(), nil
+	case "COMMAND":
+		return []any{}, nil
+	}
+	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))
+}
+
+func (s *Server) info() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var b strings.Builder
+	b.WriteString("# Server\r\nredisgraph_module:go-reproduction\r\n")
+	fmt.Fprintf(&b, "threadpool_size:%d\r\n", s.pool.Size())
+	fmt.Fprintf(&b, "graphs:%d\r\nkeys:%d\r\n", len(s.graphs), len(s.keyspace))
+	return b.String()
+}

@@ -1,0 +1,361 @@
+// Package value implements the dynamic value system flowing through query
+// execution: property values, expression results and result-set cells.
+// Semantics follow openCypher: three-valued logic with null, orderable
+// scalars, and entity references compared by identity.
+package value
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates runtime types.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindArray
+	KindNode
+	KindEdge
+	KindPath
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "boolean"
+	case KindInt:
+		return "integer"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindArray:
+		return "array"
+	case KindNode:
+		return "node"
+	case KindEdge:
+		return "edge"
+	case KindPath:
+		return "path"
+	}
+	return "unknown"
+}
+
+// Value is a tagged union. The zero Value is null.
+type Value struct {
+	Kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	a    []Value
+	// Entity carries a *graph.Node / *graph.Edge / path payload without a
+	// package cycle; ID is the entity identity used for comparison.
+	Entity any
+	ID     uint64
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// NewBool wraps a bool.
+func NewBool(b bool) Value { return Value{Kind: KindBool, b: b} }
+
+// NewInt wraps an int64.
+func NewInt(i int64) Value { return Value{Kind: KindInt, i: i} }
+
+// NewFloat wraps a float64.
+func NewFloat(f float64) Value { return Value{Kind: KindFloat, f: f} }
+
+// NewString wraps a string.
+func NewString(s string) Value { return Value{Kind: KindString, s: s} }
+
+// NewArray wraps a slice of values.
+func NewArray(a []Value) Value { return Value{Kind: KindArray, a: a} }
+
+// NewNode wraps a node entity reference.
+func NewNode(id uint64, entity any) Value { return Value{Kind: KindNode, ID: id, Entity: entity} }
+
+// NewEdge wraps an edge entity reference.
+func NewEdge(id uint64, entity any) Value { return Value{Kind: KindEdge, ID: id, Entity: entity} }
+
+// NewPath wraps a path payload.
+func NewPath(entity any) Value { return Value{Kind: KindPath, Entity: entity} }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.b }
+
+// Int returns the integer payload.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload, coercing integers.
+func (v Value) Float() float64 {
+	if v.Kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Str returns the string payload.
+func (v Value) Str() string { return v.s }
+
+// Array returns the array payload.
+func (v Value) Array() []Value { return v.a }
+
+// IsNumeric reports whether v is an int or float.
+func (v Value) IsNumeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// IsTrue reports whether v is the boolean true (openCypher predicate
+// semantics: null and non-booleans are not true).
+func (v Value) IsTrue() bool { return v.Kind == KindBool && v.b }
+
+// Equals implements Cypher equality; comparing null with anything is false
+// here (use Compare for three-valued logic).
+func (v Value) Equals(o Value) bool {
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// Compare orders two values. ok is false when the comparison is undefined
+// (null operands or incomparable types), which callers treat as Cypher null.
+func (v Value) Compare(o Value) (int, bool) {
+	if v.Kind == KindNull || o.Kind == KindNull {
+		return 0, false
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.Kind != o.Kind {
+		return 0, false
+	}
+	switch v.Kind {
+	case KindBool:
+		switch {
+		case v.b == o.b:
+			return 0, true
+		case !v.b:
+			return -1, true
+		default:
+			return 1, true
+		}
+	case KindString:
+		return strings.Compare(v.s, o.s), true
+	case KindArray:
+		for k := 0; k < len(v.a) && k < len(o.a); k++ {
+			if c, ok := v.a[k].Compare(o.a[k]); !ok || c != 0 {
+				return c, ok
+			}
+		}
+		switch {
+		case len(v.a) < len(o.a):
+			return -1, true
+		case len(v.a) > len(o.a):
+			return 1, true
+		default:
+			return 0, true
+		}
+	case KindNode, KindEdge:
+		switch {
+		case v.ID < o.ID:
+			return -1, true
+		case v.ID > o.ID:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// OrderLess is a total order for ORDER BY: null sorts last, mixed types sort
+// by kind.
+func OrderLess(a, b Value) bool {
+	if a.Kind == KindNull {
+		return false
+	}
+	if b.Kind == KindNull {
+		return true
+	}
+	if c, ok := a.Compare(b); ok {
+		return c < 0
+	}
+	return a.Kind < b.Kind
+}
+
+// SortValues sorts values with OrderLess; used by collect()+sort and tests.
+func SortValues(vs []Value) {
+	sort.SliceStable(vs, func(i, j int) bool { return OrderLess(vs[i], vs[j]) })
+}
+
+// Add implements Cypher +: numeric addition, string and array concatenation.
+func Add(a, b Value) (Value, error) {
+	switch {
+	case a.IsNull() || b.IsNull():
+		return Null, nil
+	case a.Kind == KindInt && b.Kind == KindInt:
+		return NewInt(a.i + b.i), nil
+	case a.IsNumeric() && b.IsNumeric():
+		return NewFloat(a.Float() + b.Float()), nil
+	case a.Kind == KindString && b.Kind == KindString:
+		return NewString(a.s + b.s), nil
+	case a.Kind == KindArray:
+		return NewArray(append(append([]Value(nil), a.a...), b)), nil
+	}
+	return Null, fmt.Errorf("type mismatch: cannot add %s and %s", a.Kind, b.Kind)
+}
+
+// Sub implements Cypher -.
+func Sub(a, b Value) (Value, error) {
+	switch {
+	case a.IsNull() || b.IsNull():
+		return Null, nil
+	case a.Kind == KindInt && b.Kind == KindInt:
+		return NewInt(a.i - b.i), nil
+	case a.IsNumeric() && b.IsNumeric():
+		return NewFloat(a.Float() - b.Float()), nil
+	}
+	return Null, fmt.Errorf("type mismatch: cannot subtract %s from %s", b.Kind, a.Kind)
+}
+
+// Mul implements Cypher *.
+func Mul(a, b Value) (Value, error) {
+	switch {
+	case a.IsNull() || b.IsNull():
+		return Null, nil
+	case a.Kind == KindInt && b.Kind == KindInt:
+		return NewInt(a.i * b.i), nil
+	case a.IsNumeric() && b.IsNumeric():
+		return NewFloat(a.Float() * b.Float()), nil
+	}
+	return Null, fmt.Errorf("type mismatch: cannot multiply %s and %s", a.Kind, b.Kind)
+}
+
+// DivOp implements Cypher /: integer division for int operands.
+func DivOp(a, b Value) (Value, error) {
+	switch {
+	case a.IsNull() || b.IsNull():
+		return Null, nil
+	case a.Kind == KindInt && b.Kind == KindInt:
+		if b.i == 0 {
+			return Null, fmt.Errorf("division by zero")
+		}
+		return NewInt(a.i / b.i), nil
+	case a.IsNumeric() && b.IsNumeric():
+		return NewFloat(a.Float() / b.Float()), nil
+	}
+	return Null, fmt.Errorf("type mismatch: cannot divide %s by %s", a.Kind, b.Kind)
+}
+
+// Mod implements Cypher %.
+func Mod(a, b Value) (Value, error) {
+	switch {
+	case a.IsNull() || b.IsNull():
+		return Null, nil
+	case a.Kind == KindInt && b.Kind == KindInt:
+		if b.i == 0 {
+			return Null, fmt.Errorf("division by zero")
+		}
+		return NewInt(a.i % b.i), nil
+	case a.IsNumeric() && b.IsNumeric():
+		return NewFloat(math.Mod(a.Float(), b.Float())), nil
+	}
+	return Null, fmt.Errorf("type mismatch: cannot mod %s by %s", a.Kind, b.Kind)
+}
+
+// HashKey returns a canonical string for grouping/DISTINCT: equal values
+// share a key and (for scalars) unequal values differ.
+func (v Value) HashKey() string {
+	switch v.Kind {
+	case KindNull:
+		return "∅"
+	case KindBool:
+		return "b:" + strconv.FormatBool(v.b)
+	case KindInt:
+		return "n:" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		return "n:" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "s:" + v.s
+	case KindArray:
+		var b strings.Builder
+		b.WriteString("a:[")
+		for k, e := range v.a {
+			if k > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(e.HashKey())
+		}
+		b.WriteByte(']')
+		return b.String()
+	case KindNode:
+		return "v:" + strconv.FormatUint(v.ID, 10)
+	case KindEdge:
+		return "e:" + strconv.FormatUint(v.ID, 10)
+	default:
+		return fmt.Sprintf("p:%p", v.Entity)
+	}
+}
+
+// String renders the value as it appears in result sets.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindArray:
+		var b strings.Builder
+		b.WriteByte('[')
+		for k, e := range v.a {
+			if k > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(']')
+		return b.String()
+	case KindNode:
+		if s, ok := v.Entity.(fmt.Stringer); ok {
+			return s.String()
+		}
+		return fmt.Sprintf("(node:%d)", v.ID)
+	case KindEdge:
+		if s, ok := v.Entity.(fmt.Stringer); ok {
+			return s.String()
+		}
+		return fmt.Sprintf("[edge:%d]", v.ID)
+	default:
+		if s, ok := v.Entity.(fmt.Stringer); ok {
+			return s.String()
+		}
+		return "path"
+	}
+}
