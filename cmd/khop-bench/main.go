@@ -4,10 +4,13 @@
 //	khop-bench -scale 14 -experiment all
 //
 // Experiments: fig1 (E1), khop (E2 + E5 speedups), throughput (E3),
-// robust (E4), or all.
+// robust (E4), traverse-batch (E6, the batched-frontier ablation), or all.
+// -batch sets the frontier batch size for the traverse-batch experiment;
+// -out writes its results as JSON (the perf-trajectory artifact).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +22,11 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | all")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | all")
 	queries := flag.Int("queries", 2048, "query count for the throughput experiment")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
+	batch := flag.Int("batch", 64, "frontier batch size for the traverse-batch experiment")
+	out := flag.String("out", "", "write traverse-batch results as JSON to this file")
 	flag.Parse()
 
 	fmt.Printf("khop-bench: reproducing 'RedisGraph GraphBLAS Enabled Graph Database' (IPDPSW'19)\n")
@@ -42,5 +47,25 @@ func main() {
 	}
 	if want("robust") {
 		s.Robustness(*timeout)
+	}
+	if want("traverse-batch") {
+		results := s.TraverseBatch(*batch)
+		if *out != "" {
+			doc := struct {
+				Experiment string                      `json:"experiment"`
+				Scale      int                         `json:"scale"`
+				Results    []bench.TraverseBatchResult `json:"results"`
+			}{"traverse-batch", *scale, results}
+			data, err := json.MarshalIndent(doc, "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
 	}
 }

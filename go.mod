@@ -1,0 +1,3 @@
+module redisgraph
+
+go 1.22

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"redisgraph/internal/baseline"
+	"redisgraph/internal/core"
 	"redisgraph/internal/gen"
 	"redisgraph/internal/graph"
 	"redisgraph/internal/pool"
@@ -276,6 +277,77 @@ func (s *Suite) Robustness(timeout time.Duration) []RobustResult {
 		fmt.Fprintf(s.w, "  %-14s seeds=%d timeouts=%d ooms=%d maxheap=%.0fMB mean=%.1fms\n",
 			d.Name, res.Seeds, res.Timeouts, res.OOMs, res.MaxHeapMB, res.MeanMS)
 		out = append(out, res)
+	}
+	fmt.Fprintln(s.w)
+	return out
+}
+
+// TraverseBatchResult is one dataset's outcome of the traverse-batch
+// experiment: the same traversal over every source node, evaluated
+// per-record (batch 1) versus as fused frontier matrices.
+type TraverseBatchResult struct {
+	Dataset     string  `json:"dataset"`
+	Sources     int     `json:"sources"`
+	Rows        int64   `json:"rows"`
+	Batch       int     `json:"batch"`
+	PerRecordMS float64 `json:"per_record_ms"`
+	BatchedMS   float64 `json:"batched_ms"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// TraverseBatch measures the batched-traversal tentpole: a one-hop MATCH
+// over every source node, executed through the full Cypher stack, with the
+// traversal operation's frontier batch forced to 1 (the historic per-record
+// path) and to the given batch size. Both runs must return the same count —
+// the experiment doubles as an end-to-end equivalence check.
+func (s *Suite) TraverseBatch(batch int) []TraverseBatchResult {
+	fmt.Fprintf(s.w, "=== E6: batched algebraic traversal, one-hop over all sources (batch=%d) ===\n", batch)
+	const query = `MATCH (a:Node)-[:F]->(b:Node) RETURN count(b)`
+	var out []TraverseBatchResult
+	for _, d := range s.Datasets {
+		g := s.graphs[d.Name]
+		once := func(bs int) (float64, int64) {
+			// Start from a collected heap so each rep pays for its own
+			// garbage — on small machines GC timing otherwise dominates
+			// the comparison.
+			runtime.GC()
+			t0 := time.Now()
+			rs, err := core.ROQuery(g, query, nil, core.Config{OpThreads: 1, TraverseBatch: bs})
+			if err != nil {
+				panic(fmt.Sprintf("bench: traverse-batch: %v", err))
+			}
+			return float64(time.Since(t0).Nanoseconds()) / 1e6, rs.Rows[0][0].Int()
+		}
+		// Interleave the two modes so time-varying machine noise biases
+		// neither; report the median rep of each (rep 0 warms caches).
+		var perReps, batchReps []float64
+		var rowsPer, rowsBatch int64
+		for rep := 0; rep < 6; rep++ {
+			var el float64
+			el, rowsPer = once(1)
+			if rep > 0 {
+				perReps = append(perReps, el)
+			}
+			el, rowsBatch = once(batch)
+			if rep > 0 {
+				batchReps = append(batchReps, el)
+			}
+		}
+		sort.Float64s(perReps)
+		sort.Float64s(batchReps)
+		perMS := perReps[len(perReps)/2]
+		batchMS := batchReps[len(batchReps)/2]
+		if rowsPer != rowsBatch {
+			panic(fmt.Sprintf("bench: traverse-batch disagreement on %s: per-record %d vs batched %d",
+				d.Name, rowsPer, rowsBatch))
+		}
+		r := TraverseBatchResult{
+			Dataset: d.Name, Sources: d.Edges.NumNodes, Rows: rowsPer, Batch: batch,
+			PerRecordMS: perMS, BatchedMS: batchMS, Speedup: perMS / batchMS,
+		}
+		out = append(out, r)
+		fmt.Fprintf(s.w, "  %-14s sources=%d rows=%d  per-record %8.2f ms  batched(%d) %8.2f ms  %5.2fx\n",
+			r.Dataset, r.Sources, r.Rows, r.PerRecordMS, batch, r.BatchedMS, r.Speedup)
 	}
 	fmt.Fprintln(s.w)
 	return out

@@ -45,6 +45,22 @@ func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector) (*grb.Vector, 
 	return w, nil
 }
 
+// evalMatrix propagates a whole batch of frontiers — one per row of f — in
+// one masked MxM per operand. This is the paper's central claim realised:
+// many traversals fused into a single sparse matrix–matrix multiplication
+// over the ANY_PAIR semiring, instead of one kernel call per record.
+func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix) (*grb.Matrix, error) {
+	w := f
+	for _, op := range ae.operands {
+		out := grb.NewMatrix(f.NRows(), ae.dim)
+		if err := grb.MxM(out, nil, nil, grb.AnyPair, w, op.m, ctx.desc); err != nil {
+			return nil, err
+		}
+		w = out
+	}
+	return w, nil
+}
+
 // evalMasked evaluates with a complemented structural mask (used by
 // variable-length traversal to exclude already-reached nodes).
 func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, notReached *grb.Vector) (*grb.Vector, error) {
@@ -69,38 +85,10 @@ func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, notReached *grb.Vect
 
 // relationOperand resolves the matrix for a relationship hop.
 // types empty = any relation (THE adjacency matrix). reverse selects the
-// transposed matrices (inbound), both unions the two directions.
+// transposed matrices (inbound), both unions the two directions. Multi-type
+// and both-direction unions come from the graph's write-invalidated cache
+// instead of being folded anew for every query.
 func relationOperand(g *graph.Graph, typeIDs []int, anyType, reverse, both bool) (algebraicOperand, error) {
-	dim := g.Dim()
-	pick := func(rev bool) *grb.Matrix {
-		if anyType {
-			if rev {
-				return g.TAdjacency()
-			}
-			return g.Adjacency()
-		}
-		if len(typeIDs) == 1 {
-			if rev {
-				return g.TRelationMatrix(typeIDs[0])
-			}
-			return g.RelationMatrix(typeIDs[0])
-		}
-		// Union of several relation types.
-		acc := grb.NewMatrix(dim, dim)
-		for _, t := range typeIDs {
-			m := g.RelationMatrix(t)
-			if rev {
-				m = g.TRelationMatrix(t)
-			}
-			if m == nil {
-				continue
-			}
-			if err := grb.EWiseAddMatrix(acc, nil, nil, grb.LOr, acc, m, nil); err != nil {
-				panic(err) // dimensions are controlled internally
-			}
-		}
-		return acc
-	}
 	name := "ADJ"
 	if !anyType {
 		names := make([]string, len(typeIDs))
@@ -109,25 +97,13 @@ func relationOperand(g *graph.Graph, typeIDs []int, anyType, reverse, both bool)
 		}
 		name = strings.Join(names, "|")
 	}
-	var m *grb.Matrix
 	switch {
 	case both:
-		fwd, rev := pick(false), pick(true)
-		if fwd == nil || rev == nil {
-			return algebraicOperand{}, errEmptyRelation
-		}
-		u := grb.NewMatrix(dim, dim)
-		if err := grb.EWiseAddMatrix(u, nil, nil, grb.LOr, fwd, rev, nil); err != nil {
-			return algebraicOperand{}, err
-		}
-		m = u
 		name = name + "±"
 	case reverse:
-		m = pick(true)
 		name = name + "ᵀ"
-	default:
-		m = pick(false)
 	}
+	m := g.TraversalMatrix(typeIDs, anyType, reverse, both)
 	if m == nil {
 		return algebraicOperand{}, errEmptyRelation
 	}

@@ -20,6 +20,12 @@ type Config struct {
 	OpThreads int
 	// Timeout aborts queries exceeding this duration (0 = no timeout).
 	Timeout time.Duration
+	// TraverseBatch is the number of records a traversal operation fuses
+	// into one frontier matrix before evaluating the algebraic expression
+	// with a single MxM per operand. 0 uses the default (64); 1 degenerates
+	// to the per-record vector path, which the differential tests and the
+	// traverse-batch benchmark use as the baseline.
+	TraverseBatch int
 }
 
 func (c Config) descriptor() *grb.Descriptor {
@@ -86,6 +92,7 @@ func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Conf
 		params: params,
 		desc:   cfg.descriptor(),
 		stats:  &rs.Stats,
+		batch:  cfg.TraverseBatch,
 	}
 	if cfg.Timeout > 0 {
 		ctx.deadline = time.Now().Add(cfg.Timeout)

@@ -14,6 +14,9 @@ type execCtx struct {
 	params map[string]value.Value
 	desc   *grb.Descriptor
 	stats  *Statistics
+	// batch, when non-zero, overrides the traversal operations' frontier
+	// batch size (Config.TraverseBatch); 1 forces per-record evaluation.
+	batch int
 	// deadline, when non-zero, aborts long queries (the benchmark's timeout
 	// guard; the paper reports RedisGraph had none on the large graphs).
 	deadline time.Time
@@ -21,6 +24,19 @@ type execCtx struct {
 
 func (ctx *execCtx) expired() bool {
 	return !ctx.deadline.IsZero() && time.Now().After(ctx.deadline)
+}
+
+// traverseBatch resolves the effective frontier batch size for a traversal
+// operation planned with the given default.
+func (ctx *execCtx) traverseBatch(planned int) int {
+	bs := planned
+	if ctx.batch != 0 {
+		bs = ctx.batch
+	}
+	if bs < 1 {
+		bs = 1
+	}
+	return bs
 }
 
 // operation is one node of an execution plan: a pull-based record iterator.

@@ -188,6 +188,7 @@ type aggGroup struct {
 
 func (o *aggregateOp) consume(ctx *execCtx) error {
 	o.groups = map[string]*aggGroup{}
+	hasKeys := o.hasKeys()
 	for {
 		r, err := o.child.next(ctx)
 		if err != nil {
@@ -199,21 +200,25 @@ func (o *aggregateOp) consume(ctx *execCtx) error {
 		if ctx.expired() {
 			return fmt.Errorf("query timed out during aggregation")
 		}
-		// Group key.
-		var kb strings.Builder
-		keyVals := make([]value.Value, 0, len(o.items))
-		for _, it := range o.items {
-			if it.key != nil {
-				v, err := (*it.key)(ctx, r)
-				if err != nil {
-					return err
+		// Group key (skipped entirely for keyless aggregates like count(n)).
+		var k string
+		var keyVals []value.Value
+		if hasKeys {
+			var kb strings.Builder
+			keyVals = make([]value.Value, 0, len(o.items))
+			for _, it := range o.items {
+				if it.key != nil {
+					v, err := (*it.key)(ctx, r)
+					if err != nil {
+						return err
+					}
+					keyVals = append(keyVals, v)
+					kb.WriteString(v.HashKey())
+					kb.WriteByte('|')
 				}
-				keyVals = append(keyVals, v)
-				kb.WriteString(v.HashKey())
-				kb.WriteByte('|')
 			}
+			k = kb.String()
 		}
-		k := kb.String()
 		grp, ok := o.groups[k]
 		if !ok {
 			grp = &aggGroup{keys: keyVals, states: make([]*aggState, len(o.items))}

@@ -9,85 +9,193 @@ import (
 	"redisgraph/internal/value"
 )
 
-// condTraverseOp expands records one hop along an algebraic expression:
-// for each input record it builds a one-hot frontier for the source node,
-// evaluates frontier·(Rel·DstLabel), and emits one record per reachable
-// destination (or per connecting edge when an edge variable is bound).
+// defaultTraverseBatch is the number of records fused into one frontier
+// matrix by the batched traversal operations; Config.TraverseBatch overrides
+// it per query.
+const defaultTraverseBatch = 64
+
+// condTraverseOp expands records one hop along an algebraic expression.
+// It is batch-oriented: up to `batch` input records are pulled from the
+// child, fused into an n×dim frontier matrix F (row r = one-hot source of
+// record r), the whole algebraic chain is evaluated with a single masked
+// MxM per operand, and each result row is scattered back into per-record
+// output records — one per reachable destination (or per connecting edge
+// when an edge variable is bound). This is the frontier-fusion design from
+// the paper: one sparse matrix–matrix multiply instead of one kernel call
+// per record.
 type condTraverseOp struct {
 	child    operation
 	srcSlot  int
 	dstSlot  int
 	edgeSlot int // -1 when no edge variable
 	width    int
+	batch    int // frontier rows per evaluation; >= 1
 
 	ae        *algebraicExpr
 	typeIDs   []int // for edge lookup; nil = any type
 	direction cypher.Direction
 	optional  bool
 
-	queue []record
+	queue    []record
+	qhead    int
+	done     bool
+	arena    recordArena
+	dstBuf   []grb.Index
+	batchBuf []record
+	srcBuf   []grb.Index
 }
 
 func (o *condTraverseOp) next(ctx *execCtx) (record, error) {
 	for {
-		if len(o.queue) > 0 {
-			r := o.queue[0]
-			o.queue = o.queue[1:]
+		if o.qhead < len(o.queue) {
+			r := o.queue[o.qhead]
+			o.queue[o.qhead] = nil
+			o.qhead++
 			return r, nil
 		}
-		in, err := o.child.next(ctx)
-		if err != nil || in == nil {
+		if o.done {
+			return nil, nil
+		}
+		// Drained: rewind so the backing array is reused for the next batch.
+		o.queue, o.qhead = o.queue[:0], 0
+		if err := o.fill(ctx); err != nil {
 			return nil, err
-		}
-		src := in[o.srcSlot]
-		if src.Kind != value.KindNode {
-			if src.IsNull() && o.optional {
-				out := in.extended(o.width)
-				return out, nil
-			}
-			return nil, fmt.Errorf("traverse: %s is not a node", src.Kind)
-		}
-		frontier := grb.NewVector(o.ae.dim)
-		if err := frontier.SetElement(int(src.ID), 1); err != nil {
-			return nil, err
-		}
-		w, err := o.ae.eval(ctx, frontier)
-		if err != nil {
-			return nil, err
-		}
-		o.emit(ctx, in, src.ID, w)
-		if len(o.queue) == 0 && o.optional {
-			out := in.extended(o.width)
-			return out, nil
 		}
 	}
 }
 
-func (o *condTraverseOp) emit(ctx *execCtx, in record, srcID uint64, w *grb.Vector) {
+// gather pulls up to bs input records, recording each record's frontier
+// column (-1 marks a null OPTIONAL MATCH source, which keeps an empty row).
+func (o *condTraverseOp) gather(ctx *execCtx, bs int) ([]record, []grb.Index, error) {
+	batch := o.batchBuf[:0]
+	srcs := o.srcBuf[:0]
+	for len(batch) < bs {
+		in, err := o.child.next(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		if in == nil {
+			o.done = true
+			break
+		}
+		src := in[o.srcSlot]
+		if src.Kind != value.KindNode {
+			if src.IsNull() && o.optional {
+				batch = append(batch, in)
+				srcs = append(srcs, -1)
+				continue
+			}
+			return nil, nil, fmt.Errorf("traverse: %s is not a node", src.Kind)
+		}
+		batch = append(batch, in)
+		srcs = append(srcs, grb.Index(src.ID))
+	}
+	o.batchBuf, o.srcBuf = batch, srcs
+	return batch, srcs, nil
+}
+
+// fill pulls one batch of input records, evaluates the fused frontier and
+// queues every resulting output record in child order. Batch size 1 keeps
+// the historic per-record vector path (the benchmark baseline).
+func (o *condTraverseOp) fill(ctx *execCtx) error {
+	bs := ctx.traverseBatch(o.batch)
+	o.batch = bs // report the effective size in PROFILE output
+	if bs == 1 {
+		return o.fillVector(ctx)
+	}
+	batch, srcs, err := o.gather(ctx, bs)
+	if err != nil {
+		return err
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	frontier := grb.NewMatrix(len(batch), o.ae.dim)
+	if err := frontier.BuildFromRows(srcs); err != nil {
+		return err
+	}
+	result, err := o.ae.evalMatrix(ctx, frontier)
+	if err != nil {
+		return err
+	}
+	for r, in := range batch {
+		emitted := o.scatterRow(ctx, in, srcs[r], result.RowIterate(r))
+		if !emitted && o.optional {
+			o.queue = append(o.queue, o.arena.extended(in, o.width))
+		}
+	}
+	return nil
+}
+
+// fillVector is the per-record path: a one-hot frontier vector and one VxM
+// per operand, exactly the pre-batching execution strategy.
+func (o *condTraverseOp) fillVector(ctx *execCtx) error {
+	in, err := o.child.next(ctx)
+	if err != nil {
+		return err
+	}
+	if in == nil {
+		o.done = true
+		return nil
+	}
+	src := in[o.srcSlot]
+	if src.Kind != value.KindNode {
+		if src.IsNull() && o.optional {
+			o.queue = append(o.queue, o.arena.extended(in, o.width))
+			return nil
+		}
+		return fmt.Errorf("traverse: %s is not a node", src.Kind)
+	}
+	frontier := grb.NewVector(o.ae.dim)
+	if err := frontier.SetElement(int(src.ID), 1); err != nil {
+		return err
+	}
+	w, err := o.ae.eval(ctx, frontier)
+	if err != nil {
+		return err
+	}
+	o.dstBuf = o.dstBuf[:0]
 	w.Iterate(func(j grb.Index, _ float64) bool {
+		o.dstBuf = append(o.dstBuf, j)
+		return true
+	})
+	emitted := o.scatterRow(ctx, in, grb.Index(src.ID), o.dstBuf)
+	if !emitted && o.optional {
+		o.queue = append(o.queue, o.arena.extended(in, o.width))
+	}
+	return nil
+}
+
+// scatterRow turns one result-matrix row back into output records,
+// reporting whether anything was queued.
+func (o *condTraverseOp) scatterRow(ctx *execCtx, in record, src grb.Index, dsts []grb.Index) bool {
+	emitted := false
+	for _, j := range dsts {
 		dst, ok := ctx.g.GetNode(uint64(j))
 		if !ok {
-			return true
+			continue
 		}
 		if o.edgeSlot < 0 {
-			out := in.extended(o.width)
+			out := o.arena.extended(in, o.width)
 			out[o.dstSlot] = value.NewNode(uint64(j), dst)
 			o.queue = append(o.queue, out)
-			return true
+			emitted = true
+			continue
 		}
 		// One record per connecting edge.
-		for _, eid := range o.connectingEdges(ctx, srcID, uint64(j)) {
+		for _, eid := range o.connectingEdges(ctx, uint64(src), uint64(j)) {
 			e, ok := ctx.g.GetEdge(eid)
 			if !ok {
 				continue
 			}
-			out := in.extended(o.width)
+			out := o.arena.extended(in, o.width)
 			out[o.dstSlot] = value.NewNode(uint64(j), dst)
 			out[o.edgeSlot] = value.NewEdge(eid, e)
 			o.queue = append(o.queue, out)
+			emitted = true
 		}
-		return true
-	})
+	}
+	return emitted
 }
 
 func (o *condTraverseOp) connectingEdges(ctx *execCtx, src, dst uint64) []uint64 {
@@ -121,72 +229,251 @@ func (o *condTraverseOp) name() string {
 	}
 	return "ConditionalTraverse"
 }
-func (o *condTraverseOp) args() string                 { return o.ae.String() }
+func (o *condTraverseOp) args() string {
+	return fmt.Sprintf("%s | batched(%d)", o.ae.String(), o.batch)
+}
 func (o *condTraverseOp) children() []operation        { return []operation{o.child} }
 func (o *condTraverseOp) setChild(i int, op operation) { o.child = op }
 
 // expandIntoOp closes a cycle: both endpoints are bound and the operation
 // checks connectivity (emitting per edge when an edge variable is bound).
+// Like condTraverseOp it batches records into a frontier matrix, then probes
+// entry (r, dst_r) of the result for each record r.
 type expandIntoOp struct {
 	child    operation
 	srcSlot  int
 	dstSlot  int
 	edgeSlot int
 	width    int
+	batch    int
 
 	ae        *algebraicExpr
 	typeIDs   []int
 	direction cypher.Direction
 
-	queue []record
+	queue    []record
+	qhead    int
+	done     bool
+	arena    recordArena
+	batchBuf []record
+	srcBuf   []grb.Index
 }
 
 func (o *expandIntoOp) next(ctx *execCtx) (record, error) {
 	for {
-		if len(o.queue) > 0 {
-			r := o.queue[0]
-			o.queue = o.queue[1:]
+		if o.qhead < len(o.queue) {
+			r := o.queue[o.qhead]
+			o.queue[o.qhead] = nil
+			o.qhead++
 			return r, nil
 		}
-		in, err := o.child.next(ctx)
-		if err != nil || in == nil {
+		if o.done {
+			return nil, nil
+		}
+		o.queue, o.qhead = o.queue[:0], 0
+		if err := o.fill(ctx); err != nil {
 			return nil, err
-		}
-		src, dst := in[o.srcSlot], in[o.dstSlot]
-		if src.Kind != value.KindNode || dst.Kind != value.KindNode {
-			continue
-		}
-		frontier := grb.NewVector(o.ae.dim)
-		if err := frontier.SetElement(int(src.ID), 1); err != nil {
-			return nil, err
-		}
-		w, err := o.ae.eval(ctx, frontier)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := w.ExtractElement(int(dst.ID)); err != nil {
-			continue // not connected
-		}
-		if o.edgeSlot < 0 {
-			return in.extended(o.width), nil
-		}
-		ct := condTraverseOp{typeIDs: o.typeIDs, direction: o.direction}
-		for _, eid := range ct.connectingEdges(ctx, src.ID, dst.ID) {
-			e, ok := ctx.g.GetEdge(eid)
-			if !ok {
-				continue
-			}
-			out := in.extended(o.width)
-			out[o.edgeSlot] = value.NewEdge(eid, e)
-			o.queue = append(o.queue, out)
 		}
 	}
 }
 
-func (o *expandIntoOp) name() string                 { return "ExpandInto" }
-func (o *expandIntoOp) args() string                 { return o.ae.String() }
+func (o *expandIntoOp) fill(ctx *execCtx) error {
+	bs := ctx.traverseBatch(o.batch)
+	o.batch = bs // report the effective size in PROFILE output
+	if bs == 1 {
+		return o.fillVector(ctx)
+	}
+	batch := o.batchBuf[:0]
+	srcs := o.srcBuf[:0]
+	for len(batch) < bs {
+		in, err := o.child.next(ctx)
+		if err != nil {
+			return err
+		}
+		if in == nil {
+			o.done = true
+			break
+		}
+		if in[o.srcSlot].Kind != value.KindNode || in[o.dstSlot].Kind != value.KindNode {
+			continue
+		}
+		batch = append(batch, in)
+		srcs = append(srcs, grb.Index(in[o.srcSlot].ID))
+	}
+	o.batchBuf, o.srcBuf = batch, srcs
+	if len(batch) == 0 {
+		return nil
+	}
+	frontier := grb.NewMatrix(len(batch), o.ae.dim)
+	if err := frontier.BuildFromRows(srcs); err != nil {
+		return err
+	}
+	result, err := o.ae.evalMatrix(ctx, frontier)
+	if err != nil {
+		return err
+	}
+	for r, in := range batch {
+		if _, err := result.ExtractElement(r, int(in[o.dstSlot].ID)); err != nil {
+			continue // not connected
+		}
+		o.emitConnected(ctx, in)
+	}
+	return nil
+}
+
+// fillVector is the per-record path: one-hot frontier vector, VxM chain,
+// then a point probe of the destination.
+func (o *expandIntoOp) fillVector(ctx *execCtx) error {
+	in, err := o.child.next(ctx)
+	if err != nil {
+		return err
+	}
+	if in == nil {
+		o.done = true
+		return nil
+	}
+	src, dst := in[o.srcSlot], in[o.dstSlot]
+	if src.Kind != value.KindNode || dst.Kind != value.KindNode {
+		return nil
+	}
+	frontier := grb.NewVector(o.ae.dim)
+	if err := frontier.SetElement(int(src.ID), 1); err != nil {
+		return err
+	}
+	w, err := o.ae.eval(ctx, frontier)
+	if err != nil {
+		return err
+	}
+	if _, err := w.ExtractElement(int(dst.ID)); err != nil {
+		return nil // not connected
+	}
+	o.emitConnected(ctx, in)
+	return nil
+}
+
+// emitConnected queues the output records for one connected (src, dst) pair.
+func (o *expandIntoOp) emitConnected(ctx *execCtx, in record) {
+	if o.edgeSlot < 0 {
+		o.queue = append(o.queue, o.arena.extended(in, o.width))
+		return
+	}
+	ct := condTraverseOp{typeIDs: o.typeIDs, direction: o.direction}
+	for _, eid := range ct.connectingEdges(ctx, in[o.srcSlot].ID, in[o.dstSlot].ID) {
+		e, ok := ctx.g.GetEdge(eid)
+		if !ok {
+			continue
+		}
+		out := o.arena.extended(in, o.width)
+		out[o.edgeSlot] = value.NewEdge(eid, e)
+		o.queue = append(o.queue, out)
+	}
+}
+
+func (o *expandIntoOp) name() string { return "ExpandInto" }
+func (o *expandIntoOp) args() string {
+	return fmt.Sprintf("%s | batched(%d)", o.ae.String(), o.batch)
+}
 func (o *expandIntoOp) children() []operation        { return []operation{o.child} }
 func (o *expandIntoOp) setChild(i int, op operation) { o.child = op }
+
+// traverseCountOp is aggregate pushdown for `RETURN count(dst)` directly
+// above a non-optional traversal without an edge variable: the count equals
+// the total cardinality of the result-frontier rows, so no output record is
+// ever materialised — the paper's own k-hop counting strategy (a reduction
+// over the frontier) generalised to record batches.
+type traverseCountOp struct {
+	t    *condTraverseOp
+	done bool
+}
+
+func (o *traverseCountOp) next(ctx *execCtx) (record, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	t := o.t
+	bs := ctx.traverseBatch(t.batch)
+	t.batch = bs // report the effective size in PROFILE output
+	var total int64
+	for !t.done {
+		if ctx.expired() {
+			return nil, fmt.Errorf("query timed out during traversal count")
+		}
+		if bs == 1 {
+			n, err := o.countVector(ctx)
+			if err != nil {
+				return nil, err
+			}
+			total += n
+			continue
+		}
+		batch, srcs, err := t.gather(ctx, bs)
+		if err != nil {
+			return nil, err
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		frontier := grb.NewMatrix(len(batch), t.ae.dim)
+		if err := frontier.BuildFromRows(srcs); err != nil {
+			return nil, err
+		}
+		result, err := t.ae.evalMatrix(ctx, frontier)
+		if err != nil {
+			return nil, err
+		}
+		for r := range batch {
+			for _, j := range result.RowIterate(r) {
+				if _, ok := ctx.g.GetNode(uint64(j)); ok {
+					total++
+				}
+			}
+		}
+	}
+	out := newRecord(1)
+	out[0] = value.NewInt(total)
+	return out, nil
+}
+
+// countVector is the per-record (batch 1) counting path.
+func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
+	t := o.t
+	in, err := t.child.next(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if in == nil {
+		t.done = true
+		return 0, nil
+	}
+	src := in[t.srcSlot]
+	if src.Kind != value.KindNode {
+		return 0, fmt.Errorf("traverse: %s is not a node", src.Kind)
+	}
+	frontier := grb.NewVector(t.ae.dim)
+	if err := frontier.SetElement(int(src.ID), 1); err != nil {
+		return 0, err
+	}
+	w, err := t.ae.eval(ctx, frontier)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	w.Iterate(func(j grb.Index, _ float64) bool {
+		if _, ok := ctx.g.GetNode(uint64(j)); ok {
+			n++
+		}
+		return true
+	})
+	return n, nil
+}
+
+func (o *traverseCountOp) name() string { return "TraverseCount" }
+func (o *traverseCountOp) args() string {
+	return fmt.Sprintf("%s | batched(%d)", o.t.ae.String(), o.t.batch)
+}
+func (o *traverseCountOp) children() []operation        { return []operation{o.t.child} }
+func (o *traverseCountOp) setChild(i int, op operation) { o.t.child = op }
 
 // varLenTraverseOp performs a masked BFS between minHops and maxHops,
 // emitting each newly reached node whose depth lies in range — the k-hop

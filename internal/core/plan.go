@@ -355,12 +355,12 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 	if dstBound {
 		dstSlot, _ := b.st.lookup(dstVar)
 		b.cur = &expandIntoOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
-			width: b.st.size(), ae: ae, typeIDs: typeIDs, direction: dir}
+			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir}
 	} else {
 		dstSlot := b.st.add(dstVar)
 		b.bound[dstVar] = true
 		b.cur = &condTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
-			width: b.st.size(), ae: ae, typeIDs: typeIDs, direction: dir, optional: optional}
+			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir, optional: optional}
 	}
 
 	// Residual dst-node predicates (skip the label folded into the AE).
@@ -600,66 +600,10 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 	}
 
 	if hasAgg {
-		var aggItems []aggItem
-		for _, it := range expanded {
-			if fc, ok := it.Expr.(*cypher.FuncCall); ok && isAggregateFunc(fc.Name) {
-				spec := &aggSpec{distinct: fc.Distinct}
-				switch fc.Name {
-				case "count":
-					spec.kind = aggCount
-				case "sum":
-					spec.kind = aggSum
-				case "avg":
-					spec.kind = aggAvg
-				case "min":
-					spec.kind = aggMin
-				case "max":
-					spec.kind = aggMax
-				case "collect":
-					spec.kind = aggCollect
-				}
-				if !fc.Star {
-					if len(fc.Args) != 1 {
-						return fmt.Errorf("core: %s() expects one argument", fc.Name)
-					}
-					fn, err := compileExpr(fc.Args[0], b.st)
-					if err != nil {
-						return err
-					}
-					spec.arg = fn
-				} else if fc.Name != "count" {
-					return fmt.Errorf("core: * is only valid in count(*)")
-				}
-				aggItems = append(aggItems, aggItem{agg: spec})
-			} else if exprHasAggregate(it.Expr) {
-				return fmt.Errorf("core: aggregates must be top-level projection items")
-			} else {
-				fn, err := compileExpr(it.Expr, b.st)
-				if err != nil {
-					return err
-				}
-				f := fn
-				aggItems = append(aggItems, aggItem{key: &f})
-			}
-		}
-		b.cur = &aggregateOp{child: child, items: aggItems, visible: visible}
-		if len(orderBy) > 0 {
-			// Post-aggregation ordering can only reference output columns.
-			keys := make([]evalFn, len(orderBy))
-			for i, si := range orderBy {
-				col := findColumn(si.Expr)
-				if col < 0 {
-					fn, err := compileExpr(si.Expr, outST)
-					if err != nil {
-						return fmt.Errorf("core: ORDER BY after aggregation must reference returned columns: %w", err)
-					}
-					keys[i] = fn
-					continue
-				}
-				c := col
-				keys[i] = func(_ *execCtx, r record) (value.Value, error) { return r[c], nil }
-			}
-			b.cur = &appendKeysOp{child: b.cur, keys: keys, visible: visible}
+		if pd := b.tryCountPushdown(expanded, child, distinct, orderBy); pd != nil {
+			b.cur = pd
+		} else if err := b.buildAggregate(expanded, child, orderBy, visible, outST, findColumn); err != nil {
+			return err
 		}
 	} else {
 		var fns []evalFn
@@ -727,6 +671,109 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 		b.terminated = true
 		b.columns = names
 		b.visible = visible
+	}
+	return nil
+}
+
+// tryCountPushdown recognises `RETURN count(dst)` immediately above a plain
+// traversal binding dst: the count is the total cardinality of the result
+// frontier, so the traversal never needs to materialise output records.
+// count(*) qualifies too (traversal outputs are never null). Edge variables
+// (one record per edge) and OPTIONAL MATCH (null rows) are excluded.
+func (b *planBuilder) tryCountPushdown(items []*cypher.ReturnItem, child operation,
+	distinct bool, orderBy []*cypher.SortItem) operation {
+
+	if len(items) != 1 || distinct || len(orderBy) != 0 {
+		return nil
+	}
+	fc, ok := items[0].Expr.(*cypher.FuncCall)
+	if !ok || fc.Name != "count" || fc.Distinct {
+		return nil
+	}
+	ct, ok := child.(*condTraverseOp)
+	if !ok || ct.edgeSlot >= 0 || ct.optional {
+		return nil
+	}
+	if !fc.Star {
+		if len(fc.Args) != 1 {
+			return nil
+		}
+		id, ok := fc.Args[0].(*cypher.Ident)
+		if !ok {
+			return nil
+		}
+		slot, ok := b.st.lookup(id.Name)
+		if !ok || slot != ct.dstSlot {
+			return nil
+		}
+	}
+	return &traverseCountOp{t: ct}
+}
+
+// buildAggregate compiles the hash-aggregation projection.
+func (b *planBuilder) buildAggregate(expanded []*cypher.ReturnItem, child operation,
+	orderBy []*cypher.SortItem, visible int, outST *symtab, findColumn func(cypher.Expr) int) error {
+
+	var aggItems []aggItem
+	for _, it := range expanded {
+		if fc, ok := it.Expr.(*cypher.FuncCall); ok && isAggregateFunc(fc.Name) {
+			spec := &aggSpec{distinct: fc.Distinct}
+			switch fc.Name {
+			case "count":
+				spec.kind = aggCount
+			case "sum":
+				spec.kind = aggSum
+			case "avg":
+				spec.kind = aggAvg
+			case "min":
+				spec.kind = aggMin
+			case "max":
+				spec.kind = aggMax
+			case "collect":
+				spec.kind = aggCollect
+			}
+			if !fc.Star {
+				if len(fc.Args) != 1 {
+					return fmt.Errorf("core: %s() expects one argument", fc.Name)
+				}
+				fn, err := compileExpr(fc.Args[0], b.st)
+				if err != nil {
+					return err
+				}
+				spec.arg = fn
+			} else if fc.Name != "count" {
+				return fmt.Errorf("core: * is only valid in count(*)")
+			}
+			aggItems = append(aggItems, aggItem{agg: spec})
+		} else if exprHasAggregate(it.Expr) {
+			return fmt.Errorf("core: aggregates must be top-level projection items")
+		} else {
+			fn, err := compileExpr(it.Expr, b.st)
+			if err != nil {
+				return err
+			}
+			f := fn
+			aggItems = append(aggItems, aggItem{key: &f})
+		}
+	}
+	b.cur = &aggregateOp{child: child, items: aggItems, visible: visible}
+	if len(orderBy) > 0 {
+		// Post-aggregation ordering can only reference output columns.
+		keys := make([]evalFn, len(orderBy))
+		for i, si := range orderBy {
+			col := findColumn(si.Expr)
+			if col < 0 {
+				fn, err := compileExpr(si.Expr, outST)
+				if err != nil {
+					return fmt.Errorf("core: ORDER BY after aggregation must reference returned columns: %w", err)
+				}
+				keys[i] = fn
+				continue
+			}
+			c := col
+			keys[i] = func(_ *execCtx, r record) (value.Value, error) { return r[c], nil }
+		}
+		b.cur = &appendKeysOp{child: b.cur, keys: keys, visible: visible}
 	}
 	return nil
 }

@@ -57,3 +57,24 @@ func (r record) extended(n int) record {
 	copy(out, r)
 	return out
 }
+
+// recordArena carves records out of chunked backing arrays so high-fanout
+// operations (traversal scatter) pay one allocation per chunk instead of one
+// per output record. Handed-out records never overlap and are capacity-
+// clipped, so downstream in-place writes and appends stay safe.
+type recordArena struct {
+	buf []value.Value
+}
+
+const arenaChunk = 4096
+
+// extended is the arena-backed equivalent of record.extended.
+func (a *recordArena) extended(r record, n int) record {
+	if len(a.buf) < n {
+		a.buf = make([]value.Value, max(arenaChunk, n))
+	}
+	out := record(a.buf[:n:n])
+	a.buf = a.buf[n:]
+	copy(out, r)
+	return out
+}

@@ -6,6 +6,8 @@ package graph
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"redisgraph/internal/datablock"
@@ -45,6 +47,13 @@ type Graph struct {
 	tadj      *grb.Matrix
 	labels    []*grb.Matrix
 	relations []*relationStore
+
+	// unionCache memoises the EWiseAdd folds traversal planning needs for
+	// multi-type relations ([:A|B]) and undirected hops (fwd ∪ rev), so they
+	// are built once per write epoch instead of once per query. Guarded by
+	// its own mutex because read-locked queries populate it concurrently.
+	unionMu    sync.Mutex
+	unionCache map[string]*grb.Matrix
 }
 
 // New returns an empty graph with the given name.
@@ -92,6 +101,100 @@ func (g *Graph) TRelationMatrix(typeID int) *grb.Matrix {
 	return g.relations[typeID].tm
 }
 
+// TraversalMatrix resolves the matrix a traversal hop multiplies by:
+// the combined adjacency (anyType), a single relation matrix, or — for
+// multi-type relations and undirected (both) hops — the boolean union of the
+// constituent matrices. Unions are cached on the graph and invalidated by
+// writes; callers under the read lock share one materialisation. Returns nil
+// when a single requested relation type has no matrix.
+func (g *Graph) TraversalMatrix(typeIDs []int, anyType, transposed, both bool) *grb.Matrix {
+	if !both {
+		if anyType {
+			if transposed {
+				return g.tadj
+			}
+			return g.adj
+		}
+		if len(typeIDs) == 1 {
+			if transposed {
+				return g.TRelationMatrix(typeIDs[0])
+			}
+			return g.RelationMatrix(typeIDs[0])
+		}
+	}
+	key := unionKey(typeIDs, anyType, transposed, both)
+	g.unionMu.Lock()
+	defer g.unionMu.Unlock()
+	if m, ok := g.unionCache[key]; ok {
+		return m
+	}
+	var parts []*grb.Matrix
+	collect := func(rev bool) {
+		if anyType {
+			if rev {
+				parts = append(parts, g.tadj)
+			} else {
+				parts = append(parts, g.adj)
+			}
+			return
+		}
+		for _, t := range typeIDs {
+			m := g.RelationMatrix(t)
+			if rev {
+				m = g.TRelationMatrix(t)
+			}
+			if m != nil {
+				parts = append(parts, m)
+			}
+		}
+	}
+	if both {
+		collect(false)
+		collect(true)
+	} else {
+		collect(transposed)
+	}
+	acc := grb.NewMatrix(g.dim, g.dim)
+	for _, m := range parts {
+		if err := grb.EWiseAddMatrix(acc, nil, nil, grb.LOr, acc, m, nil); err != nil {
+			panic(fmt.Sprintf("graph: union build: %v", err)) // dimensions are controlled internally
+		}
+	}
+	if g.unionCache == nil {
+		g.unionCache = map[string]*grb.Matrix{}
+	}
+	g.unionCache[key] = acc
+	return acc
+}
+
+// unionKey canonicalises a union-cache key (type order must not matter).
+func unionKey(typeIDs []int, anyType, transposed, both bool) string {
+	ids := append([]int(nil), typeIDs...)
+	sort.Ints(ids)
+	var b strings.Builder
+	if anyType {
+		b.WriteString("adj")
+	}
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	if transposed {
+		b.WriteByte('T')
+	}
+	if both {
+		b.WriteByte('B')
+	}
+	return b.String()
+}
+
+// invalidateUnions drops cached union matrices; every connectivity write
+// (and every matrix resize) calls it.
+func (g *Graph) invalidateUnions() {
+	g.unionMu.Lock()
+	g.unionCache = nil
+	g.unionMu.Unlock()
+}
+
 // LabelMatrix returns the diagonal matrix for a label, or nil if unknown.
 func (g *Graph) LabelMatrix(labelID int) *grb.Matrix {
 	if labelID < 0 || labelID >= len(g.labels) {
@@ -118,6 +221,7 @@ func (g *Graph) grow(needed uint64) {
 		r.tm.Resize(newDim, newDim)
 	}
 	g.dim = newDim
+	g.invalidateUnions() // cached unions were built at the old dimension
 }
 
 func (g *Graph) labelMatrixFor(id int) *grb.Matrix {
@@ -195,6 +299,7 @@ func (g *Graph) CreateEdge(typ string, src, dst uint64, props map[string]value.V
 	if err := g.tadj.SetElement(di, si, 1); err != nil {
 		return nil, err
 	}
+	g.invalidateUnions()
 	return e, nil
 }
 
@@ -253,6 +358,7 @@ func (g *Graph) DeleteEdge(id uint64) bool {
 		rs.edges[k] = list
 	}
 	g.edges.Delete(id)
+	g.invalidateUnions()
 	return true
 }
 

@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"testing"
+
+	"redisgraph/internal/value"
+)
+
+// unionFixture builds a -A-> b, b -B-> c.
+func unionFixture(t *testing.T) (*Graph, [3]uint64) {
+	t.Helper()
+	g := New("u")
+	var ids [3]uint64
+	for i := range ids {
+		ids[i] = g.CreateNode([]string{"N"}, map[string]value.Value{}).ID
+	}
+	if _, err := g.CreateEdge("A", ids[0], ids[1], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.CreateEdge("B", ids[1], ids[2], nil); err != nil {
+		t.Fatal(err)
+	}
+	g.Sync()
+	return g, ids
+}
+
+func TestTraversalMatrixUnionCached(t *testing.T) {
+	g, ids := unionFixture(t)
+	aID, _ := g.Schema.RelTypeID("A")
+	bID, _ := g.Schema.RelTypeID("B")
+
+	u1 := g.TraversalMatrix([]int{aID, bID}, false, false, false)
+	if u1 == nil || u1.NVals() != 2 {
+		t.Fatalf("union = %v", u1)
+	}
+	// Same set in any order hits the cache.
+	if u2 := g.TraversalMatrix([]int{bID, aID}, false, false, false); u2 != u1 {
+		t.Fatal("expected cached union matrix to be reused")
+	}
+	// A different shape (transposed) is its own entry.
+	ut := g.TraversalMatrix([]int{aID, bID}, false, true, false)
+	if ut == u1 {
+		t.Fatal("transposed union must be a distinct matrix")
+	}
+	if _, err := ut.ExtractElement(int(ids[1]), int(ids[0])); err != nil {
+		t.Fatal("transposed union missing b<-a")
+	}
+
+	// A write invalidates: the union picks up the new edge.
+	if _, err := g.CreateEdge("A", ids[2], ids[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	g.Sync()
+	u3 := g.TraversalMatrix([]int{aID, bID}, false, false, false)
+	if u3 == u1 {
+		t.Fatal("expected cache invalidation after CreateEdge")
+	}
+	if u3.NVals() != 3 {
+		t.Fatalf("union after write has %d entries, want 3", u3.NVals())
+	}
+}
+
+func TestTraversalMatrixBothDirections(t *testing.T) {
+	g, ids := unionFixture(t)
+	aID, _ := g.Schema.RelTypeID("A")
+
+	b1 := g.TraversalMatrix([]int{aID}, false, false, true)
+	if b1.NVals() != 2 { // a->b plus its reverse
+		t.Fatalf("both-union nvals = %d, want 2", b1.NVals())
+	}
+	for _, pair := range [][2]uint64{{ids[0], ids[1]}, {ids[1], ids[0]}} {
+		if _, err := b1.ExtractElement(int(pair[0]), int(pair[1])); err != nil {
+			t.Fatalf("both-union missing %d->%d", pair[0], pair[1])
+		}
+	}
+	if b2 := g.TraversalMatrix([]int{aID}, false, false, true); b2 != b1 {
+		t.Fatal("expected cached both-union to be reused")
+	}
+	// anyType both: adjacency ∪ transpose.
+	ab := g.TraversalMatrix(nil, true, false, true)
+	if ab.NVals() != 4 {
+		t.Fatalf("any-both nvals = %d, want 4", ab.NVals())
+	}
+
+	// Deleting the only A edge invalidates the cache.
+	var victim uint64
+	g.ForEachEdge(func(e *Edge) bool { victim = e.ID; return false })
+	if !g.DeleteEdge(victim) {
+		t.Fatal("delete failed")
+	}
+	g.Sync()
+	if b3 := g.TraversalMatrix([]int{aID}, false, false, true); b3 == b1 {
+		t.Fatal("expected cache invalidation after DeleteEdge")
+	}
+}
+
+func TestTraversalMatrixDirectForms(t *testing.T) {
+	g, _ := unionFixture(t)
+	aID, _ := g.Schema.RelTypeID("A")
+	if g.TraversalMatrix(nil, true, false, false) != g.Adjacency() {
+		t.Fatal("anyType must return THE adjacency matrix")
+	}
+	if g.TraversalMatrix(nil, true, true, false) != g.TAdjacency() {
+		t.Fatal("anyType transposed must return the transpose")
+	}
+	if g.TraversalMatrix([]int{aID}, false, false, false) != g.RelationMatrix(aID) {
+		t.Fatal("single type must return the relation matrix itself")
+	}
+	if g.TraversalMatrix([]int{99}, false, false, false) != nil {
+		t.Fatal("unknown single type must return nil")
+	}
+}

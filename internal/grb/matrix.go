@@ -332,6 +332,52 @@ func (m *Matrix) Build(rows, cols []Index, values []float64, dup BinaryOp) error
 	return nil
 }
 
+// BuildFromRows populates an empty matrix as a batch of one-hot rows: row r
+// receives a single entry of 1 at column cols[r]. A negative column leaves
+// row r empty (used for padding OPTIONAL MATCH rows whose source is null).
+// len(cols) must equal NRows. This is the frontier-batch constructor for
+// batched traversal: each row is one record's traversal source.
+func (m *Matrix) BuildFromRows(cols []Index) error {
+	if len(cols) != m.nrows {
+		return dimErr("buildFromRows: %d cols for %d rows", len(cols), m.nrows)
+	}
+	m.Wait()
+	if len(m.colInd) != 0 {
+		return fmt.Errorf("%w: build target not empty", ErrInvalidValue)
+	}
+	ci := make([]Index, 0, len(cols))
+	for r, j := range cols {
+		m.rowPtr[r] = len(ci)
+		if j < 0 {
+			continue
+		}
+		if j >= m.ncols {
+			return boundsErr("buildFromRows entry (%d,%d) dims (%d,%d)", r, j, m.nrows, m.ncols)
+		}
+		ci = append(ci, j)
+	}
+	m.rowPtr[m.nrows] = len(ci)
+	vv := make([]float64, len(ci))
+	for k := range vv {
+		vv[k] = 1
+	}
+	m.colInd, m.val = ci, vv
+	return nil
+}
+
+// RowIterate returns the sorted column indices of row i as a zero-copy view
+// into the CSR structure. The returned slice must not be modified and is
+// valid only until the next mutation of the matrix. Out-of-range rows yield
+// nil. This is the scatter-side accessor for batched traversal: row r of the
+// result matrix holds record r's reachable destinations.
+func (m *Matrix) RowIterate(i Index) []Index {
+	m.Wait()
+	if i < 0 || i >= m.nrows {
+		return nil
+	}
+	return m.colInd[m.rowPtr[i]:m.rowPtr[i+1]]
+}
+
 // ExtractTuples returns all entries as parallel COO slices in row-major order.
 func (m *Matrix) ExtractTuples() (rows, cols []Index, values []float64) {
 	m.Wait()

@@ -1,6 +1,43 @@
 package grb
 
-import "sort"
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// mxmWorkspace is the per-thread dense scatter buffer of the Gustavson
+// kernel. Instances are pooled: the mark array carries row stamps drawn from
+// a package-global monotonic counter, so a reused workspace never needs
+// scrubbing — stale stamps from earlier calls are always smaller than any
+// freshly issued stamp.
+type mxmWorkspace struct {
+	wval []float64
+	mark []int64
+	// retained-capacity accumulation buffers (see the kernel body)
+	ci   []Index
+	vv   []float64
+	cols []Index
+}
+
+var mxmPool = sync.Pool{New: func() any { return &mxmWorkspace{} }}
+
+// mxmStamp issues globally unique row stamps; it starts at 1 so the zero
+// value of a fresh mark array never matches.
+var mxmStamp atomic.Int64
+
+func getMxMWorkspace(n int) *mxmWorkspace {
+	ws := mxmPool.Get().(*mxmWorkspace)
+	if cap(ws.mark) < n {
+		ws.mark = make([]int64, n)
+		ws.wval = make([]float64, n)
+	}
+	ws.mark = ws.mark[:n]
+	ws.wval = ws.wval[:n]
+	return ws
+}
+
+func putMxMWorkspace(ws *mxmWorkspace) { mxmPool.Put(ws) }
 
 // MxM computes C<Mask> = accum(C, A·B) over the given semiring
 // (GrB_mxm). Gustavson's row-wise algorithm with a dense scatter workspace;
@@ -44,76 +81,99 @@ func MxM(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a, b *Matrix, d *
 	parts := make([]partial, nth)
 
 	parallelRanges(a.nrows, nth, func(part, lo, hi int) {
-		wval := make([]float64, b.ncols)
-		mark := make([]int, b.ncols) // row stamp; avoids clearing between rows
-		var cols []Index
+		ws := getMxMWorkspace(b.ncols)
+		wval, mark := ws.wval, ws.mark
+		base := mxmStamp.Add(int64(hi-lo)) - int64(hi-lo)
+		// Accumulate into the workspace's retained-capacity buffers, then
+		// snapshot exact-size slices before the workspace returns to the
+		// pool — repeated small-batch calls then allocate only the result.
+		ci, vv, cols := ws.ci[:0], ws.vv[:0], ws.cols[:0]
 		p := &parts[part]
 		p.rp = make([]int, hi-lo+1)
 		for i := lo; i < hi; i++ {
-			stamp := i + 1
+			stamp := base + int64(i-lo) + 1
 			cols = cols[:0]
 			ac, av := a.rowView(i)
-			for k, acol := range ac {
-				bc, bv := b.rowView(acol)
-				if s.Structural {
-					for _, j := range bc {
-						if mark[j] != stamp {
-							mark[j] = stamp
-							cols = append(cols, j)
+			if s.Structural && len(ac) == 1 {
+				// Single-entry row (e.g. a one-hot traversal frontier): the
+				// result row is row ac[0] of B verbatim — already sorted and
+				// duplicate-free, so skip stamping and sorting entirely.
+				bc, _ := b.rowView(ac[0])
+				cols = append(cols, bc...)
+			} else {
+				for k, acol := range ac {
+					bc, bv := b.rowView(acol)
+					if s.Structural {
+						for _, j := range bc {
+							if mark[j] != stamp {
+								mark[j] = stamp
+								cols = append(cols, j)
+							}
 						}
-					}
-				} else {
-					x := av[k]
-					for kb, j := range bc {
-						m := s.Mul.F(x, bv[kb])
-						if mark[j] != stamp {
-							mark[j] = stamp
-							wval[j] = m
-							cols = append(cols, j)
-						} else {
-							wval[j] = s.Add.Op.F(wval[j], m)
+					} else {
+						x := av[k]
+						for kb, j := range bc {
+							m := s.Mul.F(x, bv[kb])
+							if mark[j] != stamp {
+								mark[j] = stamp
+								wval[j] = m
+								cols = append(cols, j)
+							} else {
+								wval[j] = s.Add.Op.F(wval[j], m)
+							}
 						}
 					}
 				}
+				insertionSort(cols)
 			}
-			insertionSort(cols)
 			for _, j := range cols {
 				if mask != nil || comp {
 					if !mask.maskAllowsM(i, j, comp, structure) {
 						continue
 					}
 				}
-				p.ci = append(p.ci, j)
+				ci = append(ci, j)
 				if s.Structural {
-					p.vv = append(p.vv, 1)
+					vv = append(vv, 1)
 				} else {
-					p.vv = append(p.vv, wval[j])
+					vv = append(vv, wval[j])
 				}
 			}
-			p.rp[i-lo+1] = len(p.ci)
+			p.rp[i-lo+1] = len(ci)
 		}
+		p.ci = append(make([]Index, 0, len(ci)), ci...)
+		p.vv = append(make([]float64, 0, len(vv)), vv...)
+		ws.ci, ws.vv, ws.cols = ci, vv, cols
+		putMxMWorkspace(ws)
 	})
 
-	// Concatenate partials into the result matrix T.
+	// Concatenate partials into the result matrix T. A single-threaded run
+	// produced exactly one partial covering every row: adopt its slices
+	// instead of copying (the common case for batched traversal frontiers).
 	t := NewMatrix(c.nrows, c.ncols)
-	total := 0
-	for _, p := range parts {
-		total += len(p.ci)
-	}
-	t.colInd = make([]Index, 0, total)
-	t.val = make([]float64, 0, total)
-	row := 0
-	for _, p := range parts {
-		base := len(t.colInd)
-		for r := 1; r < len(p.rp); r++ {
-			row++
-			t.rowPtr[row] = base + p.rp[r]
+	if nth == 1 {
+		t.rowPtr = parts[0].rp
+		t.colInd, t.val = parts[0].ci, parts[0].vv
+	} else {
+		total := 0
+		for _, p := range parts {
+			total += len(p.ci)
 		}
-		t.colInd = append(t.colInd, p.ci...)
-		t.val = append(t.val, p.vv...)
-	}
-	for ; row < c.nrows; row++ {
-		t.rowPtr[row+1] = t.rowPtr[row]
+		t.colInd = make([]Index, 0, total)
+		t.val = make([]float64, 0, total)
+		row := 0
+		for _, p := range parts {
+			base := len(t.colInd)
+			for r := 1; r < len(p.rp); r++ {
+				row++
+				t.rowPtr[row] = base + p.rp[r]
+			}
+			t.colInd = append(t.colInd, p.ci...)
+			t.val = append(t.val, p.vv...)
+		}
+		for ; row < c.nrows; row++ {
+			t.rowPtr[row+1] = t.rowPtr[row]
+		}
 	}
 
 	mergeMatrix(c, mask, accum, t, d)
