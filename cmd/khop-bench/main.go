@@ -4,9 +4,12 @@
 //	khop-bench -scale 14 -experiment all
 //
 // Experiments: fig1 (E1), khop (E2 + E5 speedups), throughput (E3),
-// robust (E4), traverse-batch (E6, the batched-frontier ablation), or all.
+// robust (E4), traverse-batch (E6, the batched-frontier ablation),
+// rw-mix (E7, mixed read/write throughput under delta-matrix concurrency
+// vs the coarse-lock baseline), or all.
 // -batch sets the frontier batch size for the traverse-batch experiment;
-// -out writes its results as JSON (the perf-trajectory artifact).
+// -out writes the selected experiment's results as JSON (the
+// perf-trajectory artifacts BENCH_traverse.json / BENCH_rwmix.json).
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -22,11 +26,11 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | all")
-	queries := flag.Int("queries", 2048, "query count for the throughput experiment")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | all")
+	queries := flag.Int("queries", 2048, "query count for the throughput and rw-mix experiments")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
 	batch := flag.Int("batch", 64, "frontier batch size for the traverse-batch experiment")
-	out := flag.String("out", "", "write traverse-batch results as JSON to this file")
+	out := flag.String("out", "", "write the selected experiment's results as JSON to this file")
 	flag.Parse()
 
 	fmt.Printf("khop-bench: reproducing 'RedisGraph GraphBLAS Enabled Graph Database' (IPDPSW'19)\n")
@@ -48,24 +52,46 @@ func main() {
 	if want("robust") {
 		s.Robustness(*timeout)
 	}
+	// outFor resolves the JSON artifact path for one experiment. With a
+	// single experiment selected -out is used verbatim; with -experiment all
+	// each JSON-producing experiment gets a derived name so they do not
+	// clobber each other.
+	outFor := func(name string) string {
+		if *out == "" || strings.EqualFold(*experiment, name) {
+			return *out
+		}
+		ext := filepath.Ext(*out)
+		return strings.TrimSuffix(*out, ext) + "_" + name + ext
+	}
 	if want("traverse-batch") {
 		results := s.TraverseBatch(*batch)
-		if *out != "" {
-			doc := struct {
-				Experiment string                      `json:"experiment"`
-				Scale      int                         `json:"scale"`
-				Results    []bench.TraverseBatchResult `json:"results"`
-			}{"traverse-batch", *scale, results}
-			data, err := json.MarshalIndent(doc, "", "  ")
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n", *out)
-		}
+		writeJSON(outFor("traverse-batch"), "traverse-batch", *scale, results)
 	}
+	if want("rw-mix") {
+		results := s.RWMix(*queries)
+		writeJSON(outFor("rw-mix"), "rw-mix", *scale, results)
+	}
+}
+
+// writeJSON writes one experiment's results as the perf-trajectory
+// artifact; a missing -out skips it.
+func writeJSON(path, experiment string, scale int, results any) {
+	if path == "" {
+		return
+	}
+	doc := struct {
+		Experiment string `json:"experiment"`
+		Scale      int    `json:"scale"`
+		Results    any    `json:"results"`
+	}{experiment, scale, results}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
 }

@@ -20,8 +20,11 @@ func main() {
 	g := bench.BuildGraph("analytics", edges)
 
 	g.RLock()
-	// BFS levels from vertex 0, on the store's own adjacency matrix.
-	levels, err := algo.BFSLevels(g.Adjacency(), 0, nil)
+	// BFS levels from vertex 0, on the store's own adjacency matrix. The
+	// store keeps delta matrices; Export yields the effective CSR (zero-copy
+	// when no deltas are pending) for the algorithm kernels.
+	adjCSR := g.Adjacency().Export()
+	levels, err := algo.BFSLevels(adjCSR, 0, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +32,7 @@ func main() {
 
 	// k-hop neighbourhood counts (the benchmark kernel).
 	for _, k := range []int{1, 2, 3, 6} {
-		n, err := algo.KHopCount(g.Adjacency(), 0, k, nil)
+		n, err := algo.KHopCount(adjCSR, 0, k, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

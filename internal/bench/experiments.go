@@ -353,6 +353,141 @@ func (s *Suite) TraverseBatch(batch int) []TraverseBatchResult {
 	return out
 }
 
+// RWMixResult is one (ratio, client-count) cell of the mixed read/write
+// throughput experiment: total queries/sec under delta-matrix concurrent
+// execution versus the coarse-lock baseline (whole-query exclusive lock and
+// a full matrix fold per write query).
+type RWMixResult struct {
+	Dataset         string  `json:"dataset"`
+	Ratio           string  `json:"ratio"` // reader:writer query mix
+	Clients         int     `json:"clients"`
+	Ops             int     `json:"ops"`
+	Writes          int     `json:"writes"`
+	DeltaQPS        float64 `json:"delta_qps"`
+	CoarseQPS       float64 `json:"coarse_qps"`
+	SpeedupVsCoarse float64 `json:"speedup_vs_coarse"`
+	// ScalingVsSingle is DeltaQPS relative to the same ratio's 1-client
+	// delta run. On a multi-core host concurrent RO queries scale with the
+	// reader count; on a single-core host this stays near 1.
+	ScalingVsSingle float64 `json:"scaling_vs_single"`
+}
+
+// RWMix measures mixed read/write throughput on the first dataset at
+// reader:writer query ratios 1:0, 9:1 and 1:1. Readers issue indexed 1-hop
+// RO queries; writers alternate CREATE and DELETE of :W edges between
+// indexed nodes. Each cell runs twice: delta-matrix concurrency (readers
+// share the lock with write queries' read phases; deltas fold on threshold)
+// and the coarse baseline (CoarseLock, full fold per write query).
+func (s *Suite) RWMix(totalOps int) []RWMixResult {
+	fmt.Fprintln(s.w, "=== E7: mixed read/write throughput (queries/sec) ===")
+	d := s.Datasets[0]
+	g := s.graphs[d.Name]
+	seeds := gen.Seeds(d.Edges, 256, 77)
+
+	readQ := func(seed int) {
+		q := fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F]->(n) RETURN count(n)`, seed)
+		if _, err := core.ROQuery(g, q, nil, core.Config{OpThreads: 1}); err != nil {
+			panic(fmt.Sprintf("bench: rw-mix read: %v", err))
+		}
+	}
+	// writeQ issues the i-th write query: alternating CREATE and DELETE of
+	// :W edges so the graph stays near its steady-state size.
+	writeQ := func(i int, cfg core.Config) {
+		x := seeds[i%len(seeds)]
+		y := seeds[(i*7+3)%len(seeds)]
+		var q string
+		if i%2 == 0 {
+			q = fmt.Sprintf(`MATCH (a:Node {uid: %d}), (b:Node {uid: %d}) CREATE (a)-[:W]->(b)`, x, y)
+		} else {
+			q = fmt.Sprintf(`MATCH (a:Node {uid: %d})-[e:W]->(b) DELETE e`, x)
+		}
+		if _, err := core.Query(g, q, nil, cfg); err != nil {
+			panic(fmt.Sprintf("bench: rw-mix write: %v", err))
+		}
+	}
+	cleanup := func() {
+		if _, err := core.Query(g, `MATCH (a)-[e:W]->(b) DELETE e`, nil, core.Config{OpThreads: 1}); err != nil {
+			panic(fmt.Sprintf("bench: rw-mix cleanup: %v", err))
+		}
+		g.Lock()
+		g.Sync()
+		g.Unlock()
+	}
+
+	// run executes totalOps queries across the given client count; ops whose
+	// global index hits the writeEvery stride are write queries.
+	run := func(cfg core.Config, clients, writeEvery int) (qps float64, writes int) {
+		per := totalOps / clients
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					global := c*per + i
+					if writeEvery > 0 && global%writeEvery == writeEvery-1 {
+						writeQ(global/writeEvery, cfg)
+					} else {
+						readQ(seeds[global%len(seeds)])
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		el := time.Since(t0)
+		total := per * clients
+		if writeEvery > 0 {
+			writes = total / writeEvery
+		}
+		return float64(total) / el.Seconds(), writes
+	}
+
+	ratios := []struct {
+		name       string
+		writeEvery int
+	}{{"1:0", 0}, {"9:1", 10}, {"1:1", 2}}
+	// Each cell runs twice and keeps the better rep (rep 0 warms caches and
+	// absorbs GC debt from the previous cell).
+	best := func(cfg core.Config, clients, writeEvery int) (float64, int) {
+		var qps float64
+		var writes int
+		for rep := 0; rep < 2; rep++ {
+			runtime.GC()
+			q, w := run(cfg, clients, writeEvery)
+			cleanup()
+			if q > qps {
+				qps, writes = q, w
+			}
+		}
+		return qps, writes
+	}
+
+	var out []RWMixResult
+	for _, ratio := range ratios {
+		var single float64
+		for _, clients := range []int{1, 2, 4} {
+			deltaQPS, writes := best(core.Config{OpThreads: 1}, clients, ratio.writeEvery)
+			coarseQPS, _ := best(core.Config{OpThreads: 1, CoarseLock: true}, clients, ratio.writeEvery)
+			if clients == 1 {
+				single = deltaQPS
+			}
+			r := RWMixResult{
+				Dataset: d.Name, Ratio: ratio.name, Clients: clients,
+				Ops: totalOps / clients * clients, Writes: writes,
+				DeltaQPS: deltaQPS, CoarseQPS: coarseQPS,
+				SpeedupVsCoarse: deltaQPS / coarseQPS,
+				ScalingVsSingle: deltaQPS / single,
+			}
+			out = append(out, r)
+			fmt.Fprintf(s.w, "  %-14s ratio=%-4s clients=%d  delta %9.0f q/s  coarse %9.0f q/s  %5.2fx vs coarse  %4.2fx vs 1 client\n",
+				r.Dataset, r.Ratio, r.Clients, r.DeltaQPS, r.CoarseQPS, r.SpeedupVsCoarse, r.ScalingVsSingle)
+		}
+	}
+	fmt.Fprintln(s.w)
+	return out
+}
+
 // logBar renders a log-scale bar for the Fig. 1 chart.
 func logBar(v, maxV float64) string {
 	if v <= 0 || maxV <= 0 {

@@ -10,18 +10,21 @@ import (
 
 // algebraicOperand is one matrix factor in a traversal expression: a
 // relation matrix (optionally transposed for inbound traversal) or a
-// diagonal label matrix.
+// diagonal label matrix. The operand holds a resolver rather than a matrix
+// pointer: resolution happens at evaluation time, under the lock the query
+// already holds, so the operand always matches the graph's current
+// dimension and write epoch (plans can outlive a concurrent write).
 type algebraicOperand struct {
-	m     *grb.Matrix
-	label string // display name for EXPLAIN
+	resolve func(g *graph.Graph) *grb.DeltaMatrix
+	label   string // display name for EXPLAIN
 }
 
 // algebraicExpr is the product RedisGraph builds for each traversal:
 // frontier · (SrcLabel?) · Rel · (DstLabel?). Evaluation is a chain of
-// vector-matrix products over the boolean ANY_PAIR semiring.
+// vector-matrix products over the boolean ANY_PAIR semiring, against delta
+// matrices consulted fold-free.
 type algebraicExpr struct {
 	operands []algebraicOperand
-	dim      int
 }
 
 func (ae *algebraicExpr) String() string {
@@ -32,12 +35,21 @@ func (ae *algebraicExpr) String() string {
 	return strings.Join(parts, " * ")
 }
 
+// dim is the frontier dimension for this evaluation; it must be read under
+// the query's lock (matrices only resize inside exclusive mutation bursts).
+func (ae *algebraicExpr) dim(ctx *execCtx) int { return ctx.g.Dim() }
+
 // eval propagates the frontier through every operand.
 func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector) (*grb.Vector, error) {
+	dim := ae.dim(ctx)
 	w := frontier
-	for _, op := range ae.operands {
-		out := grb.NewVector(ae.dim)
-		if err := grb.VxM(out, nil, nil, grb.AnyPair, w, op.m, ctx.desc); err != nil {
+	for i := range ae.operands {
+		m := ctx.resolveOperand(&ae.operands[i])
+		if m == nil {
+			return nil, errEmptyRelation
+		}
+		out := grb.NewVector(dim)
+		if err := grb.VxMDelta(out, nil, nil, grb.AnyPair, w, m, ctx.desc); err != nil {
 			return nil, err
 		}
 		w = out
@@ -50,10 +62,15 @@ func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector) (*grb.Vector, 
 // many traversals fused into a single sparse matrix–matrix multiplication
 // over the ANY_PAIR semiring, instead of one kernel call per record.
 func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix) (*grb.Matrix, error) {
+	dim := ae.dim(ctx)
 	w := f
-	for _, op := range ae.operands {
-		out := grb.NewMatrix(f.NRows(), ae.dim)
-		if err := grb.MxM(out, nil, nil, grb.AnyPair, w, op.m, ctx.desc); err != nil {
+	for i := range ae.operands {
+		m := ctx.resolveOperand(&ae.operands[i])
+		if m == nil {
+			return nil, errEmptyRelation
+		}
+		out := grb.NewMatrix(f.NRows(), dim)
+		if err := grb.MxMDelta(out, nil, nil, grb.AnyPair, w, m, ctx.desc); err != nil {
 			return nil, err
 		}
 		w = out
@@ -64,9 +81,14 @@ func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix) (*grb.Matrix, e
 // evalMasked evaluates with a complemented structural mask (used by
 // variable-length traversal to exclude already-reached nodes).
 func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, notReached *grb.Vector) (*grb.Vector, error) {
+	dim := ae.dim(ctx)
 	w := frontier
-	for i, op := range ae.operands {
-		out := grb.NewVector(ae.dim)
+	for i := range ae.operands {
+		m := ctx.resolveOperand(&ae.operands[i])
+		if m == nil {
+			return nil, errEmptyRelation
+		}
+		out := grb.NewVector(dim)
 		var mask *grb.Vector
 		d := ctx.desc
 		if i == len(ae.operands)-1 {
@@ -75,7 +97,7 @@ func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, notReached *grb.Vect
 			md.Comp, md.Structure, md.Replace = true, true, true
 			d = &md
 		}
-		if err := grb.VxM(out, mask, nil, grb.AnyPair, w, op.m, d); err != nil {
+		if err := grb.VxMDelta(out, mask, nil, grb.AnyPair, w, m, d); err != nil {
 			return nil, err
 		}
 		w = out
@@ -86,8 +108,9 @@ func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, notReached *grb.Vect
 // relationOperand resolves the matrix for a relationship hop.
 // types empty = any relation (THE adjacency matrix). reverse selects the
 // transposed matrices (inbound), both unions the two directions. Multi-type
-// and both-direction unions come from the graph's write-invalidated cache
-// instead of being folded anew for every query.
+// and both-direction unions come from the graph's epoch-keyed cache instead
+// of being folded anew for every query; the operand re-resolves at
+// evaluation time so a union is never stale.
 func relationOperand(g *graph.Graph, typeIDs []int, anyType, reverse, both bool) (algebraicOperand, error) {
 	name := "ADJ"
 	if !anyType {
@@ -103,11 +126,15 @@ func relationOperand(g *graph.Graph, typeIDs []int, anyType, reverse, both bool)
 	case reverse:
 		name = name + "ᵀ"
 	}
-	m := g.TraversalMatrix(typeIDs, anyType, reverse, both)
-	if m == nil {
+	if g.TraversalMatrix(typeIDs, anyType, reverse, both) == nil {
 		return algebraicOperand{}, errEmptyRelation
 	}
-	return algebraicOperand{m: m, label: name}, nil
+	return algebraicOperand{
+		resolve: func(g *graph.Graph) *grb.DeltaMatrix {
+			return g.TraversalMatrix(typeIDs, anyType, reverse, both)
+		},
+		label: name,
+	}, nil
 }
 
 var errEmptyRelation = fmt.Errorf("core: relation type has no matrix")

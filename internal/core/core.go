@@ -26,6 +26,12 @@ type Config struct {
 	// to the per-record vector path, which the differential tests and the
 	// traverse-batch benchmark use as the baseline.
 	TraverseBatch int
+	// CoarseLock restores the pre-delta locking for write queries: the
+	// exclusive lock held for the whole query and a full matrix fold before
+	// release. It is the differential tests' baseline and a safety valve;
+	// the default runs write queries concurrently with readers, taking the
+	// exclusive lock only for mutation bursts.
+	CoarseLock bool
 }
 
 func (c Config) descriptor() *grb.Descriptor {
@@ -50,14 +56,36 @@ func Query(g *graph.Graph, query string, params map[string]value.Value, cfg Conf
 	if plan.ReadOnly {
 		g.RLock()
 		defer g.RUnlock()
-	} else {
+		return execute(g, plan, params, cfg, false)
+	}
+	if cfg.CoarseLock {
 		g.Lock()
 		defer func() {
 			g.Sync()
 			g.Unlock()
 		}()
+		return execute(g, plan, params, cfg, false)
 	}
-	return execute(g, plan, params, cfg)
+	// Concurrent write execution: the query reads under the shared lock
+	// (concurrently with RO queries) and upgrades to the exclusive lock only
+	// for mutation bursts; threshold-crossing deltas fold in a final burst.
+	g.BeginWrite()
+	defer g.EndWrite()
+	rs, err := execute(g, plan, params, cfg, true)
+	maybeSyncLocked(g)
+	return rs, err
+}
+
+// maybeSyncLocked folds threshold-crossing deltas from inside a write query
+// (the caller rests on the shared lock via BeginWrite). The deferred
+// downgrade keeps the lock discipline consistent if a fold panics.
+func maybeSyncLocked(g *graph.Graph) {
+	if !g.NeedsSync() {
+		return
+	}
+	g.BeginMutation()
+	defer g.EndMutation()
+	g.MaybeSync()
 }
 
 // ROQuery executes a query that must be read-only (GRAPH.RO_QUERY).
@@ -75,7 +103,7 @@ func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 	}
 	g.RLock()
 	defer g.RUnlock()
-	return execute(g, plan, params, cfg)
+	return execute(g, plan, params, cfg, false)
 }
 
 // buildLocked plans under the read lock (planning consults the schema).
@@ -85,13 +113,14 @@ func buildLocked(g *graph.Graph, ast *cypher.Query) (*Plan, error) {
 	return BuildPlan(g, ast)
 }
 
-func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Config) (*ResultSet, error) {
+func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Config, concurrent bool) (*ResultSet, error) {
 	rs := &ResultSet{Columns: plan.columns}
 	ctx := &execCtx{
 		g:      g,
 		params: params,
 		desc:   cfg.descriptor(),
 		stats:  &rs.Stats,
+		mut:    mutLocker{g: g, concurrent: concurrent},
 		batch:  cfg.TraverseBatch,
 	}
 	if cfg.Timeout > 0 {
@@ -146,17 +175,22 @@ func Profile(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 		return nil, err
 	}
 	plan.root = profile(plan.root)
-	if plan.ReadOnly {
+	var execErr error
+	switch {
+	case plan.ReadOnly:
 		g.RLock()
-	} else {
-		g.Lock()
-	}
-	_, execErr := execute(g, plan, params, cfg)
-	if plan.ReadOnly {
+		_, execErr = execute(g, plan, params, cfg, false)
 		g.RUnlock()
-	} else {
+	case cfg.CoarseLock:
+		g.Lock()
+		_, execErr = execute(g, plan, params, cfg, false)
 		g.Sync()
 		g.Unlock()
+	default:
+		g.BeginWrite()
+		_, execErr = execute(g, plan, params, cfg, true)
+		maybeSyncLocked(g)
+		g.EndWrite()
 	}
 	if execErr != nil {
 		return nil, execErr

@@ -14,12 +14,61 @@ type execCtx struct {
 	params map[string]value.Value
 	desc   *grb.Descriptor
 	stats  *Statistics
+	// mut mediates the exclusive-lock bursts write operations wrap around
+	// their graph mutations.
+	mut mutLocker
+	// opCache memoises algebraic-operand resolution per write epoch, so
+	// union-shaped operands ([:A|B], undirected) pay the graph's union-cache
+	// mutex once per epoch instead of once per kernel call.
+	opCache map[opCacheKey]*grb.DeltaMatrix
 	// batch, when non-zero, overrides the traversal operations' frontier
 	// batch size (Config.TraverseBatch); 1 forces per-record evaluation.
 	batch int
 	// deadline, when non-zero, aborts long queries (the benchmark's timeout
 	// guard; the paper reports RedisGraph had none on the large graphs).
 	deadline time.Time
+}
+
+type opCacheKey struct {
+	op    *algebraicOperand
+	epoch uint64
+}
+
+// resolveOperand resolves an algebraic operand under the lock the query
+// already holds, memoising per (operand, epoch): the query's own mutation
+// bursts bump the epoch, which naturally invalidates stale entries.
+func (ctx *execCtx) resolveOperand(op *algebraicOperand) *grb.DeltaMatrix {
+	key := opCacheKey{op: op, epoch: ctx.g.Epoch()}
+	if m, ok := ctx.opCache[key]; ok {
+		return m
+	}
+	m := op.resolve(ctx.g)
+	if ctx.opCache == nil {
+		ctx.opCache = map[opCacheKey]*grb.DeltaMatrix{}
+	}
+	ctx.opCache[key] = m
+	return m
+}
+
+// mutLocker brackets the mutation bursts of a write query. Under concurrent
+// execution the query rests on the shared lock and each burst upgrades to
+// the exclusive lock (BeginMutation/EndMutation); under coarse locking the
+// whole query already holds the exclusive lock and the brackets are no-ops.
+type mutLocker struct {
+	g          *graph.Graph
+	concurrent bool
+}
+
+func (l *mutLocker) begin() {
+	if l.concurrent {
+		l.g.BeginMutation()
+	}
+}
+
+func (l *mutLocker) end() {
+	if l.concurrent {
+		l.g.EndMutation()
+	}
 }
 
 func (ctx *execCtx) expired() bool {

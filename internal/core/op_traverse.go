@@ -110,7 +110,7 @@ func (o *condTraverseOp) fill(ctx *execCtx) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	frontier := grb.NewMatrix(len(batch), o.ae.dim)
+	frontier := grb.NewMatrix(len(batch), ctx.g.Dim())
 	if err := frontier.BuildFromRows(srcs); err != nil {
 		return err
 	}
@@ -146,7 +146,7 @@ func (o *condTraverseOp) fillVector(ctx *execCtx) error {
 		}
 		return fmt.Errorf("traverse: %s is not a node", src.Kind)
 	}
-	frontier := grb.NewVector(o.ae.dim)
+	frontier := grb.NewVector(ctx.g.Dim())
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return err
 	}
@@ -304,7 +304,7 @@ func (o *expandIntoOp) fill(ctx *execCtx) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	frontier := grb.NewMatrix(len(batch), o.ae.dim)
+	frontier := grb.NewMatrix(len(batch), ctx.g.Dim())
 	if err := frontier.BuildFromRows(srcs); err != nil {
 		return err
 	}
@@ -336,7 +336,7 @@ func (o *expandIntoOp) fillVector(ctx *execCtx) error {
 	if src.Kind != value.KindNode || dst.Kind != value.KindNode {
 		return nil
 	}
-	frontier := grb.NewVector(o.ae.dim)
+	frontier := grb.NewVector(ctx.g.Dim())
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return err
 	}
@@ -414,7 +414,7 @@ func (o *traverseCountOp) next(ctx *execCtx) (record, error) {
 		if len(batch) == 0 {
 			continue
 		}
-		frontier := grb.NewMatrix(len(batch), t.ae.dim)
+		frontier := grb.NewMatrix(len(batch), ctx.g.Dim())
 		if err := frontier.BuildFromRows(srcs); err != nil {
 			return nil, err
 		}
@@ -450,7 +450,7 @@ func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
 	if src.Kind != value.KindNode {
 		return 0, fmt.Errorf("traverse: %s is not a node", src.Kind)
 	}
-	frontier := grb.NewVector(t.ae.dim)
+	frontier := grb.NewVector(ctx.g.Dim())
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return 0, err
 	}
@@ -514,7 +514,7 @@ func (o *varLenTraverseOp) next(ctx *execCtx) (record, error) {
 }
 
 func (o *varLenTraverseOp) expand(ctx *execCtx, in record, srcID uint64) error {
-	dim := o.ae.dim
+	dim := ctx.g.Dim()
 	frontier := grb.NewVector(dim)
 	if err := frontier.SetElement(int(srcID), 1); err != nil {
 		return err
@@ -583,9 +583,11 @@ func labelDiagOperand(g *graph.Graph, label string) (algebraicOperand, bool) {
 	if !ok {
 		return algebraicOperand{}, false
 	}
-	m := g.LabelMatrix(lid)
-	if m == nil {
+	if g.LabelMatrix(lid) == nil {
 		return algebraicOperand{}, false
 	}
-	return algebraicOperand{m: m, label: ":" + label}, true
+	return algebraicOperand{
+		resolve: func(g *graph.Graph) *grb.DeltaMatrix { return g.LabelMatrix(lid) },
+		label:   ":" + label,
+	}, true
 }

@@ -35,6 +35,8 @@ type createPatternSpec struct {
 
 // createOp materialises CREATE patterns. It drains its child first so that
 // scans never observe mid-query inserts, then creates per buffered record.
+// The child drain runs under the shared lock (concurrently with readers);
+// the buffered creates are applied in one exclusive mutation burst.
 type createOp struct {
 	child    operation
 	patterns []createPatternSpec
@@ -58,12 +60,22 @@ func (o *createOp) next(ctx *execCtx) (record, error) {
 			}
 			buf = append(buf, r)
 		}
-		for _, r := range buf {
-			r = r.extended(o.width)
-			if err := applyCreate(ctx, r, o.patterns); err != nil {
-				return nil, err
+		// One exclusive burst for all buffered creates; the deferred end
+		// keeps the lock discipline consistent even if a property evaluator
+		// or the store panics mid-burst.
+		if err := func() error {
+			ctx.mut.begin()
+			defer ctx.mut.end()
+			for _, r := range buf {
+				r = r.extended(o.width)
+				if err := applyCreate(ctx, r, o.patterns); err != nil {
+					return err
+				}
+				o.out = append(o.out, r)
 			}
-			o.out = append(o.out, r)
+			return nil
+		}(); err != nil {
+			return nil, err
 		}
 		o.primed = true
 	}
@@ -157,7 +169,11 @@ func (o *mergeOp) next(ctx *execCtx) (record, error) {
 		}
 		if len(o.out) == 0 {
 			r := newRecord(o.width)
-			if err := applyCreate(ctx, r, []createPatternSpec{o.pattern}); err != nil {
+			if err := func() error {
+				ctx.mut.begin()
+				defer ctx.mut.end()
+				return applyCreate(ctx, r, []createPatternSpec{o.pattern})
+			}(); err != nil {
 				return nil, err
 			}
 			o.out = append(o.out, r)
@@ -218,21 +234,28 @@ func (o *deleteOp) next(ctx *execCtx) (record, error) {
 			}
 			o.out = append(o.out, r)
 		}
-		for _, id := range edgeIDs {
-			if ctx.g.DeleteEdge(id) {
-				ctx.stats.RelationshipsDeleted++
-			}
-		}
-		for _, id := range nodeIDs {
-			if n, ok := ctx.g.GetNode(id); ok {
-				if !o.detach && ctx.g.Adjacency().RowDegree(int(n.ID))+ctx.g.TAdjacency().RowDegree(int(n.ID)) > 0 {
-					return nil, fmt.Errorf("cannot delete node %d with relationships without DETACH", id)
+		if err := func() error {
+			ctx.mut.begin()
+			defer ctx.mut.end()
+			for _, id := range edgeIDs {
+				if ctx.g.DeleteEdge(id) {
+					ctx.stats.RelationshipsDeleted++
 				}
 			}
-			if edges, ok := ctx.g.DeleteNode(id); ok {
-				ctx.stats.NodesDeleted++
-				ctx.stats.RelationshipsDeleted += edges
+			for _, id := range nodeIDs {
+				if n, ok := ctx.g.GetNode(id); ok {
+					if !o.detach && ctx.g.Adjacency().RowDegree(int(n.ID))+ctx.g.TAdjacency().RowDegree(int(n.ID)) > 0 {
+						return fmt.Errorf("cannot delete node %d with relationships without DETACH", id)
+					}
+				}
+				if edges, ok := ctx.g.DeleteNode(id); ok {
+					ctx.stats.NodesDeleted++
+					ctx.stats.RelationshipsDeleted += edges
+				}
 			}
+			return nil
+		}(); err != nil {
+			return nil, err
 		}
 		o.primed = true
 	}
@@ -267,6 +290,8 @@ func (o *setOp) next(ctx *execCtx) (record, error) {
 	if err != nil || r == nil {
 		return nil, err
 	}
+	ctx.mut.begin()
+	defer ctx.mut.end()
 	for _, it := range o.items {
 		v, err := it.fn(ctx, r)
 		if err != nil {

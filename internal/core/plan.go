@@ -267,6 +267,19 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 	if !ok {
 		return fmt.Errorf("core: unbound traversal source %q", srcVar)
 	}
+	// bindEmptyPattern replaces the traversal with an empty operation (the
+	// relation type or destination label does not exist yet) while still
+	// registering the pattern's variables, so later clauses referencing the
+	// destination or edge variable (RETURN e, DELETE e) keep resolving.
+	bindEmptyPattern := func() {
+		b.cur = &emptyOp{}
+		b.st.add(dstVar)
+		b.bound[dstVar] = true
+		if rel.Var != "" && !rel.VarLength {
+			b.st.add(rel.Var)
+			b.bound[rel.Var] = true
+		}
+	}
 	// Resolve relation types.
 	anyType := len(rel.Types) == 0
 	var typeIDs []int
@@ -277,9 +290,7 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 			}
 		}
 		if len(typeIDs) == 0 {
-			b.cur = &emptyOp{}
-			b.st.add(dstVar)
-			b.bound[dstVar] = true
+			bindEmptyPattern()
 			return nil
 		}
 	}
@@ -292,14 +303,13 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 			dir = cypher.DirOut
 		}
 	}
+
 	rop, err := relationOperand(b.g, typeIDs, anyType, dir == cypher.DirIn, dir == cypher.DirBoth)
 	if err != nil {
-		b.cur = &emptyOp{}
-		b.st.add(dstVar)
-		b.bound[dstVar] = true
+		bindEmptyPattern()
 		return nil
 	}
-	ae := &algebraicExpr{operands: []algebraicOperand{rop}, dim: b.g.Dim()}
+	ae := &algebraicExpr{operands: []algebraicOperand{rop}}
 
 	dstBound := b.bound[dstVar]
 	dstLabelInAE := false
@@ -308,9 +318,7 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 			ae.operands = append(ae.operands, diag)
 			dstLabelInAE = true
 		} else {
-			b.cur = &emptyOp{}
-			b.st.add(dstVar)
-			b.bound[dstVar] = true
+			bindEmptyPattern()
 			return nil
 		}
 	}
@@ -820,6 +828,8 @@ func (o *indexOp) next(ctx *execCtx) (record, error) {
 		return nil, nil
 	}
 	o.done = true
+	ctx.mut.begin()
+	defer ctx.mut.end()
 	if o.create {
 		if ctx.g.CreateIndex(o.label, o.attr) {
 			ctx.stats.IndicesCreated++

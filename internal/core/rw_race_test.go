@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"redisgraph/internal/graph"
+)
+
+// raceFixture builds a graph that still carries pending deltas (a huge sync
+// threshold keeps every write buffered), the state in which the old read
+// path would fold matrices under the read lock.
+func raceFixture(t *testing.T, nodes int) *graph.Graph {
+	t.Helper()
+	g := graph.New("race")
+	g.SetSyncThreshold(1 << 30)
+	mustQ := func(q string) {
+		t.Helper()
+		if _, err := Query(g, q, nil, Config{}); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		mustQ(fmt.Sprintf(`CREATE (:N {uid: %d})`, i))
+	}
+	for i := 0; i < nodes; i++ {
+		mustQ(fmt.Sprintf(`MATCH (a:N {uid: %d}), (b:N {uid: %d}) CREATE (a)-[:R]->(b)`, i, (i+1)%nodes))
+	}
+	if g.PendingDeltas() == 0 {
+		t.Fatal("fixture must carry pending deltas")
+	}
+	return g
+}
+
+// TestConcurrentROQueries is the regression test for the read-path mutation
+// hazard: many read-only queries against one graph whose matrices all carry
+// pending deltas. Every read accessor must be fold-free, so under -race no
+// write to shared kernel state may be observed.
+func TestConcurrentROQueries(t *testing.T) {
+	g := raceFixture(t, 32)
+	queries := []string{
+		`MATCH (a:N)-[:R]->(b:N) RETURN count(b)`,
+		`MATCH (a:N)<-[:R]-(b:N) RETURN count(b)`,
+		`MATCH (a:N)-[:R*1..3]->(b) RETURN count(b)`,
+		`MATCH (a:N {uid: 3})-[e:R]->(b) RETURN b.uid`,
+		`MATCH (a:N) RETURN count(a)`,
+		`MATCH (a:N)-[:R]-(b:N) RETURN count(b)`, // both-direction union
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := ROQuery(g, q, nil, Config{}); err != nil {
+					panic(fmt.Sprintf("%s: %v", q, err))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.PendingDeltas() == 0 {
+		t.Fatal("read-only queries must not fold deltas")
+	}
+}
+
+// TestConcurrentReadWriteQueries runs read-only queries concurrently with a
+// stream of write queries against the same graph: the delta-matrix locking
+// lets readers share the lock with a write query's read phase, with the
+// exclusive lock taken only for mutation bursts. Under -race this validates
+// the whole reader/writer discipline end to end.
+func TestConcurrentReadWriteQueries(t *testing.T) {
+	g := raceFixture(t, 32)
+	g.SetSyncThreshold(16) // exercise mid-stream folds too
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			queries := []string{
+				`MATCH (a:N)-[:R]->(b:N) RETURN count(b)`,
+				`MATCH (a:N)-[:W]->(b:N) RETURN count(b)`,
+				`MATCH (a:N)-[:R|W]->(b) RETURN count(b)`,
+				`MATCH (a:N {uid: 5})-[:R*1..2]->(b) RETURN count(b)`,
+			}
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[(w+i)%len(queries)]
+				i++
+				if _, err := ROQuery(g, q, nil, Config{}); err != nil {
+					panic(fmt.Sprintf("%s: %v", q, err))
+				}
+			}
+		}(w)
+	}
+	// Two writers: their queries serialise on the graph's writer mutex but
+	// interleave with the readers above.
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 60; i++ {
+				x, y := (w*17+i)%32, (w*7+i*3)%32
+				var q string
+				switch i % 3 {
+				case 0:
+					q = fmt.Sprintf(`MATCH (a:N {uid: %d}), (b:N {uid: %d}) CREATE (a)-[:W]->(b)`, x, y)
+				case 1:
+					q = fmt.Sprintf(`MATCH (a:N {uid: %d})-[e:W]->(b) DELETE e`, x)
+				default:
+					q = fmt.Sprintf(`MATCH (a:N {uid: %d}) SET a.w = %d`, x, i)
+				}
+				if _, err := Query(g, q, nil, Config{}); err != nil {
+					panic(fmt.Sprintf("%s: %v", q, err))
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	// The ring of :R edges is untouched by the writers.
+	rs, err := ROQuery(g, `MATCH (a:N)-[:R]->(b:N) RETURN count(b)`, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Rows[0][0].Int(); got != 32 {
+		t.Fatalf(":R ring damaged: count = %d, want 32", got)
+	}
+}

@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentUnionReaders hammers the epoch-keyed union cache and the
+// fold-free read accessors from many read-locked goroutines while the
+// matrices carry pending deltas. Run under -race this guards the store's
+// shared-read guarantees.
+func TestConcurrentUnionReaders(t *testing.T) {
+	g := New("u")
+	g.SetSyncThreshold(1 << 30) // keep every write buffered
+	const n = 64
+	var ids [n]uint64
+	for i := range ids {
+		ids[i] = g.CreateNode([]string{"N"}, nil).ID
+	}
+	for i := 0; i < n; i++ {
+		typ := "A"
+		if i%2 == 0 {
+			typ = "B"
+		}
+		if _, err := g.CreateEdge(typ, ids[i], ids[(i+1)%n], nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aID, _ := g.Schema.RelTypeID("A")
+	bID, _ := g.Schema.RelTypeID("B")
+	if g.PendingDeltas() == 0 {
+		t.Fatal("fixture must carry pending deltas")
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				g.RLock()
+				u := g.TraversalMatrix([]int{aID, bID}, false, false, false)
+				if u.NVals() != n {
+					panic(fmt.Sprintf("union nvals = %d, want %d", u.NVals(), n))
+				}
+				both := g.TraversalMatrix([]int{aID}, false, false, true)
+				_ = both.NVals()
+				g.Adjacency().RowIterate(w)
+				g.Adjacency().RowDegree(w)
+				if _, err := g.Adjacency().ExtractElement(0, 1); err != nil {
+					panic(err)
+				}
+				g.RUnlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.PendingDeltas() == 0 {
+		t.Fatal("readers must not fold deltas")
+	}
+}
+
+// TestEpochKeyedUnionInvalidation checks that the write epoch replaces the
+// old ad-hoc union invalidation: a cached union is reused while the epoch
+// is unchanged and rebuilt after any connectivity write.
+func TestEpochKeyedUnionInvalidation(t *testing.T) {
+	g, ids := unionFixture(t)
+	aID, _ := g.Schema.RelTypeID("A")
+	bID, _ := g.Schema.RelTypeID("B")
+
+	e0 := g.Epoch()
+	u1 := g.TraversalMatrix([]int{aID, bID}, false, false, false)
+	if g.TraversalMatrix([]int{bID, aID}, false, false, false) != u1 {
+		t.Fatal("cache must be reused while the epoch is unchanged")
+	}
+	if g.Epoch() != e0 {
+		t.Fatal("reads must not bump the epoch")
+	}
+	if _, err := g.CreateEdge("A", ids[2], ids[0], nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() == e0 {
+		t.Fatal("CreateEdge must bump the epoch")
+	}
+	u2 := g.TraversalMatrix([]int{aID, bID}, false, false, false)
+	if u2 == u1 {
+		t.Fatal("stale union must be rebuilt after an epoch bump")
+	}
+	if u2.NVals() != 3 {
+		t.Fatalf("rebuilt union nvals = %d, want 3", u2.NVals())
+	}
+	// Deltas pending or folded, the union sees the same effective matrix.
+	g.Sync()
+	if g.TraversalMatrix([]int{aID, bID}, false, false, false).NVals() != 3 {
+		t.Fatal("sync changed the effective union")
+	}
+}
+
+// TestWriterLockUpgrade exercises BeginWrite/BeginMutation against
+// concurrent read-lock holders.
+func TestWriterLockUpgrade(t *testing.T) {
+	g := New("w")
+	id := g.CreateNode([]string{"N"}, nil).ID
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.RLock()
+				g.Adjacency().RowDegree(int(id))
+				g.RUnlock()
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		g.BeginWrite()
+		// read phase under the shared lock
+		_ = g.Adjacency().NVals()
+		g.BeginMutation()
+		n := g.CreateNode([]string{"N"}, nil)
+		if _, err := g.CreateEdge("R", id, n.ID, nil); err != nil {
+			t.Error(err)
+		}
+		g.EndMutation()
+		g.EndWrite()
+	}
+	wg.Wait()
+	if g.EdgeCount() != 50 {
+		t.Fatalf("edges = %d", g.EdgeCount())
+	}
+}

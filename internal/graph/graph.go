@@ -2,6 +2,12 @@
 // DataBlocks, connectivity as GraphBLAS boolean matrices — one adjacency
 // matrix per relationship type (plus its transpose), a combined adjacency
 // matrix, and one diagonal matrix per node label.
+//
+// Every matrix is a delta matrix (grb.DeltaMatrix): an immutable main CSR
+// plus buffered insert/delete deltas, folded only when a sync threshold is
+// crossed. Read accessors are fold-free, so any number of read-only queries
+// can share the read lock while a write query buffers deltas under short
+// exclusive-lock bursts.
 package graph
 
 import (
@@ -9,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"redisgraph/internal/datablock"
 	"redisgraph/internal/grb"
@@ -25,16 +32,26 @@ type edgeKey struct{ src, dst uint64 }
 // transposed matrix R' for inbound traversals, and the multi-edge registry
 // mapping (src,dst) to edge IDs (matrix entries are boolean).
 type relationStore struct {
-	m     *grb.Matrix
-	tm    *grb.Matrix
+	m     *grb.DeltaMatrix
+	tm    *grb.DeltaMatrix
 	edges map[edgeKey][]uint64
 }
 
-// Graph is a single named property graph. The embedded RWMutex serialises
-// writers against readers; read-only queries take RLock (the server layer
-// enforces this, matching RedisGraph's per-graph locking).
+// Graph is a single named property graph.
+//
+// Locking: read-only queries hold RLock for their whole execution. Write
+// queries serialise against each other on the writer mutex (BeginWrite) and
+// run their read phases under RLock too; each mutation burst upgrades to
+// the exclusive lock (BeginMutation/EndMutation), so readers are blocked
+// only for the short mutation+epoch-bump window, not for the whole write
+// query. Every mutating method below assumes the caller holds the exclusive
+// lock.
 type Graph struct {
 	sync.RWMutex
+
+	// writerMu serialises write queries; the holder may upgrade from the
+	// shared to the exclusive lock without deadlocking another upgrader.
+	writerMu sync.Mutex
 
 	Name   string
 	Schema *Schema
@@ -43,29 +60,98 @@ type Graph struct {
 	edges *datablock.DataBlock[Edge]
 
 	dim       int
-	adj       *grb.Matrix
-	tadj      *grb.Matrix
-	labels    []*grb.Matrix
+	adj       *grb.DeltaMatrix
+	tadj      *grb.DeltaMatrix
+	labels    []*grb.DeltaMatrix
 	relations []*relationStore
 
-	// unionCache memoises the EWiseAdd folds traversal planning needs for
-	// multi-type relations ([:A|B]) and undirected hops (fwd ∪ rev), so they
-	// are built once per write epoch instead of once per query. Guarded by
-	// its own mutex because read-locked queries populate it concurrently.
+	// epoch counts connectivity writes (edge create/delete, resize). Caches
+	// derived from the matrices — the union cache below — are keyed by it
+	// instead of being invalidated ad hoc.
+	epoch atomic.Uint64
+
+	// syncThreshold is applied to every matrix (grb.DeltaMatrix.SetThreshold).
+	syncThreshold int
+
+	// unionCache memoises the boolean folds traversal planning needs for
+	// multi-type relations ([:A|B]) and undirected hops (fwd ∪ rev), keyed
+	// by shape and validated against the write epoch. Guarded by its own
+	// mutex because read-locked queries populate it concurrently.
 	unionMu    sync.Mutex
-	unionCache map[string]*grb.Matrix
+	unionCache map[string]unionEntry
+}
+
+type unionEntry struct {
+	epoch uint64
+	m     *grb.DeltaMatrix
 }
 
 // New returns an empty graph with the given name.
 func New(name string) *Graph {
 	return &Graph{
-		Name:   name,
-		Schema: NewSchema(),
-		nodes:  datablock.New[Node](),
-		edges:  datablock.New[Edge](),
-		dim:    growthChunk,
-		adj:    grb.NewMatrix(growthChunk, growthChunk),
-		tadj:   grb.NewMatrix(growthChunk, growthChunk),
+		Name:          name,
+		Schema:        NewSchema(),
+		nodes:         datablock.New[Node](),
+		edges:         datablock.New[Edge](),
+		dim:           growthChunk,
+		adj:           grb.NewDeltaMatrix(growthChunk, growthChunk),
+		tadj:          grb.NewDeltaMatrix(growthChunk, growthChunk),
+		syncThreshold: grb.DefaultDeltaThreshold,
+	}
+}
+
+// BeginWrite enters a write query: it serialises against other writers and
+// takes the shared lock, so read-only queries keep running concurrently.
+func (g *Graph) BeginWrite() {
+	g.writerMu.Lock()
+	g.RLock()
+}
+
+// EndWrite leaves a write query.
+func (g *Graph) EndWrite() {
+	g.RUnlock()
+	g.writerMu.Unlock()
+}
+
+// BeginMutation upgrades the write query from the shared to the exclusive
+// lock for a mutation burst. Only the writer-mutex holder may call it, which
+// makes the upgrade deadlock-free.
+func (g *Graph) BeginMutation() {
+	g.RUnlock()
+	g.Lock()
+}
+
+// EndMutation downgrades back to the shared lock after a mutation burst.
+func (g *Graph) EndMutation() {
+	g.Unlock()
+	g.RLock()
+}
+
+// Epoch returns the current connectivity-write epoch.
+func (g *Graph) Epoch() uint64 { return g.epoch.Load() }
+
+func (g *Graph) bumpEpoch() { g.epoch.Add(1) }
+
+// SetSyncThreshold sets the pending-delta count at which MaybeSync folds a
+// matrix, applying it to every existing and future matrix. 0 folds after
+// every write query.
+func (g *Graph) SetSyncThreshold(n int) {
+	g.syncThreshold = n
+	g.forEachMatrix(func(m *grb.DeltaMatrix) { m.SetThreshold(n) })
+}
+
+// SyncThreshold returns the per-matrix fold threshold.
+func (g *Graph) SyncThreshold() int { return g.syncThreshold }
+
+func (g *Graph) forEachMatrix(fn func(m *grb.DeltaMatrix)) {
+	fn(g.adj)
+	fn(g.tadj)
+	for _, l := range g.labels {
+		fn(l)
+	}
+	for _, r := range g.relations {
+		fn(r.m)
+		fn(r.tm)
 	}
 }
 
@@ -79,14 +165,14 @@ func (g *Graph) NodeCount() int { return g.nodes.Len() }
 func (g *Graph) EdgeCount() int { return g.edges.Len() }
 
 // Adjacency returns THE adjacency matrix over all relationship types.
-func (g *Graph) Adjacency() *grb.Matrix { return g.adj }
+func (g *Graph) Adjacency() *grb.DeltaMatrix { return g.adj }
 
 // TAdjacency returns the transposed adjacency matrix.
-func (g *Graph) TAdjacency() *grb.Matrix { return g.tadj }
+func (g *Graph) TAdjacency() *grb.DeltaMatrix { return g.tadj }
 
 // RelationMatrix returns the adjacency matrix for a relationship type, or
 // nil if the type is unknown.
-func (g *Graph) RelationMatrix(typeID int) *grb.Matrix {
+func (g *Graph) RelationMatrix(typeID int) *grb.DeltaMatrix {
 	if typeID < 0 || typeID >= len(g.relations) {
 		return nil
 	}
@@ -94,7 +180,7 @@ func (g *Graph) RelationMatrix(typeID int) *grb.Matrix {
 }
 
 // TRelationMatrix returns the transposed matrix for a relationship type.
-func (g *Graph) TRelationMatrix(typeID int) *grb.Matrix {
+func (g *Graph) TRelationMatrix(typeID int) *grb.DeltaMatrix {
 	if typeID < 0 || typeID >= len(g.relations) {
 		return nil
 	}
@@ -104,10 +190,10 @@ func (g *Graph) TRelationMatrix(typeID int) *grb.Matrix {
 // TraversalMatrix resolves the matrix a traversal hop multiplies by:
 // the combined adjacency (anyType), a single relation matrix, or — for
 // multi-type relations and undirected (both) hops — the boolean union of the
-// constituent matrices. Unions are cached on the graph and invalidated by
-// writes; callers under the read lock share one materialisation. Returns nil
-// when a single requested relation type has no matrix.
-func (g *Graph) TraversalMatrix(typeIDs []int, anyType, transposed, both bool) *grb.Matrix {
+// constituent matrices. Unions are cached per write epoch; callers under the
+// read lock share one materialisation. Returns nil when a single requested
+// relation type has no matrix.
+func (g *Graph) TraversalMatrix(typeIDs []int, anyType, transposed, both bool) *grb.DeltaMatrix {
 	if !both {
 		if anyType {
 			if transposed {
@@ -123,12 +209,13 @@ func (g *Graph) TraversalMatrix(typeIDs []int, anyType, transposed, both bool) *
 		}
 	}
 	key := unionKey(typeIDs, anyType, transposed, both)
+	epoch := g.Epoch()
 	g.unionMu.Lock()
 	defer g.unionMu.Unlock()
-	if m, ok := g.unionCache[key]; ok {
-		return m
+	if e, ok := g.unionCache[key]; ok && e.epoch == epoch {
+		return e.m
 	}
-	var parts []*grb.Matrix
+	var parts []*grb.DeltaMatrix
 	collect := func(rev bool) {
 		if anyType {
 			if rev {
@@ -156,15 +243,16 @@ func (g *Graph) TraversalMatrix(typeIDs []int, anyType, transposed, both bool) *
 	}
 	acc := grb.NewMatrix(g.dim, g.dim)
 	for _, m := range parts {
-		if err := grb.EWiseAddMatrix(acc, nil, nil, grb.LOr, acc, m, nil); err != nil {
+		if err := grb.EWiseAddMatrix(acc, nil, nil, grb.LOr, acc, m.Export(), nil); err != nil {
 			panic(fmt.Sprintf("graph: union build: %v", err)) // dimensions are controlled internally
 		}
 	}
 	if g.unionCache == nil {
-		g.unionCache = map[string]*grb.Matrix{}
+		g.unionCache = map[string]unionEntry{}
 	}
-	g.unionCache[key] = acc
-	return acc
+	u := grb.DeltaFrom(acc)
+	g.unionCache[key] = unionEntry{epoch: epoch, m: u}
+	return u
 }
 
 // unionKey canonicalises a union-cache key (type order must not matter).
@@ -187,16 +275,8 @@ func unionKey(typeIDs []int, anyType, transposed, both bool) string {
 	return b.String()
 }
 
-// invalidateUnions drops cached union matrices; every connectivity write
-// (and every matrix resize) calls it.
-func (g *Graph) invalidateUnions() {
-	g.unionMu.Lock()
-	g.unionCache = nil
-	g.unionMu.Unlock()
-}
-
 // LabelMatrix returns the diagonal matrix for a label, or nil if unknown.
-func (g *Graph) LabelMatrix(labelID int) *grb.Matrix {
+func (g *Graph) LabelMatrix(labelID int) *grb.DeltaMatrix {
 	if labelID < 0 || labelID >= len(g.labels) {
 		return nil
 	}
@@ -211,22 +291,20 @@ func (g *Graph) grow(needed uint64) {
 	for int(needed) >= newDim {
 		newDim += growthChunk
 	}
-	g.adj.Resize(newDim, newDim)
-	g.tadj.Resize(newDim, newDim)
-	for _, l := range g.labels {
-		l.Resize(newDim, newDim)
-	}
-	for _, r := range g.relations {
-		r.m.Resize(newDim, newDim)
-		r.tm.Resize(newDim, newDim)
-	}
+	g.forEachMatrix(func(m *grb.DeltaMatrix) { m.Resize(newDim, newDim) })
 	g.dim = newDim
-	g.invalidateUnions() // cached unions were built at the old dimension
+	g.bumpEpoch() // cached unions were built at the old dimension
 }
 
-func (g *Graph) labelMatrixFor(id int) *grb.Matrix {
+func (g *Graph) newDelta() *grb.DeltaMatrix {
+	m := grb.NewDeltaMatrix(g.dim, g.dim)
+	m.SetThreshold(g.syncThreshold)
+	return m
+}
+
+func (g *Graph) labelMatrixFor(id int) *grb.DeltaMatrix {
 	for id >= len(g.labels) {
-		g.labels = append(g.labels, grb.NewMatrix(g.dim, g.dim))
+		g.labels = append(g.labels, g.newDelta())
 	}
 	return g.labels[id]
 }
@@ -234,8 +312,8 @@ func (g *Graph) labelMatrixFor(id int) *grb.Matrix {
 func (g *Graph) relationFor(id int) *relationStore {
 	for id >= len(g.relations) {
 		g.relations = append(g.relations, &relationStore{
-			m:     grb.NewMatrix(g.dim, g.dim),
-			tm:    grb.NewMatrix(g.dim, g.dim),
+			m:     g.newDelta(),
+			tm:    g.newDelta(),
 			edges: map[edgeKey][]uint64{},
 		})
 	}
@@ -299,7 +377,7 @@ func (g *Graph) CreateEdge(typ string, src, dst uint64, props map[string]value.V
 	if err := g.tadj.SetElement(di, si, 1); err != nil {
 		return nil, err
 	}
-	g.invalidateUnions()
+	g.bumpEpoch()
 	return e, nil
 }
 
@@ -358,7 +436,7 @@ func (g *Graph) DeleteEdge(id uint64) bool {
 		rs.edges[k] = list
 	}
 	g.edges.Delete(id)
-	g.invalidateUnions()
+	g.bumpEpoch()
 	return true
 }
 
@@ -370,20 +448,16 @@ func (g *Graph) DeleteNode(id uint64) (int, bool) {
 		return 0, false
 	}
 	// Collect incident edges from the combined adjacency row (out) and
-	// transposed row (in).
+	// transposed row (in); the delta-aware row accessors never fold.
 	var victims []uint64
-	g.adj.Wait()
-	g.tadj.Wait()
-	g.adj.IterateRow(int(id), func(j grb.Index, _ float64) bool {
+	for _, j := range g.adj.RowIterate(int(id)) {
 		victims = append(victims, g.EdgesBetween(-1, id, uint64(j))...)
-		return true
-	})
-	g.tadj.IterateRow(int(id), func(j grb.Index, _ float64) bool {
+	}
+	for _, j := range g.tadj.RowIterate(int(id)) {
 		if uint64(j) != id { // self-loops already collected
 			victims = append(victims, g.EdgesBetween(-1, uint64(j), id)...)
 		}
-		return true
-	})
+	}
 	for _, eid := range victims {
 		g.DeleteEdge(eid)
 	}
@@ -511,17 +585,37 @@ func (g *Graph) ForEachEdge(fn func(e *Edge) bool) {
 	g.edges.ForEach(func(_ uint64, e *Edge) bool { return fn(e) })
 }
 
-// Sync materialises every matrix (folds pending updates). The server calls
-// it before releasing the write lock so that concurrent read-only queries
-// never contend on materialisation.
+// Sync force-folds every matrix's buffered deltas into its main CSR.
+// Persistence snapshots call it so the serialised state is fully
+// materialised; the caller must hold the exclusive lock.
 func (g *Graph) Sync() {
-	g.adj.Wait()
-	g.tadj.Wait()
-	for _, l := range g.labels {
-		l.Wait()
-	}
-	for _, r := range g.relations {
-		r.m.Wait()
-		r.tm.Wait()
-	}
+	g.forEachMatrix(func(m *grb.DeltaMatrix) { m.ForceSync() })
+}
+
+// MaybeSync folds exactly the matrices whose pending-delta count has
+// reached the sync threshold. Write queries call it inside their final
+// mutation burst; with a threshold of 0 it folds after every write query,
+// reproducing the pre-delta behaviour.
+func (g *Graph) MaybeSync() {
+	g.forEachMatrix(func(m *grb.DeltaMatrix) { m.Sync(false) })
+}
+
+// NeedsSync reports whether any matrix has reached the sync threshold. It
+// is a fold-free read, so write queries can check it under the shared lock
+// before paying for an exclusive burst.
+func (g *Graph) NeedsSync() bool {
+	needs := false
+	g.forEachMatrix(func(m *grb.DeltaMatrix) {
+		if m.Pending() > 0 && m.Pending() >= m.Threshold() {
+			needs = true
+		}
+	})
+	return needs
+}
+
+// PendingDeltas returns the total buffered delta count across all matrices.
+func (g *Graph) PendingDeltas() int {
+	total := 0
+	g.forEachMatrix(func(m *grb.DeltaMatrix) { total += m.Pending() })
+	return total
 }

@@ -1,0 +1,430 @@
+package grb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultDeltaThreshold is the pending-update count at which Sync folds a
+// delta matrix's buffered changes into its main CSR. RedisGraph uses the
+// same order of magnitude for its delta-matrix flush.
+const DefaultDeltaThreshold = 4096
+
+// deltaRow is one row of buffered inserts, kept sorted by column.
+type deltaRow struct {
+	cols []Index
+	vals []float64
+}
+
+// DeltaMatrix is a sparse matrix held as three structures: an immutable main
+// CSR, a delta-plus of buffered inserts and a delta-minus of buffered
+// deletes — the design RedisGraph adopted so single-edge writes never
+// rebuild a CSR and readers never fold.
+//
+// Every read accessor (ExtractElement, RowIterate, NVals, kernel operands
+// via MxMDelta/VxMDelta) consults all three structures without mutating any
+// of them, so a DeltaMatrix is safe for any number of concurrent readers.
+// Mutations (SetElement, RemoveElement, Sync, Resize) require external
+// exclusive locking against those readers — the graph layer provides it via
+// its per-graph write lock.
+type DeltaMatrix struct {
+	nrows, ncols int
+	main         *Matrix             // materialised CSR; never carries pending updates
+	dp           map[Index]*deltaRow // delta-plus: inserts, overriding main
+	dm           map[Index][]Index   // delta-minus: deletes of entries present in main
+	dpN, dmN     int
+	nvals        int
+	threshold    int
+}
+
+// NewDeltaMatrix returns an empty nrows × ncols delta matrix.
+func NewDeltaMatrix(nrows, ncols int) *DeltaMatrix {
+	return &DeltaMatrix{
+		nrows:     nrows,
+		ncols:     ncols,
+		main:      NewMatrix(nrows, ncols),
+		threshold: DefaultDeltaThreshold,
+	}
+}
+
+// DeltaFrom wraps an existing matrix as the main CSR of a clean delta
+// matrix (folding any pending updates first). The matrix is adopted, not
+// copied: the caller must not mutate it afterwards.
+func DeltaFrom(m *Matrix) *DeltaMatrix {
+	m.Wait()
+	return &DeltaMatrix{
+		nrows:     m.nrows,
+		ncols:     m.ncols,
+		main:      m,
+		nvals:     len(m.colInd),
+		threshold: DefaultDeltaThreshold,
+	}
+}
+
+// NRows returns the number of rows.
+func (m *DeltaMatrix) NRows() int { return m.nrows }
+
+// NCols returns the number of columns.
+func (m *DeltaMatrix) NCols() int { return m.ncols }
+
+// NVals returns the number of effective entries. It is O(1) and fold-free:
+// the count is maintained incrementally as deltas are buffered.
+func (m *DeltaMatrix) NVals() int { return m.nvals }
+
+// Pending returns the number of buffered, not-yet-folded updates.
+func (m *DeltaMatrix) Pending() int { return m.dpN + m.dmN }
+
+// Dirty reports whether any deltas are buffered.
+func (m *DeltaMatrix) Dirty() bool { return m.dpN+m.dmN > 0 }
+
+// Threshold returns the pending-update count that triggers Sync.
+func (m *DeltaMatrix) Threshold() int { return m.threshold }
+
+// SetThreshold sets the pending-update count at which Sync folds.
+func (m *DeltaMatrix) SetThreshold(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.threshold = n
+}
+
+// srcDims implements rowSource.
+func (m *DeltaMatrix) srcDims() (int, int) { return m.nrows, m.ncols }
+
+// srcRow implements rowSource: the effective row i, merged from main,
+// delta-plus and delta-minus. Rows without deltas are zero-copy views of the
+// main CSR; rows with deltas are assembled into buf, whose contents stay
+// valid until the next srcRow call with the same buf.
+func (m *DeltaMatrix) srcRow(i Index, buf *rowScratch) ([]Index, []float64) {
+	dpr := m.dp[i]
+	dmr := m.dm[i]
+	mc, mv := m.main.rowView(i)
+	if dpr == nil && len(dmr) == 0 {
+		return mc, mv
+	}
+	ci, vv := buf.ci[:0], buf.vv[:0]
+	a, b, c := 0, 0, 0 // cursors into main, delta-plus, delta-minus
+	var dpc []Index
+	var dpv []float64
+	if dpr != nil {
+		dpc, dpv = dpr.cols, dpr.vals
+	}
+	for a < len(mc) || b < len(dpc) {
+		switch {
+		case a >= len(mc):
+			ci = append(ci, dpc[b])
+			vv = append(vv, dpv[b])
+			b++
+		case b >= len(dpc) || mc[a] < dpc[b]:
+			j := mc[a]
+			for c < len(dmr) && dmr[c] < j {
+				c++
+			}
+			if c >= len(dmr) || dmr[c] != j {
+				ci = append(ci, j)
+				vv = append(vv, mv[a])
+			}
+			a++
+		case mc[a] == dpc[b]: // delta-plus overrides main
+			ci = append(ci, dpc[b])
+			vv = append(vv, dpv[b])
+			a++
+			b++
+		default: // pending insert comes first
+			ci = append(ci, dpc[b])
+			vv = append(vv, dpv[b])
+			b++
+		}
+	}
+	buf.ci, buf.vv = ci, vv
+	return ci, vv
+}
+
+// SetElement stores x at (i, j), buffering the update as a delta.
+func (m *DeltaMatrix) SetElement(i, j Index, x float64) error {
+	if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols {
+		return boundsErr("delta matrix index (%d,%d) dims (%d,%d)", i, j, m.nrows, m.ncols)
+	}
+	if m.dmRemove(i, j) {
+		// Entry was delete-buffered, hence present in main: resurrect it.
+		m.nvals++
+		if k, ok := m.main.find(i, j); ok && m.main.val[k] == x {
+			return nil // back to the main value exactly
+		}
+		m.dpSet(i, j, x)
+		return nil
+	}
+	if dpr := m.dp[i]; dpr != nil {
+		if k, ok := findIndex(dpr.cols, j); ok {
+			dpr.vals[k] = x // already insert-buffered: update in place
+			return nil
+		}
+	}
+	if k, ok := m.main.find(i, j); ok {
+		if m.main.val[k] == x {
+			return nil // no-op write: the common re-insert of a boolean edge
+		}
+		m.dpSet(i, j, x) // override without changing the entry count
+		return nil
+	}
+	m.dpSet(i, j, x)
+	m.nvals++
+	return nil
+}
+
+// RemoveElement deletes the entry at (i, j) if present.
+func (m *DeltaMatrix) RemoveElement(i, j Index) error {
+	if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols {
+		return boundsErr("delta matrix index (%d,%d) dims (%d,%d)", i, j, m.nrows, m.ncols)
+	}
+	if m.dmContains(i, j) {
+		return nil // already delete-buffered
+	}
+	inDP := false
+	if dpr := m.dp[i]; dpr != nil {
+		if k, ok := findIndex(dpr.cols, j); ok {
+			inDP = true
+			dpr.cols = append(dpr.cols[:k], dpr.cols[k+1:]...)
+			dpr.vals = append(dpr.vals[:k], dpr.vals[k+1:]...)
+			m.dpN--
+			if len(dpr.cols) == 0 {
+				delete(m.dp, i)
+			}
+		}
+	}
+	if _, ok := m.main.find(i, j); ok {
+		m.dmAdd(i, j)
+		m.nvals--
+		return nil
+	}
+	if inDP {
+		m.nvals--
+	}
+	return nil
+}
+
+// ExtractElement returns the effective entry at (i, j) or ErrNoValue.
+func (m *DeltaMatrix) ExtractElement(i, j Index) (float64, error) {
+	if i < 0 || i >= m.nrows || j < 0 || j >= m.ncols {
+		return 0, boundsErr("delta matrix index (%d,%d) dims (%d,%d)", i, j, m.nrows, m.ncols)
+	}
+	if m.dmContains(i, j) {
+		return 0, ErrNoValue
+	}
+	if dpr := m.dp[i]; dpr != nil {
+		if k, ok := findIndex(dpr.cols, j); ok {
+			return dpr.vals[k], nil
+		}
+	}
+	if k, ok := m.main.find(i, j); ok {
+		return m.main.val[k], nil
+	}
+	return 0, ErrNoValue
+}
+
+// RowDegree returns the number of effective entries in row i.
+func (m *DeltaMatrix) RowDegree(i Index) int {
+	if i < 0 || i >= m.nrows {
+		return 0
+	}
+	if m.dp[i] == nil && len(m.dm[i]) == 0 {
+		return m.main.rowPtr[i+1] - m.main.rowPtr[i]
+	}
+	var buf rowScratch
+	ci, _ := m.srcRow(i, &buf)
+	return len(ci)
+}
+
+// RowIterate returns the sorted effective column indices of row i. Rows
+// without deltas are zero-copy views of the main CSR (valid until the next
+// Sync/Resize); rows with deltas are freshly allocated.
+func (m *DeltaMatrix) RowIterate(i Index) []Index {
+	if i < 0 || i >= m.nrows {
+		return nil
+	}
+	if m.dp[i] == nil && len(m.dm[i]) == 0 {
+		return m.main.colInd[m.main.rowPtr[i]:m.main.rowPtr[i+1]]
+	}
+	var buf rowScratch
+	ci, _ := m.srcRow(i, &buf)
+	return append([]Index(nil), ci...)
+}
+
+// IterateRow calls fn for every effective entry of row i in column order.
+func (m *DeltaMatrix) IterateRow(i Index, fn func(j Index, x float64) bool) {
+	if i < 0 || i >= m.nrows {
+		return
+	}
+	var buf rowScratch
+	ci, vv := m.srcRow(i, &buf)
+	for k, j := range ci {
+		if !fn(j, vv[k]) {
+			return
+		}
+	}
+}
+
+// Iterate calls fn for every effective entry in row-major order.
+func (m *DeltaMatrix) Iterate(fn func(i, j Index, x float64) bool) {
+	var buf rowScratch
+	for i := 0; i < m.nrows; i++ {
+		ci, vv := m.srcRow(i, &buf)
+		for k, j := range ci {
+			if !fn(i, j, vv[k]) {
+				return
+			}
+		}
+	}
+}
+
+// ExtractTuples returns all effective entries as COO slices in row-major
+// order, without folding.
+func (m *DeltaMatrix) ExtractTuples() (rows, cols []Index, values []float64) {
+	rows = make([]Index, 0, m.nvals)
+	cols = make([]Index, 0, m.nvals)
+	values = make([]float64, 0, m.nvals)
+	m.Iterate(func(i, j Index, x float64) bool {
+		rows = append(rows, i)
+		cols = append(cols, j)
+		values = append(values, x)
+		return true
+	})
+	return rows, cols, values
+}
+
+// Sync folds the buffered deltas into the main CSR when force is set or the
+// pending count has reached the threshold, reporting whether a fold
+// happened. This is the only operation that rebuilds the CSR; callers must
+// hold the exclusive lock that guards mutations.
+func (m *DeltaMatrix) Sync(force bool) bool {
+	pending := m.dpN + m.dmN
+	if pending == 0 || (!force && pending < m.threshold) {
+		return false
+	}
+	for i, dmr := range m.dm {
+		for _, j := range dmr {
+			_ = m.main.RemoveElement(i, j)
+		}
+	}
+	for i, dpr := range m.dp {
+		for k, j := range dpr.cols {
+			_ = m.main.SetElement(i, j, dpr.vals[k])
+		}
+	}
+	m.main.Wait()
+	m.dp, m.dm = nil, nil
+	m.dpN, m.dmN = 0, 0
+	if got := len(m.main.colInd); got != m.nvals {
+		panic(fmt.Sprintf("grb: delta sync drift: folded %d entries, tracked %d", got, m.nvals))
+	}
+	return true
+}
+
+// ForceSync folds unconditionally.
+func (m *DeltaMatrix) ForceSync() { m.Sync(true) }
+
+// Resize grows or shrinks the matrix. Growth keeps the deltas buffered;
+// shrinking folds first so out-of-range entries are dropped consistently.
+func (m *DeltaMatrix) Resize(nrows, ncols int) {
+	if nrows < m.nrows || ncols < m.ncols {
+		m.ForceSync()
+		m.main.Resize(nrows, ncols)
+		m.nvals = len(m.main.colInd)
+	} else {
+		m.main.Resize(nrows, ncols)
+	}
+	m.nrows, m.ncols = nrows, ncols
+}
+
+// Export returns the effective matrix as a plain CSR. A clean delta matrix
+// returns its main CSR directly (zero-copy — the caller must treat it as
+// read-only); a dirty one assembles a fresh merged matrix without touching
+// the delta state.
+func (m *DeltaMatrix) Export() *Matrix {
+	if !m.Dirty() {
+		return m.main
+	}
+	out := NewMatrix(m.nrows, m.ncols)
+	var buf rowScratch
+	for i := 0; i < m.nrows; i++ {
+		ci, vv := m.srcRow(i, &buf)
+		out.colInd = append(out.colInd, ci...)
+		out.val = append(out.val, vv...)
+		out.rowPtr[i+1] = len(out.colInd)
+	}
+	return out
+}
+
+// String renders small matrices for debugging and tests.
+func (m *DeltaMatrix) String() string {
+	return fmt.Sprintf("DeltaMatrix(%dx%d, nvals=%d, +%d/-%d pending)",
+		m.nrows, m.ncols, m.nvals, m.dpN, m.dmN)
+}
+
+// ---- delta bookkeeping ----
+
+func (m *DeltaMatrix) dpSet(i, j Index, x float64) {
+	if m.dp == nil {
+		m.dp = map[Index]*deltaRow{}
+	}
+	dpr := m.dp[i]
+	if dpr == nil {
+		dpr = &deltaRow{}
+		m.dp[i] = dpr
+	}
+	k, ok := findIndex(dpr.cols, j)
+	if ok {
+		dpr.vals[k] = x
+		return
+	}
+	dpr.cols = append(dpr.cols, 0)
+	dpr.vals = append(dpr.vals, 0)
+	copy(dpr.cols[k+1:], dpr.cols[k:])
+	copy(dpr.vals[k+1:], dpr.vals[k:])
+	dpr.cols[k], dpr.vals[k] = j, x
+	m.dpN++
+}
+
+func (m *DeltaMatrix) dmAdd(i, j Index) {
+	if m.dm == nil {
+		m.dm = map[Index][]Index{}
+	}
+	row := m.dm[i]
+	k, ok := findIndex(row, j)
+	if ok {
+		return
+	}
+	row = append(row, 0)
+	copy(row[k+1:], row[k:])
+	row[k] = j
+	m.dm[i] = row
+	m.dmN++
+}
+
+func (m *DeltaMatrix) dmContains(i, j Index) bool {
+	_, ok := findIndex(m.dm[i], j)
+	return ok
+}
+
+func (m *DeltaMatrix) dmRemove(i, j Index) bool {
+	row := m.dm[i]
+	k, ok := findIndex(row, j)
+	if !ok {
+		return false
+	}
+	row = append(row[:k], row[k+1:]...)
+	if len(row) == 0 {
+		delete(m.dm, i)
+	} else {
+		m.dm[i] = row
+	}
+	m.dmN--
+	return true
+}
+
+// findIndex locates j in a sorted index slice, returning its position (or
+// the insertion point) and whether it is present.
+func findIndex(s []Index, j Index) (int, bool) {
+	k := sort.Search(len(s), func(k int) bool { return s[k] >= j })
+	return k, k < len(s) && s[k] == j
+}

@@ -1,0 +1,278 @@
+package grb
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// applyOps drives the same operation stream into a DeltaMatrix and a plain
+// (fold-on-write) reference matrix.
+func applyOps(t *testing.T, n, ops int, seed int64, syncEvery int) (*DeltaMatrix, *Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dm := NewDeltaMatrix(n, n)
+	dm.SetThreshold(1 << 30) // fold only when the test asks
+	ref := NewMatrix(n, n)
+	for k := 0; k < ops; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if rng.Intn(3) == 0 {
+			if err := dm.RemoveElement(i, j); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.RemoveElement(i, j); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			x := float64(1 + rng.Intn(4))
+			if err := dm.SetElement(i, j, x); err != nil {
+				t.Fatal(err)
+			}
+			if err := ref.SetElement(i, j, x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if syncEvery > 0 && k%syncEvery == 0 {
+			dm.ForceSync()
+		}
+	}
+	ref.Wait()
+	return dm, ref
+}
+
+func assertSameMatrix(t *testing.T, dm *DeltaMatrix, ref *Matrix) {
+	t.Helper()
+	if dm.NVals() != ref.NVals() {
+		t.Fatalf("nvals: delta %d, ref %d", dm.NVals(), ref.NVals())
+	}
+	ri, rj, rv := ref.ExtractTuples()
+	di, dj, dv := dm.ExtractTuples()
+	if len(di) != len(ri) {
+		t.Fatalf("tuples: delta %d, ref %d", len(di), len(ri))
+	}
+	for k := range ri {
+		if di[k] != ri[k] || dj[k] != rj[k] || dv[k] != rv[k] {
+			t.Fatalf("tuple %d: delta (%d,%d)=%g, ref (%d,%d)=%g",
+				k, di[k], dj[k], dv[k], ri[k], rj[k], rv[k])
+		}
+	}
+	// Point probes and row accessors agree too.
+	for i := 0; i < ref.NRows(); i++ {
+		if got, want := dm.RowDegree(i), ref.RowDegree(i); got != want {
+			t.Fatalf("row %d degree: delta %d, ref %d", i, got, want)
+		}
+		rc := ref.RowIterate(i)
+		dc := dm.RowIterate(i)
+		for k := range rc {
+			if dc[k] != rc[k] {
+				t.Fatalf("row %d col %d: delta %d, ref %d", i, k, dc[k], rc[k])
+			}
+		}
+	}
+}
+
+func TestDeltaMatrixMatchesFoldedReference(t *testing.T) {
+	for _, syncEvery := range []int{0, 1, 17} {
+		dm, ref := applyOps(t, 24, 600, int64(100+syncEvery), syncEvery)
+		assertSameMatrix(t, dm, ref)
+		// Folding everything must not change the effective contents.
+		dm.ForceSync()
+		if dm.Dirty() {
+			t.Fatal("dirty after force sync")
+		}
+		assertSameMatrix(t, dm, ref)
+	}
+}
+
+func TestDeltaMatrixSetRemoveBookkeeping(t *testing.T) {
+	dm := NewDeltaMatrix(4, 4)
+	dm.SetThreshold(1 << 30)
+	check := func(nvals, pending int) {
+		t.Helper()
+		if dm.NVals() != nvals || dm.Pending() != pending {
+			t.Fatalf("nvals=%d pending=%d, want %d/%d", dm.NVals(), dm.Pending(), nvals, pending)
+		}
+	}
+	dm.SetElement(1, 2, 1)
+	check(1, 1)
+	dm.SetElement(1, 2, 1) // idempotent pending insert
+	check(1, 1)
+	dm.ForceSync()
+	check(1, 0)
+	dm.SetElement(1, 2, 1) // no-op re-insert of an existing entry
+	check(1, 0)
+	dm.SetElement(1, 2, 7) // override changes the value, not the count
+	check(1, 1)
+	if x, err := dm.ExtractElement(1, 2); err != nil || x != 7 {
+		t.Fatalf("override read: %v %v", x, err)
+	}
+	dm.RemoveElement(1, 2) // removes the override and buffers the delete
+	check(0, 1)
+	if _, err := dm.ExtractElement(1, 2); err != ErrNoValue {
+		t.Fatalf("deleted read: %v", err)
+	}
+	dm.SetElement(1, 2, 1) // resurrect to the exact main value: clean again
+	check(1, 0)
+	dm.ForceSync()
+	check(1, 0)
+}
+
+func TestDeltaMatrixThresholdSync(t *testing.T) {
+	dm := NewDeltaMatrix(8, 8)
+	dm.SetThreshold(4)
+	for j := 0; j < 3; j++ {
+		dm.SetElement(0, Index(j), 1)
+	}
+	if dm.Sync(false) {
+		t.Fatal("sync fired below threshold")
+	}
+	dm.SetElement(0, 3, 1)
+	if !dm.Sync(false) {
+		t.Fatal("sync did not fire at threshold")
+	}
+	if dm.Dirty() || dm.NVals() != 4 {
+		t.Fatalf("after sync: dirty=%v nvals=%d", dm.Dirty(), dm.NVals())
+	}
+	// Threshold 0 folds on any pending update.
+	dm.SetThreshold(0)
+	dm.SetElement(5, 5, 1)
+	if !dm.Sync(false) {
+		t.Fatal("threshold 0 must fold any pending update")
+	}
+}
+
+func TestMxMDeltaMatchesExportedMxM(t *testing.T) {
+	dm, _ := applyOps(t, 20, 400, 7, 0)
+	f := NewMatrix(6, 20)
+	rng := rand.New(rand.NewSource(9))
+	for r := 0; r < 6; r++ {
+		f.SetElement(r, rng.Intn(20), 1)
+	}
+	for _, s := range []Semiring{AnyPair, PlusTimes} {
+		got := NewMatrix(6, 20)
+		if err := MxMDelta(got, nil, nil, s, f, dm, nil); err != nil {
+			t.Fatal(err)
+		}
+		want := NewMatrix(6, 20)
+		if err := MxM(want, nil, nil, s, f, dm.Export(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("semiring %v:\n got %s\nwant %s", s.Name, got, want)
+		}
+	}
+}
+
+func TestVxMDeltaMatchesExportedVxM(t *testing.T) {
+	dm, _ := applyOps(t, 20, 400, 11, 0)
+	u := NewVector(20)
+	u.SetElement(3, 1)
+	u.SetElement(12, 1)
+	for _, s := range []Semiring{AnyPair, PlusTimes} {
+		got := NewVector(20)
+		if err := VxMDelta(got, nil, nil, s, u, dm, nil); err != nil {
+			t.Fatal(err)
+		}
+		want := NewVector(20)
+		if err := VxM(want, nil, nil, s, u, dm.Export(), nil); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("semiring %v: got %s want %s", s.Name, got, want)
+		}
+	}
+	// Masked form (the variable-length traversal shape).
+	mask := NewVector(20)
+	mask.SetElement(3, 1)
+	d := &Descriptor{Comp: true, Structure: true, Replace: true}
+	got := NewVector(20)
+	if err := VxMDelta(got, mask, nil, AnyPair, u, dm, d); err != nil {
+		t.Fatal(err)
+	}
+	want := NewVector(20)
+	if err := VxM(want, mask, nil, AnyPair, u, dm.Export(), d); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatalf("masked: got %s want %s", got, want)
+	}
+}
+
+// TestDeltaMatrixConcurrentReaders exercises every fold-free read accessor
+// from many goroutines against a dirty delta matrix. Mutations require the
+// caller's exclusive lock; concurrent reads must require nothing. Run under
+// -race this is the regression test for the old read-path fold hazard.
+func TestDeltaMatrixConcurrentReaders(t *testing.T) {
+	dm, ref := applyOps(t, 32, 800, 5, 0)
+	if !dm.Dirty() {
+		t.Fatal("fixture must carry pending deltas")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			f := NewMatrix(4, 32)
+			for r := 0; r < 4; r++ {
+				f.SetElement(r, rng.Intn(32), 1)
+			}
+			f.Wait()
+			for iter := 0; iter < 50; iter++ {
+				i, j := rng.Intn(32), rng.Intn(32)
+				dm.ExtractElement(i, j)
+				dm.RowIterate(i)
+				dm.RowDegree(i)
+				if dm.NVals() != ref.NVals() {
+					panic("nvals changed under readers")
+				}
+				out := NewMatrix(4, 32)
+				if err := MxMDelta(out, nil, nil, AnyPair, f, dm, nil); err != nil {
+					panic(err)
+				}
+				u := NewVector(32)
+				u.SetElement(i, 1)
+				wv := NewVector(32)
+				if err := VxMDelta(wv, nil, nil, AnyPair, u, dm, nil); err != nil {
+					panic(err)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	assertSameMatrix(t, dm, ref)
+}
+
+func TestDeltaMatrixResizeGrowKeepsDeltas(t *testing.T) {
+	dm := NewDeltaMatrix(4, 4)
+	dm.SetThreshold(1 << 30)
+	dm.SetElement(1, 1, 1)
+	dm.Resize(8, 8)
+	if !dm.Dirty() {
+		t.Fatal("growth must not fold")
+	}
+	dm.SetElement(6, 7, 1)
+	if dm.NVals() != 2 {
+		t.Fatalf("nvals = %d", dm.NVals())
+	}
+	if _, err := dm.ExtractElement(6, 7); err != nil {
+		t.Fatal(err)
+	}
+	dm.ForceSync()
+	if dm.NVals() != 2 {
+		t.Fatalf("nvals after sync = %d", dm.NVals())
+	}
+}
+
+func TestDeltaFromAdoptsMatrix(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m.SetElement(0, 1, 1)
+	m.SetElement(2, 2, 1)
+	dm := DeltaFrom(m)
+	if dm.NVals() != 2 || dm.Dirty() {
+		t.Fatalf("wrap: nvals=%d dirty=%v", dm.NVals(), dm.Dirty())
+	}
+	if dm.Export() != m {
+		t.Fatal("clean export must be the adopted matrix")
+	}
+}

@@ -1,6 +1,7 @@
 package grb
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,8 @@ type mxmWorkspace struct {
 	ci   []Index
 	vv   []float64
 	cols []Index
+	// merged-row assembly buffer for delta-matrix operands
+	row rowScratch
 }
 
 var mxmPool = sync.Pool{New: func() any { return &mxmWorkspace{} }}
@@ -61,11 +64,39 @@ func MxM(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a, b *Matrix, d *
 	if d.tranB() {
 		b = transposed(b)
 	}
-	if a.ncols != b.nrows {
-		return dimErr("mxm: A is %dx%d, B is %dx%d", a.nrows, a.ncols, b.nrows, b.ncols)
+	return mxmOnRows(c, mask, accum, s, a, b, d)
+}
+
+// MxMDelta is MxM with a delta matrix as the B operand: effective rows of B
+// (main ∪ delta-plus, minus delta-minus) feed the Gustavson kernel directly,
+// so no fold of B ever happens — the read path of concurrent query
+// execution. Transposing the delta operand is not supported.
+func MxMDelta(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a *Matrix, b *DeltaMatrix, d *Descriptor) error {
+	if c == nil || a == nil || b == nil {
+		return ErrNilObject
 	}
-	if c.nrows != a.nrows || c.ncols != b.ncols {
-		return dimErr("mxm: C is %dx%d, want %dx%d", c.nrows, c.ncols, a.nrows, b.ncols)
+	if d.tranB() {
+		return fmt.Errorf("%w: mxm: delta operand cannot be transposed", ErrInvalidValue)
+	}
+	a.Wait()
+	if mask != nil {
+		mask.Wait()
+	}
+	if d.tranA() {
+		a = transposed(a)
+	}
+	return mxmOnRows(c, mask, accum, s, a, b, d)
+}
+
+// mxmOnRows is the Gustavson kernel body, generic over the B operand's row
+// representation.
+func mxmOnRows(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a *Matrix, b rowSource, d *Descriptor) error {
+	bnrows, bncols := b.srcDims()
+	if a.ncols != bnrows {
+		return dimErr("mxm: A is %dx%d, B is %dx%d", a.nrows, a.ncols, bnrows, bncols)
+	}
+	if c.nrows != a.nrows || c.ncols != bncols {
+		return dimErr("mxm: C is %dx%d, want %dx%d", c.nrows, c.ncols, a.nrows, bncols)
 	}
 	if mask != nil && (mask.nrows != c.nrows || mask.ncols != c.ncols) {
 		return dimErr("mxm: mask is %dx%d, want %dx%d", mask.nrows, mask.ncols, c.nrows, c.ncols)
@@ -81,7 +112,7 @@ func MxM(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a, b *Matrix, d *
 	parts := make([]partial, nth)
 
 	parallelRanges(a.nrows, nth, func(part, lo, hi int) {
-		ws := getMxMWorkspace(b.ncols)
+		ws := getMxMWorkspace(bncols)
 		wval, mark := ws.wval, ws.mark
 		base := mxmStamp.Add(int64(hi-lo)) - int64(hi-lo)
 		// Accumulate into the workspace's retained-capacity buffers, then
@@ -98,11 +129,11 @@ func MxM(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a, b *Matrix, d *
 				// Single-entry row (e.g. a one-hot traversal frontier): the
 				// result row is row ac[0] of B verbatim — already sorted and
 				// duplicate-free, so skip stamping and sorting entirely.
-				bc, _ := b.rowView(ac[0])
+				bc, _ := b.srcRow(ac[0], &ws.row)
 				cols = append(cols, bc...)
 			} else {
 				for k, acol := range ac {
-					bc, bv := b.rowView(acol)
+					bc, bv := b.srcRow(acol, &ws.row)
 					if s.Structural {
 						for _, j := range bc {
 							if mark[j] != stamp {

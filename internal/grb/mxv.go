@@ -1,6 +1,9 @@
 package grb
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // MxV computes w<mask> = accum(w, A·u) (GrB_mxv). With desc.TranA it
 // computes A'·u, which is routed to the push (scatter) kernel since A is CSR.
@@ -113,26 +116,43 @@ func VxM(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, a *Mat
 	return vxmInternal(w, mask, accum, s, u, a, d)
 }
 
-// vxmInternal is the push (scatter) kernel: for every entry k of u, row k of
-// A scatters into a dense accumulator over the output.
-func vxmInternal(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, a *Matrix, d *Descriptor) error {
-	if u.n != a.nrows {
-		return dimErr("vxm: u has size %d, A is %dx%d", u.n, a.nrows, a.ncols)
+// VxMDelta is VxM with a delta matrix operand: frontier expansion over a
+// graph matrix with buffered writes, consulting main, delta-plus and
+// delta-minus without folding. Transposing the delta operand is not
+// supported.
+func VxMDelta(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, a *DeltaMatrix, d *Descriptor) error {
+	if w == nil || a == nil || u == nil {
+		return ErrNilObject
 	}
-	if w.n != a.ncols {
-		return dimErr("vxm: w has size %d, want %d", w.n, a.ncols)
+	if d.tranB() {
+		return fmt.Errorf("%w: vxm: delta operand cannot be transposed", ErrInvalidValue)
+	}
+	return vxmInternal(w, mask, accum, s, u, a, d)
+}
+
+// vxmInternal is the push (scatter) kernel: for every entry k of u, row k of
+// A scatters into a dense accumulator over the output. It is generic over
+// the matrix operand's row representation (plain CSR or delta).
+func vxmInternal(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, a rowSource, d *Descriptor) error {
+	anrows, ancols := a.srcDims()
+	if u.n != anrows {
+		return dimErr("vxm: u has size %d, A is %dx%d", u.n, anrows, ancols)
+	}
+	if w.n != ancols {
+		return dimErr("vxm: w has size %d, want %d", w.n, ancols)
 	}
 	if mask != nil && mask.n != w.n {
 		return dimErr("vxm: mask has size %d, want %d", mask.n, w.n)
 	}
 	comp, structure := d.comp(), d.structure()
 
-	ws := getWorkspace(a.ncols)
+	ws := getWorkspace(ancols)
 	defer putWorkspace(ws)
 	wval, wok := ws.val, ws.ok
 	var outs []Index
+	var rowBuf rowScratch
 	scatter := func(k Index, x float64) {
-		ac, av := a.rowView(k)
+		ac, av := a.srcRow(k, &rowBuf)
 		for kk, j := range ac {
 			if (mask != nil || comp) && !wok[j] {
 				if !mask.maskAllows(j, comp, structure) {

@@ -19,7 +19,9 @@ import (
 const magic = "RGGO0001"
 
 // Save writes a snapshot of g. The caller must hold at least the graph's
-// read lock.
+// read lock and should force a full delta sync first (the server snapshot
+// layer takes the exclusive lock and calls Graph.Sync) so the serialised
+// state matches the fully materialised matrices.
 func Save(g *graph.Graph, w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(magic); err != nil {

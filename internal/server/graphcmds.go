@@ -10,6 +10,15 @@ import (
 	"redisgraph/internal/value"
 )
 
+// queryConfig assembles the per-query engine configuration from the
+// server's options and live GRAPH.CONFIG state.
+func (s *Server) queryConfig() core.Config {
+	return core.Config{
+		OpThreads: int(s.opThreads.Load()),
+		Timeout:   s.opts.QueryTimeout,
+	}
+}
+
 // graphCommand executes one GRAPH.* module command on a threadpool worker.
 func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 	switch cmd {
@@ -19,7 +28,7 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 		}
 		g := s.Graph(args[0])
 		params, query := parseCypherPrefix(args[1])
-		cfg := core.Config{OpThreads: 1, Timeout: s.opts.QueryTimeout}
+		cfg := s.queryConfig()
 		var rs *core.ResultSet
 		var err error
 		if cmd == "GRAPH.RO_QUERY" {
@@ -50,7 +59,7 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 		}
 		g := s.Graph(args[0])
 		params, query := parseCypherPrefix(args[1])
-		lines, err := core.Profile(g, query, params, core.Config{OpThreads: 1, Timeout: s.opts.QueryTimeout})
+		lines, err := core.Profile(g, query, params, s.queryConfig())
 		if err != nil {
 			return nil, fmt.Errorf("ERR %v", err)
 		}
@@ -75,10 +84,24 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 				return []any{"THREAD_COUNT", int64(s.pool.Size())}, nil
 			case "TIMEOUT":
 				return []any{"TIMEOUT", int64(s.opts.QueryTimeout.Milliseconds())}, nil
+			case "MAX_QUERY_THREADS":
+				return []any{"MAX_QUERY_THREADS", int64(s.opThreads.Load())}, nil
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET THREAD_COUNT|TIMEOUT")
+		if len(args) >= 3 && strings.ToUpper(args[0]) == "SET" {
+			switch strings.ToUpper(args[1]) {
+			case "MAX_QUERY_THREADS":
+				n, err := strconv.Atoi(args[2])
+				if err != nil || n < 1 {
+					return nil, fmt.Errorf("ERR MAX_QUERY_THREADS must be a positive integer")
+				}
+				s.opThreads.Store(int32(n))
+				return resp.SimpleString("OK"), nil
+			}
+			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
+		}
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET THREAD_COUNT|TIMEOUT|MAX_QUERY_THREADS and SET MAX_QUERY_THREADS")
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))
 }

@@ -13,6 +13,7 @@ import (
 	"path"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"redisgraph/internal/graph"
@@ -26,6 +27,10 @@ type Options struct {
 	// ThreadCount is the module threadpool size (paper: configured at
 	// module load time). Defaults to 8.
 	ThreadCount int
+	// OpThreads bounds intra-query GraphBLAS kernel parallelism (the
+	// paper's one-core-per-query architecture). Defaults to 1; runtime
+	// changes go through GRAPH.CONFIG SET MAX_QUERY_THREADS.
+	OpThreads int
 	// QueryTimeout bounds each query (0 = none).
 	QueryTimeout time.Duration
 	// SnapshotPath, when set, enables the SAVE command and loading the
@@ -38,6 +43,10 @@ type Server struct {
 	opts Options
 	ln   net.Listener
 	pool *pool.Pool
+
+	// opThreads is the live MAX_QUERY_THREADS value (seeded from
+	// Options.OpThreads, mutable via GRAPH.CONFIG SET).
+	opThreads atomic.Int32
 
 	mu       sync.RWMutex
 	graphs   map[string]*graph.Graph
@@ -66,7 +75,10 @@ func New(opts Options) *Server {
 	if opts.ThreadCount <= 0 {
 		opts.ThreadCount = 8
 	}
-	return &Server{
+	if opts.OpThreads <= 0 {
+		opts.OpThreads = 1
+	}
+	s := &Server{
 		opts:     opts,
 		pool:     pool.New(opts.ThreadCount),
 		graphs:   map[string]*graph.Graph{},
@@ -74,6 +86,8 @@ func New(opts Options) *Server {
 		dispatch: make(chan *request, 1024),
 		quit:     make(chan struct{}),
 	}
+	s.opThreads.Store(int32(opts.OpThreads))
+	return s
 }
 
 // Addr returns the bound listen address (valid after Start).

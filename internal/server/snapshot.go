@@ -49,9 +49,16 @@ func (s *Server) writeSnapshot(w io.Writer) error {
 		return err
 	}
 	for _, g := range s.graphs {
-		g.RLock()
+		// Serialise against in-flight write queries (writer mutex via
+		// BeginWrite), then take the exclusive lock and force-fold every
+		// delta matrix so the snapshot captures a fully materialised store
+		// and never a state between one write query's mutation bursts.
+		g.BeginWrite()
+		g.BeginMutation()
+		g.Sync()
 		err := persist.Save(g, w)
-		g.RUnlock()
+		g.EndMutation()
+		g.EndWrite()
 		if err != nil {
 			return err
 		}

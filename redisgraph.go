@@ -32,8 +32,10 @@ import (
 )
 
 // DB is an embedded graph database instance. All methods are safe for
-// concurrent use: writers take the graph's write lock, readers share the
-// read lock.
+// concurrent use: the graph is stored as delta matrices, so read queries
+// share the read lock (fold-free) and run concurrently with each other and
+// with in-flight write queries, which serialise among themselves and take
+// the exclusive lock only for short mutation bursts.
 type DB struct {
 	g   *graph.Graph
 	cfg core.Config
@@ -52,6 +54,21 @@ func WithOpThreads(n int) Option {
 // WithTimeout aborts queries that exceed d.
 func WithTimeout(d time.Duration) Option {
 	return func(db *DB) { db.cfg.Timeout = d }
+}
+
+// WithSyncThreshold sets the pending-delta count at which a write query
+// folds a matrix's buffered updates into its main CSR. 0 folds after every
+// write query; higher values trade fold cost for slightly slower reads on
+// delta-heavy rows.
+func WithSyncThreshold(n int) Option {
+	return func(db *DB) { db.g.SetSyncThreshold(n) }
+}
+
+// WithCoarseLock restores the pre-delta locking: write queries hold the
+// exclusive lock for their whole execution and fold fully before releasing
+// it. Differential tests use it as the equivalence baseline.
+func WithCoarseLock() Option {
+	return func(db *DB) { db.cfg.CoarseLock = true }
 }
 
 // Open creates an empty in-memory graph database.
