@@ -6,10 +6,12 @@
 // Experiments: fig1 (E1), khop (E2 + E5 speedups), throughput (E3),
 // robust (E4), traverse-batch (E6, the batched-frontier ablation),
 // rw-mix (E7, mixed read/write throughput under delta-matrix concurrency
-// vs the coarse-lock baseline), or all.
-// -batch sets the frontier batch size for the traverse-batch experiment;
-// -out writes the selected experiment's results as JSON (the
-// perf-trajectory artifacts BENCH_traverse.json / BENCH_rwmix.json).
+// vs the coarse-lock baseline), pipeline-batch (E8, the end-to-end
+// batch-at-a-time pipeline with predicate pushdown), or all.
+// -batch sets the batch size for the traverse-batch and pipeline-batch
+// experiments; -out writes the selected experiment's results as JSON (the
+// perf-trajectory artifacts BENCH_traverse.json / BENCH_rwmix.json /
+// BENCH_pipeline.json).
 package main
 
 import (
@@ -26,10 +28,10 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | all")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | all")
 	queries := flag.Int("queries", 2048, "query count for the throughput and rw-mix experiments")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
-	batch := flag.Int("batch", 64, "frontier batch size for the traverse-batch experiment")
+	batch := flag.Int("batch", 64, "batch size for the traverse-batch and pipeline-batch experiments")
 	out := flag.String("out", "", "write the selected experiment's results as JSON to this file")
 	flag.Parse()
 
@@ -70,6 +72,10 @@ func main() {
 	if want("rw-mix") {
 		results := s.RWMix(*queries)
 		writeJSON(outFor("rw-mix"), "rw-mix", *scale, results)
+	}
+	if want("pipeline-batch") {
+		results := s.PipelineBatch(*batch)
+		writeJSON(outFor("pipeline-batch"), "pipeline-batch", *scale, results)
 	}
 }
 

@@ -20,14 +20,16 @@ func main() {
 	addr := flag.String("addr", ":6379", "listen address")
 	threads := flag.Int("threads", 8, "module threadpool size (queries run one per worker)")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = none)")
+	batch := flag.Int("batch", 0, "pipeline batch size (0 = engine default; 1 = tuple-at-a-time)")
 	snapshot := flag.String("snapshot", "", "snapshot file: loaded at start, written by SAVE and at shutdown")
 	flag.Parse()
 
 	s := server.New(server.Options{
-		Addr:         *addr,
-		ThreadCount:  *threads,
-		QueryTimeout: *timeout,
-		SnapshotPath: *snapshot,
+		Addr:          *addr,
+		ThreadCount:   *threads,
+		TraverseBatch: *batch,
+		QueryTimeout:  *timeout,
+		SnapshotPath:  *snapshot,
 	})
 	if err := s.Start(); err != nil {
 		log.Fatalf("redisgraph-server: %v", err)

@@ -353,6 +353,108 @@ func (s *Suite) TraverseBatch(batch int) []TraverseBatchResult {
 	return out
 }
 
+// PipelineBatchResult is one (dataset, workload) cell of the batch-pipeline
+// experiment: a filter-heavy scan+traverse+aggregate query executed by the
+// tuple-at-a-time engine (batch 1, no pushdown), the batch-at-a-time engine
+// without pushdown, and the full engine with algebraic predicate pushdown.
+type PipelineBatchResult struct {
+	Dataset      string  `json:"dataset"`
+	Workload     string  `json:"workload"`
+	Query        string  `json:"query"`
+	Rows         int     `json:"rows"`
+	Batch        int     `json:"batch"`
+	ScalarMS     float64 `json:"scalar_ms"`     // batch 1, residual filters
+	BatchedMS    float64 `json:"batched_ms"`    // batch N, residual filters
+	PushdownMS   float64 `json:"pushdown_ms"`   // batch N, pushed filters
+	SpeedupBatch float64 `json:"speedup_batch"` // scalar / batched
+	SpeedupTotal float64 `json:"speedup_total"` // scalar / batched+pushdown
+}
+
+// PipelineBatch measures the batch-at-a-time executor end-to-end: unlike the
+// traverse-batch experiment (which isolates the fused MxM), these workloads
+// push whole batches through scan → traverse → filter → aggregate, so the
+// speedup reflects the full pipeline plus predicate pushdown. Every engine
+// variant must return identical rows — the experiment doubles as a
+// differential check.
+func (s *Suite) PipelineBatch(batch int) []PipelineBatchResult {
+	fmt.Fprintf(s.w, "=== E8: batch-at-a-time pipeline with predicate pushdown (batch=%d) ===\n", batch)
+	var out []PipelineBatchResult
+	for _, d := range s.Datasets {
+		g := s.graphs[d.Name]
+		n := d.Edges.NumNodes
+		workloads := []struct {
+			name  string
+			query string
+		}{
+			// Residual inequality filters: not pushable, so this cell
+			// isolates the batched scan/filter/aggregate pipeline.
+			{"filter-agg", fmt.Sprintf(
+				`MATCH (a:Node)-[:F]->(b:Node) WHERE a.uid < %d AND b.uid >= %d RETURN min(b.uid), max(b.uid), count(b)`,
+				n/2, n/4)},
+			// Record-free equality on the traversal destination: pushable
+			// into an index-seeded frontier mask, so the pushdown cell skips
+			// materialising all the non-matching (a, b) rows entirely.
+			{"pushdown-eq", fmt.Sprintf(
+				`MATCH (a:Node)-[:F]->(b:Node) WHERE b.uid = %d RETURN a.uid, count(b)`, n/3)},
+		}
+		for _, wl := range workloads {
+			once := func(cfg core.Config) (float64, []string) {
+				runtime.GC()
+				t0 := time.Now()
+				rs, err := core.ROQuery(g, wl.query, nil, cfg)
+				if err != nil {
+					panic(fmt.Sprintf("bench: pipeline-batch: %v", err))
+				}
+				rows := make([]string, len(rs.Rows))
+				for i, row := range rs.Rows {
+					rows[i] = fmt.Sprint(row)
+				}
+				sort.Strings(rows)
+				return float64(time.Since(t0).Nanoseconds()) / 1e6, rows
+			}
+			cfgs := []core.Config{
+				{OpThreads: 1, TraverseBatch: 1, NoPushdown: true},
+				{OpThreads: 1, TraverseBatch: batch, NoPushdown: true},
+				{OpThreads: 1, TraverseBatch: batch},
+			}
+			// Interleave the three variants so time-varying machine noise
+			// biases none; keep the median of the post-warmup reps.
+			reps := make([][]float64, len(cfgs))
+			var ref []string
+			for rep := 0; rep < 6; rep++ {
+				for ci, cfg := range cfgs {
+					el, rows := once(cfg)
+					if rep > 0 {
+						reps[ci] = append(reps[ci], el)
+					}
+					if ref == nil {
+						ref = rows
+					} else if strings.Join(rows, ";") != strings.Join(ref, ";") {
+						panic(fmt.Sprintf("bench: pipeline-batch disagreement on %s/%s (cfg %d)",
+							d.Name, wl.name, ci))
+					}
+				}
+			}
+			med := func(xs []float64) float64 {
+				sort.Float64s(xs)
+				return xs[len(xs)/2]
+			}
+			r := PipelineBatchResult{
+				Dataset: d.Name, Workload: wl.name, Query: wl.query,
+				Rows: len(ref), Batch: batch,
+				ScalarMS: med(reps[0]), BatchedMS: med(reps[1]), PushdownMS: med(reps[2]),
+			}
+			r.SpeedupBatch = r.ScalarMS / r.BatchedMS
+			r.SpeedupTotal = r.ScalarMS / r.PushdownMS
+			out = append(out, r)
+			fmt.Fprintf(s.w, "  %-14s %-12s scalar %8.2f ms  batched(%d) %8.2f ms (%4.2fx)  +pushdown %8.2f ms (%4.2fx)\n",
+				r.Dataset, r.Workload, r.ScalarMS, batch, r.BatchedMS, r.SpeedupBatch, r.PushdownMS, r.SpeedupTotal)
+		}
+	}
+	fmt.Fprintln(s.w)
+	return out
+}
+
 // RWMixResult is one (ratio, client-count) cell of the mixed read/write
 // throughput experiment: total queries/sec under delta-matrix concurrent
 // execution versus the coarse-lock baseline (whole-query exclusive lock and

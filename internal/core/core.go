@@ -11,6 +11,10 @@ import (
 	"redisgraph/internal/value"
 )
 
+// DefaultTraverseBatch is the default pipeline batch size (records per
+// batch, frontier rows per fused MxM) when Config.TraverseBatch is 0.
+const DefaultTraverseBatch = defaultTraverseBatch
+
 // Config controls query execution.
 type Config struct {
 	// OpThreads bounds intra-operation (GraphBLAS kernel) parallelism.
@@ -20,11 +24,12 @@ type Config struct {
 	OpThreads int
 	// Timeout aborts queries exceeding this duration (0 = no timeout).
 	Timeout time.Duration
-	// TraverseBatch is the number of records a traversal operation fuses
+	// TraverseBatch is the pipeline batch size: the number of records every
+	// operation aims to put in each batch, and the number a traversal fuses
 	// into one frontier matrix before evaluating the algebraic expression
 	// with a single MxM per operand. 0 uses the default (64); 1 degenerates
-	// to the per-record vector path, which the differential tests and the
-	// traverse-batch benchmark use as the baseline.
+	// to tuple-at-a-time execution (the per-record vector path), which the
+	// differential tests and the batch benchmarks use as the baseline.
 	TraverseBatch int
 	// CoarseLock restores the pre-delta locking for write queries: the
 	// exclusive lock held for the whole query and a full matrix fold before
@@ -32,6 +37,10 @@ type Config struct {
 	// the default runs write queries concurrently with readers, taking the
 	// exclusive lock only for mutation bursts.
 	CoarseLock bool
+	// NoPushdown disables algebraic predicate pushdown at plan time: every
+	// label and property predicate stays an interpreted per-record filter.
+	// It is the differential tests' baseline and a safety valve.
+	NoPushdown bool
 }
 
 func (c Config) descriptor() *grb.Descriptor {
@@ -49,7 +58,7 @@ func Query(g *graph.Graph, query string, params map[string]value.Value, cfg Conf
 	if err != nil {
 		return nil, err
 	}
-	plan, err := buildLocked(g, ast)
+	plan, err := buildLocked(g, ast, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +103,7 @@ func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 	if err != nil {
 		return nil, err
 	}
-	plan, err := buildLocked(g, ast)
+	plan, err := buildLocked(g, ast, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -107,10 +116,10 @@ func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 }
 
 // buildLocked plans under the read lock (planning consults the schema).
-func buildLocked(g *graph.Graph, ast *cypher.Query) (*Plan, error) {
+func buildLocked(g *graph.Graph, ast *cypher.Query, cfg Config) (*Plan, error) {
 	g.RLock()
 	defer g.RUnlock()
-	return BuildPlan(g, ast)
+	return buildPlanOpts(g, ast, planOptions{NoPushdown: cfg.NoPushdown})
 }
 
 func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Config, concurrent bool) (*ResultSet, error) {
@@ -128,20 +137,22 @@ func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Conf
 	}
 	start := time.Now()
 	for {
-		r, err := plan.root.next(ctx)
+		batch, err := plan.root.nextBatch(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if r == nil {
+		if batch == nil {
 			break
 		}
 		if ctx.expired() {
 			return nil, fmt.Errorf("core: query timed out after %s", cfg.Timeout)
 		}
 		if plan.columns != nil {
-			row := make([]value.Value, plan.visible)
-			copy(row, r[:min(plan.visible, len(r))])
-			rs.Rows = append(rs.Rows, row)
+			for _, r := range batch {
+				row := make([]value.Value, plan.visible)
+				copy(row, r[:min(plan.visible, len(r))])
+				rs.Rows = append(rs.Rows, row)
+			}
 		}
 	}
 	rs.Stats.ExecutionTime = time.Since(start)
@@ -154,7 +165,7 @@ func Explain(g *graph.Graph, query string) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := buildLocked(g, ast)
+	plan, err := buildLocked(g, ast, Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +181,7 @@ func Profile(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 	if err != nil {
 		return nil, err
 	}
-	plan, err := buildLocked(g, ast)
+	plan, err := buildLocked(g, ast, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -21,8 +21,8 @@ type execCtx struct {
 	// union-shaped operands ([:A|B], undirected) pay the graph's union-cache
 	// mutex once per epoch instead of once per kernel call.
 	opCache map[opCacheKey]*grb.DeltaMatrix
-	// batch, when non-zero, overrides the traversal operations' frontier
-	// batch size (Config.TraverseBatch); 1 forces per-record evaluation.
+	// batch, when non-zero, overrides the pipeline batch size
+	// (Config.TraverseBatch); 1 forces tuple-at-a-time execution.
 	batch int
 	// deadline, when non-zero, aborts long queries (the benchmark's timeout
 	// guard; the paper reports RedisGraph had none on the large graphs).
@@ -75,6 +75,17 @@ func (ctx *execCtx) expired() bool {
 	return !ctx.deadline.IsZero() && time.Now().After(ctx.deadline)
 }
 
+// batchSize is the effective pipeline batch size: the number of records an
+// operation aims to put in each batch it produces. Config.TraverseBatch
+// overrides the default; 1 degenerates to tuple-at-a-time execution (the
+// differential tests' baseline).
+func (ctx *execCtx) batchSize() int {
+	if ctx.batch > 0 {
+		return ctx.batch
+	}
+	return defaultTraverseBatch
+}
+
 // traverseBatch resolves the effective frontier batch size for a traversal
 // operation planned with the given default.
 func (ctx *execCtx) traverseBatch(planned int) int {
@@ -88,10 +99,15 @@ func (ctx *execCtx) traverseBatch(planned int) int {
 	return bs
 }
 
-// operation is one node of an execution plan: a pull-based record iterator.
+// operation is one node of an execution plan: a pull-based batch iterator.
+// Every hot operation produces and consumes whole record batches so that
+// frontier matrices coming out of the algebraic traversals are never
+// re-serialised into per-record pulls.
 type operation interface {
-	// next returns the next record, or nil when depleted.
-	next(ctx *execCtx) (record, error)
+	// nextBatch returns the next non-empty batch of records, or nil when
+	// depleted. Implementations loop internally rather than returning empty
+	// batches.
+	nextBatch(ctx *execCtx) (recordBatch, error)
 	// name is the operation's display name for EXPLAIN/PROFILE.
 	name() string
 	// args describes operation parameters for EXPLAIN.
@@ -100,21 +116,94 @@ type operation interface {
 	children() []operation
 }
 
-// profiledOp decorates an operation with record/time accounting (GRAPH.PROFILE).
+// scalarOp is the legacy tuple-at-a-time interface. Exotic operations that
+// gain nothing from batching (DDL, merge-style drains) may keep it and be
+// lifted into the batch pipeline with adaptScalar.
+type scalarOp interface {
+	// next returns the next record, or nil when depleted.
+	next(ctx *execCtx) (record, error)
+	name() string
+	args() string
+	children() []operation
+}
+
+// scalarAdapter lifts a scalarOp into the batch pipeline by accumulating up
+// to one batch worth of records per nextBatch call.
+type scalarAdapter struct {
+	inner scalarOp
+}
+
+// adaptScalar wraps a tuple-at-a-time operation as a batch operation.
+func adaptScalar(op scalarOp) operation { return &scalarAdapter{inner: op} }
+
+func (a *scalarAdapter) nextBatch(ctx *execCtx) (recordBatch, error) {
+	bs := ctx.batchSize()
+	var out recordBatch
+	for len(out) < bs {
+		r, err := a.inner.next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			break
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func (a *scalarAdapter) name() string          { return a.inner.name() }
+func (a *scalarAdapter) args() string          { return a.inner.args() }
+func (a *scalarAdapter) children() []operation { return a.inner.children() }
+func (a *scalarAdapter) setChild(i int, op operation) {
+	if cs, ok := a.inner.(childSetter); ok {
+		cs.setChild(i, op)
+	}
+}
+
+// batchPuller is the inverse adapter: it lets an operation consume its
+// batch-producing child one record at a time (traversal gather loops, scalar
+// ops with children). The producing operation is passed per call so that
+// profile()'s child rewiring keeps working.
+type batchPuller struct {
+	buf recordBatch
+	pos int
+}
+
+func (p *batchPuller) pull(ctx *execCtx, from operation) (record, error) {
+	for {
+		if p.pos < len(p.buf) {
+			r := p.buf[p.pos]
+			p.buf[p.pos] = nil
+			p.pos++
+			return r, nil
+		}
+		b, err := from.nextBatch(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		p.buf, p.pos = b, 0
+	}
+}
+
+// profiledOp decorates an operation with record/time accounting
+// (GRAPH.PROFILE). Records are accounted per batch: the rows-per-op counts
+// stay identical to the tuple-at-a-time engine's.
 type profiledOp struct {
 	inner   operation
 	records int
 	elapsed time.Duration
 }
 
-func (p *profiledOp) next(ctx *execCtx) (record, error) {
+func (p *profiledOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	start := time.Now()
-	r, err := p.inner.next(ctx)
+	b, err := p.inner.nextBatch(ctx)
 	p.elapsed += time.Since(start)
-	if r != nil {
-		p.records++
-	}
-	return r, err
+	p.records += len(b)
+	return b, err
 }
 
 func (p *profiledOp) name() string { return p.inner.name() }

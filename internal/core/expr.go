@@ -14,6 +14,42 @@ import (
 // evalFn evaluates a compiled scalar expression against a record.
 type evalFn func(ctx *execCtx, r record) (value.Value, error)
 
+// compareValues applies one Cypher comparison operator. Comparing with null
+// (or incomparable types) yields null, except that = and <> on incomparable
+// non-null types are simply false/true. This is the single source of the
+// comparison semantics: both the interpreted filter path and the pushdown
+// kernels (cmpKeep) go through it, so pushed and residual predicates can
+// never disagree.
+func compareValues(op string, lv, rv value.Value) value.Value {
+	c, ok := lv.Compare(rv)
+	if !ok {
+		if lv.IsNull() || rv.IsNull() {
+			return value.Null
+		}
+		switch op {
+		case "=":
+			return value.NewBool(false)
+		case "<>":
+			return value.NewBool(true)
+		}
+		return value.Null
+	}
+	switch op {
+	case "=":
+		return value.NewBool(c == 0)
+	case "<>":
+		return value.NewBool(c != 0)
+	case "<":
+		return value.NewBool(c < 0)
+	case "<=":
+		return value.NewBool(c <= 0)
+	case ">":
+		return value.NewBool(c > 0)
+	default:
+		return value.NewBool(c >= 0)
+	}
+}
+
 // compileExpr translates an AST expression into an evaluator closure bound
 // to the given symbol table.
 func compileExpr(e cypher.Expr, st *symtab) (evalFn, error) {
@@ -242,36 +278,7 @@ func compileBinary(e *cypher.BinaryExpr, st *symtab) (evalFn, error) {
 			if err != nil {
 				return value.Null, err
 			}
-			c, ok := lv.Compare(rv)
-			if !ok {
-				// Comparing with null (or incomparable types) yields null,
-				// except that = and <> on incomparable non-null types are
-				// simply false/true.
-				if lv.IsNull() || rv.IsNull() {
-					return value.Null, nil
-				}
-				switch op {
-				case "=":
-					return value.NewBool(false), nil
-				case "<>":
-					return value.NewBool(true), nil
-				}
-				return value.Null, nil
-			}
-			switch op {
-			case "=":
-				return value.NewBool(c == 0), nil
-			case "<>":
-				return value.NewBool(c != 0), nil
-			case "<":
-				return value.NewBool(c < 0), nil
-			case "<=":
-				return value.NewBool(c <= 0), nil
-			case ">":
-				return value.NewBool(c > 0), nil
-			default:
-				return value.NewBool(c >= 0), nil
-			}
+			return compareValues(op, lv, rv), nil
 		}, nil
 
 	case "+", "-", "*", "/", "%", "^":

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,25 +9,32 @@ import (
 	"redisgraph/internal/value"
 )
 
-// filterOp drops records whose predicate is not true.
+// filterOp drops records whose predicate is not true, compacting each input
+// batch in place so surviving records never move between backing arrays.
 type filterOp struct {
 	child operation
 	pred  evalFn
 	desc  string
 }
 
-func (o *filterOp) next(ctx *execCtx) (record, error) {
+func (o *filterOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	for {
-		r, err := o.child.next(ctx)
-		if err != nil || r == nil {
+		b, err := o.child.nextBatch(ctx)
+		if err != nil || b == nil {
 			return nil, err
 		}
-		v, err := o.pred(ctx, r)
-		if err != nil {
-			return nil, err
+		out := b[:0]
+		for _, r := range b {
+			v, err := o.pred(ctx, r)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsTrue() {
+				out = append(out, r)
+			}
 		}
-		if v.IsTrue() {
-			return r, nil
+		if len(out) > 0 {
+			return out, nil
 		}
 	}
 }
@@ -36,8 +44,9 @@ func (o *filterOp) args() string                 { return o.desc }
 func (o *filterOp) children() []operation        { return []operation{o.child} }
 func (o *filterOp) setChild(i int, op operation) { o.child = op }
 
-// projectOp evaluates the projection items into a fresh record layout.
-// Hidden trailing slots carry ORDER BY keys for a downstream sortOp.
+// projectOp evaluates the projection items into a fresh record layout,
+// one batch at a time. Hidden trailing slots carry ORDER BY keys for a
+// downstream sortOp.
 type projectOp struct {
 	child    operation
 	items    []evalFn
@@ -45,27 +54,30 @@ type projectOp struct {
 	visible  int
 }
 
-func (o *projectOp) next(ctx *execCtx) (record, error) {
-	in, err := o.child.next(ctx)
-	if err != nil || in == nil {
+func (o *projectOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	b, err := o.child.nextBatch(ctx)
+	if err != nil || b == nil {
 		return nil, err
 	}
-	out := newRecord(o.visible + len(o.sortKeys))
-	for i, f := range o.items {
-		v, err := f(ctx, in)
-		if err != nil {
-			return nil, err
+	for k, in := range b {
+		out := newRecord(o.visible + len(o.sortKeys))
+		for i, f := range o.items {
+			v, err := f(ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
 		}
-		out[i] = v
-	}
-	for i, f := range o.sortKeys {
-		v, err := f(ctx, in)
-		if err != nil {
-			return nil, err
+		for i, f := range o.sortKeys {
+			v, err := f(ctx, in)
+			if err != nil {
+				return nil, err
+			}
+			out[o.visible+i] = v
 		}
-		out[o.visible+i] = v
+		b[k] = out
 	}
-	return out, nil
+	return b, nil
 }
 
 func (o *projectOp) name() string                 { return "Project" }
@@ -169,7 +181,8 @@ type aggItem struct {
 	agg *aggSpec // aggregate
 }
 
-// aggregateOp implements hash aggregation over the group keys.
+// aggregateOp implements hash aggregation over the group keys, consuming
+// its input batch-at-a-time and emitting the finished groups in batches.
 type aggregateOp struct {
 	child   operation
 	items   []aggItem
@@ -190,57 +203,20 @@ func (o *aggregateOp) consume(ctx *execCtx) error {
 	o.groups = map[string]*aggGroup{}
 	hasKeys := o.hasKeys()
 	for {
-		r, err := o.child.next(ctx)
+		b, err := o.child.nextBatch(ctx)
 		if err != nil {
 			return err
 		}
-		if r == nil {
+		if b == nil {
 			break
 		}
 		if ctx.expired() {
 			return fmt.Errorf("query timed out during aggregation")
 		}
-		// Group key (skipped entirely for keyless aggregates like count(n)).
-		var k string
-		var keyVals []value.Value
-		if hasKeys {
-			var kb strings.Builder
-			keyVals = make([]value.Value, 0, len(o.items))
-			for _, it := range o.items {
-				if it.key != nil {
-					v, err := (*it.key)(ctx, r)
-					if err != nil {
-						return err
-					}
-					keyVals = append(keyVals, v)
-					kb.WriteString(v.HashKey())
-					kb.WriteByte('|')
-				}
+		for _, r := range b {
+			if err := o.consumeRecord(ctx, r, hasKeys); err != nil {
+				return err
 			}
-			k = kb.String()
-		}
-		grp, ok := o.groups[k]
-		if !ok {
-			grp = &aggGroup{keys: keyVals, states: make([]*aggState, len(o.items))}
-			for i := range grp.states {
-				grp.states[i] = &aggState{}
-			}
-			o.groups[k] = grp
-			o.order = append(o.order, k)
-		}
-		for i, it := range o.items {
-			if it.agg == nil {
-				continue
-			}
-			var v value.Value
-			if it.agg.arg != nil {
-				var err error
-				v, err = it.agg.arg(ctx, r)
-				if err != nil {
-					return err
-				}
-			}
-			grp.states[i].update(it.agg, v)
 		}
 	}
 	// Aggregation over zero rows with no group keys yields one row.
@@ -255,6 +231,52 @@ func (o *aggregateOp) consume(ctx *execCtx) error {
 	return nil
 }
 
+func (o *aggregateOp) consumeRecord(ctx *execCtx, r record, hasKeys bool) error {
+	// Group key (skipped entirely for keyless aggregates like count(n)).
+	var k string
+	var keyVals []value.Value
+	if hasKeys {
+		var kb strings.Builder
+		keyVals = make([]value.Value, 0, len(o.items))
+		for _, it := range o.items {
+			if it.key != nil {
+				v, err := (*it.key)(ctx, r)
+				if err != nil {
+					return err
+				}
+				keyVals = append(keyVals, v)
+				kb.WriteString(v.HashKey())
+				kb.WriteByte('|')
+			}
+		}
+		k = kb.String()
+	}
+	grp, ok := o.groups[k]
+	if !ok {
+		grp = &aggGroup{keys: keyVals, states: make([]*aggState, len(o.items))}
+		for i := range grp.states {
+			grp.states[i] = &aggState{}
+		}
+		o.groups[k] = grp
+		o.order = append(o.order, k)
+	}
+	for i, it := range o.items {
+		if it.agg == nil {
+			continue
+		}
+		var v value.Value
+		if it.agg.arg != nil {
+			var err error
+			v, err = it.agg.arg(ctx, r)
+			if err != nil {
+				return err
+			}
+		}
+		grp.states[i].update(it.agg, v)
+	}
+	return nil
+}
+
 func (o *aggregateOp) hasKeys() bool {
 	for _, it := range o.items {
 		if it.key != nil {
@@ -264,7 +286,7 @@ func (o *aggregateOp) hasKeys() bool {
 	return false
 }
 
-func (o *aggregateOp) next(ctx *execCtx) (record, error) {
+func (o *aggregateOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if !o.primed {
 		if err := o.consume(ctx); err != nil {
 			return nil, err
@@ -274,17 +296,22 @@ func (o *aggregateOp) next(ctx *execCtx) (record, error) {
 	if o.pos >= len(o.order) {
 		return nil, nil
 	}
-	grp := o.groups[o.order[o.pos]]
-	o.pos++
-	out := newRecord(o.visible)
-	ki := 0
-	for i, it := range o.items {
-		if it.key != nil {
-			out[i] = grp.keys[ki]
-			ki++
-		} else {
-			out[i] = grp.states[i].finalize(it.agg)
+	bs := ctx.batchSize()
+	var out recordBatch
+	for o.pos < len(o.order) && len(out) < bs {
+		grp := o.groups[o.order[o.pos]]
+		o.pos++
+		r := newRecord(o.visible)
+		ki := 0
+		for i, it := range o.items {
+			if it.key != nil {
+				r[i] = grp.keys[ki]
+				ki++
+			} else {
+				r[i] = grp.states[i].finalize(it.agg)
+			}
 		}
+		out = append(out, r)
 	}
 	return out, nil
 }
@@ -294,33 +321,40 @@ func (o *aggregateOp) args() string                 { return fmt.Sprintf("%d col
 func (o *aggregateOp) children() []operation        { return []operation{o.child} }
 func (o *aggregateOp) setChild(i int, op operation) { o.child = op }
 
-// distinctOp deduplicates records over the first `visible` slots.
+// distinctOp deduplicates records over the first `visible` slots, compacting
+// batches in place.
 type distinctOp struct {
 	child   operation
 	visible int
 	seen    map[string]bool
 }
 
-func (o *distinctOp) next(ctx *execCtx) (record, error) {
+func (o *distinctOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if o.seen == nil {
 		o.seen = map[string]bool{}
 	}
 	for {
-		r, err := o.child.next(ctx)
-		if err != nil || r == nil {
+		b, err := o.child.nextBatch(ctx)
+		if err != nil || b == nil {
 			return nil, err
 		}
-		var kb strings.Builder
-		for i := 0; i < o.visible && i < len(r); i++ {
-			kb.WriteString(r[i].HashKey())
-			kb.WriteByte('|')
+		out := b[:0]
+		for _, r := range b {
+			var kb strings.Builder
+			for i := 0; i < o.visible && i < len(r); i++ {
+				kb.WriteString(r[i].HashKey())
+				kb.WriteByte('|')
+			}
+			k := kb.String()
+			if o.seen[k] {
+				continue
+			}
+			o.seen[k] = true
+			out = append(out, r)
 		}
-		k := kb.String()
-		if o.seen[k] {
-			continue
+		if len(out) > 0 {
+			return out, nil
 		}
-		o.seen[k] = true
-		return r, nil
 	}
 }
 
@@ -328,6 +362,22 @@ func (o *distinctOp) name() string                 { return "Distinct" }
 func (o *distinctOp) args() string                 { return "" }
 func (o *distinctOp) children() []operation        { return []operation{o.child} }
 func (o *distinctOp) setChild(i int, op operation) { o.child = op }
+
+// sortLess compares two records on hidden trailing key slots.
+func sortLess(a, b record, visible int, descs []bool) bool {
+	for k := range descs {
+		va, vb := a[visible+k], b[visible+k]
+		if va.Equals(vb) || (va.IsNull() && vb.IsNull()) {
+			continue
+		}
+		less := value.OrderLess(va, vb)
+		if descs[k] {
+			return !less
+		}
+		return less
+	}
+	return false
+}
 
 // sortOp materialises its input and sorts on the hidden trailing key slots,
 // truncating them from emitted records.
@@ -341,41 +391,33 @@ type sortOp struct {
 	primed bool
 }
 
-func (o *sortOp) next(ctx *execCtx) (record, error) {
+func (o *sortOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if !o.primed {
 		for {
-			r, err := o.child.next(ctx)
+			b, err := o.child.nextBatch(ctx)
 			if err != nil {
 				return nil, err
 			}
-			if r == nil {
+			if b == nil {
 				break
 			}
-			o.rows = append(o.rows, r)
+			o.rows = append(o.rows, b...)
 		}
 		sort.SliceStable(o.rows, func(a, b int) bool {
-			ra, rb := o.rows[a], o.rows[b]
-			for k := range o.descs {
-				va, vb := ra[o.visible+k], rb[o.visible+k]
-				if va.Equals(vb) || (va.IsNull() && vb.IsNull()) {
-					continue
-				}
-				less := value.OrderLess(va, vb)
-				if o.descs[k] {
-					return !less
-				}
-				return less
-			}
-			return false
+			return sortLess(o.rows[a], o.rows[b], o.visible, o.descs)
 		})
 		o.primed = true
 	}
 	if o.pos >= len(o.rows) {
 		return nil, nil
 	}
-	r := o.rows[o.pos]
-	o.pos++
-	return r[:o.visible], nil
+	bs := ctx.batchSize()
+	var out recordBatch
+	for o.pos < len(o.rows) && len(out) < bs {
+		out = append(out, o.rows[o.pos][:o.visible])
+		o.pos++
+	}
+	return out, nil
 }
 
 func (o *sortOp) name() string                 { return "Sort" }
@@ -383,28 +425,155 @@ func (o *sortOp) args() string                 { return fmt.Sprintf("%d keys", l
 func (o *sortOp) children() []operation        { return []operation{o.child} }
 func (o *sortOp) setChild(i int, op operation) { o.child = op }
 
-// skipOp drops the first n records.
+// topNSortOp is the ORDER BY + LIMIT fusion: instead of materialising and
+// sorting every input row, it keeps a bounded max-heap of the best
+// skip+limit records, so a LIMIT 10 over a million rows costs O(n log 10)
+// comparisons and ~10 live records. The planner substitutes it for sortOp
+// whenever a LIMIT directly follows ORDER BY; SKIP rows are retained here
+// and dropped by the skipOp above.
+type topNSortOp struct {
+	child   operation
+	visible int
+	descs   []bool
+	skip    evalFn // nil when the projection has no SKIP
+	limit   evalFn
+	desc    string // EXPLAIN text for the bound
+
+	h      topNHeap
+	pos    int
+	primed bool
+}
+
+// topNHeap is a max-heap under the sort order: the root is the worst
+// retained record, evicted whenever a better one arrives.
+type topNHeap struct {
+	rows    []record
+	visible int
+	descs   []bool
+}
+
+func (h *topNHeap) Len() int { return len(h.rows) }
+func (h *topNHeap) Less(a, b int) bool {
+	return sortLess(h.rows[b], h.rows[a], h.visible, h.descs)
+}
+func (h *topNHeap) Swap(a, b int) { h.rows[a], h.rows[b] = h.rows[b], h.rows[a] }
+func (h *topNHeap) Push(x any)    { h.rows = append(h.rows, x.(record)) }
+func (h *topNHeap) Pop() any {
+	n := len(h.rows)
+	r := h.rows[n-1]
+	h.rows = h.rows[:n-1]
+	return r
+}
+
+func (o *topNSortOp) bound(ctx *execCtx) (int, error) {
+	nv, err := o.limit(ctx, nil)
+	if err != nil {
+		return 0, err
+	}
+	n := nv.Int()
+	if n < 0 {
+		n = 0 // negative LIMIT emits nothing
+	}
+	if o.skip != nil {
+		sv, err := o.skip(ctx, nil)
+		if err != nil {
+			return 0, err
+		}
+		// Clamp per term: a negative SKIP skips nothing (matching skipOp)
+		// and must not eat into the LIMIT's share of the heap.
+		if s := sv.Int(); s > 0 {
+			n += s
+		}
+	}
+	return int(n), nil
+}
+
+func (o *topNSortOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	if !o.primed {
+		keep, err := o.bound(ctx)
+		if err != nil {
+			return nil, err
+		}
+		o.h = topNHeap{visible: o.visible, descs: o.descs}
+		for {
+			b, err := o.child.nextBatch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			if keep == 0 {
+				continue // still drain the child for its side effects
+			}
+			for _, r := range b {
+				if len(o.h.rows) < keep {
+					heap.Push(&o.h, r)
+					continue
+				}
+				if sortLess(r, o.h.rows[0], o.visible, o.descs) {
+					o.h.rows[0] = r
+					heap.Fix(&o.h, 0)
+				}
+			}
+		}
+		sort.SliceStable(o.h.rows, func(a, b int) bool {
+			return sortLess(o.h.rows[a], o.h.rows[b], o.visible, o.descs)
+		})
+		o.primed = true
+	}
+	if o.pos >= len(o.h.rows) {
+		return nil, nil
+	}
+	bs := ctx.batchSize()
+	var out recordBatch
+	for o.pos < len(o.h.rows) && len(out) < bs {
+		out = append(out, o.h.rows[o.pos][:o.visible])
+		o.pos++
+	}
+	return out, nil
+}
+
+func (o *topNSortOp) name() string { return "TopNSort" }
+func (o *topNSortOp) args() string {
+	return fmt.Sprintf("%d keys | top %s", len(o.descs), o.desc)
+}
+func (o *topNSortOp) children() []operation        { return []operation{o.child} }
+func (o *topNSortOp) setChild(i int, op operation) { o.child = op }
+
+// skipOp drops the first n records, slicing whole batches where possible.
 type skipOp struct {
 	child   operation
 	n       evalFn
+	remain  int64
 	skipped bool
 }
 
-func (o *skipOp) next(ctx *execCtx) (record, error) {
+func (o *skipOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if !o.skipped {
 		o.skipped = true
 		nv, err := o.n(ctx, nil)
 		if err != nil {
 			return nil, err
 		}
-		for i := int64(0); i < nv.Int(); i++ {
-			r, err := o.child.next(ctx)
-			if err != nil || r == nil {
-				return nil, err
-			}
+		o.remain = nv.Int()
+		if o.remain < 0 {
+			o.remain = 0 // negative SKIP skips nothing
 		}
 	}
-	return o.child.next(ctx)
+	for {
+		b, err := o.child.nextBatch(ctx)
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if o.remain >= int64(len(b)) {
+			o.remain -= int64(len(b))
+			continue
+		}
+		b = b[o.remain:]
+		o.remain = 0
+		return b, nil
+	}
 }
 
 func (o *skipOp) name() string                 { return "Skip" }
@@ -412,7 +581,7 @@ func (o *skipOp) args() string                 { return "" }
 func (o *skipOp) children() []operation        { return []operation{o.child} }
 func (o *skipOp) setChild(i int, op operation) { o.child = op }
 
-// limitOp caps the record count.
+// limitOp caps the record count, truncating the final batch.
 type limitOp struct {
 	child   operation
 	n       evalFn
@@ -421,7 +590,7 @@ type limitOp struct {
 	primed  bool
 }
 
-func (o *limitOp) next(ctx *execCtx) (record, error) {
+func (o *limitOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if !o.primed {
 		nv, err := o.n(ctx, nil)
 		if err != nil {
@@ -433,12 +602,15 @@ func (o *limitOp) next(ctx *execCtx) (record, error) {
 	if o.emitted >= o.limit {
 		return nil, nil
 	}
-	r, err := o.child.next(ctx)
-	if err != nil || r == nil {
+	b, err := o.child.nextBatch(ctx)
+	if err != nil || b == nil {
 		return nil, err
 	}
-	o.emitted++
-	return r, nil
+	if rem := o.limit - o.emitted; int64(len(b)) > rem {
+		b = b[:rem]
+	}
+	o.emitted += int64(len(b))
+	return b, nil
 }
 
 func (o *limitOp) name() string                 { return "Limit" }
@@ -446,29 +618,42 @@ func (o *limitOp) args() string                 { return "" }
 func (o *limitOp) children() []operation        { return []operation{o.child} }
 func (o *limitOp) setChild(i int, op operation) { o.child = op }
 
-// unwindOp expands a list expression into one record per element.
+// unwindOp expands a list expression into one record per element, filling
+// batches across input records.
 type unwindOp struct {
 	child operation
 	list  evalFn
 	slot  int
 	width int
 
+	in    batchPuller
 	cur   record
 	items []value.Value
 	pos   int
+	done  bool
 }
 
-func (o *unwindOp) next(ctx *execCtx) (record, error) {
-	for {
+func (o *unwindOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	if o.done {
+		return nil, nil
+	}
+	bs := ctx.batchSize()
+	var out recordBatch
+	for len(out) < bs {
 		if o.cur != nil && o.pos < len(o.items) {
-			out := o.cur.extended(o.width)
-			out[o.slot] = o.items[o.pos]
+			r := o.cur.extended(o.width)
+			r[o.slot] = o.items[o.pos]
 			o.pos++
-			return out, nil
+			out = append(out, r)
+			continue
 		}
-		in, err := o.child.next(ctx)
-		if err != nil || in == nil {
+		in, err := o.in.pull(ctx, o.child)
+		if err != nil {
 			return nil, err
+		}
+		if in == nil {
+			o.done = true
+			break
 		}
 		v, err := o.list(ctx, in)
 		if err != nil {
@@ -485,6 +670,10 @@ func (o *unwindOp) next(ctx *execCtx) (record, error) {
 		o.cur = in
 		o.pos = 0
 	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }
 
 func (o *unwindOp) name() string                 { return "Unwind" }

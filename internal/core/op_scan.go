@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"redisgraph/internal/graph"
+	"redisgraph/internal/grb"
 	"redisgraph/internal/value"
 )
 
@@ -14,12 +16,12 @@ type argumentOp struct {
 	done  bool
 }
 
-func (o *argumentOp) next(*execCtx) (record, error) {
+func (o *argumentOp) nextBatch(*execCtx) (recordBatch, error) {
 	if o.done {
 		return nil, nil
 	}
 	o.done = true
-	return newRecord(o.width), nil
+	return recordBatch{newRecord(o.width)}, nil
 }
 
 func (o *argumentOp) name() string          { return "Argument" }
@@ -29,36 +31,173 @@ func (o *argumentOp) children() []operation { return nil }
 // emptyOp produces nothing (scans over labels that do not exist).
 type emptyOp struct{}
 
-func (o *emptyOp) next(*execCtx) (record, error) { return nil, nil }
-func (o *emptyOp) name() string                  { return "Empty" }
-func (o *emptyOp) args() string                  { return "" }
-func (o *emptyOp) children() []operation         { return nil }
+func (o *emptyOp) nextBatch(*execCtx) (recordBatch, error) { return nil, nil }
+func (o *emptyOp) name() string                            { return "Empty" }
+func (o *emptyOp) args() string                            { return "" }
+func (o *emptyOp) children() []operation                   { return nil }
 
-// allNodeScanOp scans every live node. With a child, it re-scans per child
-// record (cartesian product).
+// scanPropEq is one property comparison pushed into a scan: the value
+// expression is record-free (literal or parameter), so it is evaluated once
+// per scan pass and compared against each candidate directly, without a
+// record ever being materialised for non-matching nodes. op is one of
+// = <> < <= > >= (empty means =).
+type scanPropEq struct {
+	attr string
+	op   string
+	val  evalFn
+	desc string
+}
+
+// cmpKeep reports whether `have op want` keeps a record under the engine's
+// filter semantics (compareValues): undefined comparisons evaluate to Cypher
+// null, which is not true and drops the record.
+func cmpKeep(op string, have, want value.Value) bool {
+	if op == "" {
+		op = "="
+	}
+	return compareValues(op, have, want).IsTrue()
+}
+
+// scanFilter is the set of predicates pushed below record materialisation in
+// a scan: extra label memberships (checked through grb.DiagMask over the
+// label matrices — fold-free diagonal probes) and record-free property
+// equalities.
+type scanFilter struct {
+	labels   []int    // required label ids beyond the scan's own
+	labelStr []string // display names for EXPLAIN
+	props    []scanPropEq
+
+	// compile memoisation: the filter is record-free, so one compilation
+	// covers the whole query unless a mutation burst bumps the epoch.
+	cached      compiledScanFilter
+	cachedEpoch uint64
+	cachedOK    bool
+}
+
+func (f *scanFilter) empty() bool {
+	return f == nil || (len(f.labels) == 0 && len(f.props) == 0)
+}
+
+// describe renders the pushed predicates for EXPLAIN.
+func (f *scanFilter) describe() string {
+	if f.empty() {
+		return ""
+	}
+	parts := make([]string, 0, len(f.labelStr)+len(f.props))
+	for _, l := range f.labelStr {
+		parts = append(parts, ":"+l)
+	}
+	for _, p := range f.props {
+		parts = append(parts, p.desc)
+	}
+	return " | pushed: " + strings.Join(parts, ", ")
+}
+
+// compile resolves the filter against the live graph: a combined label mask
+// and the evaluated property targets. Property values are record-free, so
+// one evaluation covers the whole pass.
+type compiledScanFilter struct {
+	mask  grb.ColMask
+	props []struct {
+		attr string
+		op   string
+		want value.Value
+	}
+}
+
+func (f *scanFilter) compile(ctx *execCtx) (compiledScanFilter, error) {
+	var out compiledScanFilter
+	if f.empty() {
+		return out, nil
+	}
+	if ep := ctx.g.Epoch(); f.cachedOK && f.cachedEpoch == ep {
+		return f.cached, nil
+	}
+	if len(f.labels) > 0 {
+		masks := make([]grb.ColMask, 0, len(f.labels))
+		for _, lid := range f.labels {
+			lm := ctx.g.LabelMatrix(lid)
+			if lm == nil {
+				out.mask = func(grb.Index) bool { return false }
+				masks = nil
+				break
+			}
+			masks = append(masks, grb.DiagMask(lm))
+		}
+		if masks != nil {
+			out.mask = grb.AndMasks(masks)
+		}
+	}
+	for _, p := range f.props {
+		want, err := p.val(ctx, nil)
+		if err != nil {
+			return out, err
+		}
+		out.props = append(out.props, struct {
+			attr string
+			op   string
+			want value.Value
+		}{p.attr, p.op, want})
+	}
+	f.cached, f.cachedEpoch, f.cachedOK = out, ctx.g.Epoch(), true
+	return out, nil
+}
+
+// admit reports whether node id passes the compiled filter.
+func (c *compiledScanFilter) admit(ctx *execCtx, id uint64, n *graph.Node) bool {
+	if c.mask != nil && !c.mask(grb.Index(id)) {
+		return false
+	}
+	for _, p := range c.props {
+		if !cmpKeep(p.op, ctx.g.NodeProperty(n, p.attr), p.want) {
+			return false
+		}
+	}
+	return true
+}
+
+// allNodeScanOp scans every live node in batches. With a child, it re-scans
+// per child record (cartesian product).
 type allNodeScanOp struct {
-	child operation
-	slot  int
-	alias string
-	width int
+	child  operation
+	slot   int
+	alias  string
+	width  int
+	pushed *scanFilter
 
+	in     batchPuller
 	cur    record
 	nextID uint64
 	primed bool
+	done   bool
 }
 
-func (o *allNodeScanOp) next(ctx *execCtx) (record, error) {
-	for {
+func (o *allNodeScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	if o.done {
+		return nil, nil
+	}
+	bs := ctx.batchSize()
+	cf, err := o.pushed.compile(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out recordBatch
+	for len(out) < bs {
 		if !o.primed {
 			if o.child != nil {
-				r, err := o.child.next(ctx)
-				if err != nil || r == nil {
+				r, err := o.in.pull(ctx, o.child)
+				if err != nil {
 					return nil, err
+				}
+				if r == nil {
+					o.done = true
+					break
 				}
 				o.cur = r
 			} else {
 				if o.cur != nil {
-					return nil, nil // single pass done
+					o.done = true
+					break
 				}
 				o.cur = newRecord(o.width)
 			}
@@ -66,24 +205,31 @@ func (o *allNodeScanOp) next(ctx *execCtx) (record, error) {
 			o.primed = true
 		}
 		high := uint64(ctx.g.Dim())
-		for o.nextID < high {
+		for o.nextID < high && len(out) < bs {
 			id := o.nextID
 			o.nextID++
-			if n, ok := ctx.g.GetNode(id); ok {
-				out := o.cur.extended(o.width)
-				out[o.slot] = value.NewNode(id, n)
-				return out, nil
+			if n, ok := ctx.g.GetNode(id); ok && cf.admit(ctx, id, n) {
+				r := o.cur.extended(o.width)
+				r[o.slot] = value.NewNode(id, n)
+				out = append(out, r)
 			}
 		}
-		if o.child == nil {
-			return nil, nil
+		if o.nextID >= high {
+			o.primed = false
+			if o.child == nil && len(out) == 0 {
+				o.done = true
+				break
+			}
 		}
-		o.primed = false
 	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }
 
 func (o *allNodeScanOp) name() string { return "AllNodeScan" }
-func (o *allNodeScanOp) args() string { return o.alias }
+func (o *allNodeScanOp) args() string { return o.alias + o.pushed.describe() }
 func (o *allNodeScanOp) children() []operation {
 	if o.child == nil {
 		return nil
@@ -93,76 +239,118 @@ func (o *allNodeScanOp) children() []operation {
 
 func (o *allNodeScanOp) setChild(i int, op operation) { o.child = op }
 
-// labelScanOp scans the diagonal of a label matrix.
+// labelScanOp scans the diagonal of a label matrix in batches. Pushed extra
+// labels intersect the candidate set through diagonal masks before any
+// record exists.
 type labelScanOp struct {
-	child operation
-	slot  int
-	alias string
-	label string
-	width int
+	child  operation
+	slot   int
+	alias  string
+	label  string
+	width  int
+	pushed *scanFilter
 
+	in     batchPuller
 	cur    record
 	ids    []uint64
 	pos    int
 	primed bool
+	done   bool
 }
 
-func (o *labelScanOp) loadIDs(ctx *execCtx) {
+func (o *labelScanOp) loadIDs(ctx *execCtx, cf *compiledScanFilter) {
+	o.ids = o.ids[:0]
 	lid, ok := ctx.g.Schema.LabelID(o.label)
 	if !ok {
-		o.ids = nil
 		return
 	}
 	lm := ctx.g.LabelMatrix(lid)
 	if lm == nil {
-		o.ids = nil
 		return
 	}
 	rows, _, _ := lm.ExtractTuples()
-	ids := make([]uint64, len(rows))
-	for i, r := range rows {
-		ids[i] = uint64(r)
+	for _, r := range rows {
+		if cf.mask == nil || cf.mask(r) {
+			o.ids = append(o.ids, uint64(r))
+		}
 	}
-	o.ids = ids
 }
 
-func (o *labelScanOp) next(ctx *execCtx) (record, error) {
-	for {
+func (o *labelScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	if o.done {
+		return nil, nil
+	}
+	bs := ctx.batchSize()
+	cf, err := o.pushed.compile(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out recordBatch
+	for len(out) < bs {
 		if !o.primed {
 			if o.child != nil {
-				r, err := o.child.next(ctx)
-				if err != nil || r == nil {
+				r, err := o.in.pull(ctx, o.child)
+				if err != nil {
 					return nil, err
+				}
+				if r == nil {
+					o.done = true
+					break
 				}
 				o.cur = r
 			} else {
 				if o.cur != nil {
-					return nil, nil
+					o.done = true
+					break
 				}
 				o.cur = newRecord(o.width)
 			}
-			o.loadIDs(ctx)
+			o.loadIDs(ctx, &cf)
 			o.pos = 0
 			o.primed = true
 		}
-		for o.pos < len(o.ids) {
+		for o.pos < len(o.ids) && len(out) < bs {
 			id := o.ids[o.pos]
 			o.pos++
-			if n, ok := ctx.g.GetNode(id); ok {
-				out := o.cur.extended(o.width)
-				out[o.slot] = value.NewNode(id, n)
-				return out, nil
+			n, ok := ctx.g.GetNode(id)
+			if !ok {
+				continue
+			}
+			// Labels were masked in loadIDs; only property checks remain.
+			match := true
+			for _, p := range cf.props {
+				if !cmpKeep(p.op, ctx.g.NodeProperty(n, p.attr), p.want) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			r := o.cur.extended(o.width)
+			r[o.slot] = value.NewNode(id, n)
+			out = append(out, r)
+		}
+		if o.pos >= len(o.ids) {
+			o.primed = false
+			if o.child == nil && len(out) == 0 {
+				o.done = true
+				break
 			}
 		}
-		if o.child == nil {
-			return nil, nil
-		}
-		o.primed = false
 	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }
 
-func (o *labelScanOp) name() string { return "NodeByLabelScan" }
-func (o *labelScanOp) args() string { return fmt.Sprintf("%s:%s", o.alias, o.label) }
+func (o *labelScanOp) name() string {
+	return "NodeByLabelScan"
+}
+func (o *labelScanOp) args() string {
+	return fmt.Sprintf("%s:%s%s", o.alias, o.label, o.pushed.describe())
+}
 func (o *labelScanOp) children() []operation {
 	if o.child == nil {
 		return nil
@@ -172,71 +360,106 @@ func (o *labelScanOp) children() []operation {
 
 func (o *labelScanOp) setChild(i int, op operation) { o.child = op }
 
-// indexScanOp resolves nodes through an exact-match attribute index.
+// indexScanOp resolves nodes through an exact-match attribute index, in
+// batches. Pushed predicates filter the index seeds directly.
 type indexScanOp struct {
-	child operation
-	slot  int
-	alias string
-	label string
-	attr  string
-	val   evalFn
-	width int
+	child  operation
+	slot   int
+	alias  string
+	label  string
+	attr   string
+	val    evalFn
+	width  int
+	pushed *scanFilter
 
+	in     batchPuller
 	cur    record
 	ids    []uint64
 	pos    int
 	primed bool
+	done   bool
 }
 
-func (o *indexScanOp) next(ctx *execCtx) (record, error) {
-	for {
+func (o *indexScanOp) loadSeeds(ctx *execCtx) error {
+	o.ids = nil
+	lid, okL := ctx.g.Schema.LabelID(o.label)
+	aid, okA := ctx.g.Schema.AttrID(o.attr)
+	if !okL || !okA {
+		return nil
+	}
+	ix, ok := ctx.g.Schema.Index(lid, aid)
+	if !ok {
+		return nil
+	}
+	v, err := o.val(ctx, o.cur)
+	if err != nil {
+		return err
+	}
+	o.ids = ix.Lookup(v)
+	return nil
+}
+
+func (o *indexScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	if o.done {
+		return nil, nil
+	}
+	bs := ctx.batchSize()
+	cf, err := o.pushed.compile(ctx)
+	if err != nil {
+		return nil, err
+	}
+	var out recordBatch
+	for len(out) < bs {
 		if !o.primed {
 			if o.child != nil {
-				r, err := o.child.next(ctx)
-				if err != nil || r == nil {
+				r, err := o.in.pull(ctx, o.child)
+				if err != nil {
 					return nil, err
+				}
+				if r == nil {
+					o.done = true
+					break
 				}
 				o.cur = r
 			} else {
 				if o.cur != nil {
-					return nil, nil
+					o.done = true
+					break
 				}
 				o.cur = newRecord(o.width)
 			}
-			lid, okL := ctx.g.Schema.LabelID(o.label)
-			aid, okA := ctx.g.Schema.AttrID(o.attr)
-			o.ids = nil
-			if okL && okA {
-				if ix, ok := ctx.g.Schema.Index(lid, aid); ok {
-					v, err := o.val(ctx, o.cur)
-					if err != nil {
-						return nil, err
-					}
-					o.ids = ix.Lookup(v)
-				}
+			if err := o.loadSeeds(ctx); err != nil {
+				return nil, err
 			}
 			o.pos = 0
 			o.primed = true
 		}
-		for o.pos < len(o.ids) {
+		for o.pos < len(o.ids) && len(out) < bs {
 			id := o.ids[o.pos]
 			o.pos++
-			if n, ok := ctx.g.GetNode(id); ok {
-				out := o.cur.extended(o.width)
-				out[o.slot] = value.NewNode(id, n)
-				return out, nil
+			if n, ok := ctx.g.GetNode(id); ok && cf.admit(ctx, id, n) {
+				r := o.cur.extended(o.width)
+				r[o.slot] = value.NewNode(id, n)
+				out = append(out, r)
 			}
 		}
-		if o.child == nil {
-			return nil, nil
+		if o.pos >= len(o.ids) {
+			o.primed = false
+			if o.child == nil && len(out) == 0 {
+				o.done = true
+				break
+			}
 		}
-		o.primed = false
 	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
 }
 
 func (o *indexScanOp) name() string { return "NodeByIndexScan" }
 func (o *indexScanOp) args() string {
-	return fmt.Sprintf("%s:%s(%s)", o.alias, o.label, o.attr)
+	return fmt.Sprintf("%s:%s(%s)%s", o.alias, o.label, o.attr, o.pushed.describe())
 }
 func (o *indexScanOp) children() []operation {
 	if o.child == nil {
@@ -246,6 +469,33 @@ func (o *indexScanOp) children() []operation {
 }
 
 func (o *indexScanOp) setChild(i int, op operation) { o.child = op }
+
+// pushScan attaches a pushed predicate to any of the three scan operations.
+// It returns false for non-scan operations, leaving the predicate to the
+// residual filter path.
+func pushScan(op operation, lid int, label string, prop *scanPropEq) bool {
+	var f **scanFilter
+	switch s := op.(type) {
+	case *allNodeScanOp:
+		f = &s.pushed
+	case *labelScanOp:
+		f = &s.pushed
+	case *indexScanOp:
+		f = &s.pushed
+	default:
+		return false
+	}
+	if *f == nil {
+		*f = &scanFilter{}
+	}
+	if prop != nil {
+		(*f).props = append((*f).props, *prop)
+	} else {
+		(*f).labels = append((*f).labels, lid)
+		(*f).labelStr = append((*f).labelStr, label)
+	}
+	return true
+}
 
 // nodeHasLabel filters by interned label id.
 func nodeHasLabel(n *graph.Node, lid int) bool {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"redisgraph/internal/cypher"
 	"redisgraph/internal/graph"
@@ -10,19 +11,111 @@ import (
 )
 
 // defaultTraverseBatch is the number of records fused into one frontier
-// matrix by the batched traversal operations; Config.TraverseBatch overrides
-// it per query.
+// matrix by the batched traversal operations — and, since the batch-at-a-
+// time refactor, the pipeline-wide batch size every operation aims for.
+// Config.TraverseBatch overrides it per query.
 const defaultTraverseBatch = 64
+
+// dstMask is a pushed-down destination predicate: a property comparison
+// whose value is record-free, compiled into a GraphBLAS column mask and
+// applied to the result frontier right after the MxM/VxM evaluation — before
+// a single output record exists. An equality backed by an attribute index on
+// (label, attr) becomes the index seed set; every other comparison probes
+// the property store per destination column.
+type dstMask struct {
+	labels []string // candidate index labels of the destination node
+	attr   string
+	op     string // = <> < <= > >= (empty means =)
+	val    evalFn // record-free (literal or parameter)
+	desc   string
+}
+
+// compile resolves the mask against the live graph under the query's lock.
+func (m *dstMask) compile(ctx *execCtx) (grb.ColMask, error) {
+	want, err := m.val(ctx, nil)
+	if err != nil {
+		return nil, err
+	}
+	if m.op == "" || m.op == "=" {
+		if aid, ok := ctx.g.Schema.AttrID(m.attr); ok {
+			for _, label := range m.labels {
+				lid, ok := ctx.g.Schema.LabelID(label)
+				if !ok {
+					continue
+				}
+				if ix, ok := ctx.g.Schema.Index(lid, aid); ok {
+					ids := ix.Lookup(want)
+					cols := make([]grb.Index, len(ids))
+					for i, id := range ids {
+						cols[i] = grb.Index(id)
+					}
+					return grb.IndexSetMask(cols), nil
+				}
+			}
+		}
+	}
+	attr, op := m.attr, m.op
+	return func(j grb.Index) bool {
+		n, ok := ctx.g.GetNode(uint64(j))
+		return ok && cmpKeep(op, ctx.g.NodeProperty(n, attr), want)
+	}, nil
+}
+
+// compileDstMasks combines every pushed destination mask conjunctively.
+func compileDstMasks(ctx *execCtx, masks []dstMask) (grb.ColMask, error) {
+	if len(masks) == 0 {
+		return nil, nil
+	}
+	out := make([]grb.ColMask, len(masks))
+	for i := range masks {
+		m, err := masks[i].compile(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return grb.AndMasks(out), nil
+}
+
+// dstMaskFn returns the operation's combined destination mask, memoised per
+// write epoch: the masks are record-free, so one compilation (one index
+// lookup) covers every batch until a mutation burst changes the graph.
+func (o *condTraverseOp) dstMaskFn(ctx *execCtx) (grb.ColMask, error) {
+	if len(o.masks) == 0 {
+		return nil, nil
+	}
+	ep := ctx.g.Epoch()
+	if o.maskOK && o.maskEpoch == ep {
+		return o.maskFn, nil
+	}
+	m, err := compileDstMasks(ctx, o.masks)
+	if err != nil {
+		return nil, err
+	}
+	o.maskFn, o.maskEpoch, o.maskOK = m, ep, true
+	return m, nil
+}
+
+func describeMasks(masks []dstMask) string {
+	if len(masks) == 0 {
+		return ""
+	}
+	parts := make([]string, len(masks))
+	for i := range masks {
+		parts[i] = masks[i].desc
+	}
+	return " | mask: " + strings.Join(parts, ", ")
+}
 
 // condTraverseOp expands records one hop along an algebraic expression.
 // It is batch-oriented: up to `batch` input records are pulled from the
 // child, fused into an n×dim frontier matrix F (row r = one-hot source of
 // record r), the whole algebraic chain is evaluated with a single masked
-// MxM per operand, and each result row is scattered back into per-record
-// output records — one per reachable destination (or per connecting edge
-// when an edge variable is bound). This is the frontier-fusion design from
-// the paper: one sparse matrix–matrix multiply instead of one kernel call
-// per record.
+// MxM per operand, pushed-down destination predicates are applied to the
+// result frontier as column masks, and the rows are scattered into output
+// records — emitted downstream as one whole batch, never as single-record
+// pulls. This is the frontier-fusion design from the paper: one sparse
+// matrix–matrix multiply instead of one kernel call per record.
 type condTraverseOp struct {
 	child    operation
 	srcSlot  int
@@ -32,32 +125,34 @@ type condTraverseOp struct {
 	batch    int // frontier rows per evaluation; >= 1
 
 	ae        *algebraicExpr
+	masks     []dstMask
 	typeIDs   []int // for edge lookup; nil = any type
 	direction cypher.Direction
 	optional  bool
 
+	in       batchPuller
 	queue    []record
-	qhead    int
 	done     bool
 	arena    recordArena
 	dstBuf   []grb.Index
 	batchBuf []record
 	srcBuf   []grb.Index
+
+	maskFn    grb.ColMask
+	maskEpoch uint64
+	maskOK    bool
 }
 
-func (o *condTraverseOp) next(ctx *execCtx) (record, error) {
+func (o *condTraverseOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	for {
-		if o.qhead < len(o.queue) {
-			r := o.queue[o.qhead]
-			o.queue[o.qhead] = nil
-			o.qhead++
-			return r, nil
+		if len(o.queue) > 0 {
+			out := recordBatch(o.queue)
+			o.queue = nil
+			return out, nil
 		}
 		if o.done {
 			return nil, nil
 		}
-		// Drained: rewind so the backing array is reused for the next batch.
-		o.queue, o.qhead = o.queue[:0], 0
 		if err := o.fill(ctx); err != nil {
 			return nil, err
 		}
@@ -70,7 +165,7 @@ func (o *condTraverseOp) gather(ctx *execCtx, bs int) ([]record, []grb.Index, er
 	batch := o.batchBuf[:0]
 	srcs := o.srcBuf[:0]
 	for len(batch) < bs {
-		in, err := o.child.next(ctx)
+		in, err := o.in.pull(ctx, o.child)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -118,6 +213,13 @@ func (o *condTraverseOp) fill(ctx *execCtx) error {
 	if err != nil {
 		return err
 	}
+	mask, err := o.dstMaskFn(ctx)
+	if err != nil {
+		return err
+	}
+	if mask != nil {
+		grb.SelectCols(result, mask)
+	}
 	for r, in := range batch {
 		emitted := o.scatterRow(ctx, in, srcs[r], result.RowIterate(r))
 		if !emitted && o.optional {
@@ -130,7 +232,7 @@ func (o *condTraverseOp) fill(ctx *execCtx) error {
 // fillVector is the per-record path: a one-hot frontier vector and one VxM
 // per operand, exactly the pre-batching execution strategy.
 func (o *condTraverseOp) fillVector(ctx *execCtx) error {
-	in, err := o.child.next(ctx)
+	in, err := o.in.pull(ctx, o.child)
 	if err != nil {
 		return err
 	}
@@ -153,6 +255,13 @@ func (o *condTraverseOp) fillVector(ctx *execCtx) error {
 	w, err := o.ae.eval(ctx, frontier)
 	if err != nil {
 		return err
+	}
+	mask, err := o.dstMaskFn(ctx)
+	if err != nil {
+		return err
+	}
+	if mask != nil {
+		grb.SelectColsVec(w, mask)
 	}
 	o.dstBuf = o.dstBuf[:0]
 	w.Iterate(func(j grb.Index, _ float64) bool {
@@ -230,7 +339,7 @@ func (o *condTraverseOp) name() string {
 	return "ConditionalTraverse"
 }
 func (o *condTraverseOp) args() string {
-	return fmt.Sprintf("%s | batched(%d)", o.ae.String(), o.batch)
+	return fmt.Sprintf("%s | batched(%d)%s", o.ae.String(), o.batch, describeMasks(o.masks))
 }
 func (o *condTraverseOp) children() []operation        { return []operation{o.child} }
 func (o *condTraverseOp) setChild(i int, op operation) { o.child = op }
@@ -251,26 +360,24 @@ type expandIntoOp struct {
 	typeIDs   []int
 	direction cypher.Direction
 
+	in       batchPuller
 	queue    []record
-	qhead    int
 	done     bool
 	arena    recordArena
 	batchBuf []record
 	srcBuf   []grb.Index
 }
 
-func (o *expandIntoOp) next(ctx *execCtx) (record, error) {
+func (o *expandIntoOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	for {
-		if o.qhead < len(o.queue) {
-			r := o.queue[o.qhead]
-			o.queue[o.qhead] = nil
-			o.qhead++
-			return r, nil
+		if len(o.queue) > 0 {
+			out := recordBatch(o.queue)
+			o.queue = nil
+			return out, nil
 		}
 		if o.done {
 			return nil, nil
 		}
-		o.queue, o.qhead = o.queue[:0], 0
 		if err := o.fill(ctx); err != nil {
 			return nil, err
 		}
@@ -286,7 +393,7 @@ func (o *expandIntoOp) fill(ctx *execCtx) error {
 	batch := o.batchBuf[:0]
 	srcs := o.srcBuf[:0]
 	for len(batch) < bs {
-		in, err := o.child.next(ctx)
+		in, err := o.in.pull(ctx, o.child)
 		if err != nil {
 			return err
 		}
@@ -324,7 +431,7 @@ func (o *expandIntoOp) fill(ctx *execCtx) error {
 // fillVector is the per-record path: one-hot frontier vector, VxM chain,
 // then a point probe of the destination.
 func (o *expandIntoOp) fillVector(ctx *execCtx) error {
-	in, err := o.child.next(ctx)
+	in, err := o.in.pull(ctx, o.child)
 	if err != nil {
 		return err
 	}
@@ -380,13 +487,14 @@ func (o *expandIntoOp) setChild(i int, op operation) { o.child = op }
 // above a non-optional traversal without an edge variable: the count equals
 // the total cardinality of the result-frontier rows, so no output record is
 // ever materialised — the paper's own k-hop counting strategy (a reduction
-// over the frontier) generalised to record batches.
+// over the frontier) generalised to record batches. Pushed destination
+// masks still apply: they filter the frontier before the reduction.
 type traverseCountOp struct {
 	t    *condTraverseOp
 	done bool
 }
 
-func (o *traverseCountOp) next(ctx *execCtx) (record, error) {
+func (o *traverseCountOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if o.done {
 		return nil, nil
 	}
@@ -422,6 +530,13 @@ func (o *traverseCountOp) next(ctx *execCtx) (record, error) {
 		if err != nil {
 			return nil, err
 		}
+		mask, err := t.dstMaskFn(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if mask != nil {
+			grb.SelectCols(result, mask)
+		}
 		for r := range batch {
 			for _, j := range result.RowIterate(r) {
 				if _, ok := ctx.g.GetNode(uint64(j)); ok {
@@ -432,13 +547,13 @@ func (o *traverseCountOp) next(ctx *execCtx) (record, error) {
 	}
 	out := newRecord(1)
 	out[0] = value.NewInt(total)
-	return out, nil
+	return recordBatch{out}, nil
 }
 
 // countVector is the per-record (batch 1) counting path.
 func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
 	t := o.t
-	in, err := t.child.next(ctx)
+	in, err := t.in.pull(ctx, t.child)
 	if err != nil {
 		return 0, err
 	}
@@ -458,6 +573,13 @@ func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	mask, err := t.dstMaskFn(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if mask != nil {
+		grb.SelectColsVec(w, mask)
+	}
 	var n int64
 	w.Iterate(func(j grb.Index, _ float64) bool {
 		if _, ok := ctx.g.GetNode(uint64(j)); ok {
@@ -470,14 +592,16 @@ func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
 
 func (o *traverseCountOp) name() string { return "TraverseCount" }
 func (o *traverseCountOp) args() string {
-	return fmt.Sprintf("%s | batched(%d)", o.t.ae.String(), o.t.batch)
+	return fmt.Sprintf("%s | batched(%d)%s", o.t.ae.String(), o.t.batch, describeMasks(o.t.masks))
 }
 func (o *traverseCountOp) children() []operation        { return []operation{o.t.child} }
 func (o *traverseCountOp) setChild(i int, op operation) { o.t.child = op }
 
 // varLenTraverseOp performs a masked BFS between minHops and maxHops,
 // emitting each newly reached node whose depth lies in range — the k-hop
-// neighbourhood expansion at the heart of the paper's benchmark.
+// neighbourhood expansion at the heart of the paper's benchmark. Each
+// input record's whole reachable set is queued and emitted as native
+// batches.
 type varLenTraverseOp struct {
 	child   operation
 	srcSlot int
@@ -489,19 +613,28 @@ type varLenTraverseOp struct {
 	maxHops  int // -1 = unbounded
 	dstLabel int // -1 = unfiltered
 
+	in    batchPuller
 	queue []record
+	done  bool
 }
 
-func (o *varLenTraverseOp) next(ctx *execCtx) (record, error) {
+func (o *varLenTraverseOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	for {
 		if len(o.queue) > 0 {
-			r := o.queue[0]
-			o.queue = o.queue[1:]
-			return r, nil
+			out := recordBatch(o.queue)
+			o.queue = nil
+			return out, nil
 		}
-		in, err := o.child.next(ctx)
-		if err != nil || in == nil {
+		if o.done {
+			return nil, nil
+		}
+		in, err := o.in.pull(ctx, o.child)
+		if err != nil {
 			return nil, err
+		}
+		if in == nil {
+			o.done = true
+			return nil, nil
 		}
 		src := in[o.srcSlot]
 		if src.Kind != value.KindNode {

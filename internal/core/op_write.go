@@ -47,18 +47,18 @@ type createOp struct {
 	primed bool
 }
 
-func (o *createOp) next(ctx *execCtx) (record, error) {
+func (o *createOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if !o.primed {
 		var buf []record
 		for {
-			r, err := o.child.next(ctx)
+			b, err := o.child.nextBatch(ctx)
 			if err != nil {
 				return nil, err
 			}
-			if r == nil {
+			if b == nil {
 				break
 			}
-			buf = append(buf, r)
+			buf = append(buf, b...)
 		}
 		// One exclusive burst for all buffered creates; the deferred end
 		// keeps the lock discipline consistent even if a property evaluator
@@ -79,12 +79,21 @@ func (o *createOp) next(ctx *execCtx) (record, error) {
 		}
 		o.primed = true
 	}
-	if o.pos >= len(o.out) {
-		return nil, nil
+	return drainBuffered(ctx, o.out, &o.pos), nil
+}
+
+// drainBuffered emits a materialised record buffer in batch-sized slices.
+func drainBuffered(ctx *execCtx, rows []record, pos *int) recordBatch {
+	if *pos >= len(rows) {
+		return nil
 	}
-	r := o.out[o.pos]
-	o.pos++
-	return r, nil
+	end := *pos + ctx.batchSize()
+	if end > len(rows) {
+		end = len(rows)
+	}
+	out := recordBatch(rows[*pos:end])
+	*pos = end
+	return out
 }
 
 func applyCreate(ctx *execCtx, r record, patterns []createPatternSpec) error {
@@ -144,12 +153,15 @@ func (o *createOp) children() []operation        { return []operation{o.child} }
 func (o *createOp) setChild(i int, op operation) { o.child = op }
 
 // mergeOp runs its match sub-plan; when it produces no records, the pattern
-// is created instead (MATCH-or-CREATE).
+// is created instead (MATCH-or-CREATE). It stays a scalarOp — the drain is
+// a one-shot materialisation, so the compatibility adapter costs nothing —
+// and demonstrates the adapter path for exotic operations.
 type mergeOp struct {
 	matchPlan operation
 	pattern   createPatternSpec
 	width     int
 
+	in     batchPuller
 	out    []record
 	pos    int
 	primed bool
@@ -158,7 +170,7 @@ type mergeOp struct {
 func (o *mergeOp) next(ctx *execCtx) (record, error) {
 	if !o.primed {
 		for {
-			r, err := o.matchPlan.next(ctx)
+			r, err := o.in.pull(ctx, o.matchPlan)
 			if err != nil {
 				return nil, err
 			}
@@ -205,34 +217,36 @@ type deleteOp struct {
 	primed bool
 }
 
-func (o *deleteOp) next(ctx *execCtx) (record, error) {
+func (o *deleteOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if !o.primed {
 		var nodeIDs []uint64
 		var edgeIDs []uint64
 		for {
-			r, err := o.child.next(ctx)
+			b, err := o.child.nextBatch(ctx)
 			if err != nil {
 				return nil, err
 			}
-			if r == nil {
+			if b == nil {
 				break
 			}
-			for _, f := range o.exprs {
-				v, err := f(ctx, r)
-				if err != nil {
-					return nil, err
+			for _, r := range b {
+				for _, f := range o.exprs {
+					v, err := f(ctx, r)
+					if err != nil {
+						return nil, err
+					}
+					switch v.Kind {
+					case value.KindNode:
+						nodeIDs = append(nodeIDs, v.ID)
+					case value.KindEdge:
+						edgeIDs = append(edgeIDs, v.ID)
+					case value.KindNull:
+					default:
+						return nil, fmt.Errorf("DELETE expects nodes or relationships, got %s", v.Kind)
+					}
 				}
-				switch v.Kind {
-				case value.KindNode:
-					nodeIDs = append(nodeIDs, v.ID)
-				case value.KindEdge:
-					edgeIDs = append(edgeIDs, v.ID)
-				case value.KindNull:
-				default:
-					return nil, fmt.Errorf("DELETE expects nodes or relationships, got %s", v.Kind)
-				}
+				o.out = append(o.out, r)
 			}
-			o.out = append(o.out, r)
 		}
 		if err := func() error {
 			ctx.mut.begin()
@@ -259,12 +273,7 @@ func (o *deleteOp) next(ctx *execCtx) (record, error) {
 		}
 		o.primed = true
 	}
-	if o.pos >= len(o.out) {
-		return nil, nil
-	}
-	r := o.out[o.pos]
-	o.pos++
-	return r, nil
+	return drainBuffered(ctx, o.out, &o.pos), nil
 }
 
 func (o *deleteOp) name() string                 { return "Delete" }
@@ -279,42 +288,73 @@ type setItemSpec struct {
 	fn   evalFn
 }
 
-// setOp applies property assignments as records stream through.
+// setOp applies property assignments. Like the other write operations it is
+// eager: the child is drained first and every assignment lands in one
+// exclusive mutation burst before any record is emitted, so downstream
+// operations observe the same post-SET state at every batch size (the old
+// streaming setOp made write visibility depend on pipeline granularity).
 type setOp struct {
 	child operation
 	items []setItemSpec
+
+	out    []record
+	pos    int
+	primed bool
 }
 
-func (o *setOp) next(ctx *execCtx) (record, error) {
-	r, err := o.child.next(ctx)
-	if err != nil || r == nil {
-		return nil, err
+func (o *setOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	if !o.primed {
+		for {
+			b, err := o.child.nextBatch(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				break
+			}
+			o.out = append(o.out, b...)
+		}
+		if err := func() error {
+			ctx.mut.begin()
+			defer ctx.mut.end()
+			for _, r := range o.out {
+				if err := o.apply(ctx, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}(); err != nil {
+			return nil, err
+		}
+		o.primed = true
 	}
-	ctx.mut.begin()
-	defer ctx.mut.end()
+	return drainBuffered(ctx, o.out, &o.pos), nil
+}
+
+func (o *setOp) apply(ctx *execCtx, r record) error {
 	for _, it := range o.items {
 		v, err := it.fn(ctx, r)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		target := r[it.slot]
 		switch target.Kind {
 		case value.KindNode:
 			if err := ctx.g.SetNodeProperty(target.ID, it.key, v); err != nil {
-				return nil, err
+				return err
 			}
 			ctx.stats.PropertiesSet++
 		case value.KindEdge:
 			if err := ctx.g.SetEdgeProperty(target.ID, it.key, v); err != nil {
-				return nil, err
+				return err
 			}
 			ctx.stats.PropertiesSet++
 		case value.KindNull:
 		default:
-			return nil, fmt.Errorf("SET expects a node or relationship, got %s", target.Kind)
+			return fmt.Errorf("SET expects a node or relationship, got %s", target.Kind)
 		}
 	}
-	return r, nil
+	return nil
 }
 
 func (o *setOp) name() string                 { return "Set" }

@@ -24,15 +24,39 @@ type planBuilder struct {
 	bound    map[string]bool
 	readonly bool
 	anon     int
+	// noPushdown disables algebraic predicate pushdown; every predicate
+	// becomes a residual filterOp (the differential tests' baseline).
+	noPushdown bool
+	// binders records which scan or traversal operation bound each variable
+	// in the current projection scope — the pushdown targets.
+	binders map[string]*binderInfo
 
 	terminated bool
 	columns    []string
 	visible    int
 }
 
+// binderInfo describes the operation that introduced a variable.
+type binderInfo struct {
+	op     operation
+	labels []string // pattern-node labels (candidate index labels for masks)
+}
+
+// planOptions tunes plan construction.
+type planOptions struct {
+	// NoPushdown keeps every predicate as an interpreted per-record filter
+	// instead of compiling it into scan filters and GraphBLAS masks.
+	NoPushdown bool
+}
+
 // BuildPlan compiles a parsed query against a graph.
 func BuildPlan(g *graph.Graph, q *cypher.Query) (*Plan, error) {
-	b := &planBuilder{g: g, st: newSymtab(), bound: map[string]bool{}, readonly: true}
+	return buildPlanOpts(g, q, planOptions{})
+}
+
+func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, error) {
+	b := &planBuilder{g: g, st: newSymtab(), bound: map[string]bool{}, readonly: true,
+		noPushdown: opts.NoPushdown, binders: map[string]*binderInfo{}}
 	for _, c := range q.Clauses {
 		if b.terminated {
 			return nil, fmt.Errorf("core: RETURN must be the final clause")
@@ -57,10 +81,10 @@ func BuildPlan(g *graph.Graph, q *cypher.Query) (*Plan, error) {
 			err = b.buildProjection(c.Items, c.Distinct, c.OrderBy, c.Skip, c.Limit, nil, true)
 		case *cypher.CreateIndexClause:
 			b.readonly = false
-			b.cur = &indexOp{create: true, label: c.Label, attr: c.Attr}
+			b.cur = adaptScalar(&indexOp{create: true, label: c.Label, attr: c.Attr})
 		case *cypher.DropIndexClause:
 			b.readonly = false
-			b.cur = &indexOp{create: false, label: c.Label, attr: c.Attr}
+			b.cur = adaptScalar(&indexOp{create: false, label: c.Label, attr: c.Attr})
 		default:
 			err = fmt.Errorf("core: unsupported clause %T", c)
 		}
@@ -88,13 +112,143 @@ func (b *planBuilder) buildMatch(c *cypher.MatchClause) error {
 		}
 	}
 	if c.Where != nil {
-		pred, err := compileExpr(c.Where, b.st)
-		if err != nil {
-			return err
+		// Split the WHERE into AND-conjuncts and push each eligible one
+		// below record materialisation: property equalities land in scan
+		// filters, index seeds or traversal destination masks. What cannot
+		// be pushed stays as a residual interpreted filter.
+		for _, cj := range splitConjuncts(c.Where) {
+			if b.tryPushConjunct(cj) {
+				continue
+			}
+			pred, err := compileExpr(cj, b.st)
+			if err != nil {
+				return err
+			}
+			b.cur = &filterOp{child: b.cur, pred: pred, desc: exprString(cj)}
 		}
-		b.cur = &filterOp{child: b.cur, pred: pred, desc: exprString(c.Where)}
 	}
 	return nil
+}
+
+// splitConjuncts flattens a predicate's top-level AND tree.
+func splitConjuncts(e cypher.Expr) []cypher.Expr {
+	if be, ok := e.(*cypher.BinaryExpr); ok && be.Op == "AND" {
+		return append(splitConjuncts(be.L), splitConjuncts(be.R)...)
+	}
+	return []cypher.Expr{e}
+}
+
+// isRecordFreeExpr reports whether an expression can be evaluated without a
+// record — the eligibility bar for pushdown, since pushed predicates run
+// before any record exists. Conservative: literals and parameters.
+func isRecordFreeExpr(e cypher.Expr) bool {
+	switch e := e.(type) {
+	case *cypher.Literal, *cypher.Param:
+		return true
+	case *cypher.UnaryExpr:
+		return isRecordFreeExpr(e.E)
+	default:
+		return false
+	}
+}
+
+// flipCmp mirrors a comparison operator across its operands (5 > n.x means
+// n.x < 5).
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	default: // = and <> are symmetric
+		return op
+	}
+}
+
+// tryPushConjunct pushes a `var.attr <cmp> <record-free>` comparison into
+// the operation that binds var, reporting whether it was consumed.
+func (b *planBuilder) tryPushConjunct(e cypher.Expr) bool {
+	if b.noPushdown {
+		return false
+	}
+	be, ok := e.(*cypher.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+	default:
+		return false
+	}
+	op := be.Op
+	pa, val := be.L, be.R
+	if _, ok := pa.(*cypher.PropAccess); !ok {
+		pa, val = be.R, be.L
+		op = flipCmp(op)
+	}
+	access, ok := pa.(*cypher.PropAccess)
+	if !ok || !isRecordFreeExpr(val) {
+		return false
+	}
+	ident, ok := access.E.(*cypher.Ident)
+	if !ok {
+		return false
+	}
+	fn, err := compileExpr(val, b.st)
+	if err != nil {
+		return false
+	}
+	desc := fmt.Sprintf("%s.%s %s %s", ident.Name, access.Key, op, exprString(val))
+	return b.pushPropCmp(ident.Name, access.Key, op, fn, desc)
+}
+
+// pushPropCmp routes one record-free property comparison to its variable's
+// binding operation: scans check it before materialising a record, and
+// non-optional traversals apply it as a GraphBLAS column mask on the result
+// frontier. Returns false when no eligible binder exists.
+func (b *planBuilder) pushPropCmp(varName, attr, op string, fn evalFn, desc string) bool {
+	if b.noPushdown {
+		return false
+	}
+	bi := b.binders[varName]
+	if bi == nil {
+		return false
+	}
+	if pushScan(bi.op, 0, "", &scanPropEq{attr: attr, op: op, val: fn, desc: desc}) {
+		return true
+	}
+	if ct, ok := bi.op.(*condTraverseOp); ok && !ct.optional {
+		if slot, ok := b.st.lookup(varName); ok && slot == ct.dstSlot {
+			ct.masks = append(ct.masks, dstMask{labels: bi.labels, attr: attr, op: op, val: fn, desc: desc})
+			return true
+		}
+	}
+	return false
+}
+
+// clearBinders forbids pushdown into operations planned before this point.
+// Every write clause calls it: a predicate from a later MATCH must not be
+// hoisted above a SET/DELETE/CREATE/MERGE, where it would observe
+// pre-mutation state (scans and traversals evaluate below the write op).
+func (b *planBuilder) clearBinders() {
+	b.binders = map[string]*binderInfo{}
+}
+
+// pushLabel routes a residual label predicate to a scan's pushed filter
+// (checked through a fold-free diagonal mask over the label matrix).
+func (b *planBuilder) pushLabel(varName string, lid int, label string) bool {
+	if b.noPushdown {
+		return false
+	}
+	bi := b.binders[varName]
+	if bi == nil {
+		return false
+	}
+	return pushScan(bi.op, lid, label, nil)
 }
 
 func (b *planBuilder) buildPattern(pat *cypher.PathPattern, optional bool) error {
@@ -184,6 +338,7 @@ func (b *planBuilder) buildPattern(pat *cypher.PathPattern, optional bool) error
 		default:
 			b.cur = &allNodeScanOp{child: b.cur, slot: slot, alias: names[start], width: width}
 		}
+		b.binders[names[start]] = &binderInfo{op: b.cur, labels: startNode.Labels}
 		b.bound[names[start]] = true
 		// Residual label / property predicates on the start node.
 		if err := b.addNodeResiduals(names[start], startNode, usedIndexAttr, 1); err != nil {
@@ -209,8 +364,10 @@ func (b *planBuilder) buildPattern(pat *cypher.PathPattern, optional bool) error
 	return nil
 }
 
-// addNodeResiduals filters labels (beyond skipLabels) and properties (except
-// skipAttr) of a pattern node at runtime.
+// addNodeResiduals handles labels (beyond skipLabels) and properties (except
+// skipAttr) of a pattern node: each predicate is pushed into the variable's
+// binding operation when eligible (scan filters, traversal destination
+// masks), and falls back to an interpreted per-record filter otherwise.
 func (b *planBuilder) addNodeResiduals(varName string, n *cypher.NodePattern, skipAttr string, skipLabels int) error {
 	slot, _ := b.st.lookup(varName)
 	for _, lbl := range n.Labels[min(skipLabels, len(n.Labels)):] {
@@ -218,6 +375,9 @@ func (b *planBuilder) addNodeResiduals(varName string, n *cypher.NodePattern, sk
 		if !ok {
 			b.cur = &emptyOp{}
 			return nil
+		}
+		if b.pushLabel(varName, lid, lbl) {
+			continue
 		}
 		want := lid
 		b.cur = &filterOp{child: b.cur, desc: fmt.Sprintf("%s:%s", varName, lbl),
@@ -238,7 +398,11 @@ func (b *planBuilder) addNodeResiduals(varName string, n *cypher.NodePattern, sk
 			return err
 		}
 		key := attr
-		b.cur = &filterOp{child: b.cur, desc: fmt.Sprintf("%s.%s = %s", varName, key, exprString(ex)),
+		desc := fmt.Sprintf("%s.%s = %s", varName, key, exprString(ex))
+		if isRecordFreeExpr(ex) && b.pushPropCmp(varName, key, "=", fn, desc) {
+			continue
+		}
+		b.cur = &filterOp{child: b.cur, desc: desc,
 			pred: func(ctx *execCtx, r record) (value.Value, error) {
 				v := r[slot]
 				var have value.Value
@@ -312,14 +476,25 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 	ae := &algebraicExpr{operands: []algebraicOperand{rop}}
 
 	dstBound := b.bound[dstVar]
-	dstLabelInAE := false
+	labelsInAE := 0
 	if !dstBound && len(dstNode.Labels) > 0 && !rel.VarLength {
-		if diag, ok := labelDiagOperand(b.g, dstNode.Labels[0]); ok {
+		// Fold destination labels into the algebraic expression as diagonal
+		// operands, so the label predicates run inside the MxM/VxM chain.
+		// Optional traversals fold only the first (their null-row semantics
+		// treat further labels as residual predicates, as before); plain
+		// traversals fold every label unless pushdown is disabled.
+		fold := len(dstNode.Labels)
+		if optional || b.noPushdown {
+			fold = 1
+		}
+		for _, lbl := range dstNode.Labels[:fold] {
+			diag, ok := labelDiagOperand(b.g, lbl)
+			if !ok {
+				bindEmptyPattern()
+				return nil
+			}
 			ae.operands = append(ae.operands, diag)
-			dstLabelInAE = true
-		} else {
-			bindEmptyPattern()
-			return nil
+			labelsInAE++
 		}
 	}
 
@@ -369,15 +544,12 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 		b.bound[dstVar] = true
 		b.cur = &condTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
 			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir, optional: optional}
+		b.binders[dstVar] = &binderInfo{op: b.cur, labels: dstNode.Labels}
 	}
 
-	// Residual dst-node predicates (skip the label folded into the AE).
+	// Residual dst-node predicates (skip the labels folded into the AE).
 	if !dstBound {
-		skip := 0
-		if dstLabelInAE {
-			skip = 1
-		}
-		if err := b.addNodeResiduals(dstVar, &cypher.NodePattern{Var: dstVar, Labels: dstNode.Labels[min(skip, len(dstNode.Labels)):], Props: dstNode.Props}, "", 0); err != nil {
+		if err := b.addNodeResiduals(dstVar, &cypher.NodePattern{Var: dstVar, Labels: dstNode.Labels[min(labelsInAE, len(dstNode.Labels)):], Props: dstNode.Props}, "", 0); err != nil {
 			return err
 		}
 	}
@@ -448,6 +620,7 @@ func (b *planBuilder) compileCreatePattern(pat *cypher.PathPattern) (createPatte
 
 func (b *planBuilder) buildCreate(c *cypher.CreateClause) error {
 	b.readonly = false
+	b.clearBinders()
 	var specs []createPatternSpec
 	for _, pat := range c.Patterns {
 		spec, err := b.compileCreatePattern(pat)
@@ -466,17 +639,20 @@ func (b *planBuilder) buildCreate(c *cypher.CreateClause) error {
 
 func (b *planBuilder) buildMerge(c *cypher.MergeClause) error {
 	b.readonly = false
+	b.clearBinders()
 	if b.cur != nil {
 		return fmt.Errorf("core: MERGE is only supported as the first clause")
 	}
 	// Build the match side against a fresh argument.
-	mb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon}
+	mb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon,
+		noPushdown: b.noPushdown, binders: map[string]*binderInfo{}}
 	if err := mb.buildPattern(c.Pattern, false); err != nil {
 		return err
 	}
 	b.anon = mb.anon
 	// Compile the create side with the same slots.
-	cb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon}
+	cb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon,
+		noPushdown: b.noPushdown, binders: map[string]*binderInfo{}}
 	spec, err := cb.compileCreatePattern(c.Pattern)
 	if err != nil {
 		return err
@@ -488,12 +664,13 @@ func (b *planBuilder) buildMerge(c *cypher.MergeClause) error {
 	for v := range cb.bound {
 		b.bound[v] = true
 	}
-	b.cur = &mergeOp{matchPlan: mb.cur, pattern: spec, width: b.st.size()}
+	b.cur = adaptScalar(&mergeOp{matchPlan: mb.cur, pattern: spec, width: b.st.size()})
 	return nil
 }
 
 func (b *planBuilder) buildDelete(c *cypher.DeleteClause) error {
 	b.readonly = false
+	b.clearBinders()
 	var fns []evalFn
 	for _, e := range c.Exprs {
 		fn, err := compileExpr(e, b.st)
@@ -511,6 +688,7 @@ func (b *planBuilder) buildDelete(c *cypher.DeleteClause) error {
 
 func (b *planBuilder) buildSet(c *cypher.SetClause) error {
 	b.readonly = false
+	b.clearBinders()
 	if b.cur == nil {
 		return fmt.Errorf("core: SET requires a preceding MATCH")
 	}
@@ -640,6 +818,7 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 	// The projection defines a fresh scope.
 	b.st = outST
 	b.bound = map[string]bool{}
+	b.binders = map[string]*binderInfo{}
 	for _, n := range names {
 		b.bound[n] = true
 	}
@@ -659,7 +838,28 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 		for i, si := range orderBy {
 			descs[i] = si.Desc
 		}
-		b.cur = &sortOp{child: b.cur, visible: visible, descs: descs}
+		if limit != nil {
+			// ORDER BY directly followed by LIMIT fuses into a bounded
+			// top-N heap: only skip+limit records stay live instead of the
+			// whole sorted input. The skipOp/limitOp above still trim the
+			// emitted prefix.
+			limFn, err := compileExpr(limit, b.st)
+			if err != nil {
+				return err
+			}
+			var skipFn evalFn
+			bound := exprString(limit)
+			if skip != nil {
+				if skipFn, err = compileExpr(skip, b.st); err != nil {
+					return err
+				}
+				bound = exprString(skip) + "+" + bound
+			}
+			b.cur = &topNSortOp{child: b.cur, visible: visible, descs: descs,
+				skip: skipFn, limit: limFn, desc: bound}
+		} else {
+			b.cur = &sortOp{child: b.cur, visible: visible, descs: descs}
+		}
 	}
 	if skip != nil {
 		fn, err := compileExpr(skip, b.st)
@@ -794,20 +994,23 @@ type appendKeysOp struct {
 	visible int
 }
 
-func (o *appendKeysOp) next(ctx *execCtx) (record, error) {
-	r, err := o.child.next(ctx)
-	if err != nil || r == nil {
+func (o *appendKeysOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	b, err := o.child.nextBatch(ctx)
+	if err != nil || b == nil {
 		return nil, err
 	}
-	out := r.extended(o.visible + len(o.keys))
-	for i, fn := range o.keys {
-		v, err := fn(ctx, r)
-		if err != nil {
-			return nil, err
+	for k, r := range b {
+		out := r.extended(o.visible + len(o.keys))
+		for i, fn := range o.keys {
+			v, err := fn(ctx, r)
+			if err != nil {
+				return nil, err
+			}
+			out[o.visible+i] = v
 		}
-		out[o.visible+i] = v
+		b[k] = out
 	}
-	return out, nil
+	return b, nil
 }
 
 func (o *appendKeysOp) name() string                 { return "SortKeys" }

@@ -40,6 +40,11 @@ func (s *symtab) size() int { return len(s.names) }
 // record is one row of intermediate execution state.
 type record []value.Value
 
+// recordBatch is an ordered group of records flowing between operations —
+// the unit of work of the batch-at-a-time executor. A batch is owned by its
+// consumer once returned: operations may compact or truncate it in place.
+type recordBatch []record
+
 func newRecord(n int) record {
 	return make(record, n)
 }

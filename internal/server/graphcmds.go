@@ -14,10 +14,15 @@ import (
 // server's options and live GRAPH.CONFIG state.
 func (s *Server) queryConfig() core.Config {
 	return core.Config{
-		OpThreads: int(s.opThreads.Load()),
-		Timeout:   s.opts.QueryTimeout,
+		OpThreads:     int(s.opThreads.Load()),
+		TraverseBatch: int(s.traverseBatch.Load()),
+		Timeout:       s.opts.QueryTimeout,
 	}
 }
+
+// maxTraverseBatch caps GRAPH.CONFIG SET TRAVERSE_BATCH: beyond this the
+// frontier matrices stop fitting comfortably in cache and the win flattens.
+const maxTraverseBatch = 1 << 16
 
 // graphCommand executes one GRAPH.* module command on a threadpool worker.
 func (s *Server) graphCommand(cmd string, args []string) (any, error) {
@@ -86,6 +91,8 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 				return []any{"TIMEOUT", int64(s.opts.QueryTimeout.Milliseconds())}, nil
 			case "MAX_QUERY_THREADS":
 				return []any{"MAX_QUERY_THREADS", int64(s.opThreads.Load())}, nil
+			case "TRAVERSE_BATCH":
+				return []any{"TRAVERSE_BATCH", int64(s.traverseBatch.Load())}, nil
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
@@ -98,10 +105,17 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 				}
 				s.opThreads.Store(int32(n))
 				return resp.SimpleString("OK"), nil
+			case "TRAVERSE_BATCH":
+				n, err := strconv.Atoi(args[2])
+				if err != nil || n < 1 || n > maxTraverseBatch {
+					return nil, fmt.Errorf("ERR TRAVERSE_BATCH must be an integer between 1 and %d", maxTraverseBatch)
+				}
+				s.traverseBatch.Store(int32(n))
+				return resp.SimpleString("OK"), nil
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET THREAD_COUNT|TIMEOUT|MAX_QUERY_THREADS and SET MAX_QUERY_THREADS")
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET THREAD_COUNT|TIMEOUT|MAX_QUERY_THREADS|TRAVERSE_BATCH and SET MAX_QUERY_THREADS|TRAVERSE_BATCH")
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))
 }

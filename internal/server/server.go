@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"redisgraph/internal/core"
 	"redisgraph/internal/graph"
 	"redisgraph/internal/pool"
 	"redisgraph/internal/resp"
@@ -31,6 +32,11 @@ type Options struct {
 	// paper's one-core-per-query architecture). Defaults to 1; runtime
 	// changes go through GRAPH.CONFIG SET MAX_QUERY_THREADS.
 	OpThreads int
+	// TraverseBatch is the engine's pipeline batch size: records per batch
+	// through every operation and frontier rows per fused MxM. 0 uses the
+	// engine default (64); 1 forces tuple-at-a-time execution. Runtime
+	// changes go through GRAPH.CONFIG SET TRAVERSE_BATCH.
+	TraverseBatch int
 	// QueryTimeout bounds each query (0 = none).
 	QueryTimeout time.Duration
 	// SnapshotPath, when set, enables the SAVE command and loading the
@@ -47,6 +53,9 @@ type Server struct {
 	// opThreads is the live MAX_QUERY_THREADS value (seeded from
 	// Options.OpThreads, mutable via GRAPH.CONFIG SET).
 	opThreads atomic.Int32
+	// traverseBatch is the live TRAVERSE_BATCH value (seeded from
+	// Options.TraverseBatch, mutable via GRAPH.CONFIG SET).
+	traverseBatch atomic.Int32
 
 	mu       sync.RWMutex
 	graphs   map[string]*graph.Graph
@@ -78,6 +87,9 @@ func New(opts Options) *Server {
 	if opts.OpThreads <= 0 {
 		opts.OpThreads = 1
 	}
+	if opts.TraverseBatch <= 0 {
+		opts.TraverseBatch = core.DefaultTraverseBatch
+	}
 	s := &Server{
 		opts:     opts,
 		pool:     pool.New(opts.ThreadCount),
@@ -87,6 +99,7 @@ func New(opts Options) *Server {
 		quit:     make(chan struct{}),
 	}
 	s.opThreads.Store(int32(opts.OpThreads))
+	s.traverseBatch.Store(int32(opts.TraverseBatch))
 	return s
 }
 

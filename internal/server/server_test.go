@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"redisgraph/internal/client"
+	"redisgraph/internal/core"
 	"redisgraph/internal/resp"
 )
 
@@ -243,5 +244,48 @@ func TestQueryTimeout(t *testing.T) {
 	if _, err := c.Do("GRAPH.QUERY", "g", "MATCH (n:N) RETURN count(n)"); err == nil ||
 		!strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGraphConfigTraverseBatch(t *testing.T) {
+	_, c := startServer(t)
+	// Defaults to the engine's batch size.
+	v, err := c.Do("GRAPH.CONFIG", "GET", "TRAVERSE_BATCH")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := v.([]any)
+	if pair[0].(string) != "TRAVERSE_BATCH" || pair[1].(int64) != int64(core.DefaultTraverseBatch) {
+		t.Fatalf("default TRAVERSE_BATCH: %v", v)
+	}
+	// Queries keep working at every accepted setting, including the
+	// tuple-at-a-time degenerate batch.
+	if _, err := c.Query("g", `CREATE (:P {x: 1})-[:L]->(:P {x: 2})`); err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []string{"1", "3", "128"} {
+		if v, err := c.Do("GRAPH.CONFIG", "SET", "TRAVERSE_BATCH", bs); err != nil || v.(resp.SimpleString) != "OK" {
+			t.Fatalf("SET TRAVERSE_BATCH %s: %v %v", bs, v, err)
+		}
+		v, err := c.Do("GRAPH.CONFIG", "GET", "TRAVERSE_BATCH")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.([]any)[1].(int64); fmt.Sprint(got) != bs {
+			t.Fatalf("GET after SET %s: %d", bs, got)
+		}
+		rep, err := c.Query("g", `MATCH (a:P)-[:L]->(b:P) RETURN count(b)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows := rep[1].([]any); len(rows) != 1 || rows[0].([]any)[0].(int64) != 1 {
+			t.Fatalf("batch=%s rows: %v", bs, rep[1])
+		}
+	}
+	// Validation: zero, negative, junk and over-cap values are rejected.
+	for _, bad := range []string{"0", "-4", "many", "1000000"} {
+		if _, err := c.Do("GRAPH.CONFIG", "SET", "TRAVERSE_BATCH", bad); err == nil {
+			t.Fatalf("SET TRAVERSE_BATCH %s must fail", bad)
+		}
 	}
 }
