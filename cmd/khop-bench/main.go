@@ -7,11 +7,13 @@
 // robust (E4), traverse-batch (E6, the batched-frontier ablation),
 // rw-mix (E7, mixed read/write throughput under delta-matrix concurrency
 // vs the coarse-lock baseline), pipeline-batch (E8, the end-to-end
-// batch-at-a-time pipeline with predicate pushdown), or all.
+// batch-at-a-time pipeline with predicate pushdown), plan-order (E9, the
+// cost-based planner vs the textual-order baseline on order-sensitive
+// queries), or all.
 // -batch sets the batch size for the traverse-batch and pipeline-batch
 // experiments; -out writes the selected experiment's results as JSON (the
 // perf-trajectory artifacts BENCH_traverse.json / BENCH_rwmix.json /
-// BENCH_pipeline.json).
+// BENCH_pipeline.json / BENCH_planner.json).
 package main
 
 import (
@@ -28,7 +30,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | all")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | all")
 	queries := flag.Int("queries", 2048, "query count for the throughput and rw-mix experiments")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
 	batch := flag.Int("batch", 64, "batch size for the traverse-batch and pipeline-batch experiments")
@@ -76,6 +78,10 @@ func main() {
 	if want("pipeline-batch") {
 		results := s.PipelineBatch(*batch)
 		writeJSON(outFor("pipeline-batch"), "pipeline-batch", *scale, results)
+	}
+	if want("plan-order") {
+		results := s.PlanOrder()
+		writeJSON(outFor("plan-order"), "plan-order", *scale, results)
 	}
 }
 

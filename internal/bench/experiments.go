@@ -15,11 +15,13 @@ import (
 	"redisgraph/internal/gen"
 	"redisgraph/internal/graph"
 	"redisgraph/internal/pool"
+	"redisgraph/internal/value"
 )
 
 // Suite holds the loaded datasets and engine line-ups for all experiments.
 type Suite struct {
 	Datasets []Dataset
+	scale    int
 	graphs   map[string]*graph.Graph
 	engines  map[string][]baseline.Engine
 	w        io.Writer
@@ -28,6 +30,7 @@ type Suite struct {
 // NewSuite generates and loads the two paper datasets at the given scale.
 func NewSuite(scale int, w io.Writer) *Suite {
 	s := &Suite{
+		scale:   scale,
 		graphs:  map[string]*graph.Graph{},
 		engines: map[string][]baseline.Engine{},
 		w:       w,
@@ -450,6 +453,128 @@ func (s *Suite) PipelineBatch(batch int) []PipelineBatchResult {
 			fmt.Fprintf(s.w, "  %-14s %-12s scalar %8.2f ms  batched(%d) %8.2f ms (%4.2fx)  +pushdown %8.2f ms (%4.2fx)\n",
 				r.Dataset, r.Workload, r.ScalarMS, batch, r.BatchedMS, r.SpeedupBatch, r.PushdownMS, r.SpeedupTotal)
 		}
+	}
+	fmt.Fprintln(s.w)
+	return out
+}
+
+// PlanOrderResult is one workload of the cost-based-planner experiment: an
+// order-sensitive query executed with the cost planner against the
+// NoCostPlanner textual baseline.
+type PlanOrderResult struct {
+	Workload  string  `json:"workload"`
+	Query     string  `json:"query"`
+	Rows      int     `json:"rows"`
+	TextualMS float64 `json:"textual_ms"`
+	CostMS    float64 `json:"cost_ms"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// PlanOrder measures the cost-based query planner (E9) on a label-skewed
+// graph the textual planner handles badly: 2^scale :Big nodes densely
+// connected by :S, 16 :Rare nodes touched by a handful of :R edges. Every
+// workload is written so textual order starts from the dense end; the cost
+// planner must pick the selective entry point and traverse the transposed
+// matrices instead. Both planners must return identical results — the
+// experiment doubles as a differential check.
+func (s *Suite) PlanOrder() []PlanOrderResult {
+	fmt.Fprintf(s.w, "=== E9: cost-based planner, order-sensitive queries (scale=%d) ===\n", s.scale)
+	nBig := 1 << s.scale
+	const nRare = 16
+	g := graph.New("plan-order")
+	g.Lock()
+	bigs := make([]uint64, nBig)
+	for i := 0; i < nBig; i++ {
+		bigs[i] = g.CreateNode([]string{"Big"}, map[string]value.Value{
+			"uid": value.NewInt(int64(i)),
+		}).ID
+	}
+	rares := make([]uint64, nRare)
+	for i := 0; i < nRare; i++ {
+		rares[i] = g.CreateNode([]string{"Rare"}, map[string]value.Value{
+			"uid": value.NewInt(int64(i)),
+		}).ID
+	}
+	mustEdge := func(typ string, src, dst uint64) {
+		if _, err := g.CreateEdge(typ, src, dst, nil); err != nil {
+			panic(fmt.Sprintf("bench: plan-order: %v", err))
+		}
+	}
+	// Dense relation among the Big nodes: 4 deterministic pseudo-random
+	// successors each.
+	for i, b := range bigs {
+		for k := 0; k < 4; k++ {
+			mustEdge("S", b, bigs[(i*2654435761+k*40503+1)%nBig])
+		}
+	}
+	// Sparse relation from a few Big nodes into the Rare ones.
+	for i := 0; i < 8*nRare; i++ {
+		mustEdge("R", bigs[(i*7919)%nBig], rares[i%nRare])
+	}
+	g.Sync()
+	g.Unlock()
+
+	workloads := []struct {
+		name  string
+		query string
+	}{
+		// Entry-point choice: the pattern is written dense-end first; the
+		// cost planner must start from the 16-node :Rare label and walk Rᵀ.
+		{"selective-entry", `MATCH (a:Big)-[:R]->(b:Rare) RETURN count(a)`},
+		// Hop ordering across a chain: textual order expands the dense :S
+		// relation over every :Big node before filtering through :R.
+		{"hop-order", `MATCH (a:Big)-[:S]->(m:Big)-[:R]->(b:Rare) RETURN count(*)`},
+	}
+	var out []PlanOrderResult
+	for _, wl := range workloads {
+		once := func(cfg core.Config) (float64, string) {
+			runtime.GC()
+			t0 := time.Now()
+			rs, err := core.ROQuery(g, wl.query, nil, cfg)
+			if err != nil {
+				panic(fmt.Sprintf("bench: plan-order: %v", err))
+			}
+			rows := make([]string, len(rs.Rows))
+			for i, row := range rs.Rows {
+				rows[i] = fmt.Sprint(row)
+			}
+			sort.Strings(rows)
+			return float64(time.Since(t0).Nanoseconds()) / 1e6, strings.Join(rows, ";")
+		}
+		// Interleave the two planners so time-varying machine noise biases
+		// neither; keep the median of the post-warmup reps.
+		var costReps, textReps []float64
+		var ref string
+		for rep := 0; rep < 6; rep++ {
+			el, rows := once(core.Config{OpThreads: 1})
+			if rep > 0 {
+				costReps = append(costReps, el)
+			}
+			if ref == "" {
+				ref = rows
+			} else if rows != ref {
+				panic(fmt.Sprintf("bench: plan-order disagreement on %s (cost)", wl.name))
+			}
+			el, rows = once(core.Config{OpThreads: 1, NoCostPlanner: true})
+			if rep > 0 {
+				textReps = append(textReps, el)
+			}
+			if rows != ref {
+				panic(fmt.Sprintf("bench: plan-order disagreement on %s (textual)", wl.name))
+			}
+		}
+		sort.Float64s(costReps)
+		sort.Float64s(textReps)
+		r := PlanOrderResult{
+			Workload: wl.name, Query: wl.query,
+			Rows:      strings.Count(ref, ";") + 1,
+			TextualMS: textReps[len(textReps)/2],
+			CostMS:    costReps[len(costReps)/2],
+		}
+		r.Speedup = r.TextualMS / r.CostMS
+		out = append(out, r)
+		fmt.Fprintf(s.w, "  %-16s textual %10.2f ms  cost-based %8.2f ms  %6.2fx\n",
+			r.Workload, r.TextualMS, r.CostMS, r.Speedup)
 	}
 	fmt.Fprintln(s.w)
 	return out

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"redisgraph/internal/graph"
@@ -103,6 +104,28 @@ func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, notReached *grb.Vect
 		w = out
 	}
 	return w, nil
+}
+
+// orderLabelsBySelectivity returns the labels ordered smallest-cardinality
+// first. When several label diagonals fold into one algebraic expression,
+// multiplying the most selective diagonal first shrinks every later
+// intermediate product — the operand-ordering half of the cost-based
+// planner. Unknown labels sort first (they empty the chain anyway). The
+// sort is stable, so equal-cardinality labels keep their written order.
+func (b *planBuilder) orderLabelsBySelectivity(labels []string) []string {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := append([]string(nil), labels...)
+	count := func(l string) int {
+		lid, ok := b.g.Schema.LabelID(l)
+		if !ok {
+			return -1
+		}
+		return b.gs.LabelCount(lid)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return count(out[i]) < count(out[j]) })
+	return out
 }
 
 // relationOperand resolves the matrix for a relationship hop.

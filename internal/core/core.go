@@ -41,6 +41,12 @@ type Config struct {
 	// label and property predicate stays an interpreted per-record filter.
 	// It is the differential tests' baseline and a safety valve.
 	NoPushdown bool
+	// NoCostPlanner disables the cost-based planner: MATCH patterns are
+	// planned in the exact order they were written, with no stats-driven
+	// entry-point choice, hop reordering or traversal-direction decisions.
+	// It is the planner differential tests' baseline and a safety valve
+	// (GRAPH.CONFIG SET COST_PLANNER 0).
+	NoCostPlanner bool
 }
 
 func (c Config) descriptor() *grb.Descriptor {
@@ -115,11 +121,12 @@ func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 	return execute(g, plan, params, cfg, false)
 }
 
-// buildLocked plans under the read lock (planning consults the schema).
+// buildLocked plans under the read lock (planning consults the schema and
+// the stats snapshot feeding the cost model).
 func buildLocked(g *graph.Graph, ast *cypher.Query, cfg Config) (*Plan, error) {
 	g.RLock()
 	defer g.RUnlock()
-	return buildPlanOpts(g, ast, planOptions{NoPushdown: cfg.NoPushdown})
+	return buildPlanOpts(g, ast, planOptions{NoPushdown: cfg.NoPushdown, NoCostPlanner: cfg.NoCostPlanner})
 }
 
 func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Config, concurrent bool) (*ResultSet, error) {
@@ -160,18 +167,44 @@ func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Conf
 }
 
 // Explain returns the execution-plan tree for a query (GRAPH.EXPLAIN).
-func Explain(g *graph.Graph, query string) ([]string, error) {
+// The config matters: NoPushdown and NoCostPlanner change the plan.
+func Explain(g *graph.Graph, query string, cfg Config) ([]string, error) {
 	ast, err := cypher.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := buildLocked(g, ast, Config{})
+	plan, err := buildLocked(g, ast, cfg)
 	if err != nil {
 		return nil, err
 	}
 	var lines []string
-	printPlan(plan.root, 0, &lines, nil)
+	printPlan(plan.root, 0, &lines, plan.estAnnotation)
 	return lines, nil
+}
+
+// estAnnotation renders an operation's estimated output cardinality for
+// EXPLAIN/PROFILE lines.
+func (p *Plan) estAnnotation(op operation) string {
+	e, ok := p.estFor(op)
+	if !ok {
+		return ""
+	}
+	return " | est: " + fmtEst(e) + " rows"
+}
+
+// fmtEst formats a cardinality estimate: exact-looking integers for small
+// figures, scientific notation once precision stops meaning anything. A
+// fractional estimate prints as "<1" — only a true zero (empty label or
+// relation) claims the plan produces nothing.
+func fmtEst(e float64) string {
+	switch {
+	case e >= 1e6:
+		return fmt.Sprintf("%.2g", e)
+	case e > 0 && e < 0.5:
+		return "<1"
+	default:
+		return fmt.Sprintf("%d", int64(e+0.5))
+	}
 }
 
 // Profile executes the query with per-operation accounting and returns the
@@ -208,11 +241,12 @@ func Profile(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 	}
 	var lines []string
 	printPlan(plan.root, 0, &lines, func(op operation) string {
+		s := plan.estAnnotation(op)
 		if p, ok := op.(*profiledOp); ok {
-			return fmt.Sprintf(" | Records produced: %d, Execution time: %.6f ms",
+			s += fmt.Sprintf(" | Records produced: %d, Execution time: %.6f ms",
 				p.records, float64(p.elapsed.Nanoseconds())/1e6)
 		}
-		return ""
+		return s
 	})
 	return lines, nil
 }

@@ -288,7 +288,7 @@ func TestIndexScanUsedAndCorrect(t *testing.T) {
 	if rs.Stats.IndicesCreated != 1 {
 		t.Fatalf("stats: %+v", rs.Stats)
 	}
-	lines, err := Explain(g, `MATCH (n:Person {name:'bob'}) RETURN n`)
+	lines, err := Explain(g, `MATCH (n:Person {name:'bob'}) RETURN n`, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestParameters(t *testing.T) {
 
 func TestExplainShowsAlgebraicExpression(t *testing.T) {
 	g := socialGraph(t)
-	lines, err := Explain(g, `MATCH (a:Person {name:'alice'})-[:KNOWS*1..2]->(n) RETURN count(n)`)
+	lines, err := Explain(g, `MATCH (a:Person {name:'alice'})-[:KNOWS*1..2]->(n) RETURN count(n)`, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

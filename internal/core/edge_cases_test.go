@@ -181,7 +181,7 @@ func TestMergeRelationshipPattern(t *testing.T) {
 
 func TestExplainTransposedTraversal(t *testing.T) {
 	g := socialGraph(t)
-	lines, err := Explain(g, `MATCH (c:Person)<-[:KNOWS]-(x) RETURN count(x)`)
+	lines, err := Explain(g, `MATCH (c:Person)<-[:KNOWS]-(x) RETURN count(x)`, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

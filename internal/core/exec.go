@@ -117,8 +117,9 @@ type operation interface {
 }
 
 // scalarOp is the legacy tuple-at-a-time interface. Exotic operations that
-// gain nothing from batching (DDL, merge-style drains) may keep it and be
-// lifted into the batch pipeline with adaptScalar.
+// gain nothing from batching (merge-style drains) may keep it and be
+// lifted into the batch pipeline with adaptScalar; mergeOp is the
+// remaining example.
 type scalarOp interface {
 	// next returns the next record, or nil when depleted.
 	next(ctx *execCtx) (record, error)

@@ -1,0 +1,778 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"redisgraph/internal/cypher"
+)
+
+// The planner runs in two phases. The logical phase (this file) turns a run
+// of consecutive MATCH clauses into a pattern graph — one vertex per
+// distinct query variable, one edge per relationship pattern — and orders
+// it with a greedy cost model fed by graph.Stats: cheapest entry point
+// first (index seed < smallest label scan < all-node scan), then always the
+// frontier-shrinking hop with the lowest estimated output cardinality,
+// closing cycles as soon as both endpoints are bound. The physical phase
+// (plan.go) emits scan/traversal operations in the chosen order through the
+// same machinery the textual planner uses, so pushdown, masks and batching
+// apply unchanged. Config.NoCostPlanner keeps the textual order — the
+// differential baseline.
+
+const (
+	// propEqSelectivity is the assumed fraction of candidates surviving one
+	// property equality when no index quantifies it.
+	propEqSelectivity = 0.1
+	// defaultFilterSelectivity is the assumed survival rate of a residual
+	// predicate the estimator cannot classify.
+	defaultFilterSelectivity = 0.5
+	// estCap bounds runaway cardinality products (deep variable-length
+	// expansions) so estimates stay finite and printable.
+	estCap = 1e15
+	// varLenHopCap bounds how many expansion levels the estimator sums for
+	// unbounded variable-length patterns.
+	varLenHopCap = 4
+)
+
+func capEst(x float64) float64 {
+	if x > estCap {
+		return estCap
+	}
+	if x < 0 || math.IsNaN(x) {
+		return 0
+	}
+	return x
+}
+
+// patternNode is one distinct variable of the pattern graph, with the union
+// of every textual occurrence's predicates.
+type patternNode struct {
+	idx  int
+	name string
+	// merged holds all labels (deduped, textual order) and the first
+	// expression seen per property attribute across occurrences.
+	merged *cypher.NodePattern
+	// extras are property predicates beyond merged.Props: a later
+	// occurrence constraining an attribute already constrained by an
+	// earlier one. Each must still hold, as a residual filter.
+	extras []extraProp
+	edges  []int
+}
+
+type extraProp struct {
+	attr string
+	ex   cypher.Expr
+}
+
+// patternEdge is one relationship pattern, oriented as written (src → dst
+// before considering rel.Direction).
+type patternEdge struct {
+	idx      int
+	src, dst int
+	rel      *cypher.RelPattern
+	used     bool
+}
+
+type patternGraph struct {
+	nodes []*patternNode
+	byVar map[string]int
+	edges []*patternEdge
+}
+
+// exprIdents collects every variable name an expression references.
+func exprIdents(e cypher.Expr, out map[string]bool) {
+	switch e := e.(type) {
+	case *cypher.Ident:
+		out[e.Name] = true
+	case *cypher.PropAccess:
+		exprIdents(e.E, out)
+	case *cypher.BinaryExpr:
+		exprIdents(e.L, out)
+		exprIdents(e.R, out)
+	case *cypher.UnaryExpr:
+		exprIdents(e.E, out)
+	case *cypher.IsNullExpr:
+		exprIdents(e.E, out)
+	case *cypher.FuncCall:
+		for _, a := range e.Args {
+			exprIdents(a, out)
+		}
+	case *cypher.ListExpr:
+		for _, it := range e.Items {
+			exprIdents(it, out)
+		}
+	case *cypher.IndexExpr:
+		exprIdents(e.E, out)
+		exprIdents(e.Idx, out)
+	}
+}
+
+// exprSafeAt reports whether every variable an expression references is in
+// the given set (expressions with no variables — literals, parameters —
+// are always safe).
+func exprSafeAt(e cypher.Expr, avail map[string]bool) bool {
+	ids := map[string]bool{}
+	exprIdents(e, ids)
+	for id := range ids {
+		if !avail[id] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedPropKeys(m map[string]cypher.Expr) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// buildPatternGraph interns the group's patterns into a pattern graph and
+// pre-registers every variable's record slot in textual order, so the
+// projection scope (RETURN *) does not depend on the join order the
+// optimizer picks: columns always appear in the order the pattern wrote
+// them. (The textual planner instead registers its chosen start node
+// first, so the two planners can disagree on RETURN * column order when
+// the textual start is mid-pattern — written order is the stabler
+// contract.)
+func (b *planBuilder) buildPatternGraph(clauses []*cypher.MatchClause) (*patternGraph, error) {
+	pg := &patternGraph{byVar: map[string]int{}}
+	addNode := func(np *cypher.NodePattern) *patternNode {
+		name := np.Var
+		if name == "" {
+			name = b.anonVar()
+		}
+		i, ok := pg.byVar[name]
+		if !ok {
+			i = len(pg.nodes)
+			pg.byVar[name] = i
+			pg.nodes = append(pg.nodes, &patternNode{idx: i, name: name,
+				merged: &cypher.NodePattern{Var: name}})
+		}
+		n := pg.nodes[i]
+		for _, l := range np.Labels {
+			if !containsStr(n.merged.Labels, l) {
+				n.merged.Labels = append(n.merged.Labels, l)
+			}
+		}
+		for _, attr := range sortedPropKeys(np.Props) {
+			ex := np.Props[attr]
+			if cur, ok := n.merged.Props[attr]; ok {
+				if cur != ex {
+					n.extras = append(n.extras, extraProp{attr: attr, ex: ex})
+				}
+				continue
+			}
+			if n.merged.Props == nil {
+				n.merged.Props = map[string]cypher.Expr{}
+			}
+			n.merged.Props[attr] = ex
+		}
+		return n
+	}
+	for _, c := range clauses {
+		for _, pat := range c.Patterns {
+			if pat.Var != "" {
+				return nil, fmt.Errorf("core: named path variables are not supported")
+			}
+			idxs := make([]int, len(pat.Nodes))
+			for i, np := range pat.Nodes {
+				n := addNode(np)
+				idxs[i] = n.idx
+				if i > 0 {
+					e := &patternEdge{idx: len(pg.edges), src: idxs[i-1], dst: idxs[i], rel: pat.Rels[i-1]}
+					pg.edges = append(pg.edges, e)
+					pg.nodes[e.src].edges = append(pg.nodes[e.src].edges, e.idx)
+					if e.dst != e.src {
+						pg.nodes[e.dst].edges = append(pg.nodes[e.dst].edges, e.idx)
+					}
+				}
+			}
+			// Slot order mirrors the textual planner's common case:
+			// node, edge var, node, ...
+			for i := range pat.Nodes {
+				b.st.add(pg.nodes[idxs[i]].name)
+				if i < len(pat.Rels) {
+					if v := pat.Rels[i].Var; v != "" && !pat.Rels[i].VarLength {
+						b.st.add(v)
+					}
+				}
+			}
+		}
+	}
+	return pg, nil
+}
+
+// ---- cost model ----
+
+// relFanout estimates the mean output frontier size per input row of one
+// hop across rel: the mean degree of the relation matrices involved
+// (summed for multi-type, doubled for undirected, geometric for
+// variable-length). The relation matrix and its transpose hold the same
+// entry count, so the figure covers both traversal directions.
+func (b *planBuilder) relFanout(rel *cypher.RelPattern) float64 {
+	var f float64
+	if len(rel.Types) == 0 {
+		f = b.gs.MeanDegreeAll()
+	} else {
+		for _, t := range rel.Types {
+			if tid, ok := b.g.Schema.RelTypeID(t); ok {
+				f += b.gs.MeanOutDegree(tid)
+			}
+		}
+	}
+	if rel.Direction == cypher.DirBoth {
+		f *= 2
+	}
+	if !rel.VarLength {
+		return f
+	}
+	// Variable-length: sum the per-depth frontiers minHops..maxHops, capped
+	// so unbounded patterns do not overflow; a single source can never
+	// reach more than every node.
+	lo := rel.MinHops
+	hi := rel.MaxHops
+	if hi < 0 || hi > lo+varLenHopCap {
+		hi = lo + varLenHopCap
+	}
+	total := 0.0
+	level := 1.0
+	for h := 1; h <= hi; h++ {
+		level = capEst(level * f)
+		if h >= lo {
+			total += level
+		}
+	}
+	if lo == 0 {
+		total++
+	}
+	if n := float64(b.gs.Nodes); total > n {
+		total = n
+	}
+	return total
+}
+
+// nodeSelectivity estimates the fraction of an incoming frontier surviving
+// a pattern node's label and inline-property predicates.
+func (b *planBuilder) nodeSelectivity(n *cypher.NodePattern) float64 {
+	if n == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, l := range n.Labels {
+		lid, ok := b.g.Schema.LabelID(l)
+		if !ok {
+			return 0
+		}
+		sel *= b.gs.LabelSelectivity(lid)
+	}
+	for range n.Props {
+		sel *= propEqSelectivity
+	}
+	return sel
+}
+
+// pairProbability estimates the chance a specific (src, dst) pair is
+// connected across rel — the expand-into survival rate.
+func (b *planBuilder) pairProbability(rel *cypher.RelPattern) float64 {
+	if b.gs.Nodes == 0 {
+		return 1
+	}
+	p := b.relFanout(rel) / float64(b.gs.Nodes)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// filterSelectivity estimates the survival rate of a residual predicate.
+func filterSelectivity(e cypher.Expr) float64 {
+	switch e := e.(type) {
+	case *cypher.BinaryExpr:
+		switch e.Op {
+		case "=":
+			return propEqSelectivity
+		case "<>":
+			return 1 - propEqSelectivity
+		case "AND":
+			return filterSelectivity(e.L) * filterSelectivity(e.R)
+		case "OR":
+			s := filterSelectivity(e.L) + filterSelectivity(e.R)
+			if s > 1 {
+				s = 1
+			}
+			return s
+		}
+	case *cypher.UnaryExpr:
+		if e.Op == "NOT" {
+			return 1 - filterSelectivity(e.E)
+		}
+	case *cypher.IsNullExpr:
+		return propEqSelectivity
+	}
+	return defaultFilterSelectivity
+}
+
+// entryScan is the cheapest way to bind one unbound pattern node.
+type entryScan struct {
+	node *patternNode
+	// base is the number of candidate rows the scan itself touches (per
+	// input record): 1 for an index seed, the label cardinality for a label
+	// scan, the node count for an all-node scan. The node's remaining
+	// predicates are not folded in here — addNodeResiduals counts their
+	// selectivity exactly once, when they are pushed or planned.
+	base float64
+	// indexAttr selects an index-seed scan when non-empty.
+	indexAttr string
+	// scanLabel is the label the scan iterates ("" = all-node scan).
+	scanLabel string
+	// empty marks a node with an unknown label: the scan is an emptyOp.
+	empty bool
+}
+
+// bestEntry scores how node n would be bound if chosen as a traversal entry
+// point: index seed < smallest label scan < all-node scan.
+func (b *planBuilder) bestEntry(n *patternNode) entryScan {
+	es := entryScan{node: n, base: float64(b.gs.Nodes)}
+	m := n.merged
+	minCount := math.Inf(1)
+	for _, l := range m.Labels {
+		lid, ok := b.g.Schema.LabelID(l)
+		if !ok {
+			return entryScan{node: n, empty: true}
+		}
+		if c := float64(b.gs.LabelCount(lid)); es.scanLabel == "" || c < minCount {
+			es.scanLabel, minCount = l, c
+		}
+	}
+	if es.scanLabel != "" {
+		es.base = minCount
+	}
+	// An index seed beats any scan. Mirror the textual planner's
+	// eligibility: an inline property on an indexed (label, attr) pair.
+	for _, l := range m.Labels {
+		lid, ok := b.g.Schema.LabelID(l)
+		if !ok {
+			continue
+		}
+		for _, attr := range sortedPropKeys(m.Props) {
+			aid, ok := b.g.Schema.AttrID(attr)
+			if !ok {
+				continue
+			}
+			if _, ok := b.g.Schema.Index(lid, aid); ok {
+				es.scanLabel, es.indexAttr, es.base = l, attr, 1
+				break
+			}
+		}
+		if es.indexAttr != "" {
+			break
+		}
+	}
+	return es
+}
+
+// ---- greedy ordering ----
+
+// buildMatchGroup plans a run of consecutive non-optional MATCH clauses as
+// one join graph, ordered by the cost model, then applies the clauses'
+// WHERE predicates (pushdown first, residual filters otherwise).
+func (b *planBuilder) buildMatchGroup(clauses []*cypher.MatchClause) error {
+	pg, err := b.buildPatternGraph(clauses)
+	if err != nil {
+		return err
+	}
+	preBound := map[string]bool{}
+	for v := range b.bound {
+		preBound[v] = true
+	}
+	// Reject the forward references the textual planner rejects: each
+	// clause's WHERE and inline property expressions may only name
+	// variables bound by previous clauses or the clause's own patterns.
+	// (Pre-registered slots would otherwise let them compile and evaluate
+	// against empty slots.)
+	if err := validateGroupRefs(clauses, preBound); err != nil {
+		return err
+	}
+	// Relationship property expressions referencing pattern variables
+	// beyond the hop's own endpoints interact with reordering (the
+	// referenced variable may bind after the hop); plan such groups in
+	// textual order, where binding follows the written sequence.
+	for _, e := range pg.edges {
+		hopVars := map[string]bool{
+			pg.nodes[e.src].name: true,
+			pg.nodes[e.dst].name: true,
+		}
+		if e.rel.Var != "" {
+			hopVars[e.rel.Var] = true
+		}
+		for v := range preBound {
+			hopVars[v] = true
+		}
+		for _, ex := range e.rel.Props {
+			if !exprSafeAt(ex, hopVars) {
+				for _, c := range clauses {
+					if err := b.buildMatch(c); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+	}
+	// Node property predicates that depend on other pattern variables
+	// ((b {uid: a.uid})) cannot run when their node binds — the referenced
+	// variable may bind later in the chosen order. Strip them from the
+	// pattern nodes and apply them once the whole group is bound.
+	type deferredPred struct {
+		name string
+		attr string
+		ex   cypher.Expr
+	}
+	var deferred []deferredPred
+	for _, n := range pg.nodes {
+		var safeProps map[string]cypher.Expr
+		for _, attr := range sortedPropKeys(n.merged.Props) {
+			ex := n.merged.Props[attr]
+			if exprSafeAt(ex, preBound) {
+				if safeProps == nil {
+					safeProps = map[string]cypher.Expr{}
+				}
+				safeProps[attr] = ex
+			} else {
+				deferred = append(deferred, deferredPred{name: n.name, attr: attr, ex: ex})
+			}
+		}
+		n.merged.Props = safeProps
+		safeExtras := n.extras[:0]
+		for _, ep := range n.extras {
+			if exprSafeAt(ep.ex, preBound) {
+				safeExtras = append(safeExtras, ep)
+			} else {
+				deferred = append(deferred, deferredPred{name: n.name, attr: ep.attr, ex: ep.ex})
+			}
+		}
+		n.extras = safeExtras
+	}
+	// Predicates of nodes bound by earlier clauses apply immediately.
+	for _, n := range pg.nodes {
+		if !b.bound[n.name] {
+			continue
+		}
+		if len(n.merged.Labels) > 0 || len(n.merged.Props) > 0 {
+			if err := b.addNodeResiduals(n.name, n.merged, "", 0); err != nil {
+				return err
+			}
+		}
+		if err := b.applyExtraProps(n); err != nil {
+			return err
+		}
+	}
+
+	isBound := func(i int) bool { return b.bound[pg.nodes[i].name] }
+	unusedEdges := len(pg.edges)
+
+	// varLenInto reports an unused variable-length edge with exactly its
+	// other endpoint at node i already bound: binding i through another
+	// edge first would leave the var-length hop with two bound endpoints,
+	// which the physical layer cannot execute. The guard emits the
+	// var-length hop first instead. Deliberate asymmetry: the guard also
+	// lets the cost planner execute shapes the textual order cannot (a
+	// single-hop and a var-length pattern sharing both endpoints), so on
+	// those queries the baseline errors while the cost planner succeeds.
+	varLenInto := func(i int) *patternEdge {
+		for _, ei := range pg.nodes[i].edges {
+			e := pg.edges[ei]
+			if e.used || !e.rel.VarLength {
+				continue
+			}
+			if e.src == i && isBound(e.dst) && !isBound(i) {
+				return e
+			}
+			if e.dst == i && isBound(e.src) && !isBound(i) {
+				return e
+			}
+		}
+		return nil
+	}
+
+	emitHop := func(e *patternEdge, fromSrc bool) error {
+		e.used = true
+		unusedEdges--
+		srcN, dstN := pg.nodes[e.src], pg.nodes[e.dst]
+		if !fromSrc {
+			srcN, dstN = dstN, srcN
+		}
+		newlyBound := !b.bound[dstN.name]
+		if err := b.buildHop(srcN.name, dstN.merged, dstN.name, e.rel, !fromSrc, false); err != nil {
+			return err
+		}
+		if newlyBound {
+			return b.applyExtraProps(dstN)
+		}
+		return nil
+	}
+
+	for {
+		// Cheapest hop out of the bound set. Cycle-closing hops (both
+		// endpoints bound) only shrink the frontier, so any of them wins
+		// outright; otherwise the hop with the lowest estimated output
+		// cardinality is taken, ties broken in textual order.
+		var best *patternEdge
+		bestFromSrc := true
+		bestOut := math.Inf(1)
+		bestClose := false
+		for _, e := range pg.edges {
+			if e.used {
+				continue
+			}
+			sb, db := isBound(e.src), isBound(e.dst)
+			switch {
+			case sb && db:
+				if !bestClose || e.idx < best.idx {
+					best, bestFromSrc, bestClose = e, true, true
+				}
+			case bestClose:
+				// A cycle-closing hop is already selected.
+			case sb || db:
+				fromSrc := sb
+				other := pg.nodes[e.dst]
+				if !fromSrc {
+					other = pg.nodes[e.src]
+				}
+				out := capEst(b.rowEst * b.relFanout(e.rel) * b.nodeSelectivity(other.merged))
+				if out < bestOut {
+					best, bestFromSrc, bestOut = e, fromSrc, out
+				}
+			}
+		}
+		if best != nil {
+			if !bestClose {
+				// Variable-length guard: never bind the far endpoint of a
+				// pending var-length hop through another edge.
+				bindTarget := best.dst
+				if !bestFromSrc {
+					bindTarget = best.src
+				}
+				if vl := varLenInto(bindTarget); vl != nil && vl != best {
+					if err := emitHop(vl, isBound(vl.src)); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			if err := emitHop(best, bestFromSrc); err != nil {
+				return err
+			}
+			continue
+		}
+		if unusedEdges == 0 {
+			break
+		}
+		// No edge touches the bound set: open the cheapest remaining
+		// component with a scan.
+		var entry *entryScan
+		for _, e := range pg.edges {
+			if e.used {
+				continue
+			}
+			for _, ni := range []int{e.src, e.dst} {
+				if isBound(ni) {
+					continue
+				}
+				es := b.bestEntry(pg.nodes[ni])
+				if entry == nil || es.base < entry.base {
+					es := es
+					entry = &es
+				}
+			}
+		}
+		if entry == nil {
+			return fmt.Errorf("core: pattern graph ordering stuck (unreachable)")
+		}
+		if err := b.emitNodeScan(*entry); err != nil {
+			return err
+		}
+	}
+
+	// Isolated pattern nodes (no relationships), cheapest first.
+	var isolated []*entryScan
+	for _, n := range pg.nodes {
+		if len(n.edges) == 0 && !b.bound[n.name] {
+			es := b.bestEntry(n)
+			isolated = append(isolated, &es)
+		}
+	}
+	sort.SliceStable(isolated, func(i, j int) bool { return isolated[i].base < isolated[j].base })
+	for _, es := range isolated {
+		if err := b.emitNodeScan(*es); err != nil {
+			return err
+		}
+	}
+
+	// Deferred cross-variable property predicates: every group variable is
+	// bound now, so they compile and evaluate like the textual planner's
+	// in-pattern residuals.
+	for _, dp := range deferred {
+		if err := b.addNodeResiduals(dp.name,
+			&cypher.NodePattern{Var: dp.name, Props: map[string]cypher.Expr{dp.attr: dp.ex}}, "", 0); err != nil {
+			return err
+		}
+	}
+
+	// WHERE predicates, per clause in textual order.
+	for _, c := range clauses {
+		if c.Where == nil {
+			continue
+		}
+		if err := b.applyWhere(c.Where); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateGroupRefs replicates the textual planner's forward-reference
+// errors at clause granularity: expressions in clause i may reference only
+// variables available after clause i.
+func validateGroupRefs(clauses []*cypher.MatchClause, preBound map[string]bool) error {
+	avail := map[string]bool{}
+	for v := range preBound {
+		avail[v] = true
+	}
+	check := func(e cypher.Expr) error {
+		ids := map[string]bool{}
+		exprIdents(e, ids)
+		missing := make([]string, 0, 1)
+		for id := range ids {
+			if !avail[id] {
+				missing = append(missing, id)
+			}
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		sort.Strings(missing)
+		return fmt.Errorf("undefined variable %q", missing[0])
+	}
+	for _, c := range clauses {
+		for _, pat := range c.Patterns {
+			for _, np := range pat.Nodes {
+				if np.Var != "" {
+					avail[np.Var] = true
+				}
+			}
+			for _, r := range pat.Rels {
+				if r.Var != "" && !r.VarLength {
+					avail[r.Var] = true
+				}
+			}
+		}
+		for _, pat := range c.Patterns {
+			for _, np := range pat.Nodes {
+				for _, ex := range np.Props {
+					if err := check(ex); err != nil {
+						return err
+					}
+				}
+			}
+			for _, r := range pat.Rels {
+				for _, ex := range r.Props {
+					if err := check(ex); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if c.Where != nil {
+			if err := check(c.Where); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// applyExtraProps adds residual filters for duplicate-attribute occurrences
+// of a pattern node.
+func (b *planBuilder) applyExtraProps(n *patternNode) error {
+	for _, ep := range n.extras {
+		if err := b.addNodeResiduals(n.name,
+			&cypher.NodePattern{Var: n.name, Props: map[string]cypher.Expr{ep.attr: ep.ex}}, "", 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitNodeScan binds one pattern node through the scan bestEntry chose,
+// then applies its remaining predicates (pushed where eligible).
+func (b *planBuilder) emitNodeScan(es entryScan) error {
+	n := es.node
+	m := n.merged
+	name := n.name
+	if b.bound[name] {
+		return nil
+	}
+	slot := b.st.add(name)
+	width := b.st.size()
+	if es.empty {
+		b.setCur(&emptyOp{}, 0)
+		b.bound[name] = true
+		return nil
+	}
+	skipAttr := ""
+	scanEst := capEst(b.rowEst * es.base)
+	switch {
+	case es.indexAttr != "":
+		fn, err := compileExpr(m.Props[es.indexAttr], b.st)
+		if err != nil {
+			return err
+		}
+		b.setCur(&indexScanOp{child: b.cur, slot: slot, alias: name,
+			label: es.scanLabel, attr: es.indexAttr, val: fn, width: width}, scanEst)
+		skipAttr = es.indexAttr
+	case es.scanLabel != "":
+		b.setCur(&labelScanOp{child: b.cur, slot: slot, alias: name,
+			label: es.scanLabel, width: width}, scanEst)
+	default:
+		b.setCur(&allNodeScanOp{child: b.cur, slot: slot, alias: name, width: width}, scanEst)
+	}
+	b.binders[name] = &binderInfo{op: b.cur, labels: m.Labels}
+	b.bound[name] = true
+	// Residual labels/properties. The scan's own label (index seeds prove
+	// theirs too) moves to the front so the skip count lines up.
+	labels := m.Labels
+	skipLabels := 0
+	if es.scanLabel != "" {
+		labels = append([]string{es.scanLabel}, removeStr(m.Labels, es.scanLabel)...)
+		skipLabels = 1
+	}
+	if err := b.addNodeResiduals(name, &cypher.NodePattern{Var: name, Labels: labels, Props: m.Props}, skipAttr, skipLabels); err != nil {
+		return err
+	}
+	return b.applyExtraProps(n)
+}
+
+func removeStr(xs []string, s string) []string {
+	out := make([]string, 0, len(xs))
+	for _, x := range xs {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}

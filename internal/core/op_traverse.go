@@ -602,6 +602,14 @@ func (o *traverseCountOp) setChild(i int, op operation) { o.t.child = op }
 // neighbourhood expansion at the heart of the paper's benchmark. Each
 // input record's whole reachable set is queued and emitted as native
 // batches.
+//
+// Destination-label predicates ((a)-[*1..3]->(b:Rare)) are applied inside
+// the expansion loop: dstAE holds the label diagonals, and each in-range
+// frontier is multiplied through them before emission — one algebraic mask
+// per level instead of a per-node label probe per reached vertex. The BFS
+// itself keeps expanding the unfiltered frontier, since intermediate path
+// nodes need not carry the destination label. dstLabel is the pre-pushdown
+// baseline (NoPushdown): a per-node check of the first label only.
 type varLenTraverseOp struct {
 	child   operation
 	srcSlot int
@@ -610,8 +618,9 @@ type varLenTraverseOp struct {
 
 	ae       *algebraicExpr
 	minHops  int
-	maxHops  int // -1 = unbounded
-	dstLabel int // -1 = unfiltered
+	maxHops  int            // -1 = unbounded
+	dstLabel int            // -1 = unfiltered (legacy per-node check)
+	dstAE    *algebraicExpr // label-diagonal mask over emitted frontiers
 
 	in    batchPuller
 	queue []record
@@ -658,7 +667,9 @@ func (o *varLenTraverseOp) expand(ctx *execCtx, in record, srcID uint64) error {
 		maxH = dim // cannot exceed the diameter
 	}
 	if o.minHops == 0 {
-		o.emitFrontier(ctx, in, frontier)
+		if err := o.emitMasked(ctx, in, frontier); err != nil {
+			return err
+		}
 	}
 	for hop := 1; hop <= maxH; hop++ {
 		if ctx.expired() {
@@ -675,10 +686,27 @@ func (o *varLenTraverseOp) expand(ctx *execCtx, in record, srcID uint64) error {
 			return err
 		}
 		if hop >= o.minHops {
-			o.emitFrontier(ctx, in, next)
+			if err := o.emitMasked(ctx, in, next); err != nil {
+				return err
+			}
 		}
 		frontier = next
 	}
+	return nil
+}
+
+// emitMasked restricts one in-range frontier to the destination labels —
+// multiplying through the label diagonals, leaving the BFS frontier itself
+// untouched — and queues the surviving nodes.
+func (o *varLenTraverseOp) emitMasked(ctx *execCtx, in record, f *grb.Vector) error {
+	if o.dstAE != nil {
+		masked, err := o.dstAE.eval(ctx, f)
+		if err != nil {
+			return err
+		}
+		f = masked
+	}
+	o.emitFrontier(ctx, in, f)
 	return nil
 }
 
@@ -704,7 +732,11 @@ func (o *varLenTraverseOp) args() string {
 	if o.maxHops >= 0 {
 		hi = fmt.Sprint(o.maxHops)
 	}
-	return fmt.Sprintf("%s [%d..%s]", o.ae.String(), o.minHops, hi)
+	s := fmt.Sprintf("%s [%d..%s]", o.ae.String(), o.minHops, hi)
+	if o.dstAE != nil {
+		s += " | dst mask: " + o.dstAE.String()
+	}
+	return s
 }
 func (o *varLenTraverseOp) children() []operation        { return []operation{o.child} }
 func (o *varLenTraverseOp) setChild(i int, op operation) { o.child = op }

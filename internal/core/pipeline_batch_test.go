@@ -123,7 +123,7 @@ func TestPipelineDifferentialWrites(t *testing.T) {
 func TestPushdownExplain(t *testing.T) {
 	g := randomTypedGraph(t, 50, 120, 3)
 	explain := func(query string) string {
-		lines, err := Explain(g, query)
+		lines, err := Explain(g, query, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -181,7 +181,7 @@ func TestPushdownExplain(t *testing.T) {
 // bounded sort and its output equals the full sort's prefix.
 func TestTopNSortFusion(t *testing.T) {
 	g := randomTypedGraph(t, 120, 300, 9)
-	lines, err := Explain(g, `MATCH (n:N) RETURN n.uid ORDER BY n.uid DESC SKIP 4 LIMIT 6`)
+	lines, err := Explain(g, `MATCH (n:N) RETURN n.uid ORDER BY n.uid DESC SKIP 4 LIMIT 6`, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestTopNSortFusion(t *testing.T) {
 		t.Fatalf("ORDER BY+LIMIT must fuse into TopNSort:\n%s", joined)
 	}
 	// Without LIMIT the full sort remains.
-	lines, err = Explain(g, `MATCH (n:N) RETURN n.uid ORDER BY n.uid`)
+	lines, err = Explain(g, `MATCH (n:N) RETURN n.uid ORDER BY n.uid`, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +216,7 @@ func TestTopNSortFusion(t *testing.T) {
 		t.Fatalf("SKIP beyond input rows = %d", len(rows))
 	}
 	// Aggregated projections fuse too (ORDER BY after aggregation).
-	lines, err = Explain(g, `MATCH (a:N)-[:A]->(b:N) RETURN a.uid, count(b) ORDER BY count(b) DESC LIMIT 3`)
+	lines, err = Explain(g, `MATCH (a:N)-[:A]->(b:N) RETURN a.uid, count(b) ORDER BY count(b) DESC LIMIT 3`, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

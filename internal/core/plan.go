@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"redisgraph/internal/cypher"
@@ -15,6 +16,24 @@ type Plan struct {
 	columns  []string
 	visible  int
 	ReadOnly bool
+	// est maps every operation to its estimated output cardinality, the
+	// cost model's figures surfaced by EXPLAIN and PROFILE.
+	est map[operation]float64
+}
+
+// estFor resolves an operation's cardinality estimate, looking through the
+// profiler's decorators.
+func (p *Plan) estFor(op operation) (float64, bool) {
+	for {
+		if e, ok := p.est[op]; ok {
+			return e, true
+		}
+		pr, ok := op.(*profiledOp)
+		if !ok {
+			return 0, false
+		}
+		op = pr.inner
+	}
 }
 
 type planBuilder struct {
@@ -27,13 +46,38 @@ type planBuilder struct {
 	// noPushdown disables algebraic predicate pushdown; every predicate
 	// becomes a residual filterOp (the differential tests' baseline).
 	noPushdown bool
+	// noCostPlanner keeps the textual planning order: scans and hops are
+	// emitted exactly as written instead of being reordered by the cost
+	// model (the planner differential tests' baseline).
+	noCostPlanner bool
+	// gs is the stats snapshot feeding the cost model (see logical.go).
+	gs *graph.Stats
 	// binders records which scan or traversal operation bound each variable
 	// in the current projection scope — the pushdown targets.
 	binders map[string]*binderInfo
+	// est records every emitted operation's estimated output cardinality;
+	// rowEst is the running estimate at the current pipeline head.
+	est    map[operation]float64
+	rowEst float64
 
 	terminated bool
 	columns    []string
 	visible    int
+}
+
+// setCur installs op as the pipeline head and records its estimated output
+// cardinality for EXPLAIN/PROFILE.
+func (b *planBuilder) setCur(op operation, rows float64) {
+	rows = capEst(rows)
+	b.cur = op
+	b.rowEst = rows
+	b.est[op] = rows
+}
+
+// note records an estimate for an operation that is not the pipeline head
+// (argument leaves, merge sub-plans).
+func (b *planBuilder) note(op operation, rows float64) {
+	b.est[op] = capEst(rows)
 }
 
 // binderInfo describes the operation that introduced a variable.
@@ -47,6 +91,9 @@ type planOptions struct {
 	// NoPushdown keeps every predicate as an interpreted per-record filter
 	// instead of compiling it into scan filters and GraphBLAS masks.
 	NoPushdown bool
+	// NoCostPlanner keeps the textual planning order instead of reordering
+	// scans and traversals by estimated cardinality.
+	NoCostPlanner bool
 }
 
 // BuildPlan compiles a parsed query against a graph.
@@ -56,15 +103,32 @@ func BuildPlan(g *graph.Graph, q *cypher.Query) (*Plan, error) {
 
 func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, error) {
 	b := &planBuilder{g: g, st: newSymtab(), bound: map[string]bool{}, readonly: true,
-		noPushdown: opts.NoPushdown, binders: map[string]*binderInfo{}}
-	for _, c := range q.Clauses {
+		noPushdown: opts.NoPushdown, noCostPlanner: opts.NoCostPlanner,
+		gs: g.Stats(), binders: map[string]*binderInfo{},
+		est: map[operation]float64{}, rowEst: 1}
+	for i := 0; i < len(q.Clauses); i++ {
 		if b.terminated {
 			return nil, fmt.Errorf("core: RETURN must be the final clause")
 		}
 		var err error
-		switch c := c.(type) {
+		switch c := q.Clauses[i].(type) {
 		case *cypher.MatchClause:
-			err = b.buildMatch(c)
+			if b.noCostPlanner || c.Optional {
+				err = b.buildMatch(c)
+				break
+			}
+			// The cost planner joins a run of consecutive non-optional
+			// MATCH clauses as one pattern graph (logical.go).
+			group := []*cypher.MatchClause{c}
+			for i+1 < len(q.Clauses) {
+				mc, ok := q.Clauses[i+1].(*cypher.MatchClause)
+				if !ok || mc.Optional {
+					break
+				}
+				group = append(group, mc)
+				i++
+			}
+			err = b.buildMatchGroup(group)
 		case *cypher.CreateClause:
 			err = b.buildCreate(c)
 		case *cypher.MergeClause:
@@ -81,10 +145,10 @@ func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, er
 			err = b.buildProjection(c.Items, c.Distinct, c.OrderBy, c.Skip, c.Limit, nil, true)
 		case *cypher.CreateIndexClause:
 			b.readonly = false
-			b.cur = adaptScalar(&indexOp{create: true, label: c.Label, attr: c.Attr})
+			b.setCur(&indexOp{create: true, label: c.Label, attr: c.Attr}, 0)
 		case *cypher.DropIndexClause:
 			b.readonly = false
-			b.cur = adaptScalar(&indexOp{create: false, label: c.Label, attr: c.Attr})
+			b.setCur(&indexOp{create: false, label: c.Label, attr: c.Attr}, 0)
 		default:
 			err = fmt.Errorf("core: unsupported clause %T", c)
 		}
@@ -95,7 +159,7 @@ func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, er
 	if b.cur == nil {
 		return nil, fmt.Errorf("core: empty plan")
 	}
-	return &Plan{root: b.cur, columns: b.columns, visible: b.visible, ReadOnly: b.readonly}, nil
+	return &Plan{root: b.cur, columns: b.columns, visible: b.visible, ReadOnly: b.readonly, est: b.est}, nil
 }
 
 func (b *planBuilder) anonVar() string {
@@ -112,20 +176,28 @@ func (b *planBuilder) buildMatch(c *cypher.MatchClause) error {
 		}
 	}
 	if c.Where != nil {
-		// Split the WHERE into AND-conjuncts and push each eligible one
-		// below record materialisation: property equalities land in scan
-		// filters, index seeds or traversal destination masks. What cannot
-		// be pushed stays as a residual interpreted filter.
-		for _, cj := range splitConjuncts(c.Where) {
-			if b.tryPushConjunct(cj) {
-				continue
-			}
-			pred, err := compileExpr(cj, b.st)
-			if err != nil {
-				return err
-			}
-			b.cur = &filterOp{child: b.cur, pred: pred, desc: exprString(cj)}
+		if err := b.applyWhere(c.Where); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// applyWhere splits a WHERE into AND-conjuncts and pushes each eligible one
+// below record materialisation: property equalities land in scan filters,
+// index seeds or traversal destination masks. What cannot be pushed stays
+// as a residual interpreted filter.
+func (b *planBuilder) applyWhere(where cypher.Expr) error {
+	for _, cj := range splitConjuncts(where) {
+		if b.tryPushConjunct(cj) {
+			continue
+		}
+		pred, err := compileExpr(cj, b.st)
+		if err != nil {
+			return err
+		}
+		b.setCur(&filterOp{child: b.cur, pred: pred, desc: exprString(cj)},
+			b.rowEst*filterSelectivity(cj))
 	}
 	return nil
 }
@@ -218,16 +290,32 @@ func (b *planBuilder) pushPropCmp(varName, attr, op string, fn evalFn, desc stri
 	if bi == nil {
 		return false
 	}
+	sel := defaultFilterSelectivity
+	if op == "" || op == "=" {
+		sel = propEqSelectivity
+	}
 	if pushScan(bi.op, 0, "", &scanPropEq{attr: attr, op: op, val: fn, desc: desc}) {
+		b.pushedInto(bi.op, sel)
 		return true
 	}
 	if ct, ok := bi.op.(*condTraverseOp); ok && !ct.optional {
 		if slot, ok := b.st.lookup(varName); ok && slot == ct.dstSlot {
 			ct.masks = append(ct.masks, dstMask{labels: bi.labels, attr: attr, op: op, val: fn, desc: desc})
+			b.pushedInto(bi.op, sel)
 			return true
 		}
 	}
 	return false
+}
+
+// pushedInto scales the estimates after a predicate lands inside a binder
+// operation: the binder now emits fewer rows, and so does everything above
+// it up to the pipeline head.
+func (b *planBuilder) pushedInto(op operation, sel float64) {
+	if e, ok := b.est[op]; ok {
+		b.est[op] = capEst(e * sel)
+	}
+	b.rowEst = capEst(b.rowEst * sel)
 }
 
 // clearBinders forbids pushdown into operations planned before this point.
@@ -248,7 +336,11 @@ func (b *planBuilder) pushLabel(varName string, lid int, label string) bool {
 	if bi == nil {
 		return false
 	}
-	return pushScan(bi.op, lid, label, nil)
+	if !pushScan(bi.op, lid, label, nil) {
+		return false
+	}
+	b.pushedInto(bi.op, b.gs.LabelSelectivity(lid))
+	return true
 }
 
 func (b *planBuilder) buildPattern(pat *cypher.PathPattern, optional bool) error {
@@ -325,18 +417,20 @@ func (b *planBuilder) buildPattern(pat *cypher.PathPattern, optional bool) error
 			if err != nil {
 				return err
 			}
-			b.cur = &indexScanOp{child: b.cur, slot: slot, alias: names[start],
-				label: startNode.Labels[0], attr: usedIndexAttr, val: fn, width: width}
+			b.setCur(&indexScanOp{child: b.cur, slot: slot, alias: names[start],
+				label: startNode.Labels[0], attr: usedIndexAttr, val: fn, width: width}, b.rowEst)
 		case len(startNode.Labels) > 0:
-			if _, ok := b.g.Schema.LabelID(startNode.Labels[0]); !ok {
-				b.cur = &emptyOp{}
+			lid, ok := b.g.Schema.LabelID(startNode.Labels[0])
+			if !ok {
+				b.setCur(&emptyOp{}, 0)
 				b.bound[names[start]] = true
 				return nil
 			}
-			b.cur = &labelScanOp{child: b.cur, slot: slot, alias: names[start],
-				label: startNode.Labels[0], width: width}
+			b.setCur(&labelScanOp{child: b.cur, slot: slot, alias: names[start],
+				label: startNode.Labels[0], width: width}, b.rowEst*float64(b.gs.LabelCount(lid)))
 		default:
-			b.cur = &allNodeScanOp{child: b.cur, slot: slot, alias: names[start], width: width}
+			b.setCur(&allNodeScanOp{child: b.cur, slot: slot, alias: names[start], width: width},
+				b.rowEst*float64(b.gs.Nodes))
 		}
 		b.binders[names[start]] = &binderInfo{op: b.cur, labels: startNode.Labels}
 		b.bound[names[start]] = true
@@ -373,21 +467,21 @@ func (b *planBuilder) addNodeResiduals(varName string, n *cypher.NodePattern, sk
 	for _, lbl := range n.Labels[min(skipLabels, len(n.Labels)):] {
 		lid, ok := b.g.Schema.LabelID(lbl)
 		if !ok {
-			b.cur = &emptyOp{}
+			b.setCur(&emptyOp{}, 0)
 			return nil
 		}
 		if b.pushLabel(varName, lid, lbl) {
 			continue
 		}
 		want := lid
-		b.cur = &filterOp{child: b.cur, desc: fmt.Sprintf("%s:%s", varName, lbl),
+		b.setCur(&filterOp{child: b.cur, desc: fmt.Sprintf("%s:%s", varName, lbl),
 			pred: func(ctx *execCtx, r record) (value.Value, error) {
 				v := r[slot]
 				if v.Kind != value.KindNode {
 					return value.NewBool(false), nil
 				}
 				return value.NewBool(nodeHasLabel(v.Entity.(*graph.Node), want)), nil
-			}}
+			}}, b.rowEst*b.gs.LabelSelectivity(lid))
 	}
 	for attr, ex := range n.Props {
 		if attr == skipAttr {
@@ -402,7 +496,7 @@ func (b *planBuilder) addNodeResiduals(varName string, n *cypher.NodePattern, sk
 		if isRecordFreeExpr(ex) && b.pushPropCmp(varName, key, "=", fn, desc) {
 			continue
 		}
-		b.cur = &filterOp{child: b.cur, desc: desc,
+		b.setCur(&filterOp{child: b.cur, desc: desc,
 			pred: func(ctx *execCtx, r record) (value.Value, error) {
 				v := r[slot]
 				var have value.Value
@@ -419,7 +513,7 @@ func (b *planBuilder) addNodeResiduals(varName string, n *cypher.NodePattern, sk
 					return value.Null, err
 				}
 				return value.NewBool(have.Equals(want)), nil
-			}}
+			}}, b.rowEst*propEqSelectivity)
 	}
 	return nil
 }
@@ -436,7 +530,7 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 	// registering the pattern's variables, so later clauses referencing the
 	// destination or edge variable (RETURN e, DELETE e) keep resolving.
 	bindEmptyPattern := func() {
-		b.cur = &emptyOp{}
+		b.setCur(&emptyOp{}, 0)
 		b.st.add(dstVar)
 		b.bound[dstVar] = true
 		if rel.Var != "" && !rel.VarLength {
@@ -477,21 +571,30 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 
 	dstBound := b.bound[dstVar]
 	labelsInAE := 0
+	labelSel := 1.0
 	if !dstBound && len(dstNode.Labels) > 0 && !rel.VarLength {
 		// Fold destination labels into the algebraic expression as diagonal
 		// operands, so the label predicates run inside the MxM/VxM chain.
 		// Optional traversals fold only the first (their null-row semantics
 		// treat further labels as residual predicates, as before); plain
-		// traversals fold every label unless pushdown is disabled.
-		fold := len(dstNode.Labels)
+		// traversals fold every label unless pushdown is disabled. Under
+		// the cost planner the diagonals multiply smallest-label-first, so
+		// the chain's intermediate products shrink as early as possible.
+		labels := dstNode.Labels
+		fold := len(labels)
 		if optional || b.noPushdown {
 			fold = 1
+		} else if !b.noCostPlanner {
+			labels = b.orderLabelsBySelectivity(labels)
 		}
-		for _, lbl := range dstNode.Labels[:fold] {
+		for _, lbl := range labels[:fold] {
 			diag, ok := labelDiagOperand(b.g, lbl)
 			if !ok {
 				bindEmptyPattern()
 				return nil
+			}
+			if lid, ok := b.g.Schema.LabelID(lbl); ok {
+				labelSel *= b.gs.LabelSelectivity(lid)
 			}
 			ae.operands = append(ae.operands, diag)
 			labelsInAE++
@@ -511,17 +614,47 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 		dstSlot := b.st.add(dstVar)
 		b.bound[dstVar] = true
 		dstLabel := -1
+		var dstAE *algebraicExpr
+		residLabels := dstNode.Labels
 		if len(dstNode.Labels) > 0 {
-			lid, ok := b.g.Schema.LabelID(dstNode.Labels[0])
-			if !ok {
-				b.cur = &emptyOp{}
-				return nil
+			if b.noPushdown {
+				// Baseline: the first label is checked per emitted node,
+				// the rest stay residual filters.
+				lid, ok := b.g.Schema.LabelID(dstNode.Labels[0])
+				if !ok {
+					b.setCur(&emptyOp{}, 0)
+					return nil
+				}
+				dstLabel = lid
+				residLabels = dstNode.Labels[1:]
+			} else {
+				// Fold every destination label into a diagonal mask applied
+				// to each emitted frontier inside the expansion loop — the
+				// intermediate hops stay unfiltered, only emission is.
+				labels := dstNode.Labels
+				if !b.noCostPlanner {
+					labels = b.orderLabelsBySelectivity(labels)
+				}
+				dstAE = &algebraicExpr{}
+				for _, lbl := range labels {
+					diag, ok := labelDiagOperand(b.g, lbl)
+					if !ok {
+						b.setCur(&emptyOp{}, 0)
+						return nil
+					}
+					if lid, ok := b.g.Schema.LabelID(lbl); ok {
+						labelSel *= b.gs.LabelSelectivity(lid)
+					}
+					dstAE.operands = append(dstAE.operands, diag)
+				}
+				residLabels = nil
 			}
-			dstLabel = lid
 		}
-		b.cur = &varLenTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot,
-			width: b.st.size(), ae: ae, minHops: rel.MinHops, maxHops: rel.MaxHops, dstLabel: dstLabel}
-		if err := b.addNodeResiduals(dstVar, &cypher.NodePattern{Var: dstVar, Labels: dstNode.Labels[min(1, len(dstNode.Labels)):], Props: dstNode.Props}, "", 0); err != nil {
+		b.setCur(&varLenTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot,
+			width: b.st.size(), ae: ae, minHops: rel.MinHops, maxHops: rel.MaxHops,
+			dstLabel: dstLabel, dstAE: dstAE},
+			b.rowEst*b.relFanout(rel)*labelSel)
+		if err := b.addNodeResiduals(dstVar, &cypher.NodePattern{Var: dstVar, Labels: residLabels, Props: dstNode.Props}, "", 0); err != nil {
 			return err
 		}
 		return nil
@@ -537,13 +670,19 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 
 	if dstBound {
 		dstSlot, _ := b.st.lookup(dstVar)
-		b.cur = &expandIntoOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
-			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir}
+		b.setCur(&expandIntoOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
+			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir},
+			b.rowEst*b.pairProbability(rel))
 	} else {
 		dstSlot := b.st.add(dstVar)
 		b.bound[dstVar] = true
-		b.cur = &condTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
-			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir, optional: optional}
+		est := b.rowEst * b.relFanout(rel) * labelSel
+		if optional && est < b.rowEst {
+			est = b.rowEst // optional traversals emit at least a null row per input
+		}
+		b.setCur(&condTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
+			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir, optional: optional},
+			est)
 		b.binders[dstVar] = &binderInfo{op: b.cur, labels: dstNode.Labels}
 	}
 
@@ -632,8 +771,10 @@ func (b *planBuilder) buildCreate(c *cypher.CreateClause) error {
 	child := b.cur
 	if child == nil {
 		child = &argumentOp{width: 0}
+		b.note(child, 1)
+		b.rowEst = 1
 	}
-	b.cur = &createOp{child: child, patterns: specs, width: b.st.size()}
+	b.setCur(&createOp{child: child, patterns: specs, width: b.st.size()}, math.Max(b.rowEst, 1))
 	return nil
 }
 
@@ -643,16 +784,19 @@ func (b *planBuilder) buildMerge(c *cypher.MergeClause) error {
 	if b.cur != nil {
 		return fmt.Errorf("core: MERGE is only supported as the first clause")
 	}
-	// Build the match side against a fresh argument.
+	// Build the match side against a fresh argument. The sub-builder shares
+	// the estimate map so the sub-plan's operations annotate too.
 	mb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon,
-		noPushdown: b.noPushdown, binders: map[string]*binderInfo{}}
+		noPushdown: b.noPushdown, noCostPlanner: b.noCostPlanner, gs: b.gs,
+		binders: map[string]*binderInfo{}, est: b.est, rowEst: 1}
 	if err := mb.buildPattern(c.Pattern, false); err != nil {
 		return err
 	}
 	b.anon = mb.anon
 	// Compile the create side with the same slots.
 	cb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon,
-		noPushdown: b.noPushdown, binders: map[string]*binderInfo{}}
+		noPushdown: b.noPushdown, noCostPlanner: b.noCostPlanner, gs: b.gs,
+		binders: map[string]*binderInfo{}, est: b.est, rowEst: 1}
 	spec, err := cb.compileCreatePattern(c.Pattern)
 	if err != nil {
 		return err
@@ -664,7 +808,8 @@ func (b *planBuilder) buildMerge(c *cypher.MergeClause) error {
 	for v := range cb.bound {
 		b.bound[v] = true
 	}
-	b.cur = adaptScalar(&mergeOp{matchPlan: mb.cur, pattern: spec, width: b.st.size()})
+	b.setCur(adaptScalar(&mergeOp{matchPlan: mb.cur, pattern: spec, width: b.st.size()}),
+		math.Max(mb.rowEst, 1))
 	return nil
 }
 
@@ -682,7 +827,7 @@ func (b *planBuilder) buildDelete(c *cypher.DeleteClause) error {
 	if b.cur == nil {
 		return fmt.Errorf("core: DELETE requires a preceding MATCH")
 	}
-	b.cur = &deleteOp{child: b.cur, exprs: fns, detach: c.Detach}
+	b.setCur(&deleteOp{child: b.cur, exprs: fns, detach: c.Detach}, b.rowEst)
 	return nil
 }
 
@@ -704,7 +849,7 @@ func (b *planBuilder) buildSet(c *cypher.SetClause) error {
 		}
 		items = append(items, setItemSpec{slot: slot, key: it.Key, fn: fn})
 	}
-	b.cur = &setOp{child: b.cur, items: items}
+	b.setCur(&setOp{child: b.cur, items: items}, b.rowEst)
 	return nil
 }
 
@@ -716,10 +861,18 @@ func (b *planBuilder) buildUnwind(c *cypher.UnwindClause) error {
 	child := b.cur
 	if child == nil {
 		child = &argumentOp{width: 0}
+		b.note(child, 1)
+		b.rowEst = 1
 	}
 	slot := b.st.add(c.Alias)
 	b.bound[c.Alias] = true
-	b.cur = &unwindOp{child: child, list: fn, slot: slot, width: b.st.size()}
+	// Literal lists unwind to a known length; anything else assumes a
+	// handful of elements.
+	perRow := 8.0
+	if le, ok := c.Expr.(*cypher.ListExpr); ok {
+		perRow = float64(len(le.Items))
+	}
+	b.setCur(&unwindOp{child: child, list: fn, slot: slot, width: b.st.size()}, b.rowEst*perRow)
 	return nil
 }
 
@@ -731,6 +884,8 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 	child := b.cur
 	if child == nil {
 		child = &argumentOp{width: 0}
+		b.note(child, 1)
+		b.rowEst = 1
 	}
 	// Expand RETURN *.
 	var expanded []*cypher.ReturnItem
@@ -787,7 +942,7 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 
 	if hasAgg {
 		if pd := b.tryCountPushdown(expanded, child, distinct, orderBy); pd != nil {
-			b.cur = pd
+			b.setCur(pd, 1)
 		} else if err := b.buildAggregate(expanded, child, orderBy, visible, outST, findColumn); err != nil {
 			return err
 		}
@@ -812,7 +967,7 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 			}
 			sortFns = append(sortFns, fn)
 		}
-		b.cur = &projectOp{child: child, items: fns, sortKeys: sortFns, visible: visible}
+		b.setCur(&projectOp{child: child, items: fns, sortKeys: sortFns, visible: visible}, b.rowEst)
 	}
 
 	// The projection defines a fresh scope.
@@ -824,14 +979,15 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 	}
 
 	if distinct {
-		b.cur = &distinctOp{child: b.cur, visible: visible}
+		b.setCur(&distinctOp{child: b.cur, visible: visible}, b.rowEst)
 	}
 	if where != nil {
 		pred, err := compileExpr(where, b.st)
 		if err != nil {
 			return err
 		}
-		b.cur = &filterOp{child: b.cur, pred: pred, desc: exprString(where)}
+		b.setCur(&filterOp{child: b.cur, pred: pred, desc: exprString(where)},
+			b.rowEst*filterSelectivity(where))
 	}
 	if len(orderBy) > 0 {
 		descs := make([]bool, len(orderBy))
@@ -855,10 +1011,11 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 				}
 				bound = exprString(skip) + "+" + bound
 			}
-			b.cur = &topNSortOp{child: b.cur, visible: visible, descs: descs,
-				skip: skipFn, limit: limFn, desc: bound}
+			b.setCur(&topNSortOp{child: b.cur, visible: visible, descs: descs,
+				skip: skipFn, limit: limFn, desc: bound},
+				boundedEst(b.rowEst, limit, skip))
 		} else {
-			b.cur = &sortOp{child: b.cur, visible: visible, descs: descs}
+			b.setCur(&sortOp{child: b.cur, visible: visible, descs: descs}, b.rowEst)
 		}
 	}
 	if skip != nil {
@@ -866,14 +1023,22 @@ func (b *planBuilder) buildProjection(items []*cypher.ReturnItem, distinct bool,
 		if err != nil {
 			return err
 		}
-		b.cur = &skipOp{child: b.cur, n: fn}
+		est := b.rowEst
+		if n, ok := literalInt(skip); ok {
+			est = math.Max(0, est-float64(n))
+		}
+		b.setCur(&skipOp{child: b.cur, n: fn}, est)
 	}
 	if limit != nil {
 		fn, err := compileExpr(limit, b.st)
 		if err != nil {
 			return err
 		}
-		b.cur = &limitOp{child: b.cur, n: fn}
+		est := b.rowEst
+		if n, ok := literalInt(limit); ok {
+			est = math.Min(est, float64(n))
+		}
+		b.setCur(&limitOp{child: b.cur, n: fn}, est)
 	}
 	if terminal {
 		b.terminated = true
@@ -964,7 +1129,16 @@ func (b *planBuilder) buildAggregate(expanded []*cypher.ReturnItem, child operat
 			aggItems = append(aggItems, aggItem{key: &f})
 		}
 	}
-	b.cur = &aggregateOp{child: child, items: aggItems, visible: visible}
+	// Keyless aggregates collapse to one row; grouped ones assume group
+	// counts grow with the square root of the input.
+	aggEst := 1.0
+	for _, it := range aggItems {
+		if it.key != nil {
+			aggEst = math.Max(1, math.Sqrt(b.rowEst))
+			break
+		}
+	}
+	b.setCur(&aggregateOp{child: child, items: aggItems, visible: visible}, aggEst)
 	if len(orderBy) > 0 {
 		// Post-aggregation ordering can only reference output columns.
 		keys := make([]evalFn, len(orderBy))
@@ -981,9 +1155,33 @@ func (b *planBuilder) buildAggregate(expanded []*cypher.ReturnItem, child operat
 			c := col
 			keys[i] = func(_ *execCtx, r record) (value.Value, error) { return r[c], nil }
 		}
-		b.cur = &appendKeysOp{child: b.cur, keys: keys, visible: visible}
+		b.setCur(&appendKeysOp{child: b.cur, keys: keys, visible: visible}, b.rowEst)
 	}
 	return nil
+}
+
+// literalInt extracts an integer literal's value (SKIP/LIMIT estimates).
+func literalInt(e cypher.Expr) (int64, bool) {
+	if l, ok := e.(*cypher.Literal); ok && l.V.Kind == value.KindInt {
+		return l.V.Int(), true
+	}
+	return 0, false
+}
+
+// boundedEst caps a fused top-N sort's estimate at its literal skip+limit
+// bound.
+func boundedEst(rows float64, limit, skip cypher.Expr) float64 {
+	n, ok := literalInt(limit)
+	if !ok {
+		return rows
+	}
+	total := float64(n)
+	if skip != nil {
+		if s, ok := literalInt(skip); ok && s > 0 {
+			total += float64(s)
+		}
+	}
+	return math.Min(rows, total)
 }
 
 // appendKeysOp appends hidden ORDER BY key slots evaluated in the output
@@ -1018,7 +1216,9 @@ func (o *appendKeysOp) args() string                 { return "" }
 func (o *appendKeysOp) children() []operation        { return []operation{o.child} }
 func (o *appendKeysOp) setChild(i int, op operation) { o.child = op }
 
-// indexOp creates or drops an index; it emits no records.
+// indexOp creates or drops an index; it emits no records. It implements
+// the batch interface natively — one DDL burst, then depletion — instead of
+// riding the adaptScalar compatibility shim.
 type indexOp struct {
 	create bool
 	label  string
@@ -1026,7 +1226,7 @@ type indexOp struct {
 	done   bool
 }
 
-func (o *indexOp) next(ctx *execCtx) (record, error) {
+func (o *indexOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if o.done {
 		return nil, nil
 	}

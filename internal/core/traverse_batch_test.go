@@ -169,7 +169,7 @@ func TestBatchedExpandIntoDifferential(t *testing.T) {
 		}
 	}
 	// Make sure the plan really used ExpandInto.
-	lines, err := Explain(g, queries[0])
+	lines, err := Explain(g, queries[0], Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestBatchedExpandIntoDifferential(t *testing.T) {
 func TestExplainShowsBatchedTraverse(t *testing.T) {
 	g := randomTypedGraph(t, 50, 100, 7)
 	want := fmt.Sprintf("batched(%d)", defaultTraverseBatch)
-	lines, err := Explain(g, `MATCH (a:N)-[:A]->(b:N) RETURN b.uid`)
+	lines, err := Explain(g, `MATCH (a:N)-[:A]->(b:N) RETURN b.uid`, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestExplainShowsBatchedTraverse(t *testing.T) {
 		t.Fatalf("EXPLAIN missing batched traverse label %q:\n%s", want, joined)
 	}
 	// count(dst) right above the traversal is pushed into the algebra.
-	lines, err = Explain(g, `MATCH (a:N)-[:A]->(b:N) RETURN count(b)`)
+	lines, err = Explain(g, `MATCH (a:N)-[:A]->(b:N) RETURN count(b)`, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +234,7 @@ func TestTraverseCountPushdown(t *testing.T) {
 		{`MATCH (a:N)-[:A]->(b:N) RETURN count(a)`, "ConditionalTraverse"},
 		{`MATCH (a:N)-[:A]->(b:N) RETURN count(DISTINCT b)`, "ConditionalTraverse"},
 	} {
-		lines, err := Explain(g, c.query)
+		lines, err := Explain(g, c.query, Config{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -97,7 +97,7 @@ func TestRoundTripPreservesEverything(t *testing.T) {
 		t.Fatalf("edge prop: %v", rs.Rows)
 	}
 	// Index was rebuilt and is queryable via index scan.
-	lines, err := core.Explain(g2, `MATCH (n:Person {name:'bob'}) RETURN n`)
+	lines, err := core.Explain(g2, `MATCH (n:Person {name:'bob'}) RETURN n`, core.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

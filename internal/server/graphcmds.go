@@ -17,12 +17,48 @@ func (s *Server) queryConfig() core.Config {
 		OpThreads:     int(s.opThreads.Load()),
 		TraverseBatch: int(s.traverseBatch.Load()),
 		Timeout:       s.opts.QueryTimeout,
+		NoCostPlanner: !s.costPlanner.Load(),
 	}
 }
 
 // maxTraverseBatch caps GRAPH.CONFIG SET TRAVERSE_BATCH: beyond this the
 // frontier matrices stop fitting comfortably in cache and the win flattens.
 const maxTraverseBatch = 1 << 16
+
+// configParams lists every GRAPH.CONFIG parameter, in the order GET *
+// reports them.
+var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER"}
+
+// configValue reads one live configuration parameter.
+func (s *Server) configValue(name string) int64 {
+	switch name {
+	case "THREAD_COUNT":
+		return int64(s.pool.Size())
+	case "TIMEOUT":
+		return s.opts.QueryTimeout.Milliseconds()
+	case "MAX_QUERY_THREADS":
+		return int64(s.opThreads.Load())
+	case "TRAVERSE_BATCH":
+		return int64(s.traverseBatch.Load())
+	case "COST_PLANNER":
+		if s.costPlanner.Load() {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// parseBoolParam accepts Redis-style boolean config values.
+func parseBoolParam(v string) (bool, error) {
+	switch strings.ToLower(v) {
+	case "1", "yes", "true", "on":
+		return true, nil
+	case "0", "no", "false", "off":
+		return false, nil
+	}
+	return false, fmt.Errorf("invalid boolean %q", v)
+}
 
 // graphCommand executes one GRAPH.* module command on a threadpool worker.
 func (s *Server) graphCommand(cmd string, args []string) (any, error) {
@@ -52,7 +88,7 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 		}
 		g := s.Graph(args[0])
 		_, query := parseCypherPrefix(args[1])
-		lines, err := core.Explain(g, query)
+		lines, err := core.Explain(g, query, s.queryConfig())
 		if err != nil {
 			return nil, fmt.Errorf("ERR %v", err)
 		}
@@ -84,15 +120,20 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 
 	case "GRAPH.CONFIG":
 		if len(args) >= 2 && strings.ToUpper(args[0]) == "GET" {
-			switch strings.ToUpper(args[1]) {
-			case "THREAD_COUNT":
-				return []any{"THREAD_COUNT", int64(s.pool.Size())}, nil
-			case "TIMEOUT":
-				return []any{"TIMEOUT", int64(s.opts.QueryTimeout.Milliseconds())}, nil
-			case "MAX_QUERY_THREADS":
-				return []any{"MAX_QUERY_THREADS", int64(s.opThreads.Load())}, nil
-			case "TRAVERSE_BATCH":
-				return []any{"TRAVERSE_BATCH", int64(s.traverseBatch.Load())}, nil
+			if args[1] == "*" {
+				// Redis semantics: GET * returns every parameter as a
+				// name/value pair.
+				pairs := make([]any, 0, len(configParams))
+				for _, p := range configParams {
+					pairs = append(pairs, []any{p, s.configValue(p)})
+				}
+				return pairs, nil
+			}
+			name := strings.ToUpper(args[1])
+			for _, p := range configParams {
+				if p == name {
+					return []any{p, s.configValue(p)}, nil
+				}
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
@@ -112,10 +153,18 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 				}
 				s.traverseBatch.Store(int32(n))
 				return resp.SimpleString("OK"), nil
+			case "COST_PLANNER":
+				on, err := parseBoolParam(args[2])
+				if err != nil {
+					return nil, fmt.Errorf("ERR COST_PLANNER must be 0|1|yes|no")
+				}
+				s.costPlanner.Store(on)
+				return resp.SimpleString("OK"), nil
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET THREAD_COUNT|TIMEOUT|MAX_QUERY_THREADS|TRAVERSE_BATCH and SET MAX_QUERY_THREADS|TRAVERSE_BATCH")
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS|TRAVERSE_BATCH|COST_PLANNER",
+			strings.Join(configParams, "|"))
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))
 }

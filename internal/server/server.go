@@ -37,6 +37,10 @@ type Options struct {
 	// engine default (64); 1 forces tuple-at-a-time execution. Runtime
 	// changes go through GRAPH.CONFIG SET TRAVERSE_BATCH.
 	TraverseBatch int
+	// NoCostPlanner disables the stats-driven cost-based query planner,
+	// keeping MATCH patterns in their textual order. Runtime changes go
+	// through GRAPH.CONFIG SET COST_PLANNER.
+	NoCostPlanner bool
 	// QueryTimeout bounds each query (0 = none).
 	QueryTimeout time.Duration
 	// SnapshotPath, when set, enables the SAVE command and loading the
@@ -56,6 +60,9 @@ type Server struct {
 	// traverseBatch is the live TRAVERSE_BATCH value (seeded from
 	// Options.TraverseBatch, mutable via GRAPH.CONFIG SET).
 	traverseBatch atomic.Int32
+	// costPlanner is the live COST_PLANNER value (seeded from
+	// Options.NoCostPlanner, mutable via GRAPH.CONFIG SET).
+	costPlanner atomic.Bool
 
 	mu       sync.RWMutex
 	graphs   map[string]*graph.Graph
@@ -100,6 +107,7 @@ func New(opts Options) *Server {
 	}
 	s.opThreads.Store(int32(opts.OpThreads))
 	s.traverseBatch.Store(int32(opts.TraverseBatch))
+	s.costPlanner.Store(!opts.NoCostPlanner)
 	return s
 }
 

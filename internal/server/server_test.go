@@ -206,6 +206,66 @@ func TestGraphConfig(t *testing.T) {
 	}
 }
 
+func TestGraphConfigGetAll(t *testing.T) {
+	_, c := startServer(t)
+	v, err := c.Do("GRAPH.CONFIG", "GET", "*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := v.([]any)
+	got := map[string]int64{}
+	for _, p := range pairs {
+		pair := p.([]any)
+		got[pair[0].(string)] = pair[1].(int64)
+	}
+	want := map[string]int64{
+		"THREAD_COUNT":      4,
+		"TIMEOUT":           0,
+		"MAX_QUERY_THREADS": 1,
+		"TRAVERSE_BATCH":    int64(core.DefaultTraverseBatch),
+		"COST_PLANNER":      1,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("GET * pairs: %v", got)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("GET * %s = %d, want %d (all: %v)", k, got[k], w, got)
+		}
+	}
+}
+
+func TestGraphConfigCostPlanner(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Query("g", `CREATE (:Big {x: 1})-[:L]->(:Small {x: 2})`); err != nil {
+		t.Fatal(err)
+	}
+	for _, setting := range []string{"0", "no", "1", "yes"} {
+		if v, err := c.Do("GRAPH.CONFIG", "SET", "COST_PLANNER", setting); err != nil || v.(resp.SimpleString) != "OK" {
+			t.Fatalf("SET COST_PLANNER %s: %v %v", setting, v, err)
+		}
+		want := int64(1)
+		if setting == "0" || setting == "no" {
+			want = 0
+		}
+		v, err := c.Do("GRAPH.CONFIG", "GET", "COST_PLANNER")
+		if err != nil || v.([]any)[1].(int64) != want {
+			t.Fatalf("GET COST_PLANNER after %s: %v %v", setting, v, err)
+		}
+		// Queries agree under both planners.
+		rep, err := c.Query("g", `MATCH (a:Big)-[:L]->(b:Small) RETURN count(b)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows := rep[1].([]any); len(rows) != 1 || rows[0].([]any)[0].(int64) != 1 {
+			t.Fatalf("COST_PLANNER=%s rows: %v", setting, rep[1])
+		}
+	}
+	if _, err := c.Do("GRAPH.CONFIG", "SET", "COST_PLANNER", "maybe"); err == nil {
+		t.Fatal("SET COST_PLANNER maybe must fail")
+	}
+}
+
 func TestFlushAllAndInfo(t *testing.T) {
 	_, c := startServer(t)
 	c.Do("SET", "a", "1")

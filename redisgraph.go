@@ -161,7 +161,7 @@ func (db *DB) MustQuery(q string, params map[string]Value) *Result {
 
 // Explain returns the execution plan (GRAPH.EXPLAIN).
 func (db *DB) Explain(q string) ([]string, error) {
-	return core.Explain(db.g, q)
+	return core.Explain(db.g, q, db.cfg)
 }
 
 // Profile executes the query and returns the plan annotated with per-op
