@@ -9,7 +9,8 @@
 // vs the coarse-lock baseline), pipeline-batch (E8, the end-to-end
 // batch-at-a-time pipeline with predicate pushdown), plan-order (E9, the
 // cost-based planner vs the textual-order baseline on order-sensitive
-// queries), or all.
+// queries), kernel-select (E10, direction-optimizing push/pull traversal
+// kernels vs the forced single-direction baselines), or all.
 // -batch sets the batch size for the traverse-batch and pipeline-batch
 // experiments; -out writes the selected experiment's results as JSON (the
 // perf-trajectory artifacts BENCH_traverse.json / BENCH_rwmix.json /
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | all")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | all")
 	queries := flag.Int("queries", 2048, "query count for the throughput and rw-mix experiments")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
 	batch := flag.Int("batch", 64, "batch size for the traverse-batch and pipeline-batch experiments")
@@ -82,6 +83,10 @@ func main() {
 	if want("plan-order") {
 		results := s.PlanOrder()
 		writeJSON(outFor("plan-order"), "plan-order", *scale, results)
+	}
+	if want("kernel-select") {
+		report := s.KernelSelect()
+		writeJSON(outFor("kernel-select"), "kernel-select", *scale, report)
 	}
 }
 

@@ -21,15 +21,22 @@ func main() {
 	threads := flag.Int("threads", 8, "module threadpool size (queries run one per worker)")
 	timeout := flag.Duration("timeout", 0, "per-query timeout (0 = none)")
 	batch := flag.Int("batch", 0, "pipeline batch size (0 = engine default; 1 = tuple-at-a-time)")
+	kernel := flag.String("kernel", "auto", "traversal kernel direction: auto | push | pull")
 	snapshot := flag.String("snapshot", "", "snapshot file: loaded at start, written by SAVE and at shutdown")
 	flag.Parse()
+	switch *kernel {
+	case "auto", "push", "pull":
+	default:
+		log.Fatalf("redisgraph-server: -kernel must be auto, push or pull (got %q)", *kernel)
+	}
 
 	s := server.New(server.Options{
-		Addr:          *addr,
-		ThreadCount:   *threads,
-		TraverseBatch: *batch,
-		QueryTimeout:  *timeout,
-		SnapshotPath:  *snapshot,
+		Addr:           *addr,
+		ThreadCount:    *threads,
+		TraverseBatch:  *batch,
+		TraverseKernel: *kernel,
+		QueryTimeout:   *timeout,
+		SnapshotPath:   *snapshot,
 	})
 	if err := s.Start(); err != nil {
 		log.Fatalf("redisgraph-server: %v", err)

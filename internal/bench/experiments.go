@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -578,6 +580,218 @@ func (s *Suite) PlanOrder() []PlanOrderResult {
 	}
 	fmt.Fprintln(s.w)
 	return out
+}
+
+// KernelSelectResult is one workload cell of the direction-optimizing
+// kernel experiment (E10): the same queries under forced push, forced pull
+// and density-adaptive auto traversal kernels.
+type KernelSelectResult struct {
+	Dataset    string  `json:"dataset"`
+	Workload   string  `json:"workload"`
+	Query      string  `json:"query"`
+	Queries    int     `json:"queries"`
+	PushQPS    float64 `json:"push_qps"`
+	PullQPS    float64 `json:"pull_qps"`
+	AutoQPS    float64 `json:"auto_qps"`
+	AutoVsPush float64 `json:"auto_vs_push"` // auto_qps / push_qps
+	AutoVsBest float64 `json:"auto_vs_best"` // auto_qps / max(push_qps, pull_qps)
+}
+
+// MisEstimate is one order-of-magnitude planner mis-estimate observed while
+// profiling a bench workload: the estimated-vs-actual feedback loop over
+// PROFILE's `est:` versus `Records produced:` figures. Warn-only — surfaced
+// in the JSON artifact and on stdout, never failing the run.
+type MisEstimate struct {
+	Dataset  string  `json:"dataset"`
+	Workload string  `json:"workload"`
+	Op       string  `json:"op"`
+	Est      float64 `json:"est"`
+	Actual   int64   `json:"actual"`
+	Factor   float64 `json:"factor"`
+}
+
+// KernelSelectReport bundles the experiment cells with the est-vs-actual
+// feedback rows for the BENCH_kernel.json artifact.
+type KernelSelectReport struct {
+	Results      []KernelSelectResult `json:"results"`
+	MisEstimates []MisEstimate        `json:"mis_estimates"`
+}
+
+// profileEstRE extracts the cardinality estimate and actual record count
+// from one GRAPH.PROFILE line.
+var profileEstRE = regexp.MustCompile(`est: ([^ ]+) rows \| Records produced: ([0-9]+)`)
+
+// estFeedback profiles one query and flags operations whose estimate misses
+// the produced record count by an order of magnitude in either direction
+// (ignoring disagreements where both figures are small).
+func estFeedback(g *graph.Graph, dataset, workload, query string) []MisEstimate {
+	lines, err := core.Profile(g, query, nil, core.Config{OpThreads: 1})
+	if err != nil {
+		panic(fmt.Sprintf("bench: est-feedback: %v", err))
+	}
+	var out []MisEstimate
+	for _, line := range lines {
+		m := profileEstRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		est := 0.5 // "<1" prints for sub-row estimates
+		if m[1] != "<1" {
+			if v, err := strconv.ParseFloat(m[1], 64); err == nil {
+				est = v
+			}
+		}
+		actual, _ := strconv.ParseInt(m[2], 10, 64)
+		hi, lo := est, float64(actual)
+		if lo > hi {
+			hi, lo = lo, hi
+		}
+		if lo < 0.5 {
+			lo = 0.5
+		}
+		factor := hi / lo
+		if factor < 10 || hi < 10 {
+			continue
+		}
+		op := strings.TrimSpace(line)
+		if i := strings.Index(op, " | "); i > 0 {
+			op = op[:i]
+		}
+		out = append(out, MisEstimate{Dataset: dataset, Workload: workload, Op: op,
+			Est: est, Actual: actual, Factor: factor})
+	}
+	return out
+}
+
+// hubSeeds returns the k highest-out-degree vertices of an edge list — the
+// dense-frontier seeds of the kernel-selection experiment.
+func hubSeeds(e *gen.EdgeList, k int) []int {
+	deg := make([]int, e.NumNodes)
+	for _, s := range e.Src {
+		deg[s]++
+	}
+	order := make([]int, e.NumNodes)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return deg[order[a]] > deg[order[b]] })
+	if k > len(order) {
+		k = len(order)
+	}
+	return order[:k]
+}
+
+// KernelSelect measures direction-optimizing traversal (E10): workloads
+// spanning frontier densities — multi-hop expansion from high-degree seeds
+// (frontiers densify hop over hop), a cycle-closing expand-into over every
+// edge (the tiny-candidate-set pull case) and sparse single-seed one-hops
+// (where push must keep winning) — each run under TRAVERSE_KERNEL push,
+// pull and auto. Every variant must return identical rows (a differential
+// check), auto must track the better direction everywhere, and the same
+// queries feed the estimated-vs-actual PROFILE feedback.
+func (s *Suite) KernelSelect() KernelSelectReport {
+	fmt.Fprintln(s.w, "=== E10: direction-optimizing traversal kernels (push vs pull vs auto) ===")
+	var report KernelSelectReport
+	for _, d := range s.Datasets {
+		g := s.graphs[d.Name]
+		hubs := hubSeeds(d.Edges, 16)
+		sparse := gen.Seeds(d.Edges, 256, 31)
+		workloads := []struct {
+			name    string
+			display string // representative query for the report / feedback
+			queries []string
+		}{
+			{
+				name:    "khop3-hubs",
+				display: fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F*1..3]->(n) RETURN count(n)`, hubs[0]),
+				queries: func() []string {
+					qs := make([]string, len(hubs))
+					for i, h := range hubs {
+						qs[i] = fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F*1..3]->(n) RETURN count(n)`, h)
+					}
+					return qs
+				}(),
+			},
+			{
+				name:    "expand-into-cycle",
+				display: `MATCH (a:Node)-[:F]->(b:Node)-[:F]->(a) RETURN count(*)`,
+				queries: []string{`MATCH (a:Node)-[:F]->(b:Node)-[:F]->(a) RETURN count(*)`},
+			},
+			{
+				name:    "sparse-1hop",
+				display: fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F]->(n) RETURN count(n)`, sparse[0]),
+				queries: func() []string {
+					qs := make([]string, len(sparse))
+					for i, seed := range sparse {
+						qs[i] = fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F]->(n) RETURN count(n)`, seed)
+					}
+					return qs
+				}(),
+			},
+		}
+		for _, wl := range workloads {
+			once := func(kernel string) (float64, string) {
+				runtime.GC()
+				var rows []string
+				t0 := time.Now()
+				for _, q := range wl.queries {
+					rs, err := core.ROQuery(g, q, nil, core.Config{OpThreads: 1, TraverseKernel: kernel})
+					if err != nil {
+						panic(fmt.Sprintf("bench: kernel-select: %v", err))
+					}
+					for _, row := range rs.Rows {
+						rows = append(rows, fmt.Sprint(row))
+					}
+				}
+				el := time.Since(t0)
+				sort.Strings(rows)
+				return float64(len(wl.queries)) / el.Seconds(), strings.Join(rows, ";")
+			}
+			kernels := []string{"push", "pull", "auto"}
+			reps := make(map[string][]float64, len(kernels))
+			var ref string
+			// Interleave the three kernels so time-varying machine noise
+			// biases none; keep the median of the post-warmup reps.
+			for rep := 0; rep < 6; rep++ {
+				for _, k := range kernels {
+					qps, rows := once(k)
+					if rep > 0 {
+						reps[k] = append(reps[k], qps)
+					}
+					if ref == "" {
+						ref = rows
+					} else if rows != ref {
+						panic(fmt.Sprintf("bench: kernel-select disagreement on %s/%s (%s)",
+							d.Name, wl.name, k))
+					}
+				}
+			}
+			med := func(k string) float64 {
+				xs := reps[k]
+				sort.Float64s(xs)
+				return xs[len(xs)/2]
+			}
+			r := KernelSelectResult{
+				Dataset: d.Name, Workload: wl.name, Query: wl.display,
+				Queries: len(wl.queries),
+				PushQPS: med("push"), PullQPS: med("pull"), AutoQPS: med("auto"),
+			}
+			r.AutoVsPush = r.AutoQPS / r.PushQPS
+			r.AutoVsBest = r.AutoQPS / math.Max(r.PushQPS, r.PullQPS)
+			report.Results = append(report.Results, r)
+			fmt.Fprintf(s.w, "  %-14s %-18s push %9.1f q/s  pull %9.1f q/s  auto %9.1f q/s  (%.2fx vs push, %.2fx vs best)\n",
+				r.Dataset, r.Workload, r.PushQPS, r.PullQPS, r.AutoQPS, r.AutoVsPush, r.AutoVsBest)
+
+			report.MisEstimates = append(report.MisEstimates,
+				estFeedback(g, d.Name, wl.name, wl.display)...)
+		}
+	}
+	for _, me := range report.MisEstimates {
+		fmt.Fprintf(s.w, "  est-feedback WARN %s/%s %s: est %.3g vs actual %d (%.0fx off)\n",
+			me.Dataset, me.Workload, me.Op, me.Est, me.Actual, me.Factor)
+	}
+	fmt.Fprintln(s.w)
+	return report
 }
 
 // RWMixResult is one (ratio, client-count) cell of the mixed read/write

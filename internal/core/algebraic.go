@@ -15,9 +15,15 @@ import (
 // pointer: resolution happens at evaluation time, under the lock the query
 // already holds, so the operand always matches the graph's current
 // dimension and write epoch (plans can outlive a concurrent write).
+//
+// resolveT resolves the operand's TRANSPOSE — the graph maintains R' beside
+// every R — which is what the pull (dot-product) kernels multiply by. A nil
+// resolveT pins the operand to the push kernel.
 type algebraicOperand struct {
-	resolve func(g *graph.Graph) *grb.DeltaMatrix
-	label   string // display name for EXPLAIN
+	resolve  func(g *graph.Graph) *grb.DeltaMatrix
+	resolveT func(g *graph.Graph) *grb.DeltaMatrix
+	label    string // display name for EXPLAIN
+	diag     bool   // label diagonals: a filter, not a hop; direction is moot
 }
 
 // algebraicExpr is the product RedisGraph builds for each traversal:
@@ -40,18 +46,181 @@ func (ae *algebraicExpr) String() string {
 // the query's lock (matrices only resize inside exclusive mutation bursts).
 func (ae *algebraicExpr) dim(ctx *execCtx) int { return ctx.g.Dim() }
 
-// eval propagates the frontier through every operand.
-func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector) (*grb.Vector, error) {
+// ---- direction-optimizing kernel selection ----
+
+// kernelMode selects the traversal kernel direction for a query:
+// density-adaptive per hop (auto), or forced to one direction for
+// differential baselines (GRAPH.CONFIG SET TRAVERSE_KERNEL push|pull).
+type kernelMode int
+
+const (
+	kernelAuto kernelMode = iota
+	kernelPush
+	kernelPull
+)
+
+// parseKernelMode maps Config.TraverseKernel to a kernelMode.
+func parseKernelMode(s string) (kernelMode, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return kernelAuto, nil
+	case "push":
+		return kernelPush, nil
+	case "pull":
+		return kernelPull, nil
+	}
+	return kernelAuto, fmt.Errorf("core: invalid traverse kernel %q (want auto, push or pull)", s)
+}
+
+// kernelStats counts a traversal operation's per-hop kernel decisions, so
+// PROFILE shows which direction each hop actually ran (one evaluation of a
+// relation operand = one decision; label diagonals are not counted).
+type kernelStats struct{ push, pull int }
+
+func (k *kernelStats) note(pull bool) {
+	if pull {
+		k.pull++
+	} else {
+		k.push++
+	}
+}
+
+// describe renders the recorded decisions for PROFILE ("" before execution,
+// so EXPLAIN output is unchanged).
+func (k *kernelStats) describe() string {
+	switch {
+	case k.push == 0 && k.pull == 0:
+		return ""
+	case k.pull == 0:
+		return " | kernel: push"
+	case k.push == 0:
+		return " | kernel: pull"
+	}
+	return fmt.Sprintf(" | kernel: mixed(push=%d, pull=%d)", k.push, k.pull)
+}
+
+// The chooser's cost constants, calibrated on the kernel-select benchmark's
+// power-law graphs (scale 14): one unit ≈ the cost of scattering one
+// adjacency entry in the push kernel.
+const (
+	// pullProbeCost is the per-candidate cost of one pull probe relative to
+	// one push scatter. Measured near 1.15 on the power-law benches — most
+	// candidates have short in-lists and dense-frontier hits exit on the
+	// first couple of entries — so 1.2 biases the tie slightly toward push.
+	pullProbeCost = 1.2
+	// expandProbeCost compares an expand-into point probe (a binary search,
+	// ~log degree) against building the record's whole ~mean-degree result
+	// row in the push path.
+	expandProbeCost = 4.0
+)
+
+// pullEligible applies the checks shared by both choosers: forced modes,
+// operands without a transpose, and label diagonals (a filter either way).
+// decided reports whether the mode alone settles the direction.
+func (ctx *execCtx) pullEligible(op *algebraicOperand) (bt *grb.DeltaMatrix, pull, decided bool) {
+	if op.diag || op.resolveT == nil {
+		return nil, false, true
+	}
+	switch ctx.kernel {
+	case kernelPush:
+		return nil, false, true
+	case kernelPull:
+		bt := ctx.resolveOperandT(op)
+		return bt, bt != nil, true
+	}
+	return nil, false, false
+}
+
+// choosePull decides the kernel direction for one batched (matrix-frontier)
+// hop and resolves the transpose operand when pull wins.
+//
+// The cost model: push scatters the adjacency row of every frontier entry —
+// ~ fnnz · meanDegree = fnnz · NVals(B)/dim entries touched — while pull
+// probes each candidate output position's in-neighbour list with early
+// exit, ~ candidates · pullProbeCost. The frontier NVals, the candidate-set
+// size and the operand's O(1) delta-matrix NVals are all the chooser needs;
+// below the bitmap density (dim/denseThreshold) push always wins and the
+// comparison is skipped.
+func (ctx *execCtx) choosePull(op *algebraicOperand, fnnz, candidates int) (*grb.DeltaMatrix, bool) {
+	if bt, pull, decided := ctx.pullEligible(op); decided {
+		return bt, pull
+	}
+	dim := ctx.g.Dim()
+	if dim == 0 || fnnz*grb.DenseThreshold < dim {
+		return nil, false
+	}
+	b := ctx.resolveOperand(op)
+	if b == nil {
+		return nil, false
+	}
+	pushCost := float64(fnnz) * float64(b.NVals()) / float64(dim)
+	// The push MxM partitions rows across the query's kernel threads; the
+	// batched pull kernel is single-threaded, so compare against push's
+	// parallel cost (with the default one-core-per-query this is a no-op).
+	if ctx.desc != nil && ctx.desc.NThreads > 1 {
+		pushCost /= float64(ctx.desc.NThreads)
+	}
+	pullCost := float64(candidates) * pullProbeCost
+	if pushCost <= pullCost {
+		return nil, false
+	}
+	bt := ctx.resolveOperandT(op)
+	return bt, bt != nil
+}
+
+// choosePullVec is the vector-frontier chooser (per-record and var-length
+// paths). Unlike the batched chooser it can afford the exact push cost —
+// the sum of the frontier entries' out-degrees (direction-optimizing BFS's
+// m_f, an O(frontier) pass of row-pointer arithmetic) — which matters
+// because a BFS frontier's mean degree drifts far from the global mean:
+// mid-BFS frontiers hold the graph's high-degree core, so a frontier well
+// below the bitmap fill ratio can still carry half the graph's edges — and
+// that edge weight, not the entry count, is what push pays for. The degree
+// sum early-exits once it clears the pull budget, so the chooser's overhead
+// stays bounded by the cheaper kernel's cost.
+func (ctx *execCtx) choosePullVec(op *algebraicOperand, frontier *grb.Vector, candidates int) (*grb.DeltaMatrix, bool) {
+	if bt, pull, decided := ctx.pullEligible(op); decided {
+		return bt, pull
+	}
+	b := ctx.resolveOperand(op)
+	if b == nil {
+		return nil, false
+	}
+	budget := float64(candidates) * pullProbeCost
+	pushCost := 0.0
+	frontier.Iterate(func(i grb.Index, _ float64) bool {
+		pushCost += float64(b.RowDegree(i))
+		return pushCost <= budget
+	})
+	if pushCost <= budget {
+		return nil, false
+	}
+	bt := ctx.resolveOperandT(op)
+	return bt, bt != nil
+}
+
+// eval propagates the frontier through every operand, choosing push or pull
+// per hop (ks, when non-nil, records each relation-operand decision).
+func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector, ks *kernelStats) (*grb.Vector, error) {
 	dim := ae.dim(ctx)
 	w := frontier
 	for i := range ae.operands {
-		m := ctx.resolveOperand(&ae.operands[i])
+		op := &ae.operands[i]
+		m := ctx.resolveOperand(op)
 		if m == nil {
 			return nil, errEmptyRelation
 		}
 		out := grb.NewVector(dim)
-		if err := grb.VxMDelta(out, nil, nil, grb.AnyPair, w, m, ctx.desc); err != nil {
+		bt, pull := ctx.choosePullVec(op, w, dim)
+		if pull {
+			if err := grb.VxMPull(out, nil, nil, grb.AnyPair, w, bt, ctx.desc); err != nil {
+				return nil, err
+			}
+		} else if err := grb.VxMDelta(out, nil, nil, grb.AnyPair, w, m, ctx.desc); err != nil {
 			return nil, err
+		}
+		if ks != nil && !op.diag {
+			ks.note(pull)
 		}
 		w = out
 	}
@@ -61,18 +230,29 @@ func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector) (*grb.Vector, 
 // evalMatrix propagates a whole batch of frontiers — one per row of f — in
 // one masked MxM per operand. This is the paper's central claim realised:
 // many traversals fused into a single sparse matrix–matrix multiplication
-// over the ANY_PAIR semiring, instead of one kernel call per record.
-func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix) (*grb.Matrix, error) {
+// over the ANY_PAIR semiring, instead of one kernel call per record. Each
+// operand multiplication independently picks the push (Gustavson) or pull
+// (transpose dot-product) kernel from the fused frontier's density.
+func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix, ks *kernelStats) (*grb.Matrix, error) {
 	dim := ae.dim(ctx)
 	w := f
 	for i := range ae.operands {
-		m := ctx.resolveOperand(&ae.operands[i])
+		op := &ae.operands[i]
+		m := ctx.resolveOperand(op)
 		if m == nil {
 			return nil, errEmptyRelation
 		}
 		out := grb.NewMatrix(f.NRows(), dim)
-		if err := grb.MxMDelta(out, nil, nil, grb.AnyPair, w, m, ctx.desc); err != nil {
+		bt, pull := ctx.choosePull(op, w.NVals(), dim)
+		if pull {
+			if err := grb.MxMPull(out, grb.AnyPair, w, bt, ctx.desc); err != nil {
+				return nil, err
+			}
+		} else if err := grb.MxMDelta(out, nil, nil, grb.AnyPair, w, m, ctx.desc); err != nil {
 			return nil, err
+		}
+		if ks != nil && !op.diag {
+			ks.note(pull)
 		}
 		w = out
 	}
@@ -80,26 +260,42 @@ func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix) (*grb.Matrix, e
 }
 
 // evalMasked evaluates with a complemented structural mask (used by
-// variable-length traversal to exclude already-reached nodes).
-func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, notReached *grb.Vector) (*grb.Vector, error) {
+// variable-length traversal to exclude already-reached nodes). The mask
+// shrinks the pull kernel's candidate set — unreached nodes only — which is
+// exactly the bottom-up BFS regime, so the chooser costs pull against the
+// unreached count rather than the full dimension.
+func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, reached *grb.Vector, ks *kernelStats) (*grb.Vector, error) {
 	dim := ae.dim(ctx)
 	w := frontier
 	for i := range ae.operands {
-		m := ctx.resolveOperand(&ae.operands[i])
+		op := &ae.operands[i]
+		m := ctx.resolveOperand(op)
 		if m == nil {
 			return nil, errEmptyRelation
 		}
 		out := grb.NewVector(dim)
 		var mask *grb.Vector
 		d := ctx.desc
+		candidates := dim
 		if i == len(ae.operands)-1 {
-			mask = notReached
+			mask = reached
 			md := *ctx.desc
 			md.Comp, md.Structure, md.Replace = true, true, true
 			d = &md
+			if c := dim - reached.NVals(); c >= 0 {
+				candidates = c
+			}
 		}
-		if err := grb.VxMDelta(out, mask, nil, grb.AnyPair, w, m, d); err != nil {
+		bt, pull := ctx.choosePullVec(op, w, candidates)
+		if pull {
+			if err := grb.VxMPull(out, mask, nil, grb.AnyPair, w, bt, d); err != nil {
+				return nil, err
+			}
+		} else if err := grb.VxMDelta(out, mask, nil, grb.AnyPair, w, m, d); err != nil {
 			return nil, err
+		}
+		if ks != nil && !op.diag {
+			ks.note(pull)
 		}
 		w = out
 	}
@@ -133,7 +329,9 @@ func (b *planBuilder) orderLabelsBySelectivity(labels []string) []string {
 // transposed matrices (inbound), both unions the two directions. Multi-type
 // and both-direction unions come from the graph's epoch-keyed cache instead
 // of being folded anew for every query; the operand re-resolves at
-// evaluation time so a union is never stale.
+// evaluation time so a union is never stale. The transpose resolver flips
+// the direction flag (an undirected union is its own transpose), feeding the
+// pull kernels the same fold-free delta matrices the push kernels get.
 func relationOperand(g *graph.Graph, typeIDs []int, anyType, reverse, both bool) (algebraicOperand, error) {
 	name := "ADJ"
 	if !anyType {
@@ -152,9 +350,16 @@ func relationOperand(g *graph.Graph, typeIDs []int, anyType, reverse, both bool)
 	if g.TraversalMatrix(typeIDs, anyType, reverse, both) == nil {
 		return algebraicOperand{}, errEmptyRelation
 	}
+	reverseT := reverse
+	if !both {
+		reverseT = !reverse
+	}
 	return algebraicOperand{
 		resolve: func(g *graph.Graph) *grb.DeltaMatrix {
 			return g.TraversalMatrix(typeIDs, anyType, reverse, both)
+		},
+		resolveT: func(g *graph.Graph) *grb.DeltaMatrix {
+			return g.TraversalMatrix(typeIDs, anyType, reverseT, both)
 		},
 		label: name,
 	}, nil

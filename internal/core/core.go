@@ -47,6 +47,11 @@ type Config struct {
 	// It is the planner differential tests' baseline and a safety valve
 	// (GRAPH.CONFIG SET COST_PLANNER 0).
 	NoCostPlanner bool
+	// TraverseKernel selects the traversal kernel direction: "" or "auto"
+	// picks push (saxpy/Gustavson) or pull (transpose dot-product) per hop
+	// from the frontier's density; "push" and "pull" force one direction —
+	// the differential baselines behind GRAPH.CONFIG SET TRAVERSE_KERNEL.
+	TraverseKernel string
 }
 
 func (c Config) descriptor() *grb.Descriptor {
@@ -130,6 +135,10 @@ func buildLocked(g *graph.Graph, ast *cypher.Query, cfg Config) (*Plan, error) {
 }
 
 func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Config, concurrent bool) (*ResultSet, error) {
+	kernel, err := parseKernelMode(cfg.TraverseKernel)
+	if err != nil {
+		return nil, err
+	}
 	rs := &ResultSet{Columns: plan.columns}
 	ctx := &execCtx{
 		g:      g,
@@ -138,6 +147,7 @@ func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Conf
 		stats:  &rs.Stats,
 		mut:    mutLocker{g: g, concurrent: concurrent},
 		batch:  cfg.TraverseBatch,
+		kernel: kernel,
 	}
 	if cfg.Timeout > 0 {
 		ctx.deadline = time.Now().Add(cfg.Timeout)

@@ -24,14 +24,18 @@ type execCtx struct {
 	// batch, when non-zero, overrides the pipeline batch size
 	// (Config.TraverseBatch); 1 forces tuple-at-a-time execution.
 	batch int
+	// kernel selects the traversal kernel direction (Config.TraverseKernel):
+	// density-adaptive per hop by default, forced for differential baselines.
+	kernel kernelMode
 	// deadline, when non-zero, aborts long queries (the benchmark's timeout
 	// guard; the paper reports RedisGraph had none on the large graphs).
 	deadline time.Time
 }
 
 type opCacheKey struct {
-	op    *algebraicOperand
-	epoch uint64
+	op        *algebraicOperand
+	epoch     uint64
+	transpose bool
 }
 
 // resolveOperand resolves an algebraic operand under the lock the query
@@ -43,6 +47,25 @@ func (ctx *execCtx) resolveOperand(op *algebraicOperand) *grb.DeltaMatrix {
 		return m
 	}
 	m := op.resolve(ctx.g)
+	if ctx.opCache == nil {
+		ctx.opCache = map[opCacheKey]*grb.DeltaMatrix{}
+	}
+	ctx.opCache[key] = m
+	return m
+}
+
+// resolveOperandT resolves an operand's transpose (the pull kernels'
+// multiplicand), memoised like resolveOperand. Nil when the operand has no
+// transpose resolver.
+func (ctx *execCtx) resolveOperandT(op *algebraicOperand) *grb.DeltaMatrix {
+	if op.resolveT == nil {
+		return nil
+	}
+	key := opCacheKey{op: op, epoch: ctx.g.Epoch(), transpose: true}
+	if m, ok := ctx.opCache[key]; ok {
+		return m
+	}
+	m := op.resolveT(ctx.g)
 	if ctx.opCache == nil {
 		ctx.opCache = map[opCacheKey]*grb.DeltaMatrix{}
 	}

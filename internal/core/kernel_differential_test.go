@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"redisgraph/internal/graph"
+	"redisgraph/internal/grb"
+)
+
+// kernelConfigs enumerates the direction-optimizing differential cells:
+// every kernel mode at tuple-at-a-time and fused-frontier batch sizes.
+func kernelConfigs() []Config {
+	var out []Config
+	for _, batch := range []int{1, 64} {
+		for _, kernel := range []string{"auto", "push", "pull"} {
+			out = append(out, Config{OpThreads: 1, TraverseBatch: batch, TraverseKernel: kernel})
+		}
+	}
+	return out
+}
+
+// TestKernelDifferentialReads proves push ≡ pull ≡ auto on read pipelines:
+// multi-hop, inbound, undirected, multi-type, variable-length (masked BFS
+// and label-masked emission), expand-into (with and without edge variables)
+// and OPTIONAL MATCH, across batch sizes 1 and 64.
+func TestKernelDifferentialReads(t *testing.T) {
+	g := adversarialGraph(t, 200)
+	queries := []string{
+		`MATCH (a:Hub)-[:D]->(b:Hub)-[:D]->(c) RETURN a.uid, count(c)`,
+		`MATCH (a:Hub)-[:D]->(b)-[:Sp]->(c:Rare) RETURN count(*)`,
+		`MATCH (a:Rare)<-[:Sp]-(b:Hub) RETURN a.uid, b.uid`,
+		`MATCH (a:Hub {uid: 3})-[:D]-(b) RETURN b.uid`,
+		`MATCH (a:Hub {uid: 1})-[:D*1..3]->(b) RETURN count(b)`,
+		`MATCH (a:Hub {uid: 0})-[*1..3]->(b:Rare) RETURN count(b)`,
+		`MATCH (a:Hub)-[:D]->(b:Hub)-[:D]->(a) RETURN count(*)`,
+		`MATCH (a:Hub)-[:D]->(b:Hub), (a)-[e:D]->(b) RETURN count(e)`,
+		`MATCH (a)-[:D|Sp]->(b) RETURN count(*)`,
+		`MATCH (a:Rare) OPTIONAL MATCH (a)-[:D]->(b) RETURN a.uid, b`,
+		`MATCH (a:Hub)-[:Sp]->(b:Rare) WHERE a.uid < 80 RETURN a.uid, b.uid`,
+	}
+	for _, q := range queries {
+		var want []string
+		for _, cfg := range kernelConfigs() {
+			got := runSorted(t, g, q, cfg)
+			if want == nil {
+				want = got
+				continue
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("kernel differential mismatch on %s (cfg %+v):\nwant %v\ngot  %v", q, cfg, want, got)
+			}
+		}
+	}
+}
+
+// TestKernelDifferentialWrites proves the kernel modes agree through write
+// pipelines, where traversal results feed mutations: each cell runs against
+// a freshly built graph and the post-write state is compared.
+func TestKernelDifferentialWrites(t *testing.T) {
+	scenarios := []struct {
+		name  string
+		write string
+		check string
+	}{
+		{
+			name:  "set-above-traversal",
+			write: `MATCH (a:Hub {uid: 5})-[:D]->(b) SET b.mark = 1`,
+			check: `MATCH (b:Hub) WHERE b.mark = 1 RETURN b.uid`,
+		},
+		{
+			name:  "create-from-expand",
+			write: `MATCH (a:Hub)-[:Sp]->(b:Rare) CREATE (b)-[:W]->(a)`,
+			check: `MATCH (b:Rare)-[:W]->(a:Hub) RETURN b.uid, a.uid`,
+		},
+		{
+			name:  "delete-cycle-edges",
+			write: `MATCH (a:Hub)-[:D]->(b:Hub)-[:D]->(a) MATCH (a)-[e:D]->(b) DELETE e`,
+			check: `MATCH (a:Hub)-[:D]->(b) RETURN count(*)`,
+		},
+	}
+	for _, sc := range scenarios {
+		var want []string
+		for _, cfg := range kernelConfigs() {
+			g := adversarialGraph(t, 120)
+			if _, err := Query(g, sc.write, nil, cfg); err != nil {
+				t.Fatalf("%s (cfg %+v): %v", sc.name, cfg, err)
+			}
+			got := runSorted(t, g, sc.check, cfg)
+			if want == nil {
+				want = got
+				continue
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("%s (cfg %+v):\nwant %v\ngot  %v", sc.name, cfg, want, got)
+			}
+		}
+	}
+}
+
+// TestProfileReportsKernel checks PROFILE surfaces the per-hop kernel
+// decision for forced modes.
+func TestProfileReportsKernel(t *testing.T) {
+	g := adversarialGraph(t, 80)
+	for _, kernel := range []string{"push", "pull"} {
+		lines, err := Profile(g, `MATCH (a:Hub)-[:D]->(b:Hub)-[:D]->(c) RETURN count(c)`, nil,
+			Config{OpThreads: 1, TraverseKernel: kernel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, l := range lines {
+			if strings.Contains(l, "kernel: "+kernel) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("PROFILE (%s) missing kernel annotation:\n%s", kernel, strings.Join(lines, "\n"))
+		}
+	}
+}
+
+// TestInvalidTraverseKernel checks the config knob rejects unknown values.
+func TestInvalidTraverseKernel(t *testing.T) {
+	g := adversarialGraph(t, 10)
+	if _, err := Query(g, `MATCH (a:Hub) RETURN count(a)`, nil, Config{TraverseKernel: "sideways"}); err == nil {
+		t.Fatal("expected an error for an invalid traverse kernel")
+	}
+}
+
+// TestChoosePullHeuristic exercises the cost model directly: sparse
+// frontiers must push, bitmap-dense frontiers against a high-degree operand
+// must pull, forced modes must override, and operands without a transpose
+// resolver must stay on push.
+func TestChoosePullHeuristic(t *testing.T) {
+	g := graph.New("chooser")
+	g.Lock()
+	g.CreateNode(nil, nil)
+	g.Unlock()
+	dim := g.Dim()
+
+	// A dense operand: mean degree 32.
+	b := grb.NewDeltaMatrix(dim, dim)
+	for i := 0; i < dim; i += 2 {
+		for k := 0; k < 64; k++ {
+			_ = b.SetElement(i, (i*61+k*127)%dim, 1)
+		}
+	}
+	op := algebraicOperand{
+		resolve:  func(*graph.Graph) *grb.DeltaMatrix { return b },
+		resolveT: func(*graph.Graph) *grb.DeltaMatrix { return b },
+		label:    "B",
+	}
+	ctx := &execCtx{g: g}
+
+	if _, pull := ctx.choosePull(&op, 1, dim); pull {
+		t.Fatal("one-hot frontier must push")
+	}
+	if _, pull := ctx.choosePull(&op, dim, dim); !pull {
+		t.Fatal("full frontier against a dense operand must pull")
+	}
+	// Below the bitmap density the comparison is skipped outright.
+	if _, pull := ctx.choosePull(&op, dim/grb.DenseThreshold-1, dim); pull {
+		t.Fatal("sub-bitmap-density frontier must push")
+	}
+	// A near-empty operand never repays probing the whole candidate set.
+	sparse := grb.NewDeltaMatrix(dim, dim)
+	for i := 0; i < dim/16; i++ {
+		_ = sparse.SetElement(i*16, (i*31+7)%dim, 1)
+	}
+	opSparse := algebraicOperand{
+		resolve:  func(*graph.Graph) *grb.DeltaMatrix { return sparse },
+		resolveT: func(*graph.Graph) *grb.DeltaMatrix { return sparse },
+		label:    "S",
+	}
+	if _, pull := ctx.choosePull(&opSparse, dim/4, dim); pull {
+		t.Fatal("a sparse operand should push even with a dense frontier")
+	}
+
+	// The vector chooser uses the frontier's exact out-degree sum: the same
+	// nnz count pulls when it sits on the operand's heavy rows and pushes
+	// when it sits on empty ones.
+	heavy := grb.NewVector(dim)
+	empty := grb.NewVector(dim)
+	for i := 0; i < dim/4; i++ {
+		_ = heavy.SetElement(i*2, 1)   // even rows carry 64 entries each
+		_ = empty.SetElement(i*2+1, 1) // odd rows are structurally empty
+	}
+	if _, pull := ctx.choosePullVec(&op, heavy, dim); !pull {
+		t.Fatal("a frontier over heavy rows must pull")
+	}
+	if _, pull := ctx.choosePullVec(&op, empty, dim); pull {
+		t.Fatal("a frontier over empty rows must push regardless of nnz")
+	}
+
+	ctx.kernel = kernelPush
+	if _, pull := ctx.choosePull(&op, dim, dim); pull {
+		t.Fatal("forced push must never pull")
+	}
+	ctx.kernel = kernelPull
+	if _, pull := ctx.choosePull(&op, 1, dim); !pull {
+		t.Fatal("forced pull must pull when a transpose exists")
+	}
+	noT := algebraicOperand{resolve: op.resolve, label: "B"}
+	if _, pull := ctx.choosePull(&noT, dim, dim); pull {
+		t.Fatal("an operand without a transpose resolver must push")
+	}
+	diag := algebraicOperand{resolve: op.resolve, resolveT: op.resolveT, diag: true}
+	if _, pull := ctx.choosePull(&diag, dim, dim); pull {
+		t.Fatal("label diagonals must push")
+	}
+	ctx.kernel = kernelAuto
+}
+
+// TestKernelStatsDescribe pins the PROFILE annotation formats.
+func TestKernelStatsDescribe(t *testing.T) {
+	var ks kernelStats
+	if got := ks.describe(); got != "" {
+		t.Fatalf("empty stats should not annotate, got %q", got)
+	}
+	ks.note(false)
+	if got := ks.describe(); got != " | kernel: push" {
+		t.Fatalf("push annotation: %q", got)
+	}
+	ks.note(true)
+	want := fmt.Sprintf(" | kernel: mixed(push=%d, pull=%d)", 1, 1)
+	if got := ks.describe(); got != want {
+		t.Fatalf("mixed annotation: %q", got)
+	}
+}

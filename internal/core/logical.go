@@ -140,6 +140,38 @@ func sortedPropKeys(m map[string]cypher.Expr) []string {
 	return keys
 }
 
+func sortedSeedKeys(m map[string]*whereSeed) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// seedableEquality decomposes a WHERE conjunct of the form
+// `var.attr = <record-free>` (either operand order) — the shape the
+// entry-point chooser can turn into an index seed.
+func seedableEquality(e cypher.Expr) (varName, attr string, val cypher.Expr, ok bool) {
+	be, isBin := e.(*cypher.BinaryExpr)
+	if !isBin || be.Op != "=" {
+		return "", "", nil, false
+	}
+	pa, v := be.L, be.R
+	if _, isProp := pa.(*cypher.PropAccess); !isProp {
+		pa, v = be.R, be.L
+	}
+	access, isProp := pa.(*cypher.PropAccess)
+	if !isProp || !isRecordFreeExpr(v) {
+		return "", "", nil, false
+	}
+	ident, isIdent := access.E.(*cypher.Ident)
+	if !isIdent {
+		return "", "", nil, false
+	}
+	return ident.Name, access.Key, v, true
+}
+
 // buildPatternGraph interns the group's patterns into a pattern graph and
 // pre-registers every variable's record slot in textual order, so the
 // projection scope (RETURN *) does not depend on the join order the
@@ -382,6 +414,33 @@ func (b *planBuilder) bestEntry(n *patternNode) entryScan {
 			break
 		}
 	}
+	// A WHERE equality on an indexed (label, attr) seeds too — the ROADMAP's
+	// WHERE-driven index seeding. Inline pattern props take precedence so
+	// existing plans are unchanged; the consumed conjunct is recorded at
+	// emission so applyWhere does not re-filter it.
+	if es.indexAttr == "" {
+		if seeds := b.whereSeeds[n.name]; len(seeds) > 0 {
+			for _, l := range m.Labels {
+				lid, ok := b.g.Schema.LabelID(l)
+				if !ok {
+					continue
+				}
+				for _, attr := range sortedSeedKeys(seeds) {
+					aid, ok := b.g.Schema.AttrID(attr)
+					if !ok {
+						continue
+					}
+					if _, ok := b.g.Schema.Index(lid, aid); ok {
+						es.scanLabel, es.indexAttr, es.base = l, attr, 1
+						break
+					}
+				}
+				if es.indexAttr != "" {
+					break
+				}
+			}
+		}
+	}
 	return es
 }
 
@@ -467,6 +526,35 @@ func (b *planBuilder) buildMatchGroup(clauses []*cypher.MatchClause) error {
 		}
 		n.extras = safeExtras
 	}
+	// Collect index-seedable WHERE equalities: an unbound pattern variable
+	// constrained by `v.attr = <record-free>` in any of the group's WHERE
+	// clauses becomes an entry-point candidate for bestEntry, on par with an
+	// inline pattern property.
+	b.whereSeeds = map[string]map[string]*whereSeed{}
+	defer func() { b.whereSeeds = nil }()
+	for _, c := range clauses {
+		if c.Where == nil {
+			continue
+		}
+		for _, cj := range splitConjuncts(c.Where) {
+			v, attr, val, ok := seedableEquality(cj)
+			if !ok || b.bound[v] {
+				continue
+			}
+			if _, inPattern := pg.byVar[v]; !inPattern {
+				continue
+			}
+			seeds := b.whereSeeds[v]
+			if seeds == nil {
+				seeds = map[string]*whereSeed{}
+				b.whereSeeds[v] = seeds
+			}
+			if _, dup := seeds[attr]; !dup {
+				seeds[attr] = &whereSeed{val: val, conjunct: cj}
+			}
+		}
+	}
+
 	// Predicates of nodes bound by earlier clauses apply immediately.
 	for _, n := range pg.nodes {
 		if !b.bound[n.name] {
@@ -738,7 +826,18 @@ func (b *planBuilder) emitNodeScan(es entryScan) error {
 	scanEst := capEst(b.rowEst * es.base)
 	switch {
 	case es.indexAttr != "":
-		fn, err := compileExpr(m.Props[es.indexAttr], b.st)
+		ex := m.Props[es.indexAttr]
+		if ex == nil {
+			// A WHERE-driven seed: consume the conjunct so applyWhere does
+			// not re-apply it above the scan.
+			seed := b.whereSeeds[name][es.indexAttr]
+			ex = seed.val
+			if b.consumedWhere == nil {
+				b.consumedWhere = map[cypher.Expr]bool{}
+			}
+			b.consumedWhere[seed.conjunct] = true
+		}
+		fn, err := compileExpr(ex, b.st)
 		if err != nil {
 			return err
 		}

@@ -141,6 +141,8 @@ type condTraverseOp struct {
 	maskFn    grb.ColMask
 	maskEpoch uint64
 	maskOK    bool
+
+	ks kernelStats
 }
 
 func (o *condTraverseOp) nextBatch(ctx *execCtx) (recordBatch, error) {
@@ -209,7 +211,7 @@ func (o *condTraverseOp) fill(ctx *execCtx) error {
 	if err := frontier.BuildFromRows(srcs); err != nil {
 		return err
 	}
-	result, err := o.ae.evalMatrix(ctx, frontier)
+	result, err := o.ae.evalMatrix(ctx, frontier, &o.ks)
 	if err != nil {
 		return err
 	}
@@ -252,7 +254,7 @@ func (o *condTraverseOp) fillVector(ctx *execCtx) error {
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return err
 	}
-	w, err := o.ae.eval(ctx, frontier)
+	w, err := o.ae.eval(ctx, frontier, &o.ks)
 	if err != nil {
 		return err
 	}
@@ -339,7 +341,7 @@ func (o *condTraverseOp) name() string {
 	return "ConditionalTraverse"
 }
 func (o *condTraverseOp) args() string {
-	return fmt.Sprintf("%s | batched(%d)%s", o.ae.String(), o.batch, describeMasks(o.masks))
+	return fmt.Sprintf("%s | batched(%d)%s%s", o.ae.String(), o.batch, describeMasks(o.masks), o.ks.describe())
 }
 func (o *condTraverseOp) children() []operation        { return []operation{o.child} }
 func (o *condTraverseOp) setChild(i int, op operation) { o.child = op }
@@ -366,6 +368,8 @@ type expandIntoOp struct {
 	arena    recordArena
 	batchBuf []record
 	srcBuf   []grb.Index
+
+	ks kernelStats
 }
 
 func (o *expandIntoOp) nextBatch(ctx *execCtx) (recordBatch, error) {
@@ -411,11 +415,23 @@ func (o *expandIntoOp) fill(ctx *execCtx) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	if m, ok := o.pullProbe(ctx); ok {
+		// Pull: one point probe of the relation matrix per record — the
+		// canonical pull case, a tiny candidate set (each record's bound
+		// destination) against whole frontier rows the push path would build.
+		o.ks.note(true)
+		for _, in := range batch {
+			if _, err := m.ExtractElement(int(in[o.srcSlot].ID), int(in[o.dstSlot].ID)); err == nil {
+				o.emitConnected(ctx, in)
+			}
+		}
+		return nil
+	}
 	frontier := grb.NewMatrix(len(batch), ctx.g.Dim())
 	if err := frontier.BuildFromRows(srcs); err != nil {
 		return err
 	}
-	result, err := o.ae.evalMatrix(ctx, frontier)
+	result, err := o.ae.evalMatrix(ctx, frontier, &o.ks)
 	if err != nil {
 		return err
 	}
@@ -426,6 +442,34 @@ func (o *expandIntoOp) fill(ctx *execCtx) error {
 		o.emitConnected(ctx, in)
 	}
 	return nil
+}
+
+// pullProbe reports whether this expand-into should bypass frontier
+// evaluation and point-probe the relation matrix per record. Eligible when
+// the algebraic expression is a single relation operand (expand-into never
+// folds label diagonals: both endpoints are already bound). The probe is an
+// O(log degree) binary search; the push path builds each record's whole
+// ~mean-degree result row first, so auto mode probes whenever the mean
+// degree exceeds the probe cost.
+func (o *expandIntoOp) pullProbe(ctx *execCtx) (*grb.DeltaMatrix, bool) {
+	if len(o.ae.operands) != 1 || o.ae.operands[0].diag {
+		return nil, false
+	}
+	if ctx.kernel == kernelPush {
+		return nil, false
+	}
+	m := ctx.resolveOperand(&o.ae.operands[0])
+	if m == nil {
+		return nil, false
+	}
+	if ctx.kernel == kernelPull {
+		return m, true
+	}
+	dim := ctx.g.Dim()
+	if dim == 0 || float64(m.NVals())/float64(dim) <= expandProbeCost {
+		return nil, false
+	}
+	return m, true
 }
 
 // fillVector is the per-record path: one-hot frontier vector, VxM chain,
@@ -443,11 +487,18 @@ func (o *expandIntoOp) fillVector(ctx *execCtx) error {
 	if src.Kind != value.KindNode || dst.Kind != value.KindNode {
 		return nil
 	}
+	if m, ok := o.pullProbe(ctx); ok {
+		o.ks.note(true)
+		if _, err := m.ExtractElement(int(src.ID), int(dst.ID)); err == nil {
+			o.emitConnected(ctx, in)
+		}
+		return nil
+	}
 	frontier := grb.NewVector(ctx.g.Dim())
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return err
 	}
-	w, err := o.ae.eval(ctx, frontier)
+	w, err := o.ae.eval(ctx, frontier, &o.ks)
 	if err != nil {
 		return err
 	}
@@ -478,7 +529,7 @@ func (o *expandIntoOp) emitConnected(ctx *execCtx, in record) {
 
 func (o *expandIntoOp) name() string { return "ExpandInto" }
 func (o *expandIntoOp) args() string {
-	return fmt.Sprintf("%s | batched(%d)", o.ae.String(), o.batch)
+	return fmt.Sprintf("%s | batched(%d)%s", o.ae.String(), o.batch, o.ks.describe())
 }
 func (o *expandIntoOp) children() []operation        { return []operation{o.child} }
 func (o *expandIntoOp) setChild(i int, op operation) { o.child = op }
@@ -526,7 +577,7 @@ func (o *traverseCountOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 		if err := frontier.BuildFromRows(srcs); err != nil {
 			return nil, err
 		}
-		result, err := t.ae.evalMatrix(ctx, frontier)
+		result, err := t.ae.evalMatrix(ctx, frontier, &t.ks)
 		if err != nil {
 			return nil, err
 		}
@@ -569,7 +620,7 @@ func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return 0, err
 	}
-	w, err := t.ae.eval(ctx, frontier)
+	w, err := t.ae.eval(ctx, frontier, &t.ks)
 	if err != nil {
 		return 0, err
 	}
@@ -592,7 +643,7 @@ func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
 
 func (o *traverseCountOp) name() string { return "TraverseCount" }
 func (o *traverseCountOp) args() string {
-	return fmt.Sprintf("%s | batched(%d)%s", o.t.ae.String(), o.t.batch, describeMasks(o.t.masks))
+	return fmt.Sprintf("%s | batched(%d)%s%s", o.t.ae.String(), o.t.batch, describeMasks(o.t.masks), o.t.ks.describe())
 }
 func (o *traverseCountOp) children() []operation        { return []operation{o.t.child} }
 func (o *traverseCountOp) setChild(i int, op operation) { o.t.child = op }
@@ -625,6 +676,8 @@ type varLenTraverseOp struct {
 	in    batchPuller
 	queue []record
 	done  bool
+
+	ks kernelStats
 }
 
 func (o *varLenTraverseOp) nextBatch(ctx *execCtx) (recordBatch, error) {
@@ -675,7 +728,7 @@ func (o *varLenTraverseOp) expand(ctx *execCtx, in record, srcID uint64) error {
 		if ctx.expired() {
 			return fmt.Errorf("query timed out during variable-length traversal")
 		}
-		next, err := o.ae.evalMasked(ctx, frontier, reached)
+		next, err := o.ae.evalMasked(ctx, frontier, reached, &o.ks)
 		if err != nil {
 			return err
 		}
@@ -700,7 +753,7 @@ func (o *varLenTraverseOp) expand(ctx *execCtx, in record, srcID uint64) error {
 // untouched — and queues the surviving nodes.
 func (o *varLenTraverseOp) emitMasked(ctx *execCtx, in record, f *grb.Vector) error {
 	if o.dstAE != nil {
-		masked, err := o.dstAE.eval(ctx, f)
+		masked, err := o.dstAE.eval(ctx, f, nil)
 		if err != nil {
 			return err
 		}
@@ -736,7 +789,7 @@ func (o *varLenTraverseOp) args() string {
 	if o.dstAE != nil {
 		s += " | dst mask: " + o.dstAE.String()
 	}
-	return s
+	return s + o.ks.describe()
 }
 func (o *varLenTraverseOp) children() []operation        { return []operation{o.child} }
 func (o *varLenTraverseOp) setChild(i int, op operation) { o.child = op }
@@ -754,5 +807,6 @@ func labelDiagOperand(g *graph.Graph, label string) (algebraicOperand, bool) {
 	return algebraicOperand{
 		resolve: func(g *graph.Graph) *grb.DeltaMatrix { return g.LabelMatrix(lid) },
 		label:   ":" + label,
+		diag:    true, // a diagonal is its own transpose; direction is moot
 	}, true
 }

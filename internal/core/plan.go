@@ -55,6 +55,14 @@ type planBuilder struct {
 	// binders records which scan or traversal operation bound each variable
 	// in the current projection scope — the pushdown targets.
 	binders map[string]*binderInfo
+	// whereSeeds maps a pattern variable to its index-seedable WHERE
+	// equalities (attr → seed), collected per MATCH group so the entry-point
+	// chooser treats an indexed `WHERE n.k = v` exactly like an inline
+	// `(n:L {k: v})` property — an index seed, not just a pushed filter.
+	whereSeeds map[string]map[string]*whereSeed
+	// consumedWhere marks WHERE conjuncts consumed as index seeds, so
+	// applyWhere does not re-apply them as filters.
+	consumedWhere map[cypher.Expr]bool
 	// est records every emitted operation's estimated output cardinality;
 	// rowEst is the running estimate at the current pipeline head.
 	est    map[operation]float64
@@ -183,12 +191,23 @@ func (b *planBuilder) buildMatch(c *cypher.MatchClause) error {
 	return nil
 }
 
+// whereSeed is one index-seedable WHERE equality: the record-free value
+// expression and the conjunct it came from (marked consumed when the
+// entry-point chooser turns it into an index scan).
+type whereSeed struct {
+	val      cypher.Expr
+	conjunct cypher.Expr
+}
+
 // applyWhere splits a WHERE into AND-conjuncts and pushes each eligible one
 // below record materialisation: property equalities land in scan filters,
 // index seeds or traversal destination masks. What cannot be pushed stays
 // as a residual interpreted filter.
 func (b *planBuilder) applyWhere(where cypher.Expr) error {
 	for _, cj := range splitConjuncts(where) {
+		if b.consumedWhere[cj] {
+			continue // became an index-seed scan; already fully applied
+		}
 		if b.tryPushConjunct(cj) {
 			continue
 		}

@@ -1,0 +1,43 @@
+package grb
+
+import "math/bits"
+
+// bitset is a word-packed presence bitmap over [0, n): the bitmap half of the
+// dual sparse/bitmap frontier representation. Traversal frontiers flip from
+// sorted-coordinate to bitmap form once their fill ratio crosses
+// denseThreshold, giving the pull (dot-product) kernels and mask probes O(1)
+// membership tests; flipping back is a linear scan over the set bits.
+// Bits at indices >= n must stay zero so word-level iteration never yields an
+// out-of-range index.
+type bitset []uint64
+
+// newBitset returns an all-clear bitset covering [0, n).
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i Index)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) unset(i Index)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) get(i Index) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// iterate calls fn for every set bit in ascending order; fn returning false
+// stops the iteration.
+func (b bitset) iterate(fn func(i Index) bool) {
+	for wi, w := range b {
+		base := Index(wi << 6)
+		for w != 0 {
+			if !fn(base + Index(bits.TrailingZeros64(w))) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// setAll sets every bit in [0, n), keeping the tail words clean.
+func (b bitset) setAll(n int) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if tail := uint(n) & 63; tail != 0 && len(b) > 0 {
+		b[len(b)-1] = (1 << tail) - 1
+	}
+}

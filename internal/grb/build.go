@@ -56,10 +56,10 @@ func DenseVector(n int, x float64) *Vector {
 	v := NewVector(n)
 	v.dense = true
 	v.dval = make([]float64, n)
-	v.dok = make([]bool, n)
+	v.dbits = newBitset(n)
+	v.dbits.setAll(n)
 	for i := range v.dval {
 		v.dval[i] = x
-		v.dok[i] = true
 	}
 	v.nnz = n
 	return v

@@ -155,7 +155,7 @@ func mxmOnRows(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a *Matrix, 
 						}
 					}
 				}
-				insertionSort(cols)
+				sortIndices(cols)
 			}
 			for _, j := range cols {
 				if mask != nil || comp {
@@ -211,13 +211,33 @@ func mxmOnRows(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a *Matrix, 
 	return nil
 }
 
-// insertionSort sorts index slices; Gustavson rows are usually short, where
-// insertion sort beats the generic sort, and long rows fall back to sort.Ints.
-func insertionSort(a []Index) {
-	if len(a) > 48 {
+// Size cutoffs of the hybrid index sort: insertion sort below
+// insertionSortMax (Gustavson rows are usually short), the standard
+// comparison sort in between, and LSD radix once a result row is dense
+// enough that O(m log m) comparisons per row dominate the kernel.
+const (
+	insertionSortMax = 48
+	radixSortMin     = 1024
+)
+
+// sortIndices sorts a column-index slice with a size-adaptive hybrid. Dense
+// result rows — exactly what dense-frontier traversal batches produce —
+// previously degraded to comparison sorting per row; radix keeps them
+// O(m · bytes-of-dim).
+func sortIndices(a []Index) {
+	switch {
+	case len(a) <= insertionSortMax:
+		insertionSort(a)
+	case len(a) < radixSortMin:
 		sort.Ints(a)
-		return
+	default:
+		radixSortIndices(a)
 	}
+}
+
+// insertionSort sorts short index slices, where it beats the generic sort;
+// sortIndices owns the size dispatch.
+func insertionSort(a []Index) {
 	for i := 1; i < len(a); i++ {
 		x := a[i]
 		j := i - 1
@@ -227,4 +247,46 @@ func insertionSort(a []Index) {
 		}
 		a[j+1] = x
 	}
+}
+
+var radixPool = sync.Pool{New: func() any { return &[]Index{} }}
+
+// radixSortIndices is an LSD radix sort over non-negative indices: one
+// counting pass per significant byte of the maximum value (two passes for
+// any graph under 16M nodes), with a pooled ping-pong buffer.
+func radixSortIndices(a []Index) {
+	if len(a) < 2 {
+		return
+	}
+	max := 0
+	for _, x := range a {
+		if x > max {
+			max = x
+		}
+	}
+	bufp := radixPool.Get().(*[]Index)
+	if cap(*bufp) < len(a) {
+		*bufp = make([]Index, len(a))
+	}
+	src, dst := a, (*bufp)[:len(a)]
+	for shift := 0; max>>shift != 0; shift += 8 {
+		var counts [256]int
+		for _, x := range src {
+			counts[(x>>shift)&0xff]++
+		}
+		pos := 0
+		for b := range counts {
+			pos, counts[b] = pos+counts[b], pos
+		}
+		for _, x := range src {
+			b := (x >> shift) & 0xff
+			dst[counts[b]] = x
+			counts[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+	radixPool.Put(bufp)
 }

@@ -20,80 +20,9 @@ func MxV(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, a *Matrix, u *Vec
 		// A'·u is a push over CSR rows of A.
 		return vxmInternal(w, mask, accum, s, u, a, d)
 	}
-	if a.ncols != u.n {
-		return dimErr("mxv: A is %dx%d, u has size %d", a.nrows, a.ncols, u.n)
-	}
-	if w.n != a.nrows {
-		return dimErr("mxv: w has size %d, want %d", w.n, a.nrows)
-	}
-	if mask != nil && mask.n != w.n {
-		return dimErr("mxv: mask has size %d, want %d", mask.n, w.n)
-	}
-	comp, structure := d.comp(), d.structure()
-
-	// Pull kernel. Densify u for O(1) lookups if it is sparse but large.
-	var uval []float64
-	var uok []bool
-	if u.dense {
-		uval, uok = u.dval, u.dok
-	} else {
-		uval = make([]float64, u.n)
-		uok = make([]bool, u.n)
-		for k, i := range u.ind {
-			uval[i] = u.val[k]
-			uok[i] = true
-		}
-	}
-
-	t := NewVector(w.n)
-	nth := d.nthreads()
-	type partial struct {
-		ind []Index
-		val []float64
-	}
-	parts := make([]partial, nth)
-	parallelRanges(a.nrows, nth, func(part, lo, hi int) {
-		p := &parts[part]
-		for i := lo; i < hi; i++ {
-			if (mask != nil || comp) && !mask.maskAllows(i, comp, structure) {
-				continue
-			}
-			ac, av := a.rowView(i)
-			acc := s.Add.Identity
-			found := false
-			for k, j := range ac {
-				if !uok[j] {
-					continue
-				}
-				var m float64
-				if s.Structural {
-					m = 1
-				} else {
-					m = s.Mul.F(av[k], uval[j])
-				}
-				if !found {
-					acc = m
-					found = true
-				} else {
-					acc = s.Add.Op.F(acc, m)
-				}
-				if s.Add.Terminal != nil && acc == *s.Add.Terminal {
-					break
-				}
-			}
-			if found {
-				p.ind = append(p.ind, i)
-				p.val = append(p.val, acc)
-			}
-		}
-	})
-	for _, p := range parts {
-		t.ind = append(t.ind, p.ind...)
-		t.val = append(t.val, p.val...)
-	}
-	t.maybeDensify()
-	mergeVector(w, mask, accum, t, d)
-	return nil
+	// Pull kernel (pull.go): each output row i intersects A(i, :) with u's
+	// bitmap, with monoid-terminal early exit.
+	return pullVxM(w, mask, accum, s, u, a, d)
 }
 
 // VxM computes w<mask> = accum(w, u'·A) (GrB_vxm), the push direction used
@@ -183,7 +112,7 @@ func vxmInternal(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector
 	})
 
 	t := NewVector(w.n)
-	insertionSort(outs)
+	sortIndices(outs)
 	t.ind = make([]Index, 0, len(outs))
 	t.val = make([]float64, 0, len(outs))
 	for _, j := range outs {

@@ -1,0 +1,258 @@
+package grb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestPullVxMMatchesPush checks that the pull kernel computes exactly what
+// the push kernel computes for w = u'·B over the traversal semiring, across
+// random matrices, frontier densities and batch deltas.
+func TestPullVxMMatchesPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40) + 1
+		b := randMatrix(rng, n, n, rng.Float64())
+		u := randVector(rng, n, rng.Float64())
+		bd := DeltaFrom(b.Dup())
+
+		push := NewVector(n)
+		if err := VxMDelta(push, nil, nil, AnyPair, u, bd, nil); err != nil {
+			t.Fatal(err)
+		}
+		pull := NewVector(n)
+		bt := DeltaFrom(transposed(b))
+		if err := VxMPull(pull, nil, nil, AnyPair, u, bt, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !sameVector(push, pull) {
+			t.Fatalf("trial %d: push %v != pull %v", trial, push, pull)
+		}
+	}
+}
+
+// TestPullVxMMaskedMatchesPush checks the complemented structural mask path
+// (the var-length "not yet reached" mask): pull must both skip the masked
+// candidates and agree with the push kernel entry for entry.
+func TestPullVxMMaskedMatchesPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d := &Descriptor{Comp: true, Structure: true, Replace: true}
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40) + 1
+		b := randMatrix(rng, n, n, rng.Float64())
+		u := randVector(rng, n, rng.Float64())
+		mask := randVector(rng, n, rng.Float64())
+		bd := DeltaFrom(b.Dup())
+
+		push := NewVector(n)
+		if err := VxMDelta(push, mask, nil, AnyPair, u, bd, d); err != nil {
+			t.Fatal(err)
+		}
+		pull := NewVector(n)
+		bt := DeltaFrom(transposed(b))
+		if err := VxMPull(pull, mask, nil, AnyPair, u, bt, d); err != nil {
+			t.Fatal(err)
+		}
+		if !sameVector(push, pull) {
+			t.Fatalf("trial %d: push %v != pull %v", trial, push, pull)
+		}
+	}
+}
+
+// TestPullVxMNonStructural checks the pull kernel's general (value) path
+// against the push kernel over PlusTimes.
+func TestPullVxMNonStructural(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(24) + 1
+		b := randMatrix(rng, n, n, rng.Float64())
+		u := randVector(rng, n, rng.Float64())
+
+		push := NewVector(n)
+		if err := VxM(push, nil, nil, PlusTimes, u, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		pull := NewVector(n)
+		if err := pullVxM(pull, nil, nil, PlusTimes, u, transposed(b), nil); err != nil {
+			t.Fatal(err)
+		}
+		if !sameVector(push, pull) {
+			t.Fatalf("trial %d: push %v != pull %v", trial, push, pull)
+		}
+	}
+}
+
+// TestMxMPullMatchesPush checks the batched pull kernel against the push
+// Gustavson kernel for frontier-shaped products C = F·B, including batches
+// larger than one bitmask word.
+func TestMxMPullMatchesPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		nrec := rng.Intn(130) + 1 // crosses the 64-record word boundary
+		n := rng.Intn(40) + 1
+		f := randMatrix(rng, nrec, n, rng.Float64()*0.5)
+		b := randMatrix(rng, n, n, rng.Float64())
+		bd := DeltaFrom(b.Dup())
+
+		push := NewMatrix(nrec, n)
+		if err := MxMDelta(push, nil, nil, AnyPair, f, bd, nil); err != nil {
+			t.Fatal(err)
+		}
+		pull := NewMatrix(nrec, n)
+		bt := DeltaFrom(transposed(b))
+		if err := MxMPull(pull, AnyPair, f, bt, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !sameMatrix(push, pull) {
+			t.Fatalf("trial %d (nrec=%d n=%d): push %v != pull %v", trial, nrec, n, push, pull)
+		}
+	}
+}
+
+// TestMxMPullDeltaOperand checks the pull kernel against a dirty delta
+// matrix transpose: buffered inserts and deletes on the transpose side must
+// be visible without a fold.
+func TestMxMPullDeltaOperand(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 100; trial++ {
+		nrec := rng.Intn(70) + 1
+		n := rng.Intn(30) + 1
+		f := randMatrix(rng, nrec, n, rng.Float64()*0.5)
+		b := NewDeltaMatrix(n, n)
+		bt := NewDeltaMatrix(n, n)
+		for k := 0; k < rng.Intn(3*n*n+1); k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(3) == 0 {
+				_ = b.RemoveElement(i, j)
+				_ = bt.RemoveElement(j, i)
+			} else {
+				_ = b.SetElement(i, j, 1)
+				_ = bt.SetElement(j, i, 1)
+			}
+		}
+		push := NewMatrix(nrec, n)
+		if err := MxMDelta(push, nil, nil, AnyPair, f, b, nil); err != nil {
+			t.Fatal(err)
+		}
+		pull := NewMatrix(nrec, n)
+		if err := MxMPull(pull, AnyPair, f, bt, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !sameMatrix(push, pull) {
+			t.Fatalf("trial %d: push %v != pull %v", trial, push, pull)
+		}
+	}
+}
+
+func TestMxMPullRejectsNonStructural(t *testing.T) {
+	f := NewMatrix(2, 2)
+	b := NewMatrix(2, 2)
+	if err := MxMPull(NewMatrix(2, 2), PlusTimes, f, b, nil); err == nil {
+		t.Fatal("expected an error for a non-structural semiring")
+	}
+}
+
+func sameVector(a, b *Vector) bool {
+	if a.Size() != b.Size() || a.NVals() != b.NVals() {
+		return false
+	}
+	ia, va := a.ExtractTuples()
+	ib, vb := b.ExtractTuples()
+	for k := range ia {
+		if ia[k] != ib[k] || va[k] != vb[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBitmapSparseRoundTrip checks that flipping a vector between sorted-
+// coordinate and bitmap form in either order preserves its contents exactly.
+func TestBitmapSparseRoundTrip(t *testing.T) {
+	f := func(n uint8, idx []uint16, vals []int8) bool {
+		size := int(n) + 1
+		v := NewVector(size)
+		want := map[Index]float64{}
+		for k, ix := range idx {
+			i := int(ix) % size
+			x := 1.0
+			if len(vals) > 0 {
+				x = float64(vals[k%len(vals)]%7) + 8
+			}
+			_ = v.SetElement(i, x)
+			want[i] = x
+		}
+		check := func() bool {
+			if v.NVals() != len(want) {
+				return false
+			}
+			ok := true
+			v.Iterate(func(i Index, x float64) bool {
+				if want[i] != x {
+					ok = false
+				}
+				return ok
+			})
+			return ok
+		}
+		v.toDense()
+		if !check() {
+			return false
+		}
+		v.toSparse()
+		if !check() {
+			return false
+		}
+		v.toDense()
+		return check()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitmapIterationSorted checks bitmap-mode iteration yields ascending
+// indices (kernels rely on sorted output rows).
+func TestBitmapIterationSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	v := NewVector(500)
+	for k := 0; k < 400; k++ {
+		_ = v.SetElement(rng.Intn(500), 1)
+	}
+	if !v.dense {
+		t.Fatal("expected bitmap mode at this fill ratio")
+	}
+	prev := -1
+	v.Iterate(func(i Index, _ float64) bool {
+		if i <= prev {
+			t.Fatalf("iteration not ascending: %d after %d", i, prev)
+		}
+		prev = i
+		return true
+	})
+}
+
+// TestSortIndicesHybrid checks the insertion/pdq/radix hybrid across every
+// size regime against the standard sort.
+func TestSortIndicesHybrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, n := range []int{0, 1, 2, 47, 48, 49, 1023, 1024, 5000} {
+		for trial := 0; trial < 5; trial++ {
+			a := make([]Index, n)
+			maxV := 1 << uint(rng.Intn(24)+1)
+			for i := range a {
+				a[i] = rng.Intn(maxV)
+			}
+			want := append([]Index(nil), a...)
+			sort.Ints(want)
+			sortIndices(a)
+			for i := range a {
+				if a[i] != want[i] {
+					t.Fatalf("n=%d: mismatch at %d: %d != %d", n, i, a[i], want[i])
+				}
+			}
+		}
+	}
+}

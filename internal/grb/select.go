@@ -86,13 +86,14 @@ func SelectCols(m *Matrix, keep ColMask) {
 // SelectColsVec is SelectCols for the tuple-at-a-time (batch 1) vector path.
 func SelectColsVec(v *Vector, keep ColMask) {
 	if v.dense {
-		for j := range v.dok {
-			if v.dok[j] && !keep(Index(j)) {
-				v.dok[j] = false
+		v.dbits.iterate(func(j Index) bool {
+			if !keep(j) {
+				v.dbits.unset(j)
 				v.dval[j] = 0
 				v.nnz--
 			}
-		}
+			return true
+		})
 		return
 	}
 	out := 0

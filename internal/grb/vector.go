@@ -9,9 +9,11 @@ import (
 // Vector is a sparse GraphBLAS vector of float64 values.
 //
 // Internally it is dual-mode, like SuiteSparse's sparse/bitmap formats: a
-// sorted coordinate list while sparse, and a dense value array plus presence
-// bitmap once the fill ratio crosses a threshold. Traversal frontiers start
-// sparse and densify as BFS expands, which keeps both regimes fast.
+// sorted coordinate list while sparse, and a dense value array plus a
+// word-packed presence bitmap once the fill ratio crosses a threshold.
+// Traversal frontiers start sparse and densify as BFS expands; the bitmap
+// form gives mask probes and the pull (dot-product) kernels O(1) membership
+// tests, and conversion in either direction is a single linear pass.
 type Vector struct {
 	n     int
 	dense bool
@@ -20,14 +22,20 @@ type Vector struct {
 	ind []Index
 	val []float64
 
-	// dense mode
-	dval []float64
-	dok  []bool
-	nnz  int
+	// bitmap (dense) mode
+	dval  []float64
+	dbits bitset
+	nnz   int
 }
 
 // denseThreshold is the fill ratio above which a vector converts to dense.
 const denseThreshold = 8 // convert when nnz > n/denseThreshold
+
+// DenseThreshold is the sparse→bitmap flip ratio: a vector converts to
+// bitmap form once nnz · DenseThreshold > n. Exported so kernel choosers
+// can align their push/pull density heuristics with the representation
+// switch.
+const DenseThreshold = denseThreshold
 
 // NewVector returns an empty vector of the given size.
 func NewVector(n int) *Vector {
@@ -63,7 +71,7 @@ func (v *Vector) Clear() {
 	v.ind = v.ind[:0]
 	v.val = v.val[:0]
 	v.dval = nil
-	v.dok = nil
+	v.dbits = nil
 	v.nnz = 0
 }
 
@@ -72,7 +80,7 @@ func (v *Vector) Dup() *Vector {
 	w := &Vector{n: v.n, dense: v.dense, nnz: v.nnz}
 	if v.dense {
 		w.dval = append([]float64(nil), v.dval...)
-		w.dok = append([]bool(nil), v.dok...)
+		w.dbits = append(bitset(nil), v.dbits...)
 	} else {
 		w.ind = append([]Index(nil), v.ind...)
 		w.val = append([]float64(nil), v.val...)
@@ -104,8 +112,8 @@ func (v *Vector) SetElement(i Index, x float64) error {
 		return boundsErr("vector index %d size %d", i, v.n)
 	}
 	if v.dense {
-		if !v.dok[i] {
-			v.dok[i] = true
+		if !v.dbits.get(i) {
+			v.dbits.set(i)
 			v.nnz++
 		}
 		v.dval[i] = x
@@ -132,7 +140,7 @@ func (v *Vector) ExtractElement(i Index) (float64, error) {
 		return 0, boundsErr("vector index %d size %d", i, v.n)
 	}
 	if v.dense {
-		if v.dok[i] {
+		if v.dbits.get(i) {
 			return v.dval[i], nil
 		}
 		return 0, ErrNoValue
@@ -150,8 +158,8 @@ func (v *Vector) RemoveElement(i Index) error {
 		return boundsErr("vector index %d size %d", i, v.n)
 	}
 	if v.dense {
-		if v.dok[i] {
-			v.dok[i] = false
+		if v.dbits.get(i) {
+			v.dbits.unset(i)
 			v.dval[i] = 0
 			v.nnz--
 		}
@@ -209,12 +217,11 @@ func (v *Vector) ExtractTuples() ([]Index, []float64) {
 	}
 	ind := make([]Index, 0, v.nnz)
 	val := make([]float64, 0, v.nnz)
-	for i, ok := range v.dok {
-		if ok {
-			ind = append(ind, i)
-			val = append(val, v.dval[i])
-		}
-	}
+	v.dbits.iterate(func(i Index) bool {
+		ind = append(ind, i)
+		val = append(val, v.dval[i])
+		return true
+	})
 	return ind, val
 }
 
@@ -222,11 +229,7 @@ func (v *Vector) ExtractTuples() ([]Index, []float64) {
 // false stops the iteration.
 func (v *Vector) Iterate(fn func(i Index, x float64) bool) {
 	if v.dense {
-		for i, ok := range v.dok {
-			if ok && !fn(i, v.dval[i]) {
-				return
-			}
-		}
+		v.dbits.iterate(func(i Index) bool { return fn(i, v.dval[i]) })
 		return
 	}
 	for k, i := range v.ind {
@@ -236,10 +239,11 @@ func (v *Vector) Iterate(fn func(i Index, x float64) bool) {
 	}
 }
 
-// get is the kernel-side lookup; no bounds check.
+// get is the kernel-side lookup; no bounds check. In bitmap mode it is O(1),
+// which is what makes dense frontiers cheap to probe as masks.
 func (v *Vector) get(i Index) (float64, bool) {
 	if v.dense {
-		return v.dval[i], v.dok[i]
+		return v.dval[i], v.dbits.get(i)
 	}
 	k := sort.Search(len(v.ind), func(k int) bool { return v.ind[k] >= i })
 	if k < len(v.ind) && v.ind[k] == i {
@@ -276,10 +280,10 @@ func (v *Vector) toDense() {
 		return
 	}
 	v.dval = make([]float64, v.n)
-	v.dok = make([]bool, v.n)
+	v.dbits = newBitset(v.n)
 	for k, i := range v.ind {
 		v.dval[i] = v.val[k]
-		v.dok[i] = true
+		v.dbits.set(i)
 	}
 	v.nnz = len(v.ind)
 	v.ind, v.val = nil, nil
@@ -292,13 +296,12 @@ func (v *Vector) toSparse() {
 	}
 	v.ind = make([]Index, 0, v.nnz)
 	v.val = make([]float64, 0, v.nnz)
-	for i, ok := range v.dok {
-		if ok {
-			v.ind = append(v.ind, i)
-			v.val = append(v.val, v.dval[i])
-		}
-	}
-	v.dval, v.dok = nil, nil
+	v.dbits.iterate(func(i Index) bool {
+		v.ind = append(v.ind, i)
+		v.val = append(v.val, v.dval[i])
+		return true
+	})
+	v.dval, v.dbits = nil, nil
 	v.nnz = 0
 	v.dense = false
 }

@@ -14,10 +14,11 @@ import (
 // server's options and live GRAPH.CONFIG state.
 func (s *Server) queryConfig() core.Config {
 	return core.Config{
-		OpThreads:     int(s.opThreads.Load()),
-		TraverseBatch: int(s.traverseBatch.Load()),
-		Timeout:       s.opts.QueryTimeout,
-		NoCostPlanner: !s.costPlanner.Load(),
+		OpThreads:      int(s.opThreads.Load()),
+		TraverseBatch:  int(s.traverseBatch.Load()),
+		Timeout:        s.opts.QueryTimeout,
+		NoCostPlanner:  !s.costPlanner.Load(),
+		TraverseKernel: s.traverseKernel.Load().(string),
 	}
 }
 
@@ -27,10 +28,11 @@ const maxTraverseBatch = 1 << 16
 
 // configParams lists every GRAPH.CONFIG parameter, in the order GET *
 // reports them.
-var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER"}
+var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "TRAVERSE_KERNEL"}
 
-// configValue reads one live configuration parameter.
-func (s *Server) configValue(name string) int64 {
+// configValue reads one live configuration parameter (an int64, or a string
+// for the enum-valued TRAVERSE_KERNEL).
+func (s *Server) configValue(name string) any {
 	switch name {
 	case "THREAD_COUNT":
 		return int64(s.pool.Size())
@@ -42,11 +44,13 @@ func (s *Server) configValue(name string) int64 {
 		return int64(s.traverseBatch.Load())
 	case "COST_PLANNER":
 		if s.costPlanner.Load() {
-			return 1
+			return int64(1)
 		}
-		return 0
+		return int64(0)
+	case "TRAVERSE_KERNEL":
+		return s.traverseKernel.Load().(string)
 	}
-	return 0
+	return int64(0)
 }
 
 // parseBoolParam accepts Redis-style boolean config values.
@@ -160,10 +164,18 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 				}
 				s.costPlanner.Store(on)
 				return resp.SimpleString("OK"), nil
+			case "TRAVERSE_KERNEL":
+				kernel := strings.ToLower(args[2])
+				switch kernel {
+				case "auto", "push", "pull":
+					s.traverseKernel.Store(kernel)
+					return resp.SimpleString("OK"), nil
+				}
+				return nil, fmt.Errorf("ERR TRAVERSE_KERNEL must be auto|push|pull")
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS|TRAVERSE_BATCH|COST_PLANNER",
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS|TRAVERSE_BATCH|COST_PLANNER|TRAVERSE_KERNEL",
 			strings.Join(configParams, "|"))
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))

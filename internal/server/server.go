@@ -41,6 +41,11 @@ type Options struct {
 	// keeping MATCH patterns in their textual order. Runtime changes go
 	// through GRAPH.CONFIG SET COST_PLANNER.
 	NoCostPlanner bool
+	// TraverseKernel selects the traversal kernel direction: "auto" (default)
+	// picks push or pull per hop from the frontier density, "push"/"pull"
+	// force one direction for differential baselines. Runtime changes go
+	// through GRAPH.CONFIG SET TRAVERSE_KERNEL.
+	TraverseKernel string
 	// QueryTimeout bounds each query (0 = none).
 	QueryTimeout time.Duration
 	// SnapshotPath, when set, enables the SAVE command and loading the
@@ -63,6 +68,10 @@ type Server struct {
 	// costPlanner is the live COST_PLANNER value (seeded from
 	// Options.NoCostPlanner, mutable via GRAPH.CONFIG SET).
 	costPlanner atomic.Bool
+	// traverseKernel is the live TRAVERSE_KERNEL value ("auto", "push" or
+	// "pull"; seeded from Options.TraverseKernel, mutable via GRAPH.CONFIG
+	// SET).
+	traverseKernel atomic.Value
 
 	mu       sync.RWMutex
 	graphs   map[string]*graph.Graph
@@ -108,6 +117,11 @@ func New(opts Options) *Server {
 	s.opThreads.Store(int32(opts.OpThreads))
 	s.traverseBatch.Store(int32(opts.TraverseBatch))
 	s.costPlanner.Store(!opts.NoCostPlanner)
+	kernel := strings.ToLower(opts.TraverseKernel)
+	if kernel != "push" && kernel != "pull" {
+		kernel = "auto"
+	}
+	s.traverseKernel.Store(kernel)
 	return s
 }
 

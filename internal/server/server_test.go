@@ -213,25 +213,56 @@ func TestGraphConfigGetAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	pairs := v.([]any)
-	got := map[string]int64{}
+	got := map[string]any{}
 	for _, p := range pairs {
 		pair := p.([]any)
-		got[pair[0].(string)] = pair[1].(int64)
+		got[pair[0].(string)] = pair[1]
 	}
-	want := map[string]int64{
-		"THREAD_COUNT":      4,
-		"TIMEOUT":           0,
-		"MAX_QUERY_THREADS": 1,
+	want := map[string]any{
+		"THREAD_COUNT":      int64(4),
+		"TIMEOUT":           int64(0),
+		"MAX_QUERY_THREADS": int64(1),
 		"TRAVERSE_BATCH":    int64(core.DefaultTraverseBatch),
-		"COST_PLANNER":      1,
+		"COST_PLANNER":      int64(1),
+		"TRAVERSE_KERNEL":   "auto",
 	}
 	if len(got) != len(want) {
 		t.Fatalf("GET * pairs: %v", got)
 	}
 	for k, w := range want {
 		if got[k] != w {
-			t.Fatalf("GET * %s = %d, want %d (all: %v)", k, got[k], w, got)
+			t.Fatalf("GET * %s = %v, want %v (all: %v)", k, got[k], w, got)
 		}
+	}
+}
+
+func TestGraphConfigTraverseKernel(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Query("g", `CREATE (:N {x: 1})-[:L]->(:N {x: 2})-[:L]->(:N {x: 3})`); err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []string{"push", "pull", "auto"} {
+		if v, err := c.Do("GRAPH.CONFIG", "SET", "TRAVERSE_KERNEL", kernel); err != nil || v.(resp.SimpleString) != "OK" {
+			t.Fatalf("SET TRAVERSE_KERNEL %s: %v %v", kernel, v, err)
+		}
+		v, err := c.Do("GRAPH.CONFIG", "GET", "TRAVERSE_KERNEL")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pair := v.([]any); pair[1].(string) != kernel {
+			t.Fatalf("GET TRAVERSE_KERNEL after SET %s: %v", kernel, v)
+		}
+		// The forced kernel must serve identical query results.
+		reply, err := c.Query("g", `MATCH (a:N)-[:L]->(b:N)-[:L]->(c:N) RETURN a.x, c.x`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows := reply[1].([]any); len(rows) != 1 || fmt.Sprint(rows[0]) != "[1 3]" {
+			t.Fatalf("kernel %s rows: %v", kernel, reply[1])
+		}
+	}
+	if _, err := c.Do("GRAPH.CONFIG", "SET", "TRAVERSE_KERNEL", "sideways"); err == nil {
+		t.Fatal("expected an error for an invalid TRAVERSE_KERNEL")
 	}
 }
 
