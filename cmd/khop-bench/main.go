@@ -31,7 +31,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | all")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | parallel-scaling | all")
 	queries := flag.Int("queries", 2048, "query count for the throughput and rw-mix experiments")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
 	batch := flag.Int("batch", 64, "batch size for the traverse-batch and pipeline-batch experiments")
@@ -87,6 +87,10 @@ func main() {
 	if want("kernel-select") {
 		report := s.KernelSelect()
 		writeJSON(outFor("kernel-select"), "kernel-select", *scale, report)
+	}
+	if want("parallel-scaling") {
+		results := s.ParallelScaling()
+		writeJSON(outFor("parallel-scaling"), "parallel-scaling", *scale, results)
 	}
 }
 

@@ -794,6 +794,129 @@ func (s *Suite) KernelSelect() KernelSelectReport {
 	return report
 }
 
+// ParallelScalingResult is one (workload, thread-count) cell of the
+// intra-query parallel-scaling experiment: the same query under
+// MAX_QUERY_THREADS 1, 2, 4 and 8. GoMaxProcs records the host's actual
+// core budget — on a single-core host the speedups stay near 1 however
+// many workers the morsel pool runs, and the artifact must say so.
+type ParallelScalingResult struct {
+	Dataset    string  `json:"dataset"`
+	Workload   string  `json:"workload"`
+	Query      string  `json:"query"`
+	Queries    int     `json:"queries"`
+	Threads    int     `json:"threads"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	QPS        float64 `json:"qps"`
+	MeanMS     float64 `json:"mean_ms"`
+	Speedup    float64 `json:"speedup_vs_1"`
+}
+
+// ParallelScaling measures morsel-driven intra-query parallelism end to
+// end: k-hop expansion from high-degree seeds (morselised kernels behind
+// an index entry), a filter-heavy scan+aggregate (parallel pipeline
+// segments into the aggregation merge) and ORDER BY + LIMIT (segments into
+// the top-N merge), each at thread budgets 1, 2, 4 and 8. Every thread
+// count must return identical rows — the experiment doubles as a
+// differential check. Speedups are relative to the single-thread run of
+// the same build, so threads=1 also guards against regression of the
+// serial path.
+func (s *Suite) ParallelScaling() []ParallelScalingResult {
+	maxprocs := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(s.w, "=== E11: morsel-driven intra-query parallel scaling (GOMAXPROCS=%d) ===\n", maxprocs)
+	d := s.Datasets[0]
+	g := s.graphs[d.Name]
+	n := d.Edges.NumNodes
+	hubs := hubSeeds(d.Edges, 8)
+	workloads := []struct {
+		name    string
+		display string
+		queries []string
+	}{
+		{
+			name:    "khop2-hubs",
+			display: fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F*1..2]->(n) RETURN count(n)`, hubs[0]),
+			queries: func() []string {
+				qs := make([]string, len(hubs))
+				for i, h := range hubs {
+					qs[i] = fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F*1..2]->(n) RETURN count(n)`, h)
+				}
+				return qs
+			}(),
+		},
+		{
+			name: "filter-agg",
+			display: fmt.Sprintf(
+				`MATCH (a:Node)-[:F]->(b:Node) WHERE a.uid < %d RETURN min(b.uid), max(b.uid), count(b)`, n/2),
+			queries: []string{fmt.Sprintf(
+				`MATCH (a:Node)-[:F]->(b:Node) WHERE a.uid < %d RETURN min(b.uid), max(b.uid), count(b)`, n/2)},
+		},
+		{
+			name:    "order-limit",
+			display: `MATCH (a:Node)-[:F]->(b:Node) RETURN a.uid, b.uid ORDER BY a.uid, b.uid LIMIT 100`,
+			queries: []string{`MATCH (a:Node)-[:F]->(b:Node) RETURN a.uid, b.uid ORDER BY a.uid, b.uid LIMIT 100`},
+		},
+	}
+	threadCounts := []int{1, 2, 4, 8}
+	var out []ParallelScalingResult
+	for _, wl := range workloads {
+		once := func(th int) (float64, string) {
+			runtime.GC()
+			var rows []string
+			t0 := time.Now()
+			for _, q := range wl.queries {
+				rs, err := core.ROQuery(g, q, nil, core.Config{OpThreads: th})
+				if err != nil {
+					panic(fmt.Sprintf("bench: parallel-scaling: %v", err))
+				}
+				for _, row := range rs.Rows {
+					rows = append(rows, fmt.Sprint(row))
+				}
+			}
+			el := time.Since(t0)
+			sort.Strings(rows)
+			return el.Seconds(), strings.Join(rows, ";")
+		}
+		// Interleave the thread counts so time-varying machine noise biases
+		// none; keep the median of the post-warmup reps.
+		reps := make(map[int][]float64, len(threadCounts))
+		var ref string
+		for rep := 0; rep < 6; rep++ {
+			for _, th := range threadCounts {
+				el, rows := once(th)
+				if rep > 0 {
+					reps[th] = append(reps[th], el)
+				}
+				if ref == "" {
+					ref = rows
+				} else if rows != ref {
+					panic(fmt.Sprintf("bench: parallel-scaling disagreement on %s (threads=%d)", wl.name, th))
+				}
+			}
+		}
+		med := func(th int) float64 {
+			xs := reps[th]
+			sort.Float64s(xs)
+			return xs[len(xs)/2]
+		}
+		base := med(1)
+		for _, th := range threadCounts {
+			el := med(th)
+			r := ParallelScalingResult{
+				Dataset: d.Name, Workload: wl.name, Query: wl.display,
+				Queries: len(wl.queries), Threads: th, GoMaxProcs: maxprocs,
+				QPS:     float64(len(wl.queries)) / el,
+				MeanMS:  el * 1000 / float64(len(wl.queries)),
+				Speedup: base / el,
+			}
+			out = append(out, r)
+			fmt.Fprintf(s.w, "  %-14s %-12s threads=%d  %9.1f q/s  %8.2f ms/q  %5.2fx vs 1 thread\n",
+				r.Dataset, r.Workload, r.Threads, r.QPS, r.MeanMS, r.Speedup)
+		}
+	}
+	fmt.Fprintln(s.w)
+	return out
+}
+
 // RWMixResult is one (ratio, client-count) cell of the mixed read/write
 // throughput experiment: total queries/sec under delta-matrix concurrent
 // execution versus the coarse-lock baseline (whole-query exclusive lock and

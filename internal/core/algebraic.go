@@ -154,12 +154,9 @@ func (ctx *execCtx) choosePull(op *algebraicOperand, fnnz, candidates int) (*grb
 		return nil, false
 	}
 	pushCost := float64(fnnz) * float64(b.NVals()) / float64(dim)
-	// The push MxM partitions rows across the query's kernel threads; the
-	// batched pull kernel is single-threaded, so compare against push's
-	// parallel cost (with the default one-core-per-query this is a no-op).
-	if ctx.desc != nil && ctx.desc.NThreads > 1 {
-		pushCost /= float64(ctx.desc.NThreads)
-	}
+	// Both kernels now split their work across the shared morsel pool
+	// (row-partitioned push, column-partitioned pull), so the thread budget
+	// cancels out of the comparison.
 	pullCost := float64(candidates) * pullProbeCost
 	if pushCost <= pullCost {
 		return nil, false

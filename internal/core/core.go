@@ -54,12 +54,18 @@ type Config struct {
 	TraverseKernel string
 }
 
-func (c Config) descriptor() *grb.Descriptor {
-	n := c.OpThreads
-	if n < 1 {
-		n = 1
+// threads resolves OpThreads to the effective per-query thread budget
+// (< 1 means 1, the paper's one-core-per-query default; the server maps
+// MAX_QUERY_THREADS 0 = auto to GOMAXPROCS before queries reach core).
+func (c Config) threads() int {
+	if c.OpThreads < 1 {
+		return 1
 	}
-	return &grb.Descriptor{NThreads: n}
+	return c.OpThreads
+}
+
+func (c Config) descriptor() *grb.Descriptor {
+	return &grb.Descriptor{NThreads: c.threads()}
 }
 
 // Query parses, plans and executes a Cypher query against g, taking the
@@ -131,7 +137,7 @@ func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 func buildLocked(g *graph.Graph, ast *cypher.Query, cfg Config) (*Plan, error) {
 	g.RLock()
 	defer g.RUnlock()
-	return buildPlanOpts(g, ast, planOptions{NoPushdown: cfg.NoPushdown, NoCostPlanner: cfg.NoCostPlanner})
+	return buildPlanOpts(g, ast, planOptions{NoPushdown: cfg.NoPushdown, NoCostPlanner: cfg.NoCostPlanner, Threads: cfg.threads()})
 }
 
 func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Config, concurrent bool) (*ResultSet, error) {
@@ -141,13 +147,14 @@ func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Conf
 	}
 	rs := &ResultSet{Columns: plan.columns}
 	ctx := &execCtx{
-		g:      g,
-		params: params,
-		desc:   cfg.descriptor(),
-		stats:  &rs.Stats,
-		mut:    mutLocker{g: g, concurrent: concurrent},
-		batch:  cfg.TraverseBatch,
-		kernel: kernel,
+		g:       g,
+		params:  params,
+		desc:    cfg.descriptor(),
+		stats:   &rs.Stats,
+		mut:     mutLocker{g: g, concurrent: concurrent},
+		batch:   cfg.TraverseBatch,
+		threads: cfg.threads(),
+		kernel:  kernel,
 	}
 	if cfg.Timeout > 0 {
 		ctx.deadline = time.Now().Add(cfg.Timeout)

@@ -24,6 +24,10 @@ type execCtx struct {
 	// batch, when non-zero, overrides the pipeline batch size
 	// (Config.TraverseBatch); 1 forces tuple-at-a-time execution.
 	batch int
+	// threads is the resolved per-query thread budget (Config.OpThreads,
+	// >= 1). It widens automatic batch sizes so morselised kernels see
+	// enough frontier rows, and is 1 inside parallel pipeline segments.
+	threads int
 	// kernel selects the traversal kernel direction (Config.TraverseKernel):
 	// density-adaptive per hop by default, forced for differential baselines.
 	kernel kernelMode
@@ -106,7 +110,7 @@ func (ctx *execCtx) batchSize() int {
 	if ctx.batch > 0 {
 		return ctx.batch
 	}
-	return defaultTraverseBatch
+	return scaledBatch(defaultTraverseBatch, ctx.threads)
 }
 
 // traverseBatch resolves the effective frontier batch size for a traversal
@@ -115,11 +119,47 @@ func (ctx *execCtx) traverseBatch(planned int) int {
 	bs := planned
 	if ctx.batch != 0 {
 		bs = ctx.batch
+	} else {
+		bs = scaledBatch(bs, ctx.threads)
 	}
 	if bs < 1 {
 		bs = 1
 	}
 	return bs
+}
+
+// maxAutoBatch caps the thread-scaled automatic batch size; past ~1k rows
+// the frontier stops fitting comfortably in cache and wider batches stop
+// paying for themselves.
+const maxAutoBatch = 1024
+
+// scaledBatch widens an automatic batch size by the query's thread budget:
+// the morselised kernels split frontier rows across workers, so the default
+// 64-row batch would leave most of a multi-thread budget idle. Explicit
+// TRAVERSE_BATCH settings are never scaled.
+func scaledBatch(base, threads int) int {
+	if threads <= 1 {
+		return base
+	}
+	bs := base * threads
+	if bs > maxAutoBatch {
+		bs = maxAutoBatch
+	}
+	return bs
+}
+
+// forWorker derives the execution context for one parallel pipeline segment:
+// a private operand cache (the memo map is not goroutine-safe) and a
+// single-threaded kernel descriptor — the segments themselves are the
+// query's parallelism. Segments only exist in read-only plans
+// (parallelizePlan refuses writes), so sharing the graph, params, stats and
+// deadline by value is safe.
+func (ctx *execCtx) forWorker() *execCtx {
+	c := *ctx
+	c.opCache = nil
+	c.desc = &grb.Descriptor{NThreads: 1}
+	c.threads = 1
+	return &c
 }
 
 // operation is one node of an execution plan: a pull-based batch iterator.

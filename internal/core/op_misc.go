@@ -152,6 +152,31 @@ func (s *aggState) update(spec *aggSpec, v value.Value) {
 	}
 }
 
+// merge folds another partial state for the same group into s. Used by the
+// parallel aggregation merge; distinct aggregates never reach it (their
+// per-segment dedup sets cannot be combined, so the planner refuses to
+// parallelise them).
+func (s *aggState) merge(spec *aggSpec, src *aggState) {
+	switch spec.kind {
+	case aggCount:
+		s.count += src.count
+	case aggSum, aggAvg:
+		s.count += src.count
+		s.sum += src.sum
+		s.sumIsFl = s.sumIsFl || src.sumIsFl
+	case aggMin:
+		if !src.minv.IsNull() && (s.minv.IsNull() || value.OrderLess(src.minv, s.minv)) {
+			s.minv = src.minv
+		}
+	case aggMax:
+		if !src.maxv.IsNull() && (s.maxv.IsNull() || value.OrderLess(s.maxv, src.maxv)) {
+			s.maxv = src.maxv
+		}
+	case aggCollect:
+		s.list = append(s.list, src.list...)
+	}
+}
+
 func (s *aggState) finalize(spec *aggSpec) value.Value {
 	switch spec.kind {
 	case aggCount:
@@ -391,22 +416,32 @@ type sortOp struct {
 	primed bool
 }
 
+// prime materialises and sorts the input. Split out from nextBatch so the
+// parallel sort merge can drive one segment's sort on a worker context and
+// then read o.rows directly.
+func (o *sortOp) prime(ctx *execCtx) error {
+	for {
+		b, err := o.child.nextBatch(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		o.rows = append(o.rows, b...)
+	}
+	sort.SliceStable(o.rows, func(a, b int) bool {
+		return sortLess(o.rows[a], o.rows[b], o.visible, o.descs)
+	})
+	o.primed = true
+	return nil
+}
+
 func (o *sortOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if !o.primed {
-		for {
-			b, err := o.child.nextBatch(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if b == nil {
-				break
-			}
-			o.rows = append(o.rows, b...)
+		if err := o.prime(ctx); err != nil {
+			return nil, err
 		}
-		sort.SliceStable(o.rows, func(a, b int) bool {
-			return sortLess(o.rows[a], o.rows[b], o.visible, o.descs)
-		})
-		o.primed = true
 	}
 	if o.pos >= len(o.rows) {
 		return nil, nil
@@ -488,39 +523,49 @@ func (o *topNSortOp) bound(ctx *execCtx) (int, error) {
 	return int(n), nil
 }
 
+// prime drains the input through the bounded heap and sorts the survivors.
+// Split out from nextBatch so the parallel top-N merge can fill one
+// segment's heap on a worker context and then read o.h.rows directly.
+func (o *topNSortOp) prime(ctx *execCtx) error {
+	keep, err := o.bound(ctx)
+	if err != nil {
+		return err
+	}
+	o.h = topNHeap{visible: o.visible, descs: o.descs}
+	for {
+		b, err := o.child.nextBatch(ctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		if keep == 0 {
+			continue // still drain the child for its side effects
+		}
+		for _, r := range b {
+			if len(o.h.rows) < keep {
+				heap.Push(&o.h, r)
+				continue
+			}
+			if sortLess(r, o.h.rows[0], o.visible, o.descs) {
+				o.h.rows[0] = r
+				heap.Fix(&o.h, 0)
+			}
+		}
+	}
+	sort.SliceStable(o.h.rows, func(a, b int) bool {
+		return sortLess(o.h.rows[a], o.h.rows[b], o.visible, o.descs)
+	})
+	o.primed = true
+	return nil
+}
+
 func (o *topNSortOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 	if !o.primed {
-		keep, err := o.bound(ctx)
-		if err != nil {
+		if err := o.prime(ctx); err != nil {
 			return nil, err
 		}
-		o.h = topNHeap{visible: o.visible, descs: o.descs}
-		for {
-			b, err := o.child.nextBatch(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if b == nil {
-				break
-			}
-			if keep == 0 {
-				continue // still drain the child for its side effects
-			}
-			for _, r := range b {
-				if len(o.h.rows) < keep {
-					heap.Push(&o.h, r)
-					continue
-				}
-				if sortLess(r, o.h.rows[0], o.visible, o.descs) {
-					o.h.rows[0] = r
-					heap.Fix(&o.h, 0)
-				}
-			}
-		}
-		sort.SliceStable(o.h.rows, func(a, b int) bool {
-			return sortLess(o.h.rows[a], o.h.rows[b], o.visible, o.descs)
-		})
-		o.primed = true
 	}
 	if o.pos >= len(o.h.rows) {
 		return nil, nil

@@ -165,6 +165,12 @@ type allNodeScanOp struct {
 	width  int
 	pushed *scanFilter
 
+	// part/parts restrict the scan to one residue class of the id space
+	// (id % parts == part) when the planner splits the pipeline into
+	// parallel segments. parts <= 1 scans everything.
+	part  int
+	parts int
+
 	in     batchPuller
 	cur    record
 	nextID uint64
@@ -208,6 +214,9 @@ func (o *allNodeScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 		for o.nextID < high && len(out) < bs {
 			id := o.nextID
 			o.nextID++
+			if o.parts > 1 && int(id)%o.parts != o.part {
+				continue
+			}
 			if n, ok := ctx.g.GetNode(id); ok && cf.admit(ctx, id, n) {
 				r := o.cur.extended(o.width)
 				r[o.slot] = value.NewNode(id, n)
@@ -229,7 +238,9 @@ func (o *allNodeScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 }
 
 func (o *allNodeScanOp) name() string { return "AllNodeScan" }
-func (o *allNodeScanOp) args() string { return o.alias + o.pushed.describe() }
+func (o *allNodeScanOp) args() string {
+	return o.alias + o.pushed.describe() + describeSegment(o.part, o.parts)
+}
 func (o *allNodeScanOp) children() []operation {
 	if o.child == nil {
 		return nil
@@ -250,6 +261,11 @@ type labelScanOp struct {
 	width  int
 	pushed *scanFilter
 
+	// part/parts restrict the scan to one residue class of the label's
+	// tuple positions when the pipeline runs as parallel segments.
+	part  int
+	parts int
+
 	in     batchPuller
 	cur    record
 	ids    []uint64
@@ -269,7 +285,10 @@ func (o *labelScanOp) loadIDs(ctx *execCtx, cf *compiledScanFilter) {
 		return
 	}
 	rows, _, _ := lm.ExtractTuples()
-	for _, r := range rows {
+	for k, r := range rows {
+		if o.parts > 1 && k%o.parts != o.part {
+			continue
+		}
 		if cf.mask == nil || cf.mask(r) {
 			o.ids = append(o.ids, uint64(r))
 		}
@@ -349,7 +368,7 @@ func (o *labelScanOp) name() string {
 	return "NodeByLabelScan"
 }
 func (o *labelScanOp) args() string {
-	return fmt.Sprintf("%s:%s%s", o.alias, o.label, o.pushed.describe())
+	return fmt.Sprintf("%s:%s%s%s", o.alias, o.label, o.pushed.describe(), describeSegment(o.part, o.parts))
 }
 func (o *labelScanOp) children() []operation {
 	if o.child == nil {
@@ -495,6 +514,15 @@ func pushScan(op operation, lid int, label string, prop *scanPropEq) bool {
 		(*f).labelStr = append((*f).labelStr, label)
 	}
 	return true
+}
+
+// describeSegment renders a partitioned scan's residue class for
+// EXPLAIN/PROFILE (1-based, matching the "workers: K" merge annotation).
+func describeSegment(part, parts int) string {
+	if parts <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(" | segment %d/%d", part+1, parts)
 }
 
 // nodeHasLabel filters by interned label id.

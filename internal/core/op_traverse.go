@@ -96,6 +96,15 @@ func (o *condTraverseOp) dstMaskFn(ctx *execCtx) (grb.ColMask, error) {
 	return m, nil
 }
 
+// describeThreads renders an operation's kernel parallelism degree for
+// EXPLAIN/PROFILE; the default single-threaded case prints nothing.
+func describeThreads(n int) string {
+	if n <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(" | threads: %d", n)
+}
+
 func describeMasks(masks []dstMask) string {
 	if len(masks) == 0 {
 		return ""
@@ -129,6 +138,7 @@ type condTraverseOp struct {
 	typeIDs   []int // for edge lookup; nil = any type
 	direction cypher.Direction
 	optional  bool
+	kthreads  int // kernel parallelism degree, for EXPLAIN/PROFILE
 
 	in       batchPuller
 	queue    []record
@@ -220,7 +230,7 @@ func (o *condTraverseOp) fill(ctx *execCtx) error {
 		return err
 	}
 	if mask != nil {
-		grb.SelectCols(result, mask)
+		grb.SelectCols(result, mask, ctx.desc)
 	}
 	for r, in := range batch {
 		emitted := o.scatterRow(ctx, in, srcs[r], result.RowIterate(r))
@@ -341,7 +351,7 @@ func (o *condTraverseOp) name() string {
 	return "ConditionalTraverse"
 }
 func (o *condTraverseOp) args() string {
-	return fmt.Sprintf("%s | batched(%d)%s%s", o.ae.String(), o.batch, describeMasks(o.masks), o.ks.describe())
+	return fmt.Sprintf("%s | batched(%d)%s%s%s", o.ae.String(), o.batch, describeThreads(o.kthreads), describeMasks(o.masks), o.ks.describe())
 }
 func (o *condTraverseOp) children() []operation        { return []operation{o.child} }
 func (o *condTraverseOp) setChild(i int, op operation) { o.child = op }
@@ -361,6 +371,7 @@ type expandIntoOp struct {
 	ae        *algebraicExpr
 	typeIDs   []int
 	direction cypher.Direction
+	kthreads  int // kernel parallelism degree, for EXPLAIN/PROFILE
 
 	in       batchPuller
 	queue    []record
@@ -529,7 +540,7 @@ func (o *expandIntoOp) emitConnected(ctx *execCtx, in record) {
 
 func (o *expandIntoOp) name() string { return "ExpandInto" }
 func (o *expandIntoOp) args() string {
-	return fmt.Sprintf("%s | batched(%d)%s", o.ae.String(), o.batch, o.ks.describe())
+	return fmt.Sprintf("%s | batched(%d)%s%s", o.ae.String(), o.batch, describeThreads(o.kthreads), o.ks.describe())
 }
 func (o *expandIntoOp) children() []operation        { return []operation{o.child} }
 func (o *expandIntoOp) setChild(i int, op operation) { o.child = op }
@@ -586,7 +597,7 @@ func (o *traverseCountOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 			return nil, err
 		}
 		if mask != nil {
-			grb.SelectCols(result, mask)
+			grb.SelectCols(result, mask, ctx.desc)
 		}
 		for r := range batch {
 			for _, j := range result.RowIterate(r) {
@@ -643,7 +654,7 @@ func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
 
 func (o *traverseCountOp) name() string { return "TraverseCount" }
 func (o *traverseCountOp) args() string {
-	return fmt.Sprintf("%s | batched(%d)%s%s", o.t.ae.String(), o.t.batch, describeMasks(o.t.masks), o.t.ks.describe())
+	return fmt.Sprintf("%s | batched(%d)%s%s%s", o.t.ae.String(), o.t.batch, describeThreads(o.t.kthreads), describeMasks(o.t.masks), o.t.ks.describe())
 }
 func (o *traverseCountOp) children() []operation        { return []operation{o.t.child} }
 func (o *traverseCountOp) setChild(i int, op operation) { o.t.child = op }
@@ -672,6 +683,7 @@ type varLenTraverseOp struct {
 	maxHops  int            // -1 = unbounded
 	dstLabel int            // -1 = unfiltered (legacy per-node check)
 	dstAE    *algebraicExpr // label-diagonal mask over emitted frontiers
+	kthreads int            // kernel parallelism degree, for EXPLAIN/PROFILE
 
 	in    batchPuller
 	queue []record
@@ -785,7 +797,7 @@ func (o *varLenTraverseOp) args() string {
 	if o.maxHops >= 0 {
 		hi = fmt.Sprint(o.maxHops)
 	}
-	s := fmt.Sprintf("%s [%d..%s]", o.ae.String(), o.minHops, hi)
+	s := fmt.Sprintf("%s [%d..%s]%s", o.ae.String(), o.minHops, hi, describeThreads(o.kthreads))
 	if o.dstAE != nil {
 		s += " | dst mask: " + o.dstAE.String()
 	}

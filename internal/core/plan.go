@@ -50,6 +50,9 @@ type planBuilder struct {
 	// emitted exactly as written instead of being reordered by the cost
 	// model (the planner differential tests' baseline).
 	noCostPlanner bool
+	// threads is the query's resolved thread budget (planOptions.Threads),
+	// recorded on traversal operations for EXPLAIN/PROFILE.
+	threads int
 	// gs is the stats snapshot feeding the cost model (see logical.go).
 	gs *graph.Stats
 	// binders records which scan or traversal operation bound each variable
@@ -102,6 +105,10 @@ type planOptions struct {
 	// NoCostPlanner keeps the textual planning order instead of reordering
 	// scans and traversals by estimated cardinality.
 	NoCostPlanner bool
+	// Threads is the query's resolved thread budget. Above 1 it enables
+	// pipeline-segment parallelisation of eligible read-only plans and
+	// annotates traversal operations with their kernel parallelism degree.
+	Threads int
 }
 
 // BuildPlan compiles a parsed query against a graph.
@@ -111,7 +118,7 @@ func BuildPlan(g *graph.Graph, q *cypher.Query) (*Plan, error) {
 
 func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, error) {
 	b := &planBuilder{g: g, st: newSymtab(), bound: map[string]bool{}, readonly: true,
-		noPushdown: opts.NoPushdown, noCostPlanner: opts.NoCostPlanner,
+		noPushdown: opts.NoPushdown, noCostPlanner: opts.NoCostPlanner, threads: opts.Threads,
 		gs: g.Stats(), binders: map[string]*binderInfo{},
 		est: map[operation]float64{}, rowEst: 1}
 	for i := 0; i < len(q.Clauses); i++ {
@@ -167,7 +174,11 @@ func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, er
 	if b.cur == nil {
 		return nil, fmt.Errorf("core: empty plan")
 	}
-	return &Plan{root: b.cur, columns: b.columns, visible: b.visible, ReadOnly: b.readonly, est: b.est}, nil
+	p := &Plan{root: b.cur, columns: b.columns, visible: b.visible, ReadOnly: b.readonly, est: b.est}
+	if opts.Threads > 1 {
+		parallelizePlan(p, opts.Threads)
+	}
+	return p, nil
 }
 
 func (b *planBuilder) anonVar() string {
@@ -671,7 +682,7 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 		}
 		b.setCur(&varLenTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot,
 			width: b.st.size(), ae: ae, minHops: rel.MinHops, maxHops: rel.MaxHops,
-			dstLabel: dstLabel, dstAE: dstAE},
+			dstLabel: dstLabel, dstAE: dstAE, kthreads: b.threads},
 			b.rowEst*b.relFanout(rel)*labelSel)
 		if err := b.addNodeResiduals(dstVar, &cypher.NodePattern{Var: dstVar, Labels: residLabels, Props: dstNode.Props}, "", 0); err != nil {
 			return err
@@ -690,7 +701,8 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 	if dstBound {
 		dstSlot, _ := b.st.lookup(dstVar)
 		b.setCur(&expandIntoOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
-			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir},
+			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir,
+			kthreads: b.threads},
 			b.rowEst*b.pairProbability(rel))
 	} else {
 		dstSlot := b.st.add(dstVar)
@@ -700,7 +712,8 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 			est = b.rowEst // optional traversals emit at least a null row per input
 		}
 		b.setCur(&condTraverseOp{child: b.cur, srcSlot: srcSlot, dstSlot: dstSlot, edgeSlot: edgeSlot,
-			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir, optional: optional},
+			width: b.st.size(), batch: defaultTraverseBatch, ae: ae, typeIDs: typeIDs, direction: dir,
+			optional: optional, kthreads: b.threads},
 			est)
 		b.binders[dstVar] = &binderInfo{op: b.cur, labels: dstNode.Labels}
 	}
@@ -806,7 +819,7 @@ func (b *planBuilder) buildMerge(c *cypher.MergeClause) error {
 	// Build the match side against a fresh argument. The sub-builder shares
 	// the estimate map so the sub-plan's operations annotate too.
 	mb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon,
-		noPushdown: b.noPushdown, noCostPlanner: b.noCostPlanner, gs: b.gs,
+		noPushdown: b.noPushdown, noCostPlanner: b.noCostPlanner, threads: b.threads, gs: b.gs,
 		binders: map[string]*binderInfo{}, est: b.est, rowEst: 1}
 	if err := mb.buildPattern(c.Pattern, false); err != nil {
 		return err

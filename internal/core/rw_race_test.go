@@ -2,11 +2,17 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"redisgraph/internal/graph"
 )
+
+// raceThreadBudgets are the per-query thread budgets the race tests cycle
+// through, so -race exercises morselised kernels and parallel pipeline
+// segments alongside the serial path.
+var raceThreadBudgets = []int{1, 4, runtime.GOMAXPROCS(0)}
 
 // raceFixture builds a graph that still carries pending deltas (a huge sync
 // threshold keeps every write buffered), the state in which the old read
@@ -54,7 +60,8 @@ func TestConcurrentROQueries(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
 				q := queries[(w+i)%len(queries)]
-				if _, err := ROQuery(g, q, nil, Config{}); err != nil {
+				cfg := Config{OpThreads: raceThreadBudgets[(w+i)%len(raceThreadBudgets)]}
+				if _, err := ROQuery(g, q, nil, cfg); err != nil {
 					panic(fmt.Sprintf("%s: %v", q, err))
 				}
 			}
@@ -94,8 +101,9 @@ func TestConcurrentReadWriteQueries(t *testing.T) {
 				default:
 				}
 				q := queries[(w+i)%len(queries)]
+				cfg := Config{OpThreads: raceThreadBudgets[(w+i)%len(raceThreadBudgets)]}
 				i++
-				if _, err := ROQuery(g, q, nil, Config{}); err != nil {
+				if _, err := ROQuery(g, q, nil, cfg); err != nil {
 					panic(fmt.Sprintf("%s: %v", q, err))
 				}
 			}
@@ -119,7 +127,8 @@ func TestConcurrentReadWriteQueries(t *testing.T) {
 				default:
 					q = fmt.Sprintf(`MATCH (a:N {uid: %d}) SET a.w = %d`, x, i)
 				}
-				if _, err := Query(g, q, nil, Config{}); err != nil {
+				cfg := Config{OpThreads: raceThreadBudgets[i%len(raceThreadBudgets)]}
+				if _, err := Query(g, q, nil, cfg); err != nil {
 					panic(fmt.Sprintf("%s: %v", q, err))
 				}
 			}

@@ -44,7 +44,8 @@ func putMxMWorkspace(ws *mxmWorkspace) { mxmPool.Put(ws) }
 
 // MxM computes C<Mask> = accum(C, A·B) over the given semiring
 // (GrB_mxm). Gustavson's row-wise algorithm with a dense scatter workspace;
-// rows are partitioned across desc.NThreads goroutines when requested.
+// when desc.NThreads > 1 the rows are split into grained morsels on the
+// shared work-stealing pool and merged in deterministic row order.
 //
 // When Mask is given (and not complemented) the kernel prunes candidate
 // output columns against the mask inline, which is what makes masked
@@ -104,14 +105,15 @@ func mxmOnRows(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a *Matrix, 
 
 	comp, structure := d.comp(), d.structure()
 	nth := d.nthreads()
+	nparts := partitionParts(a.nrows, nth, mxmRowGrain)
 	type partial struct {
 		rp []int
 		ci []Index
 		vv []float64
 	}
-	parts := make([]partial, nth)
+	parts := make([]partial, nparts)
 
-	parallelRanges(a.nrows, nth, func(part, lo, hi int) {
+	parallelRanges(a.nrows, nth, mxmRowGrain, func(part, lo, hi int) {
 		ws := getMxMWorkspace(bncols)
 		wval, mark := ws.wval, ws.mark
 		base := mxmStamp.Add(int64(hi-lo)) - int64(hi-lo)
@@ -178,11 +180,11 @@ func mxmOnRows(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a *Matrix, 
 		putMxMWorkspace(ws)
 	})
 
-	// Concatenate partials into the result matrix T. A single-threaded run
+	// Concatenate partials into the result matrix T. A single-part run
 	// produced exactly one partial covering every row: adopt its slices
 	// instead of copying (the common case for batched traversal frontiers).
 	t := NewMatrix(c.nrows, c.ncols)
-	if nth == 1 {
+	if nparts == 1 {
 		t.rowPtr = parts[0].rp
 		t.colInd, t.val = parts[0].ci, parts[0].vv
 	} else {

@@ -1,27 +1,64 @@
 package grb
 
-import "sync"
+import "redisgraph/internal/pool"
 
-// parallelRanges splits [0, n) into nthreads contiguous ranges and runs fn
-// on each concurrently. With nthreads <= 1 (the RedisGraph per-query
-// configuration) fn runs inline on the calling goroutine.
-func parallelRanges(n, nthreads int, fn func(part, lo, hi int)) {
+// Kernel morsel planning. parallelRanges no longer spawns one goroutine per
+// requested thread: it splits [0, n) into grained contiguous morsels and
+// submits them to the shared work-stealing scheduler (internal/pool), with
+// the calling goroutine participating. The grain is the minimum rows per
+// morsel, so tiny inputs — single-digit traversal frontiers, short candidate
+// lists — collapse to a single part that runs inline at the cost of a plain
+// loop.
+const (
+	// morselsPerThread over-partitions relative to the requested thread
+	// count so the stealing deques can rebalance skewed per-row costs
+	// (power-law adjacency rows).
+	morselsPerThread = 4
+
+	// Per-kernel-family grains, in rows. A Gustavson MxM row scatters a
+	// whole adjacency row per frontier entry (heavy work per row); the
+	// pull and select kernels do O(short row) work per index (light), so
+	// they need far more rows to amortise a morsel dispatch.
+	mxmRowGrain = 16
+	rangeGrain  = 256
+	selectGrain = 64
+)
+
+// partitionParts reports how many contiguous parts parallelRanges will split
+// [0, n) into for the given thread count and grain. Callers size their
+// per-part result buffers with it; a result of 1 selects their single-part
+// (inline, allocation-adopting) path.
+func partitionParts(n, nthreads, grain int) int {
 	if nthreads <= 1 || n <= 1 {
+		return 1
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	parts := nthreads * morselsPerThread
+	if byGrain := (n + grain - 1) / grain; byGrain < parts {
+		parts = byGrain
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+// parallelRanges splits [0, n) into partitionParts(n, nthreads, grain)
+// contiguous ascending ranges and runs fn exactly once per range, fanning
+// the morsels out across the shared pool. Part indices order the ranges, so
+// per-part results concatenated in part order are deterministic regardless
+// of which participant ran which morsel or in what order. A single part runs
+// inline on the calling goroutine. All fn effects are visible when
+// parallelRanges returns.
+func parallelRanges(n, nthreads, grain int, fn func(part, lo, hi int)) {
+	parts := partitionParts(n, nthreads, grain)
+	if parts == 1 {
 		fn(0, 0, n)
 		return
 	}
-	if nthreads > n {
-		nthreads = n
-	}
-	var wg sync.WaitGroup
-	for p := 0; p < nthreads; p++ {
-		lo := p * n / nthreads
-		hi := (p + 1) * n / nthreads
-		wg.Add(1)
-		go func(p, lo, hi int) {
-			defer wg.Done()
-			fn(p, lo, hi)
-		}(p, lo, hi)
-	}
-	wg.Wait()
+	pool.Parallel(nthreads, parts, func(p int) {
+		fn(p, p*n/parts, (p+1)*n/parts)
+	})
 }

@@ -67,12 +67,13 @@ func pullVxM(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, at
 
 	t := NewVector(w.n)
 	nth := d.nthreads()
+	nparts := partitionParts(atR, nth, rangeGrain)
 	type partial struct {
 		ind []Index
 		val []float64
 	}
-	parts := make([]partial, nth)
-	parallelRanges(atR, nth, func(part, lo, hi int) {
+	parts := make([]partial, nparts)
+	parallelRanges(atR, nth, rangeGrain, func(part, lo, hi int) {
 		p := &parts[part]
 		var rowBuf rowScratch
 		for i := lo; i < hi; i++ {
@@ -150,7 +151,9 @@ var mxmPullPool = sync.Pool{New: func() any { return &mxmPullWorkspace{} }}
 // early-exiting once every record that could reach j has (saturation). Only
 // structural semirings are supported (any witness suffices; traversal runs
 // on AnyPair) and masks must be applied by the caller afterwards — the
-// executor's column masks (SelectCols) already run post-evaluation.
+// executor's column masks (SelectCols) already run post-evaluation. When
+// desc.NThreads > 1 the candidate columns are morselised across the shared
+// pool with a deterministic ordered scatter.
 func MxMPull(c *Matrix, s Semiring, f *Matrix, bt rowSource, d *Descriptor) error {
 	if c == nil || f == nil || bt == nil {
 		return ErrNilObject
@@ -206,11 +209,14 @@ func MxMPull(c *Matrix, s Semiring, f *Matrix, bt rowSource, d *Descriptor) erro
 		rowCols[r] = rowCols[r][:0]
 	}
 
-	var rowBuf rowScratch
-	for j := 0; j < btR; j++ {
-		bc, _ := bt.srcRow(j, &rowBuf)
+	// pullColumn ORs the in-neighbour record bitmasks of candidate column j
+	// into the given accumulator, early-exiting at saturation; it reports
+	// whether any record reaches j. colBits and full are read-only here, so
+	// concurrent calls with private accumulators are safe.
+	pullColumn := func(j int, acc []uint64, rowBuf *rowScratch) bool {
+		bc, _ := bt.srcRow(j, rowBuf)
 		if len(bc) == 0 {
-			continue
+			return false
 		}
 		for i := range acc {
 			acc[i] = 0
@@ -232,13 +238,54 @@ func MxMPull(c *Matrix, s Semiring, f *Matrix, bt rowSource, d *Descriptor) erro
 				}
 			}
 		}
-		if !hit {
-			continue
+		return hit
+	}
+
+	nth := d.nthreads()
+	nparts := partitionParts(btR, nth, rangeGrain)
+	if nparts == 1 {
+		var rowBuf rowScratch
+		for j := 0; j < btR; j++ {
+			if !pullColumn(j, acc, &rowBuf) {
+				continue
+			}
+			bitset(acc).iterate(func(r Index) bool {
+				rowCols[r] = append(rowCols[r], j)
+				return true
+			})
 		}
-		bitset(acc).iterate(func(r Index) bool {
-			rowCols[r] = append(rowCols[r], j)
-			return true
+	} else {
+		// Parallel pull: each morsel scans a contiguous candidate-column
+		// range with a private accumulator, buffering (column, bitmask)
+		// pairs for its hits. The buffered hits then scatter sequentially in
+		// ascending part order, so every record's column list comes out
+		// sorted exactly as the serial loop produces it.
+		type pullHits struct {
+			cols []Index
+			bits []uint64
+		}
+		hits := make([]pullHits, nparts)
+		parallelRanges(btR, nth, rangeGrain, func(part, lo, hi int) {
+			h := &hits[part]
+			pacc := make([]uint64, words)
+			var rowBuf rowScratch
+			for j := lo; j < hi; j++ {
+				if !pullColumn(j, pacc, &rowBuf) {
+					continue
+				}
+				h.cols = append(h.cols, j)
+				h.bits = append(h.bits, pacc...)
+			}
 		})
+		for pi := range hits {
+			h := &hits[pi]
+			for k, j := range h.cols {
+				bitset(h.bits[k*words : (k+1)*words]).iterate(func(r Index) bool {
+					rowCols[r] = append(rowCols[r], j)
+					return true
+				})
+			}
+		}
 	}
 
 	// Assemble the CSR result (structural: every value is 1).

@@ -12,7 +12,7 @@ func TestSelectColsMatrix(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	SelectCols(m, func(j Index) bool { return j%2 == 0 })
+	SelectCols(m, func(j Index) bool { return j%2 == 0 }, nil)
 	var got [][2]Index
 	m.Iterate(func(i, j Index, x float64) bool {
 		got = append(got, [2]Index{i, j})
@@ -26,7 +26,7 @@ func TestSelectColsMatrix(t *testing.T) {
 		t.Fatalf("NVals = %d", m.NVals())
 	}
 	// Rejecting everything empties the matrix but keeps its shape.
-	SelectCols(m, func(Index) bool { return false })
+	SelectCols(m, func(Index) bool { return false }, nil)
 	if m.NVals() != 0 || m.NRows() != 3 || m.NCols() != 5 {
 		t.Fatalf("empty select: %s", m)
 	}

@@ -1,0 +1,176 @@
+// Morsel scheduler: the per-process worker pool behind intra-query
+// parallelism. Kernels and pipeline segments split their work into grained
+// morsels (contiguous row ranges, whole pipeline segments) and submit them
+// here instead of spawning goroutines per call — the morsel-driven execution
+// model, sized once per process.
+//
+// A job distributes its morsels over per-participant deques. Each
+// participant drains its own deque bottom-first (keeping adjacent ranges on
+// one goroutine) and steals from the other deques top-first once it runs
+// dry, so skewed morsel costs — power-law adjacency rows — rebalance without
+// a central queue. The submitting goroutine always participates, which
+// guarantees progress even when every pool worker is busy with other jobs,
+// and makes nested submission (a segment running a parallel kernel) safe:
+// the inner caller just drains its own job inline.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	morselOnce    sync.Once
+	morselQueue   chan *morselJob
+	morselWorkers int
+)
+
+// Parallelism is the morsel pool's participant budget: one per logical CPU,
+// with a floor of 4 so the stealing and cross-goroutine merge paths stay
+// exercised (and race-detectable) on small hosts — mild oversubscription
+// there is harmless, silent serialisation is not.
+func Parallelism() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 4 {
+		p = 4
+	}
+	return p
+}
+
+func startMorselPool() {
+	morselOnce.Do(func() {
+		morselWorkers = Parallelism()
+		morselQueue = make(chan *morselJob, 8*morselWorkers)
+		// workers-1 pool goroutines; the submitting caller is the final
+		// participant of its own job.
+		for i := 1; i < morselWorkers; i++ {
+			go func() {
+				for j := range morselQueue {
+					if slot := int(j.slots.Add(1)); slot < len(j.deques) {
+						j.run(slot)
+					}
+				}
+			}()
+		}
+	})
+}
+
+// morselJob is one parallel-for: n morsels block-distributed over
+// per-participant deques, a completion count, and a done latch closed by
+// whichever participant finishes the last morsel.
+type morselJob struct {
+	fn        func(i int)
+	deques    []morselDeque
+	slots     atomic.Int32 // participant slots claimed by pool workers
+	remaining atomic.Int32 // morsels not yet completed
+	done      chan struct{}
+}
+
+// morselDeque holds one participant's share of a job's morsel indices. The
+// owner pops the tail, thieves take the head; a mutex suffices at morsel
+// granularity (tens of pops per job, each guarding real kernel work).
+type morselDeque struct {
+	mu  sync.Mutex
+	ids []int
+}
+
+func (d *morselDeque) popTail() (int, bool) {
+	d.mu.Lock()
+	n := len(d.ids)
+	if n == 0 {
+		d.mu.Unlock()
+		return 0, false
+	}
+	i := d.ids[n-1]
+	d.ids = d.ids[:n-1]
+	d.mu.Unlock()
+	return i, true
+}
+
+func (d *morselDeque) popHead() (int, bool) {
+	d.mu.Lock()
+	if len(d.ids) == 0 {
+		d.mu.Unlock()
+		return 0, false
+	}
+	i := d.ids[0]
+	d.ids = d.ids[1:]
+	d.mu.Unlock()
+	return i, true
+}
+
+// run drains morsels as participant slot: own deque first, then stealing
+// round-robin from the others, returning once no morsel remains claimable.
+func (j *morselJob) run(slot int) {
+	p := len(j.deques)
+	for {
+		i, ok := j.deques[slot].popTail()
+		for d := 1; !ok && d < p; d++ {
+			i, ok = j.deques[(slot+d)%p].popHead()
+		}
+		if !ok {
+			return
+		}
+		j.fn(i)
+		if j.remaining.Add(-1) == 0 {
+			close(j.done)
+		}
+	}
+}
+
+// Parallel runs fn(i) for every i in [0, n) and returns when all calls have
+// completed. Up to `parallelism` participants run concurrently: the caller
+// plus idle pool workers. With parallelism <= 1 (or a single morsel) every
+// call runs inline on the caller — the zero-overhead path for per-query
+// thread counts of 1. The done-latch close orders every fn's writes before
+// Parallel returns, so callers may read per-morsel results without further
+// synchronisation.
+func Parallel(parallelism, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	startMorselPool()
+	if parallelism > morselWorkers {
+		parallelism = morselWorkers
+	}
+	j := &morselJob{
+		fn:     fn,
+		deques: make([]morselDeque, parallelism),
+		done:   make(chan struct{}),
+	}
+	j.remaining.Store(int32(n))
+	// Block-distribute the indices: deque p owns the p-th contiguous run,
+	// so each participant works a dense range while thieves chip at the far
+	// end of loaded deques. One backing array serves every deque; pops only
+	// re-slice.
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	for p := 0; p < parallelism; p++ {
+		lo, hi := p*n/parallelism, (p+1)*n/parallelism
+		j.deques[p].ids = ids[lo:hi:hi]
+	}
+	// Offer the job to parallelism-1 idle workers. A full queue just means
+	// the pool is saturated; the caller drains whatever nobody claims, and a
+	// worker that picks the job up after completion sees empty deques and
+	// moves on immediately.
+	for k := 1; k < parallelism; k++ {
+		select {
+		case morselQueue <- j:
+		default:
+		}
+	}
+	j.run(0)
+	<-j.done
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -10,11 +11,21 @@ import (
 	"redisgraph/internal/value"
 )
 
+// resolvedOpThreads maps the live MAX_QUERY_THREADS setting to the thread
+// budget queries actually run with: 0 means "auto", resolving to
+// GOMAXPROCS at query time so a later GOMAXPROCS change is picked up.
+func (s *Server) resolvedOpThreads() int {
+	if n := int(s.opThreads.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // queryConfig assembles the per-query engine configuration from the
 // server's options and live GRAPH.CONFIG state.
 func (s *Server) queryConfig() core.Config {
 	return core.Config{
-		OpThreads:      int(s.opThreads.Load()),
+		OpThreads:      s.resolvedOpThreads(),
 		TraverseBatch:  int(s.traverseBatch.Load()),
 		Timeout:        s.opts.QueryTimeout,
 		NoCostPlanner:  !s.costPlanner.Load(),
@@ -39,7 +50,9 @@ func (s *Server) configValue(name string) any {
 	case "TIMEOUT":
 		return s.opts.QueryTimeout.Milliseconds()
 	case "MAX_QUERY_THREADS":
-		return int64(s.opThreads.Load())
+		// GET reports the resolved budget: with auto (SET 0) the stored
+		// zero would hide what queries actually run with.
+		return int64(s.resolvedOpThreads())
 	case "TRAVERSE_BATCH":
 		return int64(s.traverseBatch.Load())
 	case "COST_PLANNER":
@@ -145,8 +158,8 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 			switch strings.ToUpper(args[1]) {
 			case "MAX_QUERY_THREADS":
 				n, err := strconv.Atoi(args[2])
-				if err != nil || n < 1 {
-					return nil, fmt.Errorf("ERR MAX_QUERY_THREADS must be a positive integer")
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("ERR MAX_QUERY_THREADS must be a non-negative integer (0 = auto: match GOMAXPROCS)")
 				}
 				s.opThreads.Store(int32(n))
 				return resp.SimpleString("OK"), nil
@@ -175,7 +188,7 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS|TRAVERSE_BATCH|COST_PLANNER|TRAVERSE_KERNEL",
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|TRAVERSE_KERNEL",
 			strings.Join(configParams, "|"))
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))

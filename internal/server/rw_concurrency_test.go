@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -33,6 +34,27 @@ func TestGraphConfigMaxQueryThreads(t *testing.T) {
 	}
 	if _, err := c.Do("GRAPH.CONFIG", "SET", "MAX_QUERY_THREADS", "zero"); err == nil {
 		t.Fatal("non-numeric SET must fail")
+	}
+	if _, err := c.Do("GRAPH.CONFIG", "SET", "MAX_QUERY_THREADS", "-1"); err == nil {
+		t.Fatal("negative SET must fail")
+	}
+	// 0 means auto: accepted, and GET reports the resolved GOMAXPROCS
+	// budget rather than the stored zero.
+	if v, err := c.Do("GRAPH.CONFIG", "SET", "MAX_QUERY_THREADS", "0"); err != nil || v.(resp.SimpleString) != "OK" {
+		t.Fatalf("%v %v", v, err)
+	}
+	v, err = c.Do("GRAPH.CONFIG", "GET", "MAX_QUERY_THREADS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.([]any)[1].(int64); got != int64(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("auto: got %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if _, err := c.Do("GRAPH.QUERY", "cfg", "CREATE (:T {x: 1})"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("GRAPH.QUERY", "cfg", "MATCH (n:T) RETURN n.x"); err != nil {
+		t.Fatalf("query under auto threads: %v", err)
 	}
 	if _, err := c.Do("GRAPH.CONFIG", "SET", "TIMEOUT", "5"); err == nil {
 		t.Fatal("SET of an unsupported parameter must fail")

@@ -28,9 +28,11 @@ type Options struct {
 	// ThreadCount is the module threadpool size (paper: configured at
 	// module load time). Defaults to 8.
 	ThreadCount int
-	// OpThreads bounds intra-query GraphBLAS kernel parallelism (the
-	// paper's one-core-per-query architecture). Defaults to 1; runtime
-	// changes go through GRAPH.CONFIG SET MAX_QUERY_THREADS.
+	// OpThreads bounds intra-query parallelism: morselised GraphBLAS
+	// kernels and parallel pipeline segments (the paper's architecture
+	// runs one core per query). Defaults to 1; runtime changes go through
+	// GRAPH.CONFIG SET MAX_QUERY_THREADS, where 0 means auto (resolve to
+	// GOMAXPROCS at query time).
 	OpThreads int
 	// TraverseBatch is the engine's pipeline batch size: records per batch
 	// through every operation and frontier rows per fused MxM. 0 uses the
