@@ -10,11 +10,13 @@
 // batch-at-a-time pipeline with predicate pushdown), plan-order (E9, the
 // cost-based planner vs the textual-order baseline on order-sensitive
 // queries), kernel-select (E10, direction-optimizing push/pull traversal
-// kernels vs the forced single-direction baselines), or all.
+// kernels vs the forced single-direction baselines), plan-cache (E12, the
+// parameterized plan cache vs the PLAN_CACHE_SIZE 0 re-plan baseline on a
+// 90/10 hot/cold shape mix), or all.
 // -batch sets the batch size for the traverse-batch and pipeline-batch
 // experiments; -out writes the selected experiment's results as JSON (the
 // perf-trajectory artifacts BENCH_traverse.json / BENCH_rwmix.json /
-// BENCH_pipeline.json / BENCH_planner.json).
+// BENCH_pipeline.json / BENCH_planner.json / BENCH_plancache.json).
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | parallel-scaling | all")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | parallel-scaling | plan-cache | all")
 	queries := flag.Int("queries", 2048, "query count for the throughput and rw-mix experiments")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
 	batch := flag.Int("batch", 64, "batch size for the traverse-batch and pipeline-batch experiments")
@@ -91,6 +93,10 @@ func main() {
 	if want("parallel-scaling") {
 		results := s.ParallelScaling()
 		writeJSON(outFor("parallel-scaling"), "parallel-scaling", *scale, results)
+	}
+	if want("plan-cache") {
+		results := s.PlanCache(*queries)
+		writeJSON(outFor("plan-cache"), "plan-cache", *scale, results)
 	}
 }
 

@@ -1068,3 +1068,164 @@ func logBar(v, maxV float64) string {
 	}
 	return strings.Repeat("#", n)
 }
+
+// PlanCacheResult is one workload cell of the plan-cache experiment (E12):
+// a hot/cold query-shape mix executed with the parameterized plan cache on
+// vs off (the GRAPH.CONFIG SET PLAN_CACHE_SIZE 0 baseline). Results are
+// checked bit-identical between the two paths on every query.
+type PlanCacheResult struct {
+	Workload      string  `json:"workload"`
+	Batch         int     `json:"batch"`
+	Queries       int     `json:"queries"`
+	UncachedQPS   float64 `json:"uncached_qps"`
+	CachedQPS     float64 `json:"cached_qps"`
+	Speedup       float64 `json:"speedup"` // cached_qps / uncached_qps
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+	Revalidations uint64  `json:"revalidations"`
+}
+
+// planCacheGraph builds the experiment fixture: n indexed :Node vertices
+// with 4 deterministic :F successors each, so the hot shapes (index seed +
+// short traversal) execute in microseconds and per-request parse+plan is
+// the dominant cost — the regime the cache targets.
+func planCacheGraph(n int) *graph.Graph {
+	g := graph.New("plan-cache")
+	g.Lock()
+	ids := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.CreateNode([]string{"Node"}, map[string]value.Value{
+			"uid": value.NewInt(int64(i)),
+		}).ID
+	}
+	for i, id := range ids {
+		for k := 0; k < 4; k++ {
+			if _, err := g.CreateEdge("F", id, ids[(i*2654435761+k*40503+1)%n], nil); err != nil {
+				panic(fmt.Sprintf("bench: plan-cache: %v", err))
+			}
+		}
+	}
+	g.CreateIndex("Node", "uid")
+	g.Sync()
+	g.Unlock()
+	return g
+}
+
+// planCacheHotShapes are the parameterized templates of the hot mix; only
+// the $seed binding varies between requests. All four are point-read /
+// neighbourhood-count shapes whose execution completes in microseconds,
+// so per-request parse+plan dominates — the production regime the cache
+// targets. Materializing traversals spend O(graph) extracting result
+// frontiers, which the cache cannot and should not hide; the write mix
+// below covers that modest-gain end.
+var planCacheHotShapes = []string{
+	`MATCH (s:Node {uid: $seed})-[:F]->(n) RETURN count(n)`,
+	`MATCH (s:Node {uid: $seed})-[:F]->(n) WHERE n.uid > $seed RETURN count(n)`,
+	`MATCH (s:Node) WHERE s.uid = $seed RETURN s.uid`,
+	`MATCH (s:Node {uid: $seed}) RETURN s.uid, s.uid + 1, s.uid * 2`,
+}
+
+// PlanCache reproduces the parse/plan-amortization experiment: a 90/10
+// hot/cold shape mix at pipeline batch sizes 1 and 64, plus a write-heavy
+// mix demonstrating that epoch churn revalidates cached templates instead
+// of thrashing them. Cached and uncached paths must agree on every row.
+func (s *Suite) PlanCache(queries int) []PlanCacheResult {
+	fmt.Fprintf(s.w, "=== E12: parameterized plan cache, hot/cold shape mix (scale=%d) ===\n", s.scale)
+	n := 1 << s.scale
+	g := planCacheGraph(n)
+
+	// runMix drives one deterministic request stream and returns elapsed
+	// time plus the canonical rows of every request (the differential).
+	// writeEvery > 0 inserts a connectivity write every writeEvery requests.
+	runMix := func(g *graph.Graph, cfg core.Config, queries, writeEvery int) (time.Duration, []string) {
+		rows := make([]string, 0, queries)
+		canon := func(rs *core.ResultSet) string {
+			out := make([]string, len(rs.Rows))
+			for i, row := range rs.Rows {
+				out[i] = fmt.Sprint(row)
+			}
+			sort.Strings(out)
+			return strings.Join(out, ";")
+		}
+		wuid := n
+		t0 := time.Now()
+		for i := 0; i < queries; i++ {
+			seed := int64((i * 2654435761) % n)
+			params := map[string]value.Value{"seed": value.NewInt(seed)}
+			var q string
+			switch {
+			case writeEvery > 0 && i%writeEvery == writeEvery-1:
+				// Connectivity write: a fresh node wired to an existing one
+				// (epoch bump; stats drift slowly).
+				q = fmt.Sprintf(`MATCH (a:Node {uid: %d}) CREATE (a)-[:F]->(:Node {uid: %d})`, seed, wuid)
+				wuid++
+			case i%10 == 9:
+				// Cold shape: the literal is baked into the text, so every
+				// request is a new cache key.
+				q = fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F]->(n) WHERE n.uid < %d RETURN count(n)`, seed, 10*n+i)
+			default:
+				q = planCacheHotShapes[i%len(planCacheHotShapes)]
+			}
+			rs, err := core.Query(g, q, params, cfg)
+			if err != nil {
+				panic(fmt.Sprintf("bench: plan-cache: %s: %v", q, err))
+			}
+			rows = append(rows, canon(rs))
+		}
+		return time.Since(t0), rows
+	}
+
+	var out []PlanCacheResult
+	cell := func(workload string, batch, queries, writeEvery int) {
+		// The write mix mutates its graph, so each run gets a fresh build;
+		// read mixes share the static fixture.
+		graphFor := func() *graph.Graph {
+			if writeEvery > 0 {
+				return planCacheGraph(n)
+			}
+			return g
+		}
+		var unReps, caReps []float64
+		var counters core.PlanCacheCounters
+		for rep := 0; rep < 6; rep++ {
+			runtime.GC()
+			elU, rowsU := runMix(graphFor(), core.Config{TraverseBatch: batch}, queries, writeEvery)
+			runtime.GC()
+			pc := core.NewPlanCache(core.DefaultPlanCacheSize)
+			elC, rowsC := runMix(graphFor(), core.Config{TraverseBatch: batch, PlanCache: pc}, queries, writeEvery)
+			for i := range rowsU {
+				if rowsU[i] != rowsC[i] {
+					panic(fmt.Sprintf("bench: plan-cache divergence %s req %d:\ncached:   %s\nuncached: %s",
+						workload, i, rowsC[i], rowsU[i]))
+				}
+			}
+			if rep == 0 {
+				continue
+			}
+			unReps = append(unReps, float64(queries)/elU.Seconds())
+			caReps = append(caReps, float64(queries)/elC.Seconds())
+			counters = pc.Counters()
+		}
+		sort.Float64s(unReps)
+		sort.Float64s(caReps)
+		r := PlanCacheResult{
+			Workload: workload, Batch: batch, Queries: queries,
+			UncachedQPS: unReps[len(unReps)/2], CachedQPS: caReps[len(caReps)/2],
+			Hits: counters.Hits, Misses: counters.Misses, Evictions: counters.Evictions,
+			Invalidations: counters.Invalidations, Revalidations: counters.Revalidations,
+		}
+		r.Speedup = r.CachedQPS / r.UncachedQPS
+		out = append(out, r)
+		fmt.Fprintf(s.w, "  %-10s batch %-3d  uncached %9.0f q/s  cached %9.0f q/s  %5.2fx  (hits %d misses %d reval %d inval %d)\n",
+			r.Workload, r.Batch, r.UncachedQPS, r.CachedQPS, r.Speedup,
+			r.Hits, r.Misses, r.Revalidations, r.Invalidations)
+	}
+
+	cell("hot-mix", 1, queries, 0)
+	cell("hot-mix", 64, queries, 0)
+	cell("write-mix", 64, queries/2, 5)
+	fmt.Fprintln(s.w)
+	return out
+}

@@ -52,6 +52,11 @@ type Config struct {
 	// from the frontier's density; "push" and "pull" force one direction —
 	// the differential baselines behind GRAPH.CONFIG SET TRAVERSE_KERNEL.
 	TraverseKernel string
+	// PlanCache, when set, amortizes parse+plan across requests: queries
+	// resolve through the cache's templates (see plancache.go) and execute
+	// private instantiated clones. Nil plans every query from scratch —
+	// the differential baseline behind GRAPH.CONFIG SET PLAN_CACHE_SIZE 0.
+	PlanCache *PlanCache
 }
 
 // threads resolves OpThreads to the effective per-query thread budget
@@ -68,14 +73,25 @@ func (c Config) descriptor() *grb.Descriptor {
 	return &grb.Descriptor{NThreads: c.threads()}
 }
 
+// planFor resolves a query to an executable plan: through the plan cache
+// when the config enables one, else by parsing and planning from scratch.
+// cached reports whether the plan was instantiated from a cached template.
+func planFor(g *graph.Graph, query string, cfg Config) (plan *Plan, cached bool, err error) {
+	if pc := cfg.PlanCache; pc != nil && pc.Capacity() > 0 {
+		return pc.plan(g, query, cfg)
+	}
+	ast, err := cypher.Parse(query)
+	if err != nil {
+		return nil, false, err
+	}
+	plan, err = buildLocked(g, ast, cfg)
+	return plan, false, err
+}
+
 // Query parses, plans and executes a Cypher query against g, taking the
 // graph's write or read lock according to the query's effect.
 func Query(g *graph.Graph, query string, params map[string]value.Value, cfg Config) (*ResultSet, error) {
-	ast, err := cypher.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := buildLocked(g, ast, cfg)
+	plan, _, err := planFor(g, query, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -116,11 +132,7 @@ func maybeSyncLocked(g *graph.Graph) {
 
 // ROQuery executes a query that must be read-only (GRAPH.RO_QUERY).
 func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Config) (*ResultSet, error) {
-	ast, err := cypher.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := buildLocked(g, ast, cfg)
+	plan, _, err := planFor(g, query, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -185,18 +197,33 @@ func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Conf
 
 // Explain returns the execution-plan tree for a query (GRAPH.EXPLAIN).
 // The config matters: NoPushdown and NoCostPlanner change the plan.
+// With a plan cache configured, the first line reports whether this plan
+// came from a cached template and the cache's lifetime counters.
 func Explain(g *graph.Graph, query string, cfg Config) ([]string, error) {
-	ast, err := cypher.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := buildLocked(g, ast, cfg)
+	plan, cached, err := planFor(g, query, cfg)
 	if err != nil {
 		return nil, err
 	}
 	var lines []string
+	if line, ok := planSourceLine(cfg, cached); ok {
+		lines = append(lines, line)
+	}
 	printPlan(plan.root, 0, &lines, plan.estAnnotation)
 	return lines, nil
+}
+
+// planSourceLine renders the "plan: cached|planned" header for EXPLAIN and
+// PROFILE output when a plan cache is configured.
+func planSourceLine(cfg Config, cached bool) (string, bool) {
+	pc := cfg.PlanCache
+	if pc == nil || pc.Capacity() <= 0 {
+		return "", false
+	}
+	src := "planned"
+	if cached {
+		src = "cached"
+	}
+	return fmt.Sprintf("plan: %s | %s", src, pc.Counters()), true
 }
 
 // estAnnotation renders an operation's estimated output cardinality for
@@ -227,11 +254,7 @@ func fmtEst(e float64) string {
 // Profile executes the query with per-operation accounting and returns the
 // annotated plan tree (GRAPH.PROFILE).
 func Profile(g *graph.Graph, query string, params map[string]value.Value, cfg Config) ([]string, error) {
-	ast, err := cypher.Parse(query)
-	if err != nil {
-		return nil, err
-	}
-	plan, err := buildLocked(g, ast, cfg)
+	plan, cached, err := planFor(g, query, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -257,6 +280,9 @@ func Profile(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 		return nil, execErr
 	}
 	var lines []string
+	if line, ok := planSourceLine(cfg, cached); ok {
+		lines = append(lines, line)
+	}
 	printPlan(plan.root, 0, &lines, func(op operation) string {
 		s := plan.estAnnotation(op)
 		if p, ok := op.(*profiledOp); ok {

@@ -365,12 +365,7 @@ func (o *distinctOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 		}
 		out := b[:0]
 		for _, r := range b {
-			var kb strings.Builder
-			for i := 0; i < o.visible && i < len(r); i++ {
-				kb.WriteString(r[i].HashKey())
-				kb.WriteByte('|')
-			}
-			k := kb.String()
+			k := distinctKey(r, o.visible)
 			if o.seen[k] {
 				continue
 			}
@@ -381,6 +376,19 @@ func (o *distinctOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 			return out, nil
 		}
 	}
+}
+
+// distinctKey builds the dedup key over a record's first `visible` slots.
+// The serial distinctOp and the parallel merge (parallelDistinctOp) must use
+// the identical construction, or a row could survive one path and not the
+// other.
+func distinctKey(r record, visible int) string {
+	var kb strings.Builder
+	for i := 0; i < visible && i < len(r); i++ {
+		kb.WriteString(r[i].HashKey())
+		kb.WriteByte('|')
+	}
+	return kb.String()
 }
 
 func (o *distinctOp) name() string                 { return "Distinct" }

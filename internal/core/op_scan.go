@@ -391,6 +391,13 @@ type indexScanOp struct {
 	width  int
 	pushed *scanFilter
 
+	// part/parts restrict an entry-point scan to one residue class of the
+	// seed list's positions (not the id values: index postings are often
+	// skewed, and position striping balances segments regardless of how ids
+	// were assigned). Only set on childless clones by parallelizePlan.
+	part  int
+	parts int
+
 	in     batchPuller
 	cur    record
 	ids    []uint64
@@ -415,6 +422,15 @@ func (o *indexScanOp) loadSeeds(ctx *execCtx) error {
 		return err
 	}
 	o.ids = ix.Lookup(v)
+	if o.parts > 1 {
+		var mine []uint64
+		for k, id := range o.ids {
+			if k%o.parts == o.part {
+				mine = append(mine, id)
+			}
+		}
+		o.ids = mine
+	}
 	return nil
 }
 
@@ -478,7 +494,7 @@ func (o *indexScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 
 func (o *indexScanOp) name() string { return "NodeByIndexScan" }
 func (o *indexScanOp) args() string {
-	return fmt.Sprintf("%s:%s(%s)%s", o.alias, o.label, o.attr, o.pushed.describe())
+	return fmt.Sprintf("%s:%s(%s)%s%s", o.alias, o.label, o.attr, o.pushed.describe(), describeSegment(o.part, o.parts))
 }
 func (o *indexScanOp) children() []operation {
 	if o.child == nil {

@@ -44,10 +44,12 @@ type segCloner interface {
 // parallelizePlan rewrites p in place to execute its lowest pipeline
 // stretch as `threads` concurrent segments. It refuses — leaving the plan
 // untouched — whenever correctness or progress guarantees would change:
-// write plans, multi-child spines, non-partitionable entry points (index
-// scans seed too few rows; kernel threads cover them), order- or
-// count-sensitive operations below the barrier (skip, limit, distinct),
+// write plans, multi-child spines, non-partitionable entry points,
+// order- or count-sensitive operations below the barrier (skip, limit),
 // and distinct aggregates (per-segment dedup sets cannot be merged).
+// DISTINCT itself is a mergeable barrier: segments dedup locally and the
+// coordinator re-dedups across segments. Index-scan entry points partition
+// their seed list across segments by position.
 func parallelizePlan(p *Plan, threads int) {
 	if !p.ReadOnly || threads < 2 {
 		return
@@ -69,14 +71,19 @@ func parallelizePlan(p *Plan, threads int) {
 		}
 		op = kids[0]
 	}
-	// The leaf must be a childless full scan: its id space partitions into
-	// residue classes with no coordination.
+	// The leaf must be a childless scan: full scans partition the id space
+	// into residue classes, index scans stripe their seed list by position —
+	// either way, no coordination between segments.
 	switch s := chain[len(chain)-1].(type) {
 	case *allNodeScanOp:
 		if s.child != nil {
 			return
 		}
 	case *labelScanOp:
+		if s.child != nil {
+			return
+		}
+	case *indexScanOp:
 		if s.child != nil {
 			return
 		}
@@ -147,6 +154,8 @@ func parallelizePlan(p *Plan, threads int) {
 			mop = &parallelTopNOp{parallelSeg: parallelSeg{segs: segs}, tmpl: orig}
 		case *traverseCountOp:
 			mop = &parallelCountOp{parallelSeg: parallelSeg{segs: segs}}
+		case *distinctOp:
+			mop = &parallelDistinctOp{parallelSeg: parallelSeg{segs: segs}, visible: orig.visible}
 		default:
 			return
 		}
@@ -163,11 +172,12 @@ func parallelizePlan(p *Plan, threads int) {
 	}
 }
 
-// isSegBarrier reports whether op blocks the pipeline (materialises its
-// whole input before emitting) and therefore terminates a segment stretch.
+// isSegBarrier reports whether op terminates a segment stretch: either it
+// blocks the pipeline (materialises its whole input before emitting) or, for
+// DISTINCT, it owns cross-row state that the coordinator must merge.
 func isSegBarrier(op operation) bool {
 	switch op.(type) {
-	case *aggregateOp, *sortOp, *topNSortOp, *traverseCountOp:
+	case *aggregateOp, *sortOp, *topNSortOp, *traverseCountOp, *distinctOp:
 		return true
 	}
 	return false
@@ -195,6 +205,8 @@ func setScanPartition(op operation, part, parts int) {
 	case *allNodeScanOp:
 		s.part, s.parts = part, parts
 	case *labelScanOp:
+		s.part, s.parts = part, parts
+	case *indexScanOp:
 		s.part, s.parts = part, parts
 	}
 }
@@ -540,6 +552,11 @@ func (o *labelScanOp) cloneSeg() operation {
 	return &labelScanOp{slot: o.slot, alias: o.alias, label: o.label, width: o.width, pushed: o.pushed.cloneSeg()}
 }
 
+func (o *indexScanOp) cloneSeg() operation {
+	return &indexScanOp{slot: o.slot, alias: o.alias, label: o.label, attr: o.attr,
+		val: o.val, width: o.width, pushed: o.pushed.cloneSeg()}
+}
+
 func (o *filterOp) cloneSeg() operation {
 	return &filterOp{pred: o.pred, desc: o.desc}
 }
@@ -611,3 +628,65 @@ func (o *topNSortOp) cloneSeg() operation {
 func (o *traverseCountOp) cloneSeg() operation {
 	return &traverseCountOp{t: o.t.cloneSeg().(*condTraverseOp)}
 }
+
+func (o *distinctOp) cloneSeg() operation {
+	return &distinctOp{visible: o.visible}
+}
+
+// parallelDistinctOp replaces a distinctOp barrier: each segment deduplicates
+// its own partition while it runs, and the coordinator re-deduplicates the
+// buffered per-segment outputs in segment-major order with the same key
+// construction. A value present in several partitions survives in the
+// lowest-numbered segment that produced it — deterministic for a given
+// segment count, though (like ParallelGather) not byte-identical to the
+// serial scan order.
+type parallelDistinctOp struct {
+	parallelSeg
+	visible int
+
+	out    []recordBatch
+	pos    int
+	primed bool
+}
+
+func (o *parallelDistinctOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	if !o.primed {
+		bufs := make([][]recordBatch, len(o.segs))
+		err := o.runSegments(ctx, func(k int, wctx *execCtx) error {
+			return drainSeg(o.segs[k], wctx, &bufs[k])
+		})
+		if err != nil {
+			return nil, err
+		}
+		seen := map[string]bool{}
+		for _, bb := range bufs {
+			for _, b := range bb {
+				out := b[:0]
+				for _, r := range b {
+					k := distinctKey(r, o.visible)
+					if seen[k] {
+						continue
+					}
+					seen[k] = true
+					out = append(out, r)
+				}
+				if len(out) > 0 {
+					o.out = append(o.out, out)
+				}
+			}
+		}
+		o.primed = true
+	}
+	if o.pos >= len(o.out) {
+		return nil, nil
+	}
+	b := o.out[o.pos]
+	o.out[o.pos] = nil
+	o.pos++
+	return b, nil
+}
+
+func (o *parallelDistinctOp) name() string                 { return "ParallelDistinct" }
+func (o *parallelDistinctOp) args() string                 { return o.describeParallel() }
+func (o *parallelDistinctOp) children() []operation        { return o.segs[0].children() }
+func (o *parallelDistinctOp) setChild(i int, op operation) { o.segs[0].(childSetter).setChild(i, op) }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"redisgraph/internal/graph"
+	"redisgraph/internal/value"
 )
 
 // parallelConfigs is the differential grid: thread counts x batch sizes x
@@ -27,9 +28,9 @@ func parallelConfigs() []Config {
 }
 
 // TestParallelDifferentialReads runs read pipelines whose plans exercise
-// every parallel merge operator — gather, aggregation, sort, top-N and
-// traverse-count — plus shapes the parallelizer must refuse (index-scan
-// entry, DISTINCT, distinct aggregates), across the full config grid.
+// every parallel merge operator — gather, aggregation, sort, top-N,
+// traverse-count and distinct — plus shapes the parallelizer must refuse
+// (distinct aggregates), across the full config grid.
 func TestParallelDifferentialReads(t *testing.T) {
 	g := adversarialGraph(t, 200)
 	queries := []string{
@@ -56,10 +57,12 @@ func TestParallelDifferentialReads(t *testing.T) {
 		// Distinct aggregate: the parallelizer must refuse (per-segment
 		// dedup sets cannot merge) and still answer correctly.
 		`MATCH (a:Hub)-[:D]->(b:Hub) RETURN count(DISTINCT b.uid)`,
-		// DISTINCT projection: refused (global dedup), still correct.
+		// DISTINCT projection: per-segment dedup merged by the coordinator.
 		`MATCH (a:Hub)-[:D]->(b:Hub) RETURN DISTINCT b.uid`,
-		// Index-scan entry: refused (kernel threads cover it), still correct.
+		`MATCH (a:Hub)-[:D]->(b:Hub) RETURN DISTINCT a.uid, b.uid`,
+		// Index-scan entry: the seed list is striped across segments.
 		`MATCH (a:Hub {uid: 7})-[:D]->(b) RETURN b.uid`,
+		`MATCH (a:Hub {uid: 7})-[:D]->(b:Hub) RETURN DISTINCT b.uid`,
 		// Aggregation over an unwound list below the barrier.
 		`MATCH (a:Rare) UNWIND [1, 2, 3] AS x RETURN sum(a.uid + x)`,
 	}
@@ -231,14 +234,23 @@ func TestExplainParallelAnnotations(t *testing.T) {
 	if !find(lines, "segment 1/4") {
 		t.Errorf("EXPLAIN missing scan partition annotation:\n%s", strings.Join(lines, "\n"))
 	}
-	// Index-scan entry refuses segmentation; the traversal instead reports
-	// its kernel-thread budget.
+	// Index-scan entry points segment too: the seed list is striped across
+	// segments by position.
 	lines, err = Explain(g, `MATCH (a:Hub {uid: 7})-[:D]->(b) RETURN b.uid`, Config{OpThreads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !find(lines, "workers: 4") || !find(lines, "NodeByIndexScan") || !find(lines, "segment 1/4") {
+		t.Errorf("index-entry plan missing segmentation annotations:\n%s", strings.Join(lines, "\n"))
+	}
+	// A plan that refuses segmentation (LIMIT cannot ride a segment) reports
+	// the traversal's kernel-thread budget instead.
+	lines, err = Explain(g, `MATCH (a:Hub)-[:D]->(b) RETURN b.uid LIMIT 5`, Config{OpThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if find(lines, "workers:") {
-		t.Errorf("index-entry plan must not segment:\n%s", strings.Join(lines, "\n"))
+		t.Errorf("LIMIT plan must not segment:\n%s", strings.Join(lines, "\n"))
 	}
 	if !find(lines, "threads: 4") {
 		t.Errorf("EXPLAIN missing kernel thread annotation:\n%s", strings.Join(lines, "\n"))
@@ -277,5 +289,61 @@ func TestProfileParallelWorkerTime(t *testing.T) {
 	}
 	if !strings.Contains(mergeLine, "Execution time:") {
 		t.Errorf("merge PROFILE line missing wall time: %s", mergeLine)
+	}
+}
+
+// TestParallelIndexSegmentDifferential partitions a fat index posting list —
+// many nodes sharing one indexed value — across segments and checks every
+// merge shape above an index-scan entry against the serial baseline.
+func TestParallelIndexSegmentDifferential(t *testing.T) {
+	g := graph.New("fatindex")
+	g.Lock()
+	ids := make([]uint64, 120)
+	for i := range ids {
+		ids[i] = g.CreateNode([]string{"Item"}, map[string]value.Value{
+			"bucket": value.NewInt(int64(i % 3)),
+			"ord":    value.NewInt(int64(i)),
+		}).ID
+	}
+	for i, id := range ids {
+		for k := 0; k < 3; k++ {
+			if _, err := g.CreateEdge("L", id, ids[(i*5+k*7+1)%len(ids)], nil); err != nil {
+				t.Fatalf("edge: %v", err)
+			}
+		}
+	}
+	g.CreateIndex("Item", "bucket")
+	g.Sync()
+	g.Unlock()
+
+	queries := []string{
+		// Gather above a striped seed list (40 seeds per bucket).
+		`MATCH (a:Item {bucket: 1})-[:L]->(b) RETURN a.ord, b.ord`,
+		// Aggregate, count-pushdown, sort, top-N and distinct merges.
+		`MATCH (a:Item {bucket: 1})-[:L]->(b) RETURN b.ord, count(a)`,
+		`MATCH (a:Item {bucket: 1})-[:L]->(b) RETURN count(b)`,
+		`MATCH (a:Item {bucket: 2})-[:L]->(b) RETURN b.ord ORDER BY b.ord`,
+		`MATCH (a:Item {bucket: 2})-[:L]->(b) RETURN b.ord ORDER BY b.ord DESC LIMIT 7`,
+		`MATCH (a:Item {bucket: 0})-[:L]->(b) RETURN DISTINCT b.ord`,
+	}
+	serial := Config{OpThreads: 1}
+	for _, q := range queries {
+		want := runSorted(t, g, q, serial)
+		for _, th := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+			got := runSorted(t, g, q, Config{OpThreads: th})
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("threads=%d divergence\nquery: %s\ngot:\n%s\nwant:\n%s",
+					th, q, strings.Join(got, "\n"), strings.Join(want, "\n"))
+			}
+		}
+	}
+	// The rewrite must actually segment the index entry, not refuse it.
+	lines, err := Explain(g, `MATCH (a:Item {bucket: 1})-[:L]->(b) RETURN count(b)`, Config{OpThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "segment 1/4") || !strings.Contains(joined, "NodeByIndexScan") {
+		t.Errorf("index entry did not segment:\n%s", joined)
 	}
 }

@@ -117,6 +117,22 @@ func BuildPlan(g *graph.Graph, q *cypher.Query) (*Plan, error) {
 }
 
 func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, error) {
+	p, err := buildSerialPlan(g, q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Threads > 1 {
+		parallelizePlan(p, opts.Threads)
+	}
+	return p, nil
+}
+
+// buildSerialPlan compiles the single-pipeline plan without the parallel-
+// segment rewrite. The plan cache stores this form as its immutable
+// template: instantiation clones the tree and applies parallelizePlan to
+// the clone, so one cached template serves any later rewrite of the same
+// thread budget.
+func buildSerialPlan(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, error) {
 	b := &planBuilder{g: g, st: newSymtab(), bound: map[string]bool{}, readonly: true,
 		noPushdown: opts.NoPushdown, noCostPlanner: opts.NoCostPlanner, threads: opts.Threads,
 		gs: g.Stats(), binders: map[string]*binderInfo{},
@@ -174,11 +190,7 @@ func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, er
 	if b.cur == nil {
 		return nil, fmt.Errorf("core: empty plan")
 	}
-	p := &Plan{root: b.cur, columns: b.columns, visible: b.visible, ReadOnly: b.readonly, est: b.est}
-	if opts.Threads > 1 {
-		parallelizePlan(p, opts.Threads)
-	}
-	return p, nil
+	return &Plan{root: b.cur, columns: b.columns, visible: b.visible, ReadOnly: b.readonly, est: b.est}, nil
 }
 
 func (b *planBuilder) anonVar() string {

@@ -1,0 +1,355 @@
+// Parameterized plan cache: parse/plan amortization for hot query shapes.
+//
+// Production traffic is dominated by a small set of query *shapes* with
+// varying literals — `CYPHER id=7 MATCH (n {uid:$id}) …` — so per-request
+// parse+plan cost is pure fixed overhead on the hot path. The cache maps
+// (graph, parameterized query text, planner-relevant config) to an immutable
+// serial plan template plus the parsed AST, behind a bounded LRU. A hit
+// clones the template (op_clone.go) and re-binds `$param` values implicitly:
+// compiled expressions resolve parameters from the execution context, so
+// index seeds, pushed scan filters and destination masks pick up the new
+// values without replanning.
+//
+// Validation is epoch- and stats-driven. Each entry records the
+// connectivity write epoch, the schema-mutation version and the stats
+// snapshot its template was planned against:
+//
+//   - schema version moved (new label/reltype/attr, index create/drop) →
+//     replan: plans bake schema lookups in (unknown labels become empty
+//     scans, index seeds resolve the index identity at plan time).
+//   - epoch unchanged → the graph's connectivity is exactly as planned;
+//     instantiate.
+//   - epoch moved but stats within tolerance (statsClose) → the
+//     stats-sensitive choices (entry point, hop order, push/pull budgets)
+//     would come out the same; refresh the entry and instantiate. This is
+//     the cheap revalidation that keeps a write-heavy mix from thrashing.
+//   - stats shifted materially → replan from the cached AST (parse is
+//     still amortized) and replace the template.
+package core
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"redisgraph/internal/cypher"
+	"redisgraph/internal/graph"
+)
+
+// DefaultPlanCacheSize bounds the cache when the server does not configure
+// PLAN_CACHE_SIZE: enough for the hot shapes of many concurrent clients,
+// small enough that cold shapes age out quickly.
+const DefaultPlanCacheSize = 128
+
+// planKey identifies one cached template. Thread budget, pushdown and
+// cost-planner toggles all change the planned tree, so they key separately;
+// batch size and kernel direction resolve at execution time and do not.
+type planKey struct {
+	g             *graph.Graph
+	text          string
+	noPushdown    bool
+	noCostPlanner bool
+	threads       int
+}
+
+// planEntry is one cached template with its validation snapshot. The
+// template is immutable: it is never executed, only cloned. Replans swap
+// the whole entry under the cache mutex.
+type planEntry struct {
+	key           planKey
+	ast           *cypher.Query
+	tmpl          *Plan
+	epoch         uint64
+	schemaVersion uint64
+	stats         *graph.Stats
+}
+
+// PlanCache is a bounded LRU of plan templates shared across graphs and
+// queries. The zero value is unusable; construct with NewPlanCache. All
+// methods are safe for concurrent use.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // of *planEntry; front = most recently used
+	entries  map[planKey]*list.Element
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+	revalidations atomic.Uint64
+}
+
+// NewPlanCache returns a cache bounded to capacity templates (<= 0 caches
+// nothing).
+func NewPlanCache(capacity int) *PlanCache {
+	return &PlanCache{capacity: capacity, lru: list.New(), entries: map[planKey]*list.Element{}}
+}
+
+// SetCapacity rebounds the cache, evicting least-recently-used templates
+// down to the new limit (GRAPH.CONFIG SET PLAN_CACHE_SIZE).
+func (pc *PlanCache) SetCapacity(n int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.capacity = n
+	pc.evictOver()
+}
+
+// Capacity returns the current bound.
+func (pc *PlanCache) Capacity() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.capacity
+}
+
+// Len returns the number of cached templates.
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.lru.Len()
+}
+
+// PlanCacheCounters is a snapshot of the cache's lifetime statistics.
+type PlanCacheCounters struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64
+	Revalidations uint64
+}
+
+// Counters snapshots the cache statistics (EXPLAIN/PROFILE annotations).
+func (pc *PlanCache) Counters() PlanCacheCounters {
+	return PlanCacheCounters{
+		Hits:          pc.hits.Load(),
+		Misses:        pc.misses.Load(),
+		Evictions:     pc.evictions.Load(),
+		Invalidations: pc.invalidations.Load(),
+		Revalidations: pc.revalidations.Load(),
+	}
+}
+
+func (c PlanCacheCounters) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d revalidations=%d",
+		c.Hits, c.Misses, c.Evictions, c.Invalidations, c.Revalidations)
+}
+
+// InvalidateGraph drops every template planned against g (GRAPH.DELETE,
+// DEL, FLUSHALL): the graph pointer in the key would otherwise pin dead
+// graphs until their entries age out.
+func (pc *PlanCache) InvalidateGraph(g *graph.Graph) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for el := pc.lru.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*planEntry); ent.key.g == g {
+			delete(pc.entries, ent.key)
+			pc.lru.Remove(el)
+		}
+		el = next
+	}
+}
+
+// lookup returns the entry for key, promoting it to most-recently-used.
+func (pc *PlanCache) lookup(key planKey) (*planEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.entries[key]
+	if !ok {
+		return nil, false
+	}
+	pc.lru.MoveToFront(el)
+	return el.Value.(*planEntry), true
+}
+
+// insert stores (or replaces) an entry, evicting over capacity.
+func (pc *PlanCache) insert(ent *planEntry) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.capacity <= 0 {
+		return
+	}
+	if el, ok := pc.entries[ent.key]; ok {
+		el.Value = ent
+		pc.lru.MoveToFront(el)
+		return
+	}
+	pc.entries[ent.key] = pc.lru.PushFront(ent)
+	pc.evictOver()
+}
+
+// evictOver drops least-recently-used entries past capacity. Caller holds mu.
+func (pc *PlanCache) evictOver() {
+	for pc.lru.Len() > pc.capacity {
+		el := pc.lru.Back()
+		if el == nil {
+			return
+		}
+		delete(pc.entries, el.Value.(*planEntry).key)
+		pc.lru.Remove(el)
+		pc.evictions.Add(1)
+	}
+}
+
+// refresh updates an entry's validation snapshot after a cheap
+// revalidation, or swaps in a freshly planned template after a replan.
+func (pc *PlanCache) refresh(ent *planEntry, tmpl *Plan, epoch, schemaVersion uint64, st *graph.Stats) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if tmpl != nil {
+		ent.tmpl = tmpl
+	}
+	ent.epoch, ent.schemaVersion, ent.stats = epoch, schemaVersion, st
+}
+
+// snapshot reads an entry's template and validation state consistently.
+func (pc *PlanCache) snapshot(ent *planEntry) (*Plan, uint64, uint64, *graph.Stats) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return ent.tmpl, ent.epoch, ent.schemaVersion, ent.stats
+}
+
+// plan resolves a query through the cache: parse and template construction
+// run only on misses and invalidations. The returned plan is a private
+// clone, parallelised for the config's thread budget; cached reports
+// whether it came from a cached template (EXPLAIN/PROFILE's
+// "plan: cached|planned" line).
+func (pc *PlanCache) plan(g *graph.Graph, query string, cfg Config) (p *Plan, cached bool, err error) {
+	key := planKey{g: g, text: cypher.CanonicalQueryText(query),
+		noPushdown: cfg.NoPushdown, noCostPlanner: cfg.NoCostPlanner, threads: cfg.threads()}
+
+	ent, ok := pc.lookup(key)
+	if !ok {
+		pc.misses.Add(1)
+		ast, err := cypher.Parse(query)
+		if err != nil {
+			return nil, false, err
+		}
+		return pc.buildAndCache(g, key, ast, cfg, nil)
+	}
+
+	tmpl, entEpoch, entSchemaV, entStats := pc.snapshot(ent)
+	g.RLock()
+	epoch := g.Epoch()
+	schemaV := g.Schema.Version()
+	var st *graph.Stats
+	if schemaV == entSchemaV && epoch != entEpoch {
+		st = g.Stats()
+	}
+	g.RUnlock()
+
+	switch {
+	case schemaV == entSchemaV && epoch == entEpoch:
+		// Connectivity exactly as planned.
+		if p := instantiate(tmpl, cfg); p != nil {
+			pc.hits.Add(1)
+			return p, true, nil
+		}
+	case schemaV == entSchemaV && statsClose(entStats, st):
+		// The graph changed, but not enough to move any stats-sensitive
+		// planning decision: refresh the snapshot and reuse the template.
+		if p := instantiate(tmpl, cfg); p != nil {
+			pc.hits.Add(1)
+			pc.revalidations.Add(1)
+			pc.refresh(ent, nil, epoch, schemaV, st)
+			return p, true, nil
+		}
+	}
+	// Schema moved, stats shifted materially, or the template failed to
+	// clone: replan from the cached AST (parse stays amortized).
+	pc.invalidations.Add(1)
+	return pc.buildAndCache(g, key, ent.ast, cfg, ent)
+}
+
+// buildAndCache plans a fresh serial template under the read lock, caches
+// it (replacing prev when set) and returns an instantiated clone.
+func (pc *PlanCache) buildAndCache(g *graph.Graph, key planKey, ast *cypher.Query, cfg Config, prev *planEntry) (*Plan, bool, error) {
+	g.RLock()
+	tmpl, err := buildSerialPlan(g, ast, planOptions{
+		NoPushdown: cfg.NoPushdown, NoCostPlanner: cfg.NoCostPlanner, Threads: cfg.threads()})
+	var epoch, schemaV uint64
+	var st *graph.Stats
+	if err == nil {
+		epoch, schemaV, st = g.Epoch(), g.Schema.Version(), g.Stats()
+	}
+	g.RUnlock()
+	if err != nil {
+		return nil, false, err
+	}
+	p := instantiate(tmpl, cfg)
+	if p == nil {
+		// The tree holds an uncloneable operation: execute the template
+		// directly (it was built fresh for this query) and cache nothing.
+		if cfg.threads() > 1 {
+			parallelizePlan(tmpl, cfg.threads())
+		}
+		return tmpl, false, nil
+	}
+	if prev != nil {
+		pc.refresh(prev, tmpl, epoch, schemaV, st)
+	} else {
+		pc.insert(&planEntry{key: key, ast: ast, tmpl: tmpl, epoch: epoch, schemaVersion: schemaV, stats: st})
+	}
+	return p, false, nil
+}
+
+// instantiate clones a template into an executable plan and applies the
+// parallel-segment rewrite for the config's thread budget. Nil when the
+// template cannot be cloned.
+func instantiate(tmpl *Plan, cfg Config) *Plan {
+	p := clonePlan(tmpl)
+	if p == nil {
+		return nil
+	}
+	if t := cfg.threads(); t > 1 {
+		parallelizePlan(p, t)
+	}
+	return p
+}
+
+// statsSlackFloor exempts small cardinalities from the relative-drift test:
+// growing a label from 3 to 40 nodes rarely flips a planning decision worth
+// a replan, and tiny graphs would otherwise thrash the cache on every write.
+const statsSlackFloor = 64
+
+// countsClose reports whether two cardinalities are within a 2x band — the
+// tolerance inside which the planner's ordering decisions (entry point, hop
+// order, push/pull budget) are considered stable.
+func countsClose(a, b int) bool {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi <= statsSlackFloor {
+		return true
+	}
+	return hi <= 2*lo
+}
+
+// statsClose reports whether a template planned against `old` would come
+// out the same against `cur`: every figure the cost model reads must sit
+// within the countsClose band. Differing label or relation counts always
+// fail (the schema version usually catches those first).
+func statsClose(old, cur *graph.Stats) bool {
+	if old == nil || cur == nil {
+		return false
+	}
+	if len(old.LabelNodes) != len(cur.LabelNodes) || len(old.RelPairs) != len(cur.RelPairs) {
+		return false
+	}
+	if !countsClose(old.Nodes, cur.Nodes) || !countsClose(old.Edges, cur.Edges) {
+		return false
+	}
+	for i := range old.LabelNodes {
+		if !countsClose(old.LabelNodes[i], cur.LabelNodes[i]) {
+			return false
+		}
+	}
+	for i := range old.RelPairs {
+		if !countsClose(old.RelPairs[i], cur.RelPairs[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"redisgraph/internal/graph"
+	"redisgraph/internal/value"
+)
+
+// runSortedP is runSorted with parameter bindings.
+func runSortedP(t testing.TB, g *graph.Graph, query string, params map[string]value.Value, cfg Config) []string {
+	t.Helper()
+	rs, err := Query(g, query, params, cfg)
+	if err != nil {
+		t.Fatalf("cfg=%+v %s: %v", cfg, query, err)
+	}
+	rows := make([]string, len(rs.Rows))
+	for i, row := range rs.Rows {
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = v.String()
+		}
+		rows[i] = strings.Join(parts, "|")
+	}
+	sortStrings(rows)
+	return append([]string{strings.Join(rs.Columns, ",")}, rows...)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func intParam(name string, v int64) map[string]value.Value {
+	return map[string]value.Value{name: value.NewInt(v)}
+}
+
+// TestPlanCacheDifferentialParams re-binds parameters against one cached
+// template — including param-driven index seeds and pushed scan filters —
+// and checks every answer against the uncached baseline.
+func TestPlanCacheDifferentialParams(t *testing.T) {
+	g := adversarialGraph(t, 200)
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	cached := Config{PlanCache: pc}
+	uncached := Config{}
+	queries := []string{
+		// Index seed from a parameter.
+		`MATCH (a:Hub {uid: $id})-[:D]->(b) RETURN b.uid`,
+		// Pushed property filter from a parameter.
+		`MATCH (a:Hub) WHERE a.uid = $id RETURN a.uid`,
+		// Parameter in a residual predicate and a projection.
+		`MATCH (a:Hub)-[:D]->(b:Hub) WHERE b.uid > $id RETURN a.uid, b.uid + $id`,
+		// Aggregation above a parameterized seed.
+		`MATCH (a:Hub {uid: $id})-[:D*1..2]->(b) RETURN count(b)`,
+	}
+	for _, q := range queries {
+		for _, id := range []int64{0, 7, 63, 199, 4096} {
+			p := intParam("id", id)
+			got := runSortedP(t, g, q, p, cached)
+			want := runSortedP(t, g, q, p, uncached)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("id=%d divergence\nquery: %s\ngot:\n%s\nwant:\n%s",
+					id, q, strings.Join(got, "\n"), strings.Join(want, "\n"))
+			}
+		}
+	}
+	c := pc.Counters()
+	if c.Misses != uint64(len(queries)) {
+		t.Errorf("misses = %d, want %d (one per shape)", c.Misses, len(queries))
+	}
+	if want := uint64(len(queries) * 4); c.Hits != want {
+		t.Errorf("hits = %d, want %d (re-binds must not replan)", c.Hits, want)
+	}
+}
+
+// TestPlanCacheWhitespaceCanonicalization checks formatting variants of one
+// shape share a single cache entry.
+func TestPlanCacheWhitespaceCanonicalization(t *testing.T) {
+	g := adversarialGraph(t, 50)
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	cfg := Config{PlanCache: pc}
+	variants := []string{
+		`MATCH (a:Hub {uid: $id})-[:D]->(b) RETURN b.uid`,
+		`  MATCH   (a:Hub {uid: $id})-[:D]->(b)   RETURN b.uid  `,
+		"MATCH (a:Hub {uid: $id})-[:D]->(b)\n\tRETURN b.uid",
+	}
+	for _, q := range variants {
+		runSortedP(t, g, q, intParam("id", 7), cfg)
+	}
+	if n := pc.Len(); n != 1 {
+		t.Errorf("cache holds %d entries, want 1 shared across formatting variants", n)
+	}
+	// A different string literal is a different shape, never a false share.
+	runSortedP(t, g, `MATCH (a:Hub) WHERE a.uid = 1 RETURN 'x  y'`, nil, cfg)
+	runSortedP(t, g, `MATCH (a:Hub) WHERE a.uid = 1 RETURN 'x y'`, nil, cfg)
+	if n := pc.Len(); n != 3 {
+		t.Errorf("cache holds %d entries, want 3 (quoted spacing is significant)", n)
+	}
+}
+
+// TestPlanCacheEpochRevalidation checks the middle validation band: small
+// connectivity writes move the epoch but not the stats, so the cache
+// revalidates instead of replanning — and the answers track the writes.
+func TestPlanCacheEpochRevalidation(t *testing.T) {
+	g := adversarialGraph(t, 200)
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	cached := Config{PlanCache: pc}
+	uncached := Config{}
+	read := `MATCH (a:Hub {uid: $id})-[:D]->(b) RETURN b.uid`
+	runSortedP(t, g, read, intParam("id", 7), cached) // prime
+
+	for i := 0; i < 5; i++ {
+		write := fmt.Sprintf(`MATCH (a:Hub {uid: 7}), (b:Hub {uid: %d}) CREATE (a)-[:D]->(b)`, 100+i)
+		if _, err := Query(g, write, nil, cached); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		got := runSortedP(t, g, read, intParam("id", 7), cached)
+		want := runSortedP(t, g, read, intParam("id", 7), uncached)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("after write %d: cached read stale\ngot:\n%s\nwant:\n%s",
+				i, strings.Join(got, "\n"), strings.Join(want, "\n"))
+		}
+	}
+	c := pc.Counters()
+	if c.Revalidations == 0 {
+		t.Errorf("counters %v: small writes should revalidate, not replan", c)
+	}
+	if c.Invalidations != 0 {
+		t.Errorf("counters %v: stats stayed close, no replan expected", c)
+	}
+}
+
+// TestPlanCacheStatsInvalidation checks the outer band: a write burst that
+// moves the stats materially forces a replan from the cached AST.
+func TestPlanCacheStatsInvalidation(t *testing.T) {
+	g := adversarialGraph(t, 200)
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	cached := Config{PlanCache: pc}
+	read := `MATCH (a:Hub)-[:D]->(b:Hub) RETURN count(b)`
+	before := runSortedP(t, g, read, nil, cached)
+	_ = before
+
+	// Triple the :D edge count (well past the 2x statsClose band). The 200
+	// hubs are the first nodes adversarialGraph creates, so their ids are
+	// 0..199.
+	g.Lock()
+	hubs := make([]uint64, 200)
+	for i := range hubs {
+		hubs[i] = uint64(i)
+	}
+	for i, h := range hubs {
+		for k := 0; k < 8; k++ {
+			if _, err := g.CreateEdge("D", h, hubs[(i*3+k*17+5)%len(hubs)], nil); err != nil {
+				t.Fatalf("edge: %v", err)
+			}
+		}
+	}
+	g.Sync()
+	g.Unlock()
+
+	got := runSortedP(t, g, read, nil, cached)
+	want := runSortedP(t, g, read, nil, Config{})
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("post-burst cached read stale\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+	if c := pc.Counters(); c.Invalidations == 0 {
+		t.Errorf("counters %v: a 3x edge burst must replan", c)
+	}
+}
+
+func mustAttr(t testing.TB, g *graph.Graph, name string) int {
+	t.Helper()
+	id, ok := g.Schema.AttrID(name)
+	if !ok {
+		t.Fatalf("attribute %q not interned", name)
+	}
+	return id
+}
+
+// TestPlanCacheSchemaInvalidation checks schema mutations the write epoch
+// cannot see: a cached plan against an unknown label must replan once the
+// label exists, and index create/drop must retarget the entry point.
+func TestPlanCacheSchemaInvalidation(t *testing.T) {
+	g := adversarialGraph(t, 50)
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	cached := Config{PlanCache: pc}
+
+	// Unknown label plans to an empty scan; creating the first :Ghost node
+	// interns the label (schema version bump) and must invalidate.
+	read := `MATCH (n:Ghost) RETURN count(n)`
+	got := runSortedP(t, g, read, nil, cached)
+	if got[1] != "0" {
+		t.Fatalf("empty label count = %q, want 0", got[1])
+	}
+	if _, err := Query(g, `CREATE (:Ghost {uid: 1})`, nil, cached); err != nil {
+		t.Fatal(err)
+	}
+	if got := runSortedP(t, g, read, nil, cached); got[1] != "1" {
+		t.Errorf("cached count after label creation = %q, want 1 (schema version must invalidate)", got[1])
+	}
+
+	// Dropping an index must retarget the cached index-scan entry point.
+	seek := `MATCH (a:Hub {uid: $id}) RETURN a.uid`
+	runSortedP(t, g, seek, intParam("id", 3), cached) // prime with index
+	g.Lock()
+	if !g.Schema.DropIndex(mustLabel(t, g, "Hub"), mustAttr(t, g, "uid")) {
+		t.Fatal("expected Hub.uid index to exist")
+	}
+	g.Unlock()
+	got = runSortedP(t, g, seek, intParam("id", 3), cached)
+	want := runSortedP(t, g, seek, intParam("id", 3), Config{})
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("post-drop cached seek stale\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+func mustLabel(t testing.TB, g *graph.Graph, name string) int {
+	t.Helper()
+	id, ok := g.Schema.LabelID(name)
+	if !ok {
+		t.Fatalf("label %q not interned", name)
+	}
+	return id
+}
+
+// TestPlanCacheDifferentialConfigs runs one query through one shared cache
+// across the thread/batch/kernel grid: thread budgets key separate templates,
+// batch and kernel resolve at execution time on a shared one, and every cell
+// must match the uncached answer.
+func TestPlanCacheDifferentialConfigs(t *testing.T) {
+	g := adversarialGraph(t, 200)
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	queries := []string{
+		`MATCH (a:Hub)-[:D]->(b:Hub) RETURN b.uid, count(a)`,
+		`MATCH (a:Hub {uid: $id})-[:D]->(b) RETURN b.uid`,
+		`MATCH (a:Hub)-[:D]->(b:Hub) RETURN DISTINCT b.uid`,
+	}
+	p := intParam("id", 7)
+	for _, q := range queries {
+		for _, th := range []int{1, 4} {
+			for _, batch := range []int{1, 64} {
+				for _, kernel := range []string{"auto", "push", "pull"} {
+					cfg := Config{OpThreads: th, TraverseBatch: batch, TraverseKernel: kernel}
+					want := runSortedP(t, g, q, p, cfg)
+					cfg.PlanCache = pc
+					got := runSortedP(t, g, q, p, cfg)
+					if strings.Join(got, "\n") != strings.Join(want, "\n") {
+						t.Errorf("cfg=%+v divergence\nquery: %s\ngot:\n%s\nwant:\n%s",
+							cfg, q, strings.Join(got, "\n"), strings.Join(want, "\n"))
+					}
+				}
+			}
+		}
+	}
+	// 3 shapes x 2 thread budgets = 6 templates; batch/kernel never fork.
+	if n := pc.Len(); n != 6 {
+		t.Errorf("cache holds %d templates, want 6 (batch/kernel must not key)", n)
+	}
+}
+
+// TestPlanCacheEviction thrashes a capacity-2 cache with three shapes:
+// correctness must survive constant eviction and the counters must show it.
+func TestPlanCacheEviction(t *testing.T) {
+	g := adversarialGraph(t, 100)
+	pc := NewPlanCache(2)
+	cached := Config{PlanCache: pc}
+	uncached := Config{}
+	queries := []string{
+		`MATCH (a:Hub {uid: $id}) RETURN a.uid`,
+		`MATCH (a:Hub {uid: $id})-[:D]->(b) RETURN b.uid`,
+		`MATCH (a:Hub)-[:D]->(b:Hub) WHERE b.uid < $id RETURN count(b)`,
+	}
+	for round := 0; round < 4; round++ {
+		for qi, q := range queries {
+			p := intParam("id", int64(round*10+qi))
+			got := runSortedP(t, g, q, p, cached)
+			want := runSortedP(t, g, q, p, uncached)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("round=%d divergence on %s", round, q)
+			}
+		}
+	}
+	c := pc.Counters()
+	if c.Evictions == 0 {
+		t.Errorf("counters %v: 3 shapes through capacity 2 must evict", c)
+	}
+	if pc.Len() > 2 {
+		t.Errorf("cache over capacity: %d", pc.Len())
+	}
+	// SetCapacity(0) empties and disables; queries still work, uncached.
+	pc.SetCapacity(0)
+	if pc.Len() != 0 {
+		t.Errorf("SetCapacity(0) left %d entries", pc.Len())
+	}
+	runSortedP(t, g, queries[0], intParam("id", 1), cached)
+	if pc.Len() != 0 {
+		t.Errorf("disabled cache admitted an entry")
+	}
+}
+
+// TestPlanCacheWriteQueries routes parameterized writes through the cache:
+// every execution must clone fresh operator state, so repeated CREATEs with
+// re-bound parameters each take effect exactly once.
+func TestPlanCacheWriteQueries(t *testing.T) {
+	g := graph.New("w")
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	cached := Config{PlanCache: pc}
+	for i := int64(0); i < 10; i++ {
+		if _, err := Query(g, `CREATE (:N {uid: $id})`, intParam("id", i), cached); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := runSortedP(t, g, `MATCH (n:N) RETURN count(n), min(n.uid), max(n.uid)`, nil, cached)
+	if got[1] != "10|0|9" {
+		t.Errorf("after 10 cached CREATEs: %q, want 10|0|9", got[1])
+	}
+	// ROQuery must still refuse cached write plans.
+	if _, err := ROQuery(g, `CREATE (:N {uid: 99})`, nil, cached); err == nil {
+		t.Error("ROQuery accepted a write plan from the cache")
+	}
+}
+
+// TestPlanCacheConcurrentSharedEntry hammers one cache entry from many
+// goroutines with distinct parameter bindings (run under -race in CI): every
+// execution must see exactly its own binding.
+func TestPlanCacheConcurrentSharedEntry(t *testing.T) {
+	g := adversarialGraph(t, 200)
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	q := `MATCH (a:Hub {uid: $id}) RETURN a.uid`
+	runSortedP(t, g, q, intParam("id", 0), Config{PlanCache: pc}) // prime
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cfg := Config{PlanCache: pc, OpThreads: 1 + w%3}
+			for i := 0; i < 30; i++ {
+				id := int64((w*31 + i) % 200)
+				rs, err := Query(g, q, intParam("id", id), cfg)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if len(rs.Rows) != 1 || rs.Rows[0][0].Int() != id {
+					errs <- fmt.Sprintf("id=%d got %v", id, rs.Rows)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestExplainPlanCacheLine checks EXPLAIN's cache header: absent without a
+// cache, "planned" on first sight, "cached" once the template is warm.
+func TestExplainPlanCacheLine(t *testing.T) {
+	g := adversarialGraph(t, 50)
+	q := `MATCH (a:Hub {uid: $id}) RETURN a.uid`
+	lines, err := Explain(g, q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(lines[0], "plan:") {
+		t.Errorf("uncached EXPLAIN leads with a cache line: %s", lines[0])
+	}
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	cfg := Config{PlanCache: pc}
+	lines, err = Explain(g, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(lines[0], "plan: planned") {
+		t.Errorf("first EXPLAIN = %q, want plan: planned", lines[0])
+	}
+	lines, err = Explain(g, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(lines[0], "plan: cached") || !strings.Contains(lines[0], "hits=1") {
+		t.Errorf("second EXPLAIN = %q, want plan: cached with hits=1", lines[0])
+	}
+	lines, err = Profile(g, q, intParam("id", 3), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(lines[0], "plan: cached") {
+		t.Errorf("PROFILE = %q, want plan: cached", lines[0])
+	}
+}
+
+// TestCountsClose pins the revalidation tolerance band.
+func TestCountsClose(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want bool
+	}{
+		{0, 0, true},
+		{0, statsSlackFloor, true},      // under the floor: always close
+		{3, 40, true},                   // tiny graphs never thrash
+		{100, 199, true},                // within 2x
+		{100, 201, false},               // past 2x
+		{0, statsSlackFloor + 1, false}, // zero vs real cardinality
+		{1000, 500, true},               // symmetric
+		{1000, 499, false},
+	}
+	for _, c := range cases {
+		if got := countsClose(c.a, c.b); got != c.want {
+			t.Errorf("countsClose(%d, %d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"redisgraph/internal/value"
+)
+
+// CanonicalQueryText normalizes a query string for use as a plan-cache key:
+// runs of whitespace outside string literals collapse to a single space and
+// leading/trailing whitespace drops, so formatting variants of one query
+// shape share a cache entry. Characters inside quoted strings (including the
+// lexer's backslash escapes) are preserved byte-for-byte. The `CYPHER k=v`
+// parameter prefix is stripped before query text reaches the cache, so two
+// invocations differing only in parameter bindings canonicalize identically.
+// Keyword case is not folded: `MATCH` and `match` key separate entries, a
+// deliberate trade of a few duplicate slots for a byte-level transform that
+// cannot disturb quoted data.
+func CanonicalQueryText(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	pendingSpace := false
+	for i := 0; i < len(q); i++ {
+		c := q[i]
+		if isParamSpace(c) {
+			pendingSpace = b.Len() > 0
+			continue
+		}
+		if pendingSpace {
+			b.WriteByte(' ')
+			pendingSpace = false
+		}
+		b.WriteByte(c)
+		if c == '\'' || c == '"' {
+			quote := c
+			for i++; i < len(q); i++ {
+				b.WriteByte(q[i])
+				if q[i] == '\\' && i+1 < len(q) {
+					i++
+					b.WriteByte(q[i])
+					continue
+				}
+				if q[i] == quote {
+					break
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// ParseParams strips RedisGraph's "CYPHER name=value ..." parameter prefix
+// from a query string, returning the bindings and the remaining query text.
+// Values follow the lexer's literal grammar: single- or double-quoted
+// strings with backslash escapes (\n, \t, \r; any other escaped character is
+// taken literally, covering \\ and the quote characters), signed integers
+// and floats with exponents, and case-insensitive true/false/null. Anything
+// that starts like a number but is not one (`7abc`), text after a closing
+// quote (`'a'b`), and unterminated strings are errors — the old scanner
+// silently bound those as strings, which made typos succeed with the wrong
+// value. Queries without the prefix pass through with nil params.
+func ParseParams(q string) (map[string]value.Value, string, error) {
+	trimmed := strings.TrimLeft(q, " \t\r\n")
+	if len(trimmed) < 7 || !strings.EqualFold(trimmed[:6], "CYPHER") || !isParamSpace(trimmed[6]) {
+		return nil, q, nil
+	}
+	rest := trimmed[6:]
+	params := map[string]value.Value{}
+	for {
+		rest = strings.TrimLeft(rest, " \t\r\n")
+		eq := strings.IndexByte(rest, '=')
+		sp := strings.IndexAny(rest, " \t\r\n")
+		if eq <= 0 || (sp >= 0 && sp < eq) {
+			break
+		}
+		name := rest[:eq]
+		v, remaining, err := scanParamValue(rest[eq+1:])
+		if err != nil {
+			return nil, q, fmt.Errorf("cypher: parameter %s: %w", name, err)
+		}
+		params[name] = v
+		rest = remaining
+	}
+	return params, rest, nil
+}
+
+// scanParamValue consumes one parameter value from the front of s and
+// returns the remainder (which must begin with whitespace or be empty —
+// anything glued to the value is reported, not guessed at).
+func scanParamValue(s string) (value.Value, string, error) {
+	if s == "" || isParamSpace(s[0]) {
+		return value.Value{}, "", fmt.Errorf("missing value")
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		quote := s[0]
+		var b strings.Builder
+		for i := 1; i < len(s); i++ {
+			switch c := s[i]; {
+			case c == quote:
+				rest := s[i+1:]
+				if rest != "" && !isParamSpace(rest[0]) {
+					return value.Value{}, "", fmt.Errorf("unexpected %q after closing quote", rest[0])
+				}
+				return value.NewString(b.String()), rest, nil
+			case c == '\\':
+				if i+1 >= len(s) {
+					return value.Value{}, "", fmt.Errorf("unterminated string")
+				}
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case 'r':
+					b.WriteByte('\r')
+				default:
+					b.WriteByte(s[i])
+				}
+			default:
+				b.WriteByte(c)
+			}
+		}
+		return value.Value{}, "", fmt.Errorf("unterminated string")
+	}
+	tok, rest := s, ""
+	if end := strings.IndexAny(s, " \t\r\n"); end >= 0 {
+		tok, rest = s[:end], s[end:]
+	}
+	v, err := literalParamValue(tok)
+	if err != nil {
+		return value.Value{}, "", err
+	}
+	return v, rest, nil
+}
+
+// literalParamValue interprets one unquoted parameter token. Bare words that
+// do not look numeric keep the historical string fallback (`CYPHER
+// name=alice` still works); numeric-looking tokens must round-trip through
+// the real number parsers or fail loudly.
+func literalParamValue(tok string) (value.Value, error) {
+	switch strings.ToLower(tok) {
+	case "true":
+		return value.NewBool(true), nil
+	case "false":
+		return value.NewBool(false), nil
+	case "null":
+		return value.Null, nil
+	}
+	if startsNumeric(tok) {
+		if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
+			return value.NewInt(i), nil
+		}
+		if f, err := strconv.ParseFloat(tok, 64); err == nil {
+			return value.NewFloat(f), nil
+		}
+		return value.Value{}, fmt.Errorf("invalid numeric literal %q", tok)
+	}
+	return value.NewString(tok), nil
+}
+
+// startsNumeric reports whether a token begins like a number: a digit or a
+// decimal point, optionally after one sign character.
+func startsNumeric(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	c := tok[0]
+	if c == '+' || c == '-' {
+		if len(tok) < 2 {
+			return false
+		}
+		c = tok[1]
+	}
+	return c >= '0' && c <= '9' || c == '.'
+}
+
+func isParamSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\n'
+}

@@ -1,0 +1,157 @@
+package cypher
+
+import (
+	"testing"
+
+	"redisgraph/internal/value"
+)
+
+func TestParseParamsValues(t *testing.T) {
+	cases := []struct {
+		in    string
+		want  map[string]value.Value
+		query string
+	}{
+		{`MATCH (n) RETURN n`, nil, `MATCH (n) RETURN n`},
+		{`CYPHER id=7 MATCH (n) RETURN n`,
+			map[string]value.Value{"id": value.NewInt(7)}, `MATCH (n) RETURN n`},
+		{`cypher id=7 RETURN $id`,
+			map[string]value.Value{"id": value.NewInt(7)}, `RETURN $id`},
+		{`CYPHER a=-42 b=+3 RETURN 1`,
+			map[string]value.Value{"a": value.NewInt(-42), "b": value.NewInt(3)}, `RETURN 1`},
+		{`CYPHER f=2.5 g=-1e3 h=.5 RETURN 1`,
+			map[string]value.Value{"f": value.NewFloat(2.5), "g": value.NewFloat(-1000), "h": value.NewFloat(0.5)}, `RETURN 1`},
+		{`CYPHER t=true f=FALSE n=null RETURN 1`,
+			map[string]value.Value{"t": value.NewBool(true), "f": value.NewBool(false), "n": value.Null}, `RETURN 1`},
+		{`CYPHER s='hello' RETURN 1`,
+			map[string]value.Value{"s": value.NewString("hello")}, `RETURN 1`},
+		{`CYPHER s="double" RETURN 1`,
+			map[string]value.Value{"s": value.NewString("double")}, `RETURN 1`},
+		// Escapes: mapped specials, escaped quotes, literal fallback.
+		{`CYPHER s='a\nb\tc\rd' RETURN 1`,
+			map[string]value.Value{"s": value.NewString("a\nb\tc\rd")}, `RETURN 1`},
+		{`CYPHER s='it\'s' RETURN 1`,
+			map[string]value.Value{"s": value.NewString("it's")}, `RETURN 1`},
+		{`CYPHER s="a\"b" RETURN 1`,
+			map[string]value.Value{"s": value.NewString(`a"b`)}, `RETURN 1`},
+		{`CYPHER s='back\\slash' RETURN 1`,
+			map[string]value.Value{"s": value.NewString(`back\slash`)}, `RETURN 1`},
+		{`CYPHER s='emb"edded' RETURN 1`,
+			map[string]value.Value{"s": value.NewString(`emb"edded`)}, `RETURN 1`},
+		// Empty string, and a quote character inside the other quote kind.
+		{`CYPHER s='' RETURN 1`,
+			map[string]value.Value{"s": value.NewString("")}, `RETURN 1`},
+		// Bare words keep the historical string fallback.
+		{`CYPHER name=alice RETURN 1`,
+			map[string]value.Value{"name": value.NewString("alice")}, `RETURN 1`},
+		// A lone dash is a bare word, not a malformed number.
+		{`CYPHER d=- RETURN 1`,
+			map[string]value.Value{"d": value.NewString("-")}, `RETURN 1`},
+		// Multiple params, mixed whitespace.
+		{"CYPHER a=1\tb='x y'  c=2.5 RETURN $a",
+			map[string]value.Value{"a": value.NewInt(1), "b": value.NewString("x y"), "c": value.NewFloat(2.5)}, `RETURN $a`},
+		// CYPHERX is not a prefix; a query starting with a CYPHER-like word
+		// passes through untouched.
+		{`CYPHERX MATCH (n) RETURN n`, nil, `CYPHERX MATCH (n) RETURN n`},
+	}
+	for _, c := range cases {
+		params, query, err := ParseParams(c.in)
+		if err != nil {
+			t.Errorf("%q: unexpected error %v", c.in, err)
+			continue
+		}
+		if got := len(params); got != len(c.want) {
+			t.Errorf("%q: %d params, want %d (%v)", c.in, got, len(c.want), params)
+			continue
+		}
+		for k, w := range c.want {
+			g, ok := params[k]
+			if !ok {
+				t.Errorf("%q: missing param %s", c.in, k)
+				continue
+			}
+			if g.Kind != w.Kind || g.HashKey() != w.HashKey() {
+				t.Errorf("%q: param %s = %v (kind %v), want %v (kind %v)", c.in, k, g, g.Kind, w, w.Kind)
+			}
+		}
+		if trimmed := trimLeading(query); trimmed != c.query {
+			t.Errorf("%q: remaining query %q, want %q", c.in, trimmed, c.query)
+		}
+	}
+}
+
+func trimLeading(q string) string {
+	for len(q) > 0 && (q[0] == ' ' || q[0] == '\t' || q[0] == '\r' || q[0] == '\n') {
+		q = q[1:]
+	}
+	for len(q) > 0 {
+		last := q[len(q)-1]
+		if last != ' ' && last != '\t' && last != '\r' && last != '\n' {
+			break
+		}
+		q = q[:len(q)-1]
+	}
+	return q
+}
+
+func TestParseParamsErrors(t *testing.T) {
+	cases := []struct {
+		in  string
+		sub string
+	}{
+		// Numbers glued to garbage must not silently become strings.
+		{`CYPHER id=7abc RETURN 1`, "invalid numeric literal"},
+		{`CYPHER f=1.2.3 RETURN 1`, "invalid numeric literal"},
+		{`CYPHER n=-12x RETURN 1`, "invalid numeric literal"},
+		// Unterminated strings were silently accepted before.
+		{`CYPHER s='oops RETURN 1`, "unterminated string"},
+		{`CYPHER s='trail\`, "unterminated string"},
+		// Text glued to a closing quote.
+		{`CYPHER s='a'b RETURN 1`, "after closing quote"},
+		// A parameter with no value at all.
+		{`CYPHER v= RETURN 1`, "missing value"},
+	}
+	for _, c := range cases {
+		_, _, err := ParseParams(c.in)
+		if err == nil {
+			t.Errorf("%q: expected error containing %q, got none", c.in, c.sub)
+			continue
+		}
+		if !contains(err.Error(), c.sub) {
+			t.Errorf("%q: error %q does not mention %q", c.in, err, c.sub)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCanonicalQueryText(t *testing.T) {
+	cases := []struct {
+		a, b string
+		same bool
+	}{
+		{"MATCH (n) RETURN n", "  MATCH   (n)  RETURN n ", true},
+		{"MATCH (n) RETURN n", "MATCH (n)\n\tRETURN n", true},
+		// Whitespace inside string literals is significant.
+		{"RETURN 'a b'", "RETURN 'a  b'", false},
+		// Escaped quotes do not end the literal early.
+		{`RETURN 'a\' b'`, `RETURN 'a\'  b'`, false},
+		// Case is not folded.
+		{"MATCH (n) RETURN n", "match (n) return n", false},
+		// Different literals stay different.
+		{"RETURN 1", "RETURN 2", false},
+	}
+	for _, c := range cases {
+		ca, cb := CanonicalQueryText(c.a), CanonicalQueryText(c.b)
+		if (ca == cb) != c.same {
+			t.Errorf("canonical(%q)=%q vs canonical(%q)=%q, same=%v want %v", c.a, ca, c.b, cb, ca == cb, c.same)
+		}
+	}
+}

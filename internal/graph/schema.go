@@ -14,6 +14,15 @@ type Schema struct {
 
 	// indexes[label][attr] is the exact-match index, when created.
 	indexes map[int]map[int]*AttrIndex
+
+	// version counts schema mutations (new labels, relationship types,
+	// attributes, index create/drop). Plans bake schema lookups in at build
+	// time — an unknown label becomes an empty scan, a dropped index makes a
+	// cached index seed silently yield nothing — and the connectivity write
+	// epoch does not move for any of those events, so the plan cache keys
+	// its validity on this counter as well. Mutated only under the graph's
+	// exclusive lock; read under at least the read lock.
+	version uint64
 }
 
 // NewSchema returns an empty schema.
@@ -25,6 +34,10 @@ func NewSchema() *Schema {
 		indexes:  map[int]map[int]*AttrIndex{},
 	}
 }
+
+// Version returns the schema-mutation counter. The caller must hold at
+// least the graph's read lock.
+func (s *Schema) Version() uint64 { return s.version }
 
 // LabelID resolves a label name without creating it.
 func (s *Schema) LabelID(name string) (int, bool) {
@@ -40,6 +53,7 @@ func (s *Schema) AddLabel(name string) int {
 	id := len(s.labelName)
 	s.labels[name] = id
 	s.labelName = append(s.labelName, name)
+	s.version++
 	return id
 }
 
@@ -68,6 +82,7 @@ func (s *Schema) AddRelType(name string) int {
 	id := len(s.relName)
 	s.relTypes[name] = id
 	s.relName = append(s.relName, name)
+	s.version++
 	return id
 }
 
@@ -96,6 +111,7 @@ func (s *Schema) AddAttr(name string) int {
 	id := len(s.attrName)
 	s.attrs[name] = id
 	s.attrName = append(s.attrName, name)
+	s.version++
 	return id
 }
 
@@ -150,6 +166,7 @@ func (s *Schema) CreateIndex(label, attr int) *AttrIndex {
 	}
 	ix := newAttrIndex()
 	m[attr] = ix
+	s.version++
 	return ix
 }
 
@@ -163,6 +180,7 @@ func (s *Schema) DropIndex(label, attr int) bool {
 		return false
 	}
 	delete(m, attr)
+	s.version++
 	return true
 }
 

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"redisgraph/internal/core"
+	"redisgraph/internal/cypher"
 	"redisgraph/internal/resp"
 	"redisgraph/internal/value"
 )
@@ -30,6 +31,7 @@ func (s *Server) queryConfig() core.Config {
 		Timeout:        s.opts.QueryTimeout,
 		NoCostPlanner:  !s.costPlanner.Load(),
 		TraverseKernel: s.traverseKernel.Load().(string),
+		PlanCache:      s.planCache,
 	}
 }
 
@@ -39,7 +41,7 @@ const maxTraverseBatch = 1 << 16
 
 // configParams lists every GRAPH.CONFIG parameter, in the order GET *
 // reports them.
-var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "TRAVERSE_KERNEL"}
+var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "TRAVERSE_KERNEL", "PLAN_CACHE_SIZE"}
 
 // configValue reads one live configuration parameter (an int64, or a string
 // for the enum-valued TRAVERSE_KERNEL).
@@ -62,6 +64,8 @@ func (s *Server) configValue(name string) any {
 		return int64(0)
 	case "TRAVERSE_KERNEL":
 		return s.traverseKernel.Load().(string)
+	case "PLAN_CACHE_SIZE":
+		return int64(s.planCache.Capacity())
 	}
 	return int64(0)
 }
@@ -85,7 +89,10 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 			return nil, fmt.Errorf("ERR wrong number of arguments for '%s' command", strings.ToLower(cmd))
 		}
 		g := s.Graph(args[0])
-		params, query := parseCypherPrefix(args[1])
+		params, query, perr := cypher.ParseParams(args[1])
+		if perr != nil {
+			return nil, fmt.Errorf("ERR %v", perr)
+		}
 		cfg := s.queryConfig()
 		var rs *core.ResultSet
 		var err error
@@ -104,7 +111,10 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 			return nil, fmt.Errorf("ERR wrong number of arguments for 'graph.explain' command")
 		}
 		g := s.Graph(args[0])
-		_, query := parseCypherPrefix(args[1])
+		_, query, perr := cypher.ParseParams(args[1])
+		if perr != nil {
+			return nil, fmt.Errorf("ERR %v", perr)
+		}
 		lines, err := core.Explain(g, query, s.queryConfig())
 		if err != nil {
 			return nil, fmt.Errorf("ERR %v", err)
@@ -116,7 +126,10 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 			return nil, fmt.Errorf("ERR wrong number of arguments for 'graph.profile' command")
 		}
 		g := s.Graph(args[0])
-		params, query := parseCypherPrefix(args[1])
+		params, query, perr := cypher.ParseParams(args[1])
+		if perr != nil {
+			return nil, fmt.Errorf("ERR %v", perr)
+		}
 		lines, err := core.Profile(g, query, params, s.queryConfig())
 		if err != nil {
 			return nil, fmt.Errorf("ERR %v", err)
@@ -185,73 +198,20 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 					return resp.SimpleString("OK"), nil
 				}
 				return nil, fmt.Errorf("ERR TRAVERSE_KERNEL must be auto|push|pull")
+			case "PLAN_CACHE_SIZE":
+				n, err := strconv.Atoi(args[2])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("ERR PLAN_CACHE_SIZE must be a non-negative integer (0 = caching off)")
+				}
+				s.planCache.SetCapacity(n)
+				return resp.SimpleString("OK"), nil
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|TRAVERSE_KERNEL",
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|TRAVERSE_KERNEL|PLAN_CACHE_SIZE",
 			strings.Join(configParams, "|"))
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))
-}
-
-// parseCypherPrefix strips RedisGraph's "CYPHER name=value ..." parameter
-// prefix from a query string.
-func parseCypherPrefix(q string) (map[string]value.Value, string) {
-	trimmed := strings.TrimLeft(q, " \t\r\n")
-	if len(trimmed) < 7 || !strings.EqualFold(trimmed[:6], "CYPHER") {
-		return nil, q
-	}
-	rest := trimmed[6:]
-	params := map[string]value.Value{}
-	for {
-		rest = strings.TrimLeft(rest, " \t")
-		eq := strings.IndexByte(rest, '=')
-		sp := strings.IndexAny(rest, " \t")
-		if eq < 0 || (sp >= 0 && sp < eq) {
-			break
-		}
-		name := rest[:eq]
-		val, remaining := scanParamValue(rest[eq+1:])
-		params[name] = val
-		rest = remaining
-	}
-	return params, rest
-}
-
-func scanParamValue(s string) (value.Value, string) {
-	if s == "" {
-		return value.Null, ""
-	}
-	if s[0] == '\'' || s[0] == '"' {
-		quote := s[0]
-		for i := 1; i < len(s); i++ {
-			if s[i] == quote {
-				return value.NewString(s[1:i]), s[i+1:]
-			}
-		}
-		return value.NewString(s[1:]), ""
-	}
-	end := strings.IndexAny(s, " \t")
-	tok := s
-	rest := ""
-	if end >= 0 {
-		tok, rest = s[:end], s[end:]
-	}
-	if i, err := strconv.ParseInt(tok, 10, 64); err == nil {
-		return value.NewInt(i), rest
-	}
-	if f, err := strconv.ParseFloat(tok, 64); err == nil {
-		return value.NewFloat(f), rest
-	}
-	switch strings.ToLower(tok) {
-	case "true":
-		return value.NewBool(true), rest
-	case "false":
-		return value.NewBool(false), rest
-	case "null":
-		return value.Null, rest
-	}
-	return value.NewString(tok), rest
 }
 
 // encodeResultSet renders a ResultSet in RedisGraph's three-section reply

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"redisgraph/internal/resp"
+)
+
+// TestPlanCacheConfigAndExplain drives the PLAN_CACHE_SIZE knob and the
+// EXPLAIN "plan:" header over the wire: default on, cached on re-issue,
+// 0 disables (the differential baseline), re-enabling restarts cold.
+func TestPlanCacheConfigAndExplain(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Query("g", `CREATE (:P {uid: 1})-[:L]->(:P {uid: 2})`); err != nil {
+		t.Fatal(err)
+	}
+	explain := func() string {
+		v, err := c.Do("GRAPH.EXPLAIN", "g", `MATCH (a:P {uid: $id}) RETURN a.uid`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := v.([]any)
+		return lines[0].(string)
+	}
+	if first := explain(); !strings.HasPrefix(first, "plan: planned") {
+		t.Errorf("first EXPLAIN header = %q, want plan: planned", first)
+	}
+	if second := explain(); !strings.HasPrefix(second, "plan: cached") {
+		t.Errorf("second EXPLAIN header = %q, want plan: cached", second)
+	}
+
+	if v, err := c.Do("GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE", "0"); err != nil || v.(resp.SimpleString) != "OK" {
+		t.Fatalf("SET PLAN_CACHE_SIZE 0: %v %v", v, err)
+	}
+	if off := explain(); strings.HasPrefix(off, "plan:") {
+		t.Errorf("disabled-cache EXPLAIN still has header: %q", off)
+	}
+	if v, err := c.Do("GRAPH.CONFIG", "GET", "PLAN_CACHE_SIZE"); err != nil || v.([]any)[1].(int64) != 0 {
+		t.Fatalf("GET PLAN_CACHE_SIZE: %v %v", v, err)
+	}
+
+	if _, err := c.Do("GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE", "16"); err != nil {
+		t.Fatal(err)
+	}
+	if warm := explain(); !strings.HasPrefix(warm, "plan: planned") {
+		t.Errorf("re-enabled EXPLAIN header = %q, want plan: planned (cache restarted cold)", warm)
+	}
+	if _, err := c.Do("GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE", "-1"); err == nil {
+		t.Error("SET PLAN_CACHE_SIZE -1 accepted")
+	}
+}
+
+// TestPlanCacheDifferentialOverWire compares cached and uncached answers for
+// a parameterized hot shape across re-binds and interleaved writes, toggling
+// PLAN_CACHE_SIZE between runs.
+func TestPlanCacheDifferentialOverWire(t *testing.T) {
+	_, c := startServer(t)
+	for i := 0; i < 30; i++ {
+		q := fmt.Sprintf(`CREATE (:N {uid: %d})`, i)
+		if _, err := c.Query("g", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(id int) string {
+		v, err := c.Do("GRAPH.QUERY", "g", fmt.Sprintf(`CYPHER id=%d MATCH (a:N {uid: $id}) RETURN a.uid`, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprint(v.([]any)[1])
+	}
+	// Warm the cache, record answers.
+	warm := make([]string, 10)
+	for i := range warm {
+		warm[i] = read(i)
+	}
+	// Baseline with caching off must agree bit for bit.
+	if _, err := c.Do("GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE", "0"); err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		if cold := read(i); cold != warm[i] {
+			t.Errorf("id=%d cached %q != uncached %q", i, warm[i], cold)
+		}
+	}
+	// Back on; a write (epoch bump) must not yield stale seeds.
+	if _, err := c.Do("GRAPH.CONFIG", "SET", "PLAN_CACHE_SIZE", "128"); err != nil {
+		t.Fatal(err)
+	}
+	read(5) // prime
+	if _, err := c.Query("g", `MATCH (a:N {uid: 5}) CREATE (a)-[:L]->(:N {uid: 500})`); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Do("GRAPH.QUERY", "g", `CYPHER id=5 MATCH (a:N {uid: $id})-[:L]->(b) RETURN b.uid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := v.([]any)[1].([]any)
+	if len(rows) != 1 {
+		t.Errorf("post-write cached traversal rows = %v, want the new edge", rows)
+	}
+}
+
+// TestParamParsingErrorsOverWire checks malformed CYPHER prefixes surface as
+// errors instead of binding garbage.
+func TestParamParsingErrorsOverWire(t *testing.T) {
+	_, c := startServer(t)
+	for _, q := range []string{
+		`CYPHER id=7abc MATCH (n) RETURN n`,
+		`CYPHER s='oops MATCH (n) RETURN n`,
+		`CYPHER s='a'b MATCH (n) RETURN n`,
+	} {
+		if _, err := c.Do("GRAPH.QUERY", "g", q); err == nil {
+			t.Errorf("%q: expected a parameter error", q)
+		}
+		if _, err := c.Do("GRAPH.EXPLAIN", "g", q); err == nil {
+			t.Errorf("EXPLAIN %q: expected a parameter error", q)
+		}
+	}
+	// Escaped strings round-trip over the wire.
+	v, err := c.Do("GRAPH.QUERY", "g", `CYPHER s='it\'s\na line' RETURN $s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := v.([]any)[1].([]any)[0].([]any)[0].(string)
+	if row != "it's\na line" {
+		t.Errorf("escaped param round-trip = %q", row)
+	}
+}
+
+// TestPlanCacheInvalidatedOnGraphDelete ensures a deleted graph's templates
+// do not leak into its replacement of the same name.
+func TestPlanCacheInvalidatedOnGraphDelete(t *testing.T) {
+	s, c := startServer(t)
+	if _, err := c.Query("g", `CREATE (:N {uid: 1})`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Do("GRAPH.QUERY", "g", `CYPHER id=1 MATCH (a:N {uid: $id}) RETURN a.uid`); err != nil {
+		t.Fatal(err)
+	}
+	if s.planCache.Len() == 0 {
+		t.Fatal("expected cached templates before delete")
+	}
+	if _, err := c.Do("GRAPH.DELETE", "g"); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.planCache.Len(); n != 0 {
+		t.Errorf("%d templates survived GRAPH.DELETE", n)
+	}
+	// The recreated graph answers from scratch.
+	if _, err := c.Query("g", `CREATE (:N {uid: 9})`); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Do("GRAPH.QUERY", "g", `CYPHER id=9 MATCH (a:N {uid: $id}) RETURN a.uid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := v.([]any)[1].([]any)
+	if len(rows) != 1 {
+		t.Errorf("recreated graph rows = %v", rows)
+	}
+}

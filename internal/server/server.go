@@ -48,6 +48,11 @@ type Options struct {
 	// force one direction for differential baselines. Runtime changes go
 	// through GRAPH.CONFIG SET TRAVERSE_KERNEL.
 	TraverseKernel string
+	// PlanCacheSize bounds the parameterized plan cache (entries across all
+	// graphs). 0 uses the engine default (128); negative disables caching so
+	// every query plans from scratch. Runtime changes go through
+	// GRAPH.CONFIG SET PLAN_CACHE_SIZE, where 0 means off.
+	PlanCacheSize int
 	// QueryTimeout bounds each query (0 = none).
 	QueryTimeout time.Duration
 	// SnapshotPath, when set, enables the SAVE command and loading the
@@ -74,6 +79,10 @@ type Server struct {
 	// "pull"; seeded from Options.TraverseKernel, mutable via GRAPH.CONFIG
 	// SET).
 	traverseKernel atomic.Value
+	// planCache is the server-wide parameterized plan cache, shared by every
+	// graph and worker. Its capacity is the live PLAN_CACHE_SIZE value
+	// (capacity 0 = caching off, the differential baseline).
+	planCache *core.PlanCache
 
 	mu       sync.RWMutex
 	graphs   map[string]*graph.Graph
@@ -124,6 +133,14 @@ func New(opts Options) *Server {
 		kernel = "auto"
 	}
 	s.traverseKernel.Store(kernel)
+	cacheSize := opts.PlanCacheSize
+	switch {
+	case cacheSize == 0:
+		cacheSize = core.DefaultPlanCacheSize
+	case cacheSize < 0:
+		cacheSize = 0
+	}
+	s.planCache = core.NewPlanCache(cacheSize)
 	return s
 }
 
@@ -310,10 +327,15 @@ func (s *Server) graphNames() []string {
 func (s *Server) deleteGraph(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.graphs[name]; !ok {
+	g, ok := s.graphs[name]
+	if !ok {
 		return false
 	}
 	delete(s.graphs, name)
+	// A later graph with the same name is a different *graph.Graph, so its
+	// cache keys never collide with the dead entries — dropping them here
+	// just releases the plans promptly.
+	s.planCache.InvalidateGraph(g)
 	return true
 }
 
@@ -356,8 +378,9 @@ func (s *Server) keyspaceCommand(cmd string, args []string) (any, error) {
 				delete(s.keyspace, k)
 				n++
 			}
-			if _, ok := s.graphs[k]; ok {
+			if g, ok := s.graphs[k]; ok {
 				delete(s.graphs, k)
+				s.planCache.InvalidateGraph(g)
 				n++
 			}
 		}
@@ -401,6 +424,9 @@ func (s *Server) keyspaceCommand(cmd string, args []string) (any, error) {
 		return n, nil
 	case "FLUSHALL":
 		s.mu.Lock()
+		for _, g := range s.graphs {
+			s.planCache.InvalidateGraph(g)
+		}
 		s.keyspace = map[string]string{}
 		s.graphs = map[string]*graph.Graph{}
 		s.mu.Unlock()

@@ -225,6 +225,7 @@ func TestGraphConfigGetAll(t *testing.T) {
 		"TRAVERSE_BATCH":    int64(core.DefaultTraverseBatch),
 		"COST_PLANNER":      int64(1),
 		"TRAVERSE_KERNEL":   "auto",
+		"PLAN_CACHE_SIZE":   int64(core.DefaultPlanCacheSize),
 	}
 	if len(got) != len(want) {
 		t.Fatalf("GET * pairs: %v", got)
