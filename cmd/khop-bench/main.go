@@ -12,11 +12,14 @@
 // queries), kernel-select (E10, direction-optimizing push/pull traversal
 // kernels vs the forced single-direction baselines), plan-cache (E12, the
 // parameterized plan cache vs the PLAN_CACHE_SIZE 0 re-plan baseline on a
-// 90/10 hot/cold shape mix), or all.
+// 90/10 hot/cold shape mix), join-order (E13, hash joins for WHERE-bridged
+// components and the DP join-order search vs the greedy/rescan baseline),
+// or all.
 // -batch sets the batch size for the traverse-batch and pipeline-batch
 // experiments; -out writes the selected experiment's results as JSON (the
 // perf-trajectory artifacts BENCH_traverse.json / BENCH_rwmix.json /
-// BENCH_pipeline.json / BENCH_planner.json / BENCH_plancache.json).
+// BENCH_pipeline.json / BENCH_planner.json / BENCH_plancache.json /
+// BENCH_join.json).
 package main
 
 import (
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | parallel-scaling | plan-cache | all")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | parallel-scaling | plan-cache | join-order | all")
 	queries := flag.Int("queries", 2048, "query count for the throughput and rw-mix experiments")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
 	batch := flag.Int("batch", 64, "batch size for the traverse-batch and pipeline-batch experiments")
@@ -97,6 +100,10 @@ func main() {
 	if want("plan-cache") {
 		results := s.PlanCache(*queries)
 		writeJSON(outFor("plan-cache"), "plan-cache", *scale, results)
+	}
+	if want("join-order") {
+		results := s.JoinOrder()
+		writeJSON(outFor("join-order"), "join-order", *scale, results)
 	}
 }
 

@@ -582,6 +582,175 @@ func (s *Suite) PlanOrder() []PlanOrderResult {
 	return out
 }
 
+// JoinOrderResult is one workload cell of the second-generation join
+// planner experiment (E13): the same query with the join planner on
+// (hash joins for WHERE-bridged components, DP join-order search) and off
+// (greedy hop ordering, cartesian rescans).
+type JoinOrderResult struct {
+	Workload string  `json:"workload"`
+	Query    string  `json:"query"`
+	Rows     int     `json:"rows"`
+	GreedyMS float64 `json:"greedy_ms"`
+	JoinedMS float64 `json:"joined_ms"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// JoinOrder measures the planner-v2 wins on the two shapes it targets.
+//
+// hash-bridge: two traversal components connected only by a WHERE property
+// equality. Without the join planner the second component rescans once per
+// outer row (a cartesian product filtered after the fact); the hash join
+// builds the smaller side once and probes it per row.
+//
+// dp-cycle: a 4-vertex diamond cycle built as a greedy trap. Both planners
+// enter the tiny :X label, but greedy's per-step metric picks the
+// locally-cheaper :V hop (fanout ~3/4·fan) and rides the dense :W relation
+// to an exploded frontier, while the slightly pricier :P hop unlocks the
+// 16-edge collapsing :Q relation, shrinking the frontier to a handful of
+// rows before the dense edge is ever expanded. Only the DP search — which
+// scores whole orders — finds that; it adopts its order only because the
+// simulated total undercuts the simulated greedy total, so this workload
+// also exercises the adoption gate end to end.
+//
+// Both planner modes must return identical results — the experiment doubles
+// as a differential check, including the textual planner as a third voice.
+func (s *Suite) JoinOrder() []JoinOrderResult {
+	fmt.Fprintf(s.w, "=== E13: join planner, bridged components and DP ordering (scale=%d) ===\n", s.scale)
+	// Component size for the bridge workload and the fanout for the DP trap
+	// both derive from the scale so the smoke configuration stays quick.
+	n := 1 << (s.scale/2 + 3)
+	fan := 1 << (s.scale - 5)
+	if fan < 2 {
+		fan = 2
+	}
+	if fan > 512 {
+		fan = 512
+	}
+	const nKeys = 64
+	const nX = 16
+	nY := nX * fan
+	nZ := nY / 32
+	if nZ < nX {
+		nZ = nX
+	}
+	g := graph.New("join-order")
+	g.Lock()
+	mustEdge := func(typ string, src, dst uint64) {
+		if _, err := g.CreateEdge(typ, src, dst, nil); err != nil {
+			panic(fmt.Sprintf("bench: join-order: %v", err))
+		}
+	}
+	// hash-bridge fixture: (:L)-[:E1]->(:M {k}) and (:F {k})-[:E2]->(:T).
+	for i := 0; i < n; i++ {
+		l := g.CreateNode([]string{"L"}, map[string]value.Value{"uid": value.NewInt(int64(i))})
+		m := g.CreateNode([]string{"M"}, map[string]value.Value{"k": value.NewInt(int64(i % nKeys))})
+		mustEdge("E1", l.ID, m.ID)
+		f := g.CreateNode([]string{"F"}, map[string]value.Value{"k": value.NewInt(int64(i % nKeys))})
+		t := g.CreateNode([]string{"T"}, map[string]value.Value{"uid": value.NewInt(int64(i))})
+		mustEdge("E2", f.ID, t.ID)
+	}
+	// dp-cycle fixture: the diamond a:X -P-> b:Y -Q-> d:Z and
+	// a -V-> c:Y2 -W-> d. P fans out `fan` ways, V slightly less (the bait),
+	// Q has only nX edges (the collapse P unlocks), W is dense.
+	fan2 := fan * 3 / 4
+	xs := make([]uint64, nX)
+	for i := range xs {
+		xs[i] = g.CreateNode([]string{"X"}, nil).ID
+	}
+	ys := make([]uint64, nY)
+	y2s := make([]uint64, nY)
+	for i := 0; i < nY; i++ {
+		ys[i] = g.CreateNode([]string{"Y"}, nil).ID
+		y2s[i] = g.CreateNode([]string{"Y2"}, nil).ID
+	}
+	zs := make([]uint64, nZ)
+	for i := range zs {
+		zs[i] = g.CreateNode([]string{"Z"}, nil).ID
+	}
+	for i := 0; i < nY; i++ {
+		mustEdge("P", xs[i/fan], ys[i]) // each :X fans out `fan` ways
+	}
+	for i := 0; i < nX; i++ {
+		for k := 0; k < fan2; k++ {
+			mustEdge("V", xs[i], y2s[(i*fan2+k*2654435761+1)%nY])
+		}
+	}
+	for i := 0; i < nX; i++ {
+		mustEdge("Q", ys[(i*(nY/nX))%nY], zs[i%nZ]) // 16 collapsing edges
+	}
+	for i := 0; i < nY; i++ {
+		for k := 0; k < 4; k++ {
+			mustEdge("W", y2s[i], zs[(i*7+k*131+1)%nZ]) // dense into :Z
+		}
+	}
+	g.Sync()
+	g.Unlock()
+
+	workloads := []struct {
+		name  string
+		query string
+	}{
+		{"hash-bridge", `MATCH (a:L)-[:E1]->(b:M), (c:F)-[:E2]->(d:T) WHERE b.k = c.k RETURN count(*)`},
+		{"dp-cycle", `MATCH (a:X)-[:P]->(b:Y)-[:Q]->(d:Z), (a)-[:V]->(c:Y2)-[:W]->(d) RETURN count(*)`},
+	}
+	var out []JoinOrderResult
+	for _, wl := range workloads {
+		once := func(cfg core.Config) (float64, string) {
+			runtime.GC()
+			t0 := time.Now()
+			rs, err := core.ROQuery(g, wl.query, nil, cfg)
+			if err != nil {
+				panic(fmt.Sprintf("bench: join-order: %v", err))
+			}
+			rows := make([]string, len(rs.Rows))
+			for i, row := range rs.Rows {
+				rows[i] = fmt.Sprint(row)
+			}
+			sort.Strings(rows)
+			return float64(time.Since(t0).Nanoseconds()) / 1e6, strings.Join(rows, ";")
+		}
+		// Interleave the two planner modes so time-varying machine noise
+		// biases neither; keep the median of the post-warmup reps.
+		var joinReps, greedyReps []float64
+		var ref string
+		for rep := 0; rep < 6; rep++ {
+			el, rows := once(core.Config{OpThreads: 1})
+			if rep > 0 {
+				joinReps = append(joinReps, el)
+			}
+			if ref == "" {
+				ref = rows
+			} else if rows != ref {
+				panic(fmt.Sprintf("bench: join-order disagreement on %s (joined)", wl.name))
+			}
+			el, rows = once(core.Config{OpThreads: 1, NoJoinPlanner: true})
+			if rep > 0 {
+				greedyReps = append(greedyReps, el)
+			}
+			if rows != ref {
+				panic(fmt.Sprintf("bench: join-order disagreement on %s (greedy)", wl.name))
+			}
+		}
+		if _, rows := once(core.Config{OpThreads: 1, NoCostPlanner: true}); rows != ref {
+			panic(fmt.Sprintf("bench: join-order disagreement on %s (textual)", wl.name))
+		}
+		sort.Float64s(joinReps)
+		sort.Float64s(greedyReps)
+		r := JoinOrderResult{
+			Workload: wl.name, Query: wl.query,
+			Rows:     strings.Count(ref, ";") + 1,
+			GreedyMS: greedyReps[len(greedyReps)/2],
+			JoinedMS: joinReps[len(joinReps)/2],
+		}
+		r.Speedup = r.GreedyMS / r.JoinedMS
+		out = append(out, r)
+		fmt.Fprintf(s.w, "  %-12s greedy %10.2f ms  joined %8.2f ms  %6.2fx\n",
+			r.Workload, r.GreedyMS, r.JoinedMS, r.Speedup)
+	}
+	fmt.Fprintln(s.w)
+	return out
+}
+
 // KernelSelectResult is one workload cell of the direction-optimizing
 // kernel experiment (E10): the same queries under forced push, forced pull
 // and density-adaptive auto traversal kernels.
@@ -1085,6 +1254,7 @@ type PlanCacheResult struct {
 	Evictions     uint64  `json:"evictions"`
 	Invalidations uint64  `json:"invalidations"`
 	Revalidations uint64  `json:"revalidations"`
+	CacheBytes    int64   `json:"plan_cache_bytes"`
 }
 
 // planCacheGraph builds the experiment fixture: n indexed :Node vertices
@@ -1215,6 +1385,7 @@ func (s *Suite) PlanCache(queries int) []PlanCacheResult {
 			UncachedQPS: unReps[len(unReps)/2], CachedQPS: caReps[len(caReps)/2],
 			Hits: counters.Hits, Misses: counters.Misses, Evictions: counters.Evictions,
 			Invalidations: counters.Invalidations, Revalidations: counters.Revalidations,
+			CacheBytes: counters.Bytes,
 		}
 		r.Speedup = r.CachedQPS / r.UncachedQPS
 		out = append(out, r)

@@ -24,6 +24,12 @@ type algebraicOperand struct {
 	resolveT func(g *graph.Graph) *grb.DeltaMatrix
 	label    string // display name for EXPLAIN
 	diag     bool   // label diagonals: a filter, not a hop; direction is moot
+	// meanDeg, when positive, is the planner's conditioned mean degree for
+	// this operand's frontier rows — the (source label × relation ×
+	// direction) cell's fan-out. The batched push/pull chooser prefers it
+	// over the global NVals/dim figure, which both ignores the frontier's
+	// label and dilutes the mean with the matrix's padded dimension.
+	meanDeg float64
 }
 
 // algebraicExpr is the product RedisGraph builds for each traversal:
@@ -135,7 +141,9 @@ func (ctx *execCtx) pullEligible(op *algebraicOperand) (bt *grb.DeltaMatrix, pul
 // hop and resolves the transpose operand when pull wins.
 //
 // The cost model: push scatters the adjacency row of every frontier entry —
-// ~ fnnz · meanDegree = fnnz · NVals(B)/dim entries touched — while pull
+// ~ fnnz · meanDegree entries touched, where the mean degree is the
+// planner's conditioned (label × relation × direction) hint when available
+// and the global NVals(B)/dim otherwise — while pull
 // probes each candidate output position's in-neighbour list with early
 // exit, ~ candidates · pullProbeCost. The frontier NVals, the candidate-set
 // size and the operand's O(1) delta-matrix NVals are all the chooser needs;
@@ -153,7 +161,11 @@ func (ctx *execCtx) choosePull(op *algebraicOperand, fnnz, candidates int) (*grb
 	if b == nil {
 		return nil, false
 	}
-	pushCost := float64(fnnz) * float64(b.NVals()) / float64(dim)
+	meanDeg := float64(b.NVals()) / float64(dim)
+	if op.meanDeg > 0 {
+		meanDeg = op.meanDeg
+	}
+	pushCost := float64(fnnz) * meanDeg
 	// Both kernels now split their work across the shared morsel pool
 	// (row-partitioned push, column-partitioned pull), so the thread budget
 	// cancels out of the comparison.
@@ -198,9 +210,17 @@ func (ctx *execCtx) choosePullVec(op *algebraicOperand, frontier *grb.Vector, ca
 
 // eval propagates the frontier through every operand, choosing push or pull
 // per hop (ks, when non-nil, records each relation-operand decision).
-func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector, ks *kernelStats) (*grb.Vector, error) {
+//
+// keep, when non-nil, is the pushed destination-predicate column mask. Every
+// operand after the relation is a label diagonal (column-identity
+// preserving), so the mask may legally apply at the FIRST operand: a pull
+// evaluation hands it to the kernel, pruning candidate in-neighbour scans;
+// a push evaluation leaves it for one post-evaluation SelectColsVec pass.
+// Either way the result is guaranteed keep-masked.
+func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector, ks *kernelStats, keep grb.ColMask) (*grb.Vector, error) {
 	dim := ae.dim(ctx)
 	w := frontier
+	kernelKept := false
 	for i := range ae.operands {
 		op := &ae.operands[i]
 		m := ctx.resolveOperand(op)
@@ -210,7 +230,11 @@ func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector, ks *kernelStat
 		out := grb.NewVector(dim)
 		bt, pull := ctx.choosePullVec(op, w, dim)
 		if pull {
-			if err := grb.VxMPull(out, nil, nil, grb.AnyPair, w, bt, ctx.desc); err != nil {
+			var kk grb.ColMask
+			if i == 0 && keep != nil {
+				kk, kernelKept = keep, true
+			}
+			if err := grb.VxMPull(out, nil, nil, grb.AnyPair, w, bt, kk, ctx.desc); err != nil {
 				return nil, err
 			}
 		} else if err := grb.VxMDelta(out, nil, nil, grb.AnyPair, w, m, ctx.desc); err != nil {
@@ -221,6 +245,9 @@ func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector, ks *kernelStat
 		}
 		w = out
 	}
+	if keep != nil && !kernelKept {
+		grb.SelectColsVec(w, keep)
+	}
 	return w, nil
 }
 
@@ -230,9 +257,15 @@ func (ae *algebraicExpr) eval(ctx *execCtx, frontier *grb.Vector, ks *kernelStat
 // over the ANY_PAIR semiring, instead of one kernel call per record. Each
 // operand multiplication independently picks the push (Gustavson) or pull
 // (transpose dot-product) kernel from the fused frontier's density.
-func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix, ks *kernelStats) (*grb.Matrix, error) {
+//
+// keep carries the pushed destination predicates as a column mask, applied
+// at the relation operand when it pulls (candidate pruning inside MxMPull)
+// and as one post-evaluation SelectCols pass otherwise — see eval for why
+// first-operand application is sound.
+func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix, ks *kernelStats, keep grb.ColMask) (*grb.Matrix, error) {
 	dim := ae.dim(ctx)
 	w := f
+	kernelKept := false
 	for i := range ae.operands {
 		op := &ae.operands[i]
 		m := ctx.resolveOperand(op)
@@ -242,7 +275,11 @@ func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix, ks *kernelStats
 		out := grb.NewMatrix(f.NRows(), dim)
 		bt, pull := ctx.choosePull(op, w.NVals(), dim)
 		if pull {
-			if err := grb.MxMPull(out, grb.AnyPair, w, bt, ctx.desc); err != nil {
+			var kk grb.ColMask
+			if i == 0 && keep != nil {
+				kk, kernelKept = keep, true
+			}
+			if err := grb.MxMPull(out, grb.AnyPair, w, bt, kk, ctx.desc); err != nil {
 				return nil, err
 			}
 		} else if err := grb.MxMDelta(out, nil, nil, grb.AnyPair, w, m, ctx.desc); err != nil {
@@ -252,6 +289,9 @@ func (ae *algebraicExpr) evalMatrix(ctx *execCtx, f *grb.Matrix, ks *kernelStats
 			ks.note(pull)
 		}
 		w = out
+	}
+	if keep != nil && !kernelKept {
+		grb.SelectCols(w, keep, ctx.desc)
 	}
 	return w, nil
 }
@@ -285,7 +325,7 @@ func (ae *algebraicExpr) evalMasked(ctx *execCtx, frontier, reached *grb.Vector,
 		}
 		bt, pull := ctx.choosePullVec(op, w, candidates)
 		if pull {
-			if err := grb.VxMPull(out, mask, nil, grb.AnyPair, w, bt, d); err != nil {
+			if err := grb.VxMPull(out, mask, nil, grb.AnyPair, w, bt, nil, d); err != nil {
 				return nil, err
 			}
 		} else if err := grb.VxMDelta(out, mask, nil, grb.AnyPair, w, m, d); err != nil {

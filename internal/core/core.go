@@ -47,6 +47,12 @@ type Config struct {
 	// It is the planner differential tests' baseline and a safety valve
 	// (GRAPH.CONFIG SET COST_PLANNER 0).
 	NoCostPlanner bool
+	// NoJoinPlanner disables the second-generation join planner: hash
+	// joins for WHERE-bridged pattern components and the DP join-order
+	// search fall back to the greedy hop ordering and cartesian rescans.
+	// It is the join-order benchmark's baseline and a safety valve
+	// (GRAPH.CONFIG SET JOIN_PLANNER 0); implied by NoCostPlanner.
+	NoJoinPlanner bool
 	// TraverseKernel selects the traversal kernel direction: "" or "auto"
 	// picks push (saxpy/Gustavson) or pull (transpose dot-product) per hop
 	// from the frontier's density; "push" and "pull" force one direction —
@@ -149,7 +155,8 @@ func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 func buildLocked(g *graph.Graph, ast *cypher.Query, cfg Config) (*Plan, error) {
 	g.RLock()
 	defer g.RUnlock()
-	return buildPlanOpts(g, ast, planOptions{NoPushdown: cfg.NoPushdown, NoCostPlanner: cfg.NoCostPlanner, Threads: cfg.threads()})
+	return buildPlanOpts(g, ast, planOptions{NoPushdown: cfg.NoPushdown, NoCostPlanner: cfg.NoCostPlanner,
+		NoJoinPlanner: cfg.NoJoinPlanner, Threads: cfg.threads()})
 }
 
 func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Config, concurrent bool) (*ResultSet, error) {

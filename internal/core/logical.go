@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"redisgraph/internal/cypher"
+	"redisgraph/internal/graph"
 )
 
 // The planner runs in two phases. The logical phase (this file) turns a run
@@ -297,6 +298,69 @@ func (b *planBuilder) relFanout(rel *cypher.RelPattern) float64 {
 	return total
 }
 
+// condHopDegree estimates the mean per-row result count of one hop across
+// rel leaving a node that carries srcLabels, conditioned on the
+// per-(label × relation × direction) degree cells. dir is the EFFECTIVE
+// traversal direction (after any pattern-orientation flip). Returns -1 when
+// the estimate cannot be conditioned — variable-length or any-type hops,
+// whose global estimates already dedup across relations — so callers fall
+// back to relFanout. For typed hops without source labels the any-label
+// cell reproduces Stats.MeanOutDegree exactly, so conditioning never makes
+// an estimate coarser.
+func (b *planBuilder) condHopDegree(rel *cypher.RelPattern, srcLabels []string, dir cypher.Direction) float64 {
+	if b.cond == nil || rel.VarLength || len(rel.Types) == 0 {
+		return -1
+	}
+	cellFanout := func(cell func(tid, lid int) graph.CondCell, tid int) float64 {
+		best := math.Inf(1)
+		for _, l := range srcLabels {
+			lid, ok := b.g.Schema.LabelID(l)
+			if !ok {
+				return 0 // unknown label: the frontier is empty
+			}
+			if f := cell(tid, lid).FanoutOver(b.gs.LabelCount(lid)); f < best {
+				best = f
+			}
+		}
+		if math.IsInf(best, 1) {
+			return cell(tid, -1).FanoutOver(b.gs.Nodes)
+		}
+		return best
+	}
+	total := 0.0
+	for _, t := range rel.Types {
+		tid, ok := b.g.Schema.RelTypeID(t)
+		if !ok {
+			continue
+		}
+		if dir != cypher.DirIn {
+			total += cellFanout(b.cond.OutCell, tid)
+		}
+		if dir != cypher.DirOut {
+			total += cellFanout(b.cond.InCell, tid)
+		}
+	}
+	return total
+}
+
+// condFanout is relFanout conditioned on the source node's labels where the
+// cells allow it; reversed flips the pattern orientation exactly as
+// buildHop does.
+func (b *planBuilder) condFanout(rel *cypher.RelPattern, srcLabels []string, reversed bool) float64 {
+	dir := rel.Direction
+	if reversed && dir != cypher.DirBoth {
+		if dir == cypher.DirOut {
+			dir = cypher.DirIn
+		} else {
+			dir = cypher.DirOut
+		}
+	}
+	if f := b.condHopDegree(rel, srcLabels, dir); f >= 0 {
+		return f
+	}
+	return b.relFanout(rel)
+}
+
 // nodeSelectivity estimates the fraction of an incoming frontier surviving
 // a pattern node's label and inline-property predicates.
 func (b *planBuilder) nodeSelectivity(n *cypher.NodePattern) float64 {
@@ -318,12 +382,24 @@ func (b *planBuilder) nodeSelectivity(n *cypher.NodePattern) float64 {
 }
 
 // pairProbability estimates the chance a specific (src, dst) pair is
-// connected across rel — the expand-into survival rate.
+// connected across rel — the expand-into survival rate. The uniform figure
+// E/N² is corrected by the configuration-model degree skew of both
+// endpoints: expand-into pairs are reached BY traversals, so both ends are
+// degree-biased samples, and on skewed graphs the connection probability of
+// such a pair is κ_out·κ_in times the uniform one (κ = N·ΣD²/E², 1 on
+// regular graphs). This is what closed the BENCH_kernel.json expand-into
+// offenders that under-estimated cycle closures by two orders of magnitude.
 func (b *planBuilder) pairProbability(rel *cypher.RelPattern) float64 {
 	if b.gs.Nodes == 0 {
 		return 1
 	}
 	p := b.relFanout(rel) / float64(b.gs.Nodes)
+	if b.cond != nil && !rel.VarLength && len(rel.Types) == 1 {
+		if tid, ok := b.g.Schema.RelTypeID(rel.Types[0]); ok {
+			n := b.gs.Nodes
+			p *= b.cond.OutCell(tid, -1).DegreeSkew(n) * b.cond.InCell(tid, -1).DegreeSkew(n)
+		}
+	}
 	if p > 1 {
 		p = 1
 	}
@@ -570,145 +646,10 @@ func (b *planBuilder) buildMatchGroup(clauses []*cypher.MatchClause) error {
 		}
 	}
 
-	isBound := func(i int) bool { return b.bound[pg.nodes[i].name] }
-	unusedEdges := len(pg.edges)
-
-	// varLenInto reports an unused variable-length edge with exactly its
-	// other endpoint at node i already bound: binding i through another
-	// edge first would leave the var-length hop with two bound endpoints,
-	// which the physical layer cannot execute. The guard emits the
-	// var-length hop first instead. Deliberate asymmetry: the guard also
-	// lets the cost planner execute shapes the textual order cannot (a
-	// single-hop and a var-length pattern sharing both endpoints), so on
-	// those queries the baseline errors while the cost planner succeeds.
-	varLenInto := func(i int) *patternEdge {
-		for _, ei := range pg.nodes[i].edges {
-			e := pg.edges[ei]
-			if e.used || !e.rel.VarLength {
-				continue
-			}
-			if e.src == i && isBound(e.dst) && !isBound(i) {
-				return e
-			}
-			if e.dst == i && isBound(e.src) && !isBound(i) {
-				return e
-			}
-		}
-		return nil
-	}
-
-	emitHop := func(e *patternEdge, fromSrc bool) error {
-		e.used = true
-		unusedEdges--
-		srcN, dstN := pg.nodes[e.src], pg.nodes[e.dst]
-		if !fromSrc {
-			srcN, dstN = dstN, srcN
-		}
-		newlyBound := !b.bound[dstN.name]
-		if err := b.buildHop(srcN.name, dstN.merged, dstN.name, e.rel, !fromSrc, false); err != nil {
-			return err
-		}
-		if newlyBound {
-			return b.applyExtraProps(dstN)
-		}
-		return nil
-	}
-
-	for {
-		// Cheapest hop out of the bound set. Cycle-closing hops (both
-		// endpoints bound) only shrink the frontier, so any of them wins
-		// outright; otherwise the hop with the lowest estimated output
-		// cardinality is taken, ties broken in textual order.
-		var best *patternEdge
-		bestFromSrc := true
-		bestOut := math.Inf(1)
-		bestClose := false
-		for _, e := range pg.edges {
-			if e.used {
-				continue
-			}
-			sb, db := isBound(e.src), isBound(e.dst)
-			switch {
-			case sb && db:
-				if !bestClose || e.idx < best.idx {
-					best, bestFromSrc, bestClose = e, true, true
-				}
-			case bestClose:
-				// A cycle-closing hop is already selected.
-			case sb || db:
-				fromSrc := sb
-				other := pg.nodes[e.dst]
-				if !fromSrc {
-					other = pg.nodes[e.src]
-				}
-				out := capEst(b.rowEst * b.relFanout(e.rel) * b.nodeSelectivity(other.merged))
-				if out < bestOut {
-					best, bestFromSrc, bestOut = e, fromSrc, out
-				}
-			}
-		}
-		if best != nil {
-			if !bestClose {
-				// Variable-length guard: never bind the far endpoint of a
-				// pending var-length hop through another edge.
-				bindTarget := best.dst
-				if !bestFromSrc {
-					bindTarget = best.src
-				}
-				if vl := varLenInto(bindTarget); vl != nil && vl != best {
-					if err := emitHop(vl, isBound(vl.src)); err != nil {
-						return err
-					}
-					continue
-				}
-			}
-			if err := emitHop(best, bestFromSrc); err != nil {
-				return err
-			}
-			continue
-		}
-		if unusedEdges == 0 {
-			break
-		}
-		// No edge touches the bound set: open the cheapest remaining
-		// component with a scan.
-		var entry *entryScan
-		for _, e := range pg.edges {
-			if e.used {
-				continue
-			}
-			for _, ni := range []int{e.src, e.dst} {
-				if isBound(ni) {
-					continue
-				}
-				es := b.bestEntry(pg.nodes[ni])
-				if entry == nil || es.base < entry.base {
-					es := es
-					entry = &es
-				}
-			}
-		}
-		if entry == nil {
-			return fmt.Errorf("core: pattern graph ordering stuck (unreachable)")
-		}
-		if err := b.emitNodeScan(*entry); err != nil {
-			return err
-		}
-	}
-
-	// Isolated pattern nodes (no relationships), cheapest first.
-	var isolated []*entryScan
-	for _, n := range pg.nodes {
-		if len(n.edges) == 0 && !b.bound[n.name] {
-			es := b.bestEntry(n)
-			isolated = append(isolated, &es)
-		}
-	}
-	sort.SliceStable(isolated, func(i, j int) bool { return isolated[i].base < isolated[j].base })
-	for _, es := range isolated {
-		if err := b.emitNodeScan(*es); err != nil {
-			return err
-		}
+	// Order and emit the pattern graph: the greedy loop plus the hash-join
+	// and DP extensions live in joinorder.go.
+	if err := b.orderPatternGraph(pg, clauses, nil); err != nil {
+		return err
 	}
 
 	// Deferred cross-variable property predicates: every group variable is

@@ -183,6 +183,17 @@ func cloneOpTree(op operation, memo map[operation]operation) operation {
 			return nil
 		}
 		out = &setOp{child: c, items: o.items}
+	case *joinOp:
+		probe, ok := child(o.probe)
+		if !ok {
+			return nil
+		}
+		build, ok := child(o.build)
+		if !ok {
+			return nil
+		}
+		out = &joinOp{probe: probe, build: build, probeKey: o.probeKey, buildKey: o.buildKey,
+			buildSlots: o.buildSlots, width: o.width, desc: o.desc, buildEst: o.buildEst}
 	case *scalarAdapter:
 		m, ok := o.inner.(*mergeOp)
 		if !ok {

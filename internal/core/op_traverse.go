@@ -221,16 +221,13 @@ func (o *condTraverseOp) fill(ctx *execCtx) error {
 	if err := frontier.BuildFromRows(srcs); err != nil {
 		return err
 	}
-	result, err := o.ae.evalMatrix(ctx, frontier, &o.ks)
-	if err != nil {
-		return err
-	}
 	mask, err := o.dstMaskFn(ctx)
 	if err != nil {
 		return err
 	}
-	if mask != nil {
-		grb.SelectCols(result, mask, ctx.desc)
+	result, err := o.ae.evalMatrix(ctx, frontier, &o.ks, mask)
+	if err != nil {
+		return err
 	}
 	for r, in := range batch {
 		emitted := o.scatterRow(ctx, in, srcs[r], result.RowIterate(r))
@@ -264,16 +261,13 @@ func (o *condTraverseOp) fillVector(ctx *execCtx) error {
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return err
 	}
-	w, err := o.ae.eval(ctx, frontier, &o.ks)
-	if err != nil {
-		return err
-	}
 	mask, err := o.dstMaskFn(ctx)
 	if err != nil {
 		return err
 	}
-	if mask != nil {
-		grb.SelectColsVec(w, mask)
+	w, err := o.ae.eval(ctx, frontier, &o.ks, mask)
+	if err != nil {
+		return err
 	}
 	o.dstBuf = o.dstBuf[:0]
 	w.Iterate(func(j grb.Index, _ float64) bool {
@@ -442,7 +436,7 @@ func (o *expandIntoOp) fill(ctx *execCtx) error {
 	if err := frontier.BuildFromRows(srcs); err != nil {
 		return err
 	}
-	result, err := o.ae.evalMatrix(ctx, frontier, &o.ks)
+	result, err := o.ae.evalMatrix(ctx, frontier, &o.ks, nil)
 	if err != nil {
 		return err
 	}
@@ -509,7 +503,7 @@ func (o *expandIntoOp) fillVector(ctx *execCtx) error {
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return err
 	}
-	w, err := o.ae.eval(ctx, frontier, &o.ks)
+	w, err := o.ae.eval(ctx, frontier, &o.ks, nil)
 	if err != nil {
 		return err
 	}
@@ -588,16 +582,13 @@ func (o *traverseCountOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 		if err := frontier.BuildFromRows(srcs); err != nil {
 			return nil, err
 		}
-		result, err := t.ae.evalMatrix(ctx, frontier, &t.ks)
-		if err != nil {
-			return nil, err
-		}
 		mask, err := t.dstMaskFn(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if mask != nil {
-			grb.SelectCols(result, mask, ctx.desc)
+		result, err := t.ae.evalMatrix(ctx, frontier, &t.ks, mask)
+		if err != nil {
+			return nil, err
 		}
 		for r := range batch {
 			for _, j := range result.RowIterate(r) {
@@ -631,16 +622,13 @@ func (o *traverseCountOp) countVector(ctx *execCtx) (int64, error) {
 	if err := frontier.SetElement(int(src.ID), 1); err != nil {
 		return 0, err
 	}
-	w, err := t.ae.eval(ctx, frontier, &t.ks)
-	if err != nil {
-		return 0, err
-	}
 	mask, err := t.dstMaskFn(ctx)
 	if err != nil {
 		return 0, err
 	}
-	if mask != nil {
-		grb.SelectColsVec(w, mask)
+	w, err := t.ae.eval(ctx, frontier, &t.ks, mask)
+	if err != nil {
+		return 0, err
 	}
 	var n int64
 	w.Iterate(func(j grb.Index, _ float64) bool {
@@ -765,7 +753,7 @@ func (o *varLenTraverseOp) expand(ctx *execCtx, in record, srcID uint64) error {
 // untouched — and queues the surviving nodes.
 func (o *varLenTraverseOp) emitMasked(ctx *execCtx, in record, f *grb.Vector) error {
 	if o.dstAE != nil {
-		masked, err := o.dstAE.eval(ctx, f, nil)
+		masked, err := o.dstAE.eval(ctx, f, nil, nil)
 		if err != nil {
 			return err
 		}

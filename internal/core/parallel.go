@@ -44,12 +44,14 @@ type segCloner interface {
 // parallelizePlan rewrites p in place to execute its lowest pipeline
 // stretch as `threads` concurrent segments. It refuses — leaving the plan
 // untouched — whenever correctness or progress guarantees would change:
-// write plans, multi-child spines, non-partitionable entry points,
-// order- or count-sensitive operations below the barrier (skip, limit),
-// and distinct aggregates (per-segment dedup sets cannot be merged).
+// write plans, multi-child spines, non-partitionable entry points, and
+// distinct aggregates (per-segment dedup sets cannot be merged).
 // DISTINCT itself is a mergeable barrier: segments dedup locally and the
-// coordinator re-dedups across segments. Index-scan entry points partition
-// their seed list across segments by position.
+// coordinator re-dedups across segments. SKIP/LIMIT merge as a count-quota
+// barrier: the quotas are global, so segments run the chain below the
+// stretch — each over-producing at most skip+limit rows — and the
+// coordinator clamps the segment-major concatenation. Index-scan entry
+// points partition their seed list across segments by position.
 func parallelizePlan(p *Plan, threads int) {
 	if !p.ReadOnly || threads < 2 {
 		return
@@ -107,15 +109,39 @@ func parallelizePlan(p *Plan, threads int) {
 			return
 		}
 	}
+	// A SKIP/LIMIT stretch is a count-quota barrier. The quotas are global —
+	// a segment cannot skip locally — so the quota operations themselves stay
+	// out of the segment chains and the merge applies the global clamp. top
+	// marks the highest operation the merge replaces: the LIMIT sitting
+	// directly above a SKIP when both are present (plan construction always
+	// stacks them adjacently in that order), else the single quota op.
+	top := merge
+	var skipQuota, limitQuota evalFn
+	if merge >= 0 {
+		switch o := chain[merge].(type) {
+		case *skipOp:
+			skipQuota = o.n
+			if merge > 0 {
+				if l, ok := chain[merge-1].(*limitOp); ok {
+					limitQuota = l.n
+					top = merge - 1
+				}
+			}
+		case *limitOp:
+			limitQuota = o.n
+		}
+	}
 	stop := merge
 	if stop < 0 {
 		stop = 0
 	}
-	if _, ok := chain[stop].(segCloner); !ok {
+	if skipQuota != nil || limitQuota != nil {
+		stop = merge + 1 // segments run the chain below the quota stack
+	} else if _, ok := chain[stop].(segCloner); !ok {
 		return
 	}
-	if merge > 0 {
-		if _, ok := chain[merge-1].(childSetter); !ok {
+	if top > 0 {
+		if _, ok := chain[top-1].(childSetter); !ok {
 			return
 		}
 	}
@@ -142,9 +168,12 @@ func parallelizePlan(p *Plan, threads int) {
 		segs[k] = cur
 	}
 	var mop operation
-	if merge < 0 {
+	switch {
+	case merge < 0:
 		mop = &parallelGatherOp{parallelSeg: parallelSeg{segs: segs}}
-	} else {
+	case skipQuota != nil || limitQuota != nil:
+		mop = &parallelSkipLimitOp{parallelSeg: parallelSeg{segs: segs}, skip: skipQuota, limit: limitQuota}
+	default:
 		switch orig := chain[merge].(type) {
 		case *aggregateOp:
 			mop = &parallelAggOp{parallelSeg: parallelSeg{segs: segs}, items: orig.items, visible: orig.visible}
@@ -160,24 +189,29 @@ func parallelizePlan(p *Plan, threads int) {
 			return
 		}
 	}
+	estAt := top
+	if estAt < 0 {
+		estAt = 0
+	}
 	if p.est != nil {
-		if e, ok := p.est[chain[stop]]; ok {
+		if e, ok := p.est[chain[estAt]]; ok {
 			p.est[mop] = e
 		}
 	}
-	if merge <= 0 {
+	if top <= 0 {
 		p.root = mop
 	} else {
-		chain[merge-1].(childSetter).setChild(0, mop)
+		chain[top-1].(childSetter).setChild(0, mop)
 	}
 }
 
 // isSegBarrier reports whether op terminates a segment stretch: either it
-// blocks the pipeline (materialises its whole input before emitting) or, for
-// DISTINCT, it owns cross-row state that the coordinator must merge.
+// blocks the pipeline (materialises its whole input before emitting), or it
+// owns cross-row state the coordinator must merge — DISTINCT's dedup set,
+// SKIP/LIMIT's global count quotas.
 func isSegBarrier(op operation) bool {
 	switch op.(type) {
-	case *aggregateOp, *sortOp, *topNSortOp, *traverseCountOp, *distinctOp:
+	case *aggregateOp, *sortOp, *topNSortOp, *traverseCountOp, *distinctOp, *skipOp, *limitOp:
 		return true
 	}
 	return false
@@ -690,3 +724,136 @@ func (o *parallelDistinctOp) name() string                 { return "ParallelDis
 func (o *parallelDistinctOp) args() string                 { return o.describeParallel() }
 func (o *parallelDistinctOp) children() []operation        { return o.segs[0].children() }
 func (o *parallelDistinctOp) setChild(i int, op operation) { o.segs[0].(childSetter).setChild(i, op) }
+
+// parallelSkipLimitOp replaces a SKIP/LIMIT stretch (either op alone or the
+// Limit-over-Skip stack): the count quotas are global, so every segment runs
+// the chain below the stretch with a per-segment over-produce bound of
+// skip+limit rows — any one segment alone can satisfy at most the whole
+// window — and the coordinator concatenates the buffered batches in
+// segment-major order before applying the global skip, then the limit
+// clamp. Like ParallelGather the surviving rows are deterministic for a
+// given segment count though not byte-identical to the serial scan order;
+// without an ORDER BY (which would have fused to TopNSort or been the
+// barrier) any qualifying window of rows is a correct answer.
+type parallelSkipLimitOp struct {
+	parallelSeg
+	skip  evalFn // nil when the stretch had no SKIP
+	limit evalFn // nil when the stretch had no LIMIT
+
+	out    []recordBatch
+	pos    int
+	primed bool
+}
+
+func (o *parallelSkipLimitOp) nextBatch(ctx *execCtx) (recordBatch, error) {
+	if !o.primed {
+		var skip, limit int64 = 0, -1
+		if o.skip != nil {
+			nv, err := o.skip(ctx, nil)
+			if err != nil {
+				return nil, err
+			}
+			if skip = nv.Int(); skip < 0 {
+				skip = 0 // negative SKIP skips nothing
+			}
+		}
+		if o.limit != nil {
+			nv, err := o.limit(ctx, nil)
+			if err != nil {
+				return nil, err
+			}
+			if limit = nv.Int(); limit < 0 {
+				limit = 0 // negative LIMIT emits nothing
+			}
+		}
+		quota := int64(-1) // unbounded: SKIP alone still drains everything
+		if limit >= 0 {
+			quota = skip + limit
+		}
+		bufs := make([][]recordBatch, len(o.segs))
+		err := o.runSegments(ctx, func(k int, wctx *execCtx) error {
+			return drainSegQuota(o.segs[k], wctx, &bufs[k], quota)
+		})
+		if err != nil {
+			return nil, err
+		}
+		remSkip, remLimit := skip, limit
+	clamp:
+		for _, bb := range bufs {
+			for _, b := range bb {
+				if remSkip >= int64(len(b)) {
+					remSkip -= int64(len(b))
+					continue
+				}
+				b = b[remSkip:]
+				remSkip = 0
+				if remLimit >= 0 {
+					if int64(len(b)) >= remLimit {
+						b = b[:remLimit]
+						remLimit = 0
+					} else {
+						remLimit -= int64(len(b))
+					}
+				}
+				if len(b) > 0 {
+					o.out = append(o.out, b)
+				}
+				if remLimit == 0 {
+					break clamp
+				}
+			}
+		}
+		o.primed = true
+	}
+	if o.pos >= len(o.out) {
+		return nil, nil
+	}
+	b := o.out[o.pos]
+	o.out[o.pos] = nil
+	o.pos++
+	return b, nil
+}
+
+func (o *parallelSkipLimitOp) name() string { return "ParallelSkipLimit" }
+func (o *parallelSkipLimitOp) args() string {
+	ops := ""
+	if o.skip != nil {
+		ops = "skip"
+	}
+	if o.limit != nil {
+		if ops != "" {
+			ops += "+"
+		}
+		ops += "limit"
+	}
+	return ops + " | " + o.describeParallel()
+}
+func (o *parallelSkipLimitOp) children() []operation        { return o.segs[:1] }
+func (o *parallelSkipLimitOp) setChild(i int, op operation) { o.segs[0] = op }
+
+// drainSegQuota drains one segment like drainSeg, stopping early once quota
+// rows are buffered (quota < 0 drains to exhaustion) — the per-segment
+// over-produce bound for the parallel SKIP/LIMIT clamp.
+func drainSegQuota(seg operation, wctx *execCtx, buf *[]recordBatch, quota int64) error {
+	var have int64
+	for {
+		if quota >= 0 && have >= quota {
+			return nil
+		}
+		b, err := seg.nextBatch(wctx)
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		if wctx.expired() {
+			return errSegTimeout
+		}
+		if quota >= 0 && have+int64(len(b)) > quota {
+			b = b[:quota-have]
+		}
+		have += int64(len(b))
+		*buf = append(*buf, b)
+	}
+}

@@ -243,14 +243,22 @@ func TestExplainParallelAnnotations(t *testing.T) {
 	if !find(lines, "workers: 4") || !find(lines, "NodeByIndexScan") || !find(lines, "segment 1/4") {
 		t.Errorf("index-entry plan missing segmentation annotations:\n%s", strings.Join(lines, "\n"))
 	}
-	// A plan that refuses segmentation (LIMIT cannot ride a segment) reports
-	// the traversal's kernel-thread budget instead.
+	// SKIP/LIMIT segments too: the quota stack merges as a global clamp.
 	lines, err = Explain(g, `MATCH (a:Hub)-[:D]->(b) RETURN b.uid LIMIT 5`, Config{OpThreads: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !find(lines, "ParallelSkipLimit") || !find(lines, "workers: 4") {
+		t.Errorf("LIMIT plan missing quota merge:\n%s", strings.Join(lines, "\n"))
+	}
+	// A plan that refuses segmentation (distinct aggregates cannot merge)
+	// reports the traversal's kernel-thread budget instead.
+	lines, err = Explain(g, `MATCH (a:Hub)-[:D]->(b:Hub) RETURN count(DISTINCT b.uid)`, Config{OpThreads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if find(lines, "workers:") {
-		t.Errorf("LIMIT plan must not segment:\n%s", strings.Join(lines, "\n"))
+		t.Errorf("distinct-aggregate plan must not segment:\n%s", strings.Join(lines, "\n"))
 	}
 	if !find(lines, "threads: 4") {
 		t.Errorf("EXPLAIN missing kernel thread annotation:\n%s", strings.Join(lines, "\n"))

@@ -50,11 +50,20 @@ type planBuilder struct {
 	// emitted exactly as written instead of being reordered by the cost
 	// model (the planner differential tests' baseline).
 	noCostPlanner bool
+	// noJoinPlanner disables the second-generation join planner — hash joins
+	// for WHERE-bridged components and the DP join-order search — keeping
+	// the greedy hop ordering and cartesian rescans (the join-order
+	// benchmark's "greedy" baseline).
+	noJoinPlanner bool
 	// threads is the query's resolved thread budget (planOptions.Threads),
 	// recorded on traversal operations for EXPLAIN/PROFILE.
 	threads int
 	// gs is the stats snapshot feeding the cost model (see logical.go).
 	gs *graph.Stats
+	// cond is the conditioned degree-statistics snapshot: per-(label ×
+	// relation × direction) fan-outs and skew corrections sharpening gs's
+	// global means (see graph/condstats.go).
+	cond *graph.CondStats
 	// binders records which scan or traversal operation bound each variable
 	// in the current projection scope — the pushdown targets.
 	binders map[string]*binderInfo
@@ -105,6 +114,10 @@ type planOptions struct {
 	// NoCostPlanner keeps the textual planning order instead of reordering
 	// scans and traversals by estimated cardinality.
 	NoCostPlanner bool
+	// NoJoinPlanner keeps the greedy hop ordering and cartesian rescans,
+	// disabling hash joins and the DP join-order search (join-order
+	// benchmark baseline). Implied by NoCostPlanner.
+	NoJoinPlanner bool
 	// Threads is the query's resolved thread budget. Above 1 it enables
 	// pipeline-segment parallelisation of eligible read-only plans and
 	// annotates traversal operations with their kernel parallelism degree.
@@ -134,8 +147,9 @@ func buildPlanOpts(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, er
 // thread budget.
 func buildSerialPlan(g *graph.Graph, q *cypher.Query, opts planOptions) (*Plan, error) {
 	b := &planBuilder{g: g, st: newSymtab(), bound: map[string]bool{}, readonly: true,
-		noPushdown: opts.NoPushdown, noCostPlanner: opts.NoCostPlanner, threads: opts.Threads,
-		gs: g.Stats(), binders: map[string]*binderInfo{},
+		noPushdown: opts.NoPushdown, noCostPlanner: opts.NoCostPlanner,
+		noJoinPlanner: opts.NoJoinPlanner || opts.NoCostPlanner, threads: opts.Threads,
+		gs: g.Stats(), cond: g.CondStats(), binders: map[string]*binderInfo{},
 		est: map[operation]float64{}, rowEst: 1}
 	for i := 0; i < len(q.Clauses); i++ {
 		if b.terminated {
@@ -609,6 +623,20 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 		bindEmptyPattern()
 		return nil
 	}
+	// Conditioned fan-out: when the source variable's binder recorded
+	// pattern labels, the hop estimate conditions on the matching
+	// (label × relation × direction) cells instead of the global mean, and
+	// the relation operand carries the conditioned mean degree as a hint to
+	// the push/pull chooser (which otherwise divides NVals by the padded
+	// matrix dimension).
+	var srcLabels []string
+	if bi := b.binders[srcVar]; bi != nil {
+		srcLabels = bi.labels
+	}
+	hopDeg := b.condHopDegree(rel, srcLabels, dir)
+	if hopDeg >= 0 {
+		rop.meanDeg = hopDeg
+	}
 	ae := &algebraicExpr{operands: []algebraicOperand{rop}}
 
 	dstBound := b.bound[dstVar]
@@ -719,7 +747,11 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 	} else {
 		dstSlot := b.st.add(dstVar)
 		b.bound[dstVar] = true
-		est := b.rowEst * b.relFanout(rel) * labelSel
+		fan := b.relFanout(rel)
+		if hopDeg >= 0 {
+			fan = hopDeg
+		}
+		est := b.rowEst * fan * labelSel
 		if optional && est < b.rowEst {
 			est = b.rowEst // optional traversals emit at least a null row per input
 		}
@@ -831,7 +863,8 @@ func (b *planBuilder) buildMerge(c *cypher.MergeClause) error {
 	// Build the match side against a fresh argument. The sub-builder shares
 	// the estimate map so the sub-plan's operations annotate too.
 	mb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon,
-		noPushdown: b.noPushdown, noCostPlanner: b.noCostPlanner, threads: b.threads, gs: b.gs,
+		noPushdown: b.noPushdown, noCostPlanner: b.noCostPlanner, noJoinPlanner: b.noJoinPlanner,
+		threads: b.threads, gs: b.gs, cond: b.cond,
 		binders: map[string]*binderInfo{}, est: b.est, rowEst: 1}
 	if err := mb.buildPattern(c.Pattern, false); err != nil {
 		return err
@@ -839,7 +872,8 @@ func (b *planBuilder) buildMerge(c *cypher.MergeClause) error {
 	b.anon = mb.anon
 	// Compile the create side with the same slots.
 	cb := &planBuilder{g: b.g, st: b.st, bound: map[string]bool{}, anon: b.anon,
-		noPushdown: b.noPushdown, noCostPlanner: b.noCostPlanner, gs: b.gs,
+		noPushdown: b.noPushdown, noCostPlanner: b.noCostPlanner, noJoinPlanner: b.noJoinPlanner,
+		gs: b.gs, cond: b.cond,
 		binders: map[string]*binderInfo{}, est: b.est, rowEst: 1}
 	spec, err := cb.compileCreatePattern(c.Pattern)
 	if err != nil {

@@ -50,6 +50,7 @@ type planKey struct {
 	text          string
 	noPushdown    bool
 	noCostPlanner bool
+	noJoinPlanner bool
 	threads       int
 }
 
@@ -60,9 +61,34 @@ type planEntry struct {
 	key           planKey
 	ast           *cypher.Query
 	tmpl          *Plan
+	size          int64 // estimated resident bytes, maintained under the cache mutex
 	epoch         uint64
 	schemaVersion uint64
 	stats         *graph.Stats
+}
+
+// planOpBytes is the per-operation footprint estimate behind the cache's
+// memory accounting: the operation struct itself plus its share of compiled
+// expressions, slot metadata and EXPLAIN strings. Templates are never
+// executed, so runtime buffers do not count.
+const planOpBytes = 256
+
+// templateBytes estimates a template's resident size: operation count times
+// the per-op footprint, plus the keyed query text and AST share.
+func templateBytes(key planKey, tmpl *Plan) int64 {
+	return int64(countOps(tmpl.root))*planOpBytes + int64(2*len(key.text))
+}
+
+// countOps walks a template's operation tree (hash joins branch).
+func countOps(op operation) int {
+	if op == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range op.children() {
+		n += countOps(c)
+	}
+	return n
 }
 
 // PlanCache is a bounded LRU of plan templates shared across graphs and
@@ -79,6 +105,7 @@ type PlanCache struct {
 	evictions     atomic.Uint64
 	invalidations atomic.Uint64
 	revalidations atomic.Uint64
+	bytes         atomic.Int64 // summed planEntry.size across live entries
 }
 
 // NewPlanCache returns a cache bounded to capacity templates (<= 0 caches
@@ -110,13 +137,15 @@ func (pc *PlanCache) Len() int {
 	return pc.lru.Len()
 }
 
-// PlanCacheCounters is a snapshot of the cache's lifetime statistics.
+// PlanCacheCounters is a snapshot of the cache's lifetime statistics plus
+// the current estimated resident size of the cached templates.
 type PlanCacheCounters struct {
 	Hits          uint64
 	Misses        uint64
 	Evictions     uint64
 	Invalidations uint64
 	Revalidations uint64
+	Bytes         int64
 }
 
 // Counters snapshots the cache statistics (EXPLAIN/PROFILE annotations).
@@ -127,12 +156,13 @@ func (pc *PlanCache) Counters() PlanCacheCounters {
 		Evictions:     pc.evictions.Load(),
 		Invalidations: pc.invalidations.Load(),
 		Revalidations: pc.revalidations.Load(),
+		Bytes:         pc.bytes.Load(),
 	}
 }
 
 func (c PlanCacheCounters) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d revalidations=%d",
-		c.Hits, c.Misses, c.Evictions, c.Invalidations, c.Revalidations)
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d invalidations=%d revalidations=%d plan_cache_bytes=%d",
+		c.Hits, c.Misses, c.Evictions, c.Invalidations, c.Revalidations, c.Bytes)
 }
 
 // InvalidateGraph drops every template planned against g (GRAPH.DELETE,
@@ -146,6 +176,7 @@ func (pc *PlanCache) InvalidateGraph(g *graph.Graph) {
 		if ent := el.Value.(*planEntry); ent.key.g == g {
 			delete(pc.entries, ent.key)
 			pc.lru.Remove(el)
+			pc.bytes.Add(-ent.size)
 		}
 		el = next
 	}
@@ -170,12 +201,15 @@ func (pc *PlanCache) insert(ent *planEntry) {
 	if pc.capacity <= 0 {
 		return
 	}
+	ent.size = templateBytes(ent.key, ent.tmpl)
 	if el, ok := pc.entries[ent.key]; ok {
+		pc.bytes.Add(ent.size - el.Value.(*planEntry).size)
 		el.Value = ent
 		pc.lru.MoveToFront(el)
 		return
 	}
 	pc.entries[ent.key] = pc.lru.PushFront(ent)
+	pc.bytes.Add(ent.size)
 	pc.evictOver()
 }
 
@@ -186,8 +220,10 @@ func (pc *PlanCache) evictOver() {
 		if el == nil {
 			return
 		}
-		delete(pc.entries, el.Value.(*planEntry).key)
+		ent := el.Value.(*planEntry)
+		delete(pc.entries, ent.key)
 		pc.lru.Remove(el)
+		pc.bytes.Add(-ent.size)
 		pc.evictions.Add(1)
 	}
 }
@@ -199,6 +235,13 @@ func (pc *PlanCache) refresh(ent *planEntry, tmpl *Plan, epoch, schemaVersion ui
 	defer pc.mu.Unlock()
 	if tmpl != nil {
 		ent.tmpl = tmpl
+		size := templateBytes(ent.key, tmpl)
+		// Only resident entries count: a concurrent eviction may already have
+		// subtracted this entry's size.
+		if el, ok := pc.entries[ent.key]; ok && el.Value.(*planEntry) == ent {
+			pc.bytes.Add(size - ent.size)
+		}
+		ent.size = size
 	}
 	ent.epoch, ent.schemaVersion, ent.stats = epoch, schemaVersion, st
 }
@@ -217,7 +260,8 @@ func (pc *PlanCache) snapshot(ent *planEntry) (*Plan, uint64, uint64, *graph.Sta
 // "plan: cached|planned" line).
 func (pc *PlanCache) plan(g *graph.Graph, query string, cfg Config) (p *Plan, cached bool, err error) {
 	key := planKey{g: g, text: cypher.CanonicalQueryText(query),
-		noPushdown: cfg.NoPushdown, noCostPlanner: cfg.NoCostPlanner, threads: cfg.threads()}
+		noPushdown: cfg.NoPushdown, noCostPlanner: cfg.NoCostPlanner,
+		noJoinPlanner: cfg.NoJoinPlanner, threads: cfg.threads()}
 
 	ent, ok := pc.lookup(key)
 	if !ok {
@@ -267,7 +311,8 @@ func (pc *PlanCache) plan(g *graph.Graph, query string, cfg Config) (p *Plan, ca
 func (pc *PlanCache) buildAndCache(g *graph.Graph, key planKey, ast *cypher.Query, cfg Config, prev *planEntry) (*Plan, bool, error) {
 	g.RLock()
 	tmpl, err := buildSerialPlan(g, ast, planOptions{
-		NoPushdown: cfg.NoPushdown, NoCostPlanner: cfg.NoCostPlanner, Threads: cfg.threads()})
+		NoPushdown: cfg.NoPushdown, NoCostPlanner: cfg.NoCostPlanner,
+		NoJoinPlanner: cfg.NoJoinPlanner, Threads: cfg.threads()})
 	var epoch, schemaV uint64
 	var st *graph.Stats
 	if err == nil {

@@ -423,3 +423,47 @@ func TestCountsClose(t *testing.T) {
 		}
 	}
 }
+
+// TestPlanCacheBytes pins the memory accounting: resident templates report
+// a nonzero estimated size in the counters and the EXPLAIN provenance
+// header, every removal path (eviction, invalidation, capacity change)
+// returns the figure to zero when the cache empties, and replans keep the
+// sum consistent with the live entries.
+func TestPlanCacheBytes(t *testing.T) {
+	g := adversarialGraph(t, 100)
+	pc := NewPlanCache(2)
+	cached := Config{PlanCache: pc}
+	runSortedP(t, g, `MATCH (a:Hub {uid: $id})-[:D]->(b) RETURN b.uid`, intParam("id", 1), cached)
+	b1 := pc.Counters().Bytes
+	if b1 <= 0 {
+		t.Fatalf("one resident template, Bytes = %d", b1)
+	}
+	runSortedP(t, g, `MATCH (a:Hub) RETURN count(a)`, nil, cached)
+	b2 := pc.Counters().Bytes
+	if b2 <= b1 {
+		t.Fatalf("second template must grow the estimate: %d -> %d", b1, b2)
+	}
+	// Evicting down to one entry sheds the evicted template's share.
+	runSortedP(t, g, `MATCH (a:Rare) RETURN a.uid`, nil, cached)
+	if b := pc.Counters().Bytes; b >= b2 {
+		t.Errorf("eviction at capacity must not grow the sum monotonically: %d -> %d", b2, b)
+	}
+	// The figure surfaces in the EXPLAIN provenance header.
+	lines, err := Explain(g, `MATCH (a:Rare) RETURN a.uid`, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lines[0], "plan_cache_bytes=") {
+		t.Errorf("EXPLAIN header missing plan_cache_bytes: %q", lines[0])
+	}
+	pc.SetCapacity(0)
+	if b := pc.Counters().Bytes; b != 0 {
+		t.Errorf("empty cache reports %d bytes", b)
+	}
+	pc.SetCapacity(4)
+	runSortedP(t, g, `MATCH (a:Rare) RETURN a.uid`, nil, cached)
+	pc.InvalidateGraph(g)
+	if b := pc.Counters().Bytes; b != 0 {
+		t.Errorf("InvalidateGraph left %d bytes", b)
+	}
+}

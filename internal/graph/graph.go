@@ -79,6 +79,17 @@ type Graph struct {
 	// mutex because read-locked queries populate it concurrently.
 	unionMu    sync.Mutex
 	unionCache map[string]unionEntry
+
+	// condOut/condIn hold the conditioned degree statistics (condstats.go):
+	// per-(relation × label × direction) connectivity cells, mutated only
+	// under the exclusive lock by the distinct-pair transitions in
+	// CreateEdge/DeleteEdge. condSnap is the epoch-cached read snapshot,
+	// guarded by condMu because read-locked planners populate it
+	// concurrently.
+	condOut  [][]CondCell
+	condIn   [][]CondCell
+	condMu   sync.Mutex
+	condSnap *CondStats
 }
 
 type unionEntry struct {
@@ -364,6 +375,7 @@ func (g *Graph) CreateEdge(typ string, src, dst uint64, props map[string]value.V
 	}
 	k := edgeKey{src, dst}
 	rs.edges[k] = append(rs.edges[k], id)
+	newPair := len(rs.edges[k]) == 1
 	si, di := int(src), int(dst)
 	if err := rs.m.SetElement(si, di, 1); err != nil {
 		return nil, err
@@ -376,6 +388,9 @@ func (g *Graph) CreateEdge(typ string, src, dst uint64, props map[string]value.V
 	}
 	if err := g.tadj.SetElement(di, si, 1); err != nil {
 		return nil, err
+	}
+	if newPair {
+		g.condEdgeAdded(tid, src, dst)
 	}
 	g.bumpEpoch()
 	return e, nil
@@ -419,6 +434,7 @@ func (g *Graph) DeleteEdge(id uint64) bool {
 		si, di := int(e.Src), int(e.Dst)
 		_ = rs.m.RemoveElement(si, di)
 		_ = rs.tm.RemoveElement(di, si)
+		g.condEdgeRemoved(e.Type, e.Src, e.Dst)
 		// The combined adjacency keeps its entry while any other relation
 		// still connects the pair.
 		still := false

@@ -22,7 +22,7 @@ func MxV(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, a *Matrix, u *Vec
 	}
 	// Pull kernel (pull.go): each output row i intersects A(i, :) with u's
 	// bitmap, with monoid-terminal early exit.
-	return pullVxM(w, mask, accum, s, u, a, d)
+	return pullVxM(w, mask, accum, s, u, a, nil, d)
 }
 
 // VxM computes w<mask> = accum(w, u'·A) (GrB_vxm), the push direction used

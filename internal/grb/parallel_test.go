@@ -89,10 +89,10 @@ func TestKernelsParallelDifferential(t *testing.T) {
 
 		// MxMPull (column-partitioned batched pull).
 		baseP := NewMatrix(nrec, n)
-		must(t, MxMPull(baseP, AnyPair, f, bt, nil))
+		must(t, MxMPull(baseP, AnyPair, f, bt, nil, nil))
 		for _, nth := range threadCounts {
 			c := NewMatrix(nrec, n)
-			must(t, MxMPull(c, AnyPair, f, bt, &Descriptor{NThreads: nth}))
+			must(t, MxMPull(c, AnyPair, f, bt, nil, &Descriptor{NThreads: nth}))
 			if !sameMatrix(baseP, c) {
 				t.Fatalf("trial %d: MxMPull NThreads=%d diverged", trial, nth)
 			}
@@ -100,10 +100,10 @@ func TestKernelsParallelDifferential(t *testing.T) {
 
 		// VxMPull (candidate-partitioned vector pull).
 		baseV := NewVector(n)
-		must(t, VxMPull(baseV, nil, nil, AnyPair, u, bt, nil))
+		must(t, VxMPull(baseV, nil, nil, AnyPair, u, bt, nil, nil))
 		for _, nth := range threadCounts {
 			w := NewVector(n)
-			must(t, VxMPull(w, nil, nil, AnyPair, u, bt, &Descriptor{NThreads: nth}))
+			must(t, VxMPull(w, nil, nil, AnyPair, u, bt, nil, &Descriptor{NThreads: nth}))
 			if !sameVector(baseV, w) {
 				t.Fatalf("trial %d: VxMPull NThreads=%d diverged", trial, nth)
 			}

@@ -50,7 +50,10 @@ func (v *Vector) bitmapView(needVals bool) (bitset, []float64) {
 // pull evaluation of w = u'·B. Masked (and complement-masked) candidates are
 // skipped before their dot product starts, so a var-length traversal's
 // "not yet reached" mask shrinks the candidate set, not just the output.
-func pullVxM(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, at rowSource, d *Descriptor) error {
+// keep, when non-nil, is a column mask over the output dimension — the
+// executor's pushed destination predicates — pruning candidates the same
+// way: positions keep rejects never start their in-neighbour scan.
+func pullVxM(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, at rowSource, keep ColMask, d *Descriptor) error {
 	atR, atC := at.srcDims()
 	if u.n != atC {
 		return dimErr("pull: u has size %d, operand is %dx%d", u.n, atR, atC)
@@ -78,6 +81,9 @@ func pullVxM(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, at
 		var rowBuf rowScratch
 		for i := lo; i < hi; i++ {
 			if (mask != nil || comp) && !mask.maskAllows(i, comp, structure) {
+				continue
+			}
+			if keep != nil && !keep(i) {
 				continue
 			}
 			ac, av := at.srcRow(i, &rowBuf)
@@ -122,12 +128,13 @@ func pullVxM(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, at
 // the TRANSPOSE of B as a delta-matrix operand: each candidate output j
 // intersects B'(j, :) — j's in-neighbours — against u's bitmap. This is the
 // dense-frontier direction of direction-optimizing traversal; VxMDelta is
-// its push twin over B itself.
-func VxMPull(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, bt *DeltaMatrix, d *Descriptor) error {
+// its push twin over B itself. keep, when non-nil, prunes candidate output
+// positions before their in-neighbour scan (pushed destination predicates).
+func VxMPull(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, bt *DeltaMatrix, keep ColMask, d *Descriptor) error {
 	if w == nil || bt == nil || u == nil {
 		return ErrNilObject
 	}
-	return pullVxM(w, mask, accum, s, u, bt, d)
+	return pullVxM(w, mask, accum, s, u, bt, keep, d)
 }
 
 // mxmPullWorkspace holds the pooled buffers of the batched pull kernel: the
@@ -150,11 +157,13 @@ var mxmPullPool = sync.Pool{New: func() any { return &mxmPullWorkspace{} }}
 // output column j ORs together the bitmasks of its in-neighbours B'(j, :),
 // early-exiting once every record that could reach j has (saturation). Only
 // structural semirings are supported (any witness suffices; traversal runs
-// on AnyPair) and masks must be applied by the caller afterwards — the
-// executor's column masks (SelectCols) already run post-evaluation. When
+// on AnyPair). keep, when non-nil, is a column mask over the candidate
+// dimension — the executor's pushed destination predicates — so rejected
+// columns never start their in-neighbour scan at all, closing the pushdown
+// asymmetry with the push kernel's post-evaluation SelectCols. When
 // desc.NThreads > 1 the candidate columns are morselised across the shared
 // pool with a deterministic ordered scatter.
-func MxMPull(c *Matrix, s Semiring, f *Matrix, bt rowSource, d *Descriptor) error {
+func MxMPull(c *Matrix, s Semiring, f *Matrix, bt rowSource, keep ColMask, d *Descriptor) error {
 	if c == nil || f == nil || bt == nil {
 		return ErrNilObject
 	}
@@ -246,6 +255,9 @@ func MxMPull(c *Matrix, s Semiring, f *Matrix, bt rowSource, d *Descriptor) erro
 	if nparts == 1 {
 		var rowBuf rowScratch
 		for j := 0; j < btR; j++ {
+			if keep != nil && !keep(j) {
+				continue
+			}
 			if !pullColumn(j, acc, &rowBuf) {
 				continue
 			}
@@ -270,6 +282,9 @@ func MxMPull(c *Matrix, s Semiring, f *Matrix, bt rowSource, d *Descriptor) erro
 			pacc := make([]uint64, words)
 			var rowBuf rowScratch
 			for j := lo; j < hi; j++ {
+				if keep != nil && !keep(j) {
+					continue
+				}
 				if !pullColumn(j, pacc, &rowBuf) {
 					continue
 				}

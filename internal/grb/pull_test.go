@@ -24,7 +24,7 @@ func TestPullVxMMatchesPush(t *testing.T) {
 		}
 		pull := NewVector(n)
 		bt := DeltaFrom(transposed(b))
-		if err := VxMPull(pull, nil, nil, AnyPair, u, bt, nil); err != nil {
+		if err := VxMPull(pull, nil, nil, AnyPair, u, bt, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		if !sameVector(push, pull) {
@@ -52,7 +52,7 @@ func TestPullVxMMaskedMatchesPush(t *testing.T) {
 		}
 		pull := NewVector(n)
 		bt := DeltaFrom(transposed(b))
-		if err := VxMPull(pull, mask, nil, AnyPair, u, bt, d); err != nil {
+		if err := VxMPull(pull, mask, nil, AnyPair, u, bt, nil, d); err != nil {
 			t.Fatal(err)
 		}
 		if !sameVector(push, pull) {
@@ -75,7 +75,7 @@ func TestPullVxMNonStructural(t *testing.T) {
 			t.Fatal(err)
 		}
 		pull := NewVector(n)
-		if err := pullVxM(pull, nil, nil, PlusTimes, u, transposed(b), nil); err != nil {
+		if err := pullVxM(pull, nil, nil, PlusTimes, u, transposed(b), nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		if !sameVector(push, pull) {
@@ -102,7 +102,7 @@ func TestMxMPullMatchesPush(t *testing.T) {
 		}
 		pull := NewMatrix(nrec, n)
 		bt := DeltaFrom(transposed(b))
-		if err := MxMPull(pull, AnyPair, f, bt, nil); err != nil {
+		if err := MxMPull(pull, AnyPair, f, bt, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		if !sameMatrix(push, pull) {
@@ -137,7 +137,7 @@ func TestMxMPullDeltaOperand(t *testing.T) {
 			t.Fatal(err)
 		}
 		pull := NewMatrix(nrec, n)
-		if err := MxMPull(pull, AnyPair, f, bt, nil); err != nil {
+		if err := MxMPull(pull, AnyPair, f, bt, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 		if !sameMatrix(push, pull) {
@@ -149,7 +149,7 @@ func TestMxMPullDeltaOperand(t *testing.T) {
 func TestMxMPullRejectsNonStructural(t *testing.T) {
 	f := NewMatrix(2, 2)
 	b := NewMatrix(2, 2)
-	if err := MxMPull(NewMatrix(2, 2), PlusTimes, f, b, nil); err == nil {
+	if err := MxMPull(NewMatrix(2, 2), PlusTimes, f, b, nil, nil); err == nil {
 		t.Fatal("expected an error for a non-structural semiring")
 	}
 }

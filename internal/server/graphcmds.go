@@ -30,6 +30,7 @@ func (s *Server) queryConfig() core.Config {
 		TraverseBatch:  int(s.traverseBatch.Load()),
 		Timeout:        s.opts.QueryTimeout,
 		NoCostPlanner:  !s.costPlanner.Load(),
+		NoJoinPlanner:  !s.joinPlanner.Load(),
 		TraverseKernel: s.traverseKernel.Load().(string),
 		PlanCache:      s.planCache,
 	}
@@ -41,7 +42,7 @@ const maxTraverseBatch = 1 << 16
 
 // configParams lists every GRAPH.CONFIG parameter, in the order GET *
 // reports them.
-var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "TRAVERSE_KERNEL", "PLAN_CACHE_SIZE"}
+var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "JOIN_PLANNER", "TRAVERSE_KERNEL", "PLAN_CACHE_SIZE"}
 
 // configValue reads one live configuration parameter (an int64, or a string
 // for the enum-valued TRAVERSE_KERNEL).
@@ -59,6 +60,11 @@ func (s *Server) configValue(name string) any {
 		return int64(s.traverseBatch.Load())
 	case "COST_PLANNER":
 		if s.costPlanner.Load() {
+			return int64(1)
+		}
+		return int64(0)
+	case "JOIN_PLANNER":
+		if s.joinPlanner.Load() {
 			return int64(1)
 		}
 		return int64(0)
@@ -190,6 +196,13 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 				}
 				s.costPlanner.Store(on)
 				return resp.SimpleString("OK"), nil
+			case "JOIN_PLANNER":
+				on, err := parseBoolParam(args[2])
+				if err != nil {
+					return nil, fmt.Errorf("ERR JOIN_PLANNER must be 0|1|yes|no")
+				}
+				s.joinPlanner.Store(on)
+				return resp.SimpleString("OK"), nil
 			case "TRAVERSE_KERNEL":
 				kernel := strings.ToLower(args[2])
 				switch kernel {
@@ -208,7 +221,7 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|TRAVERSE_KERNEL|PLAN_CACHE_SIZE",
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|JOIN_PLANNER|TRAVERSE_KERNEL|PLAN_CACHE_SIZE",
 			strings.Join(configParams, "|"))
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))

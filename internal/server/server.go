@@ -43,6 +43,11 @@ type Options struct {
 	// keeping MATCH patterns in their textual order. Runtime changes go
 	// through GRAPH.CONFIG SET COST_PLANNER.
 	NoCostPlanner bool
+	// NoJoinPlanner disables the second-generation join planner (hash joins
+	// for WHERE-bridged pattern components, DP join-order search), falling
+	// back to greedy ordering and cartesian rescans. Runtime changes go
+	// through GRAPH.CONFIG SET JOIN_PLANNER.
+	NoJoinPlanner bool
 	// TraverseKernel selects the traversal kernel direction: "auto" (default)
 	// picks push or pull per hop from the frontier density, "push"/"pull"
 	// force one direction for differential baselines. Runtime changes go
@@ -75,6 +80,9 @@ type Server struct {
 	// costPlanner is the live COST_PLANNER value (seeded from
 	// Options.NoCostPlanner, mutable via GRAPH.CONFIG SET).
 	costPlanner atomic.Bool
+	// joinPlanner is the live JOIN_PLANNER value (seeded from
+	// Options.NoJoinPlanner, mutable via GRAPH.CONFIG SET).
+	joinPlanner atomic.Bool
 	// traverseKernel is the live TRAVERSE_KERNEL value ("auto", "push" or
 	// "pull"; seeded from Options.TraverseKernel, mutable via GRAPH.CONFIG
 	// SET).
@@ -128,6 +136,7 @@ func New(opts Options) *Server {
 	s.opThreads.Store(int32(opts.OpThreads))
 	s.traverseBatch.Store(int32(opts.TraverseBatch))
 	s.costPlanner.Store(!opts.NoCostPlanner)
+	s.joinPlanner.Store(!opts.NoJoinPlanner)
 	kernel := strings.ToLower(opts.TraverseKernel)
 	if kernel != "push" && kernel != "pull" {
 		kernel = "auto"

@@ -224,6 +224,7 @@ func TestGraphConfigGetAll(t *testing.T) {
 		"MAX_QUERY_THREADS": int64(1),
 		"TRAVERSE_BATCH":    int64(core.DefaultTraverseBatch),
 		"COST_PLANNER":      int64(1),
+		"JOIN_PLANNER":      int64(1),
 		"TRAVERSE_KERNEL":   "auto",
 		"PLAN_CACHE_SIZE":   int64(core.DefaultPlanCacheSize),
 	}
@@ -295,6 +296,38 @@ func TestGraphConfigCostPlanner(t *testing.T) {
 	}
 	if _, err := c.Do("GRAPH.CONFIG", "SET", "COST_PLANNER", "maybe"); err == nil {
 		t.Fatal("SET COST_PLANNER maybe must fail")
+	}
+}
+
+func TestGraphConfigJoinPlanner(t *testing.T) {
+	_, c := startServer(t)
+	if _, err := c.Query("g", `CREATE (:L {k: 1})-[:E1]->(:M {k: 1}), (:F {k: 1})-[:E2]->(:T {k: 1})`); err != nil {
+		t.Fatal(err)
+	}
+	for _, setting := range []string{"0", "no", "1", "yes"} {
+		if v, err := c.Do("GRAPH.CONFIG", "SET", "JOIN_PLANNER", setting); err != nil || v.(resp.SimpleString) != "OK" {
+			t.Fatalf("SET JOIN_PLANNER %s: %v %v", setting, v, err)
+		}
+		want := int64(1)
+		if setting == "0" || setting == "no" {
+			want = 0
+		}
+		v, err := c.Do("GRAPH.CONFIG", "GET", "JOIN_PLANNER")
+		if err != nil || v.([]any)[1].(int64) != want {
+			t.Fatalf("GET JOIN_PLANNER after %s: %v %v", setting, v, err)
+		}
+		// The WHERE-bridged cartesian answers identically with hash joins
+		// on (HashJoin op) and off (rescan fallback).
+		rep, err := c.Query("g", `MATCH (a:L)-[:E1]->(b:M), (c:F)-[:E2]->(d:T) WHERE b.k = c.k RETURN count(*)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows := rep[1].([]any); len(rows) != 1 || rows[0].([]any)[0].(int64) != 1 {
+			t.Fatalf("JOIN_PLANNER=%s rows: %v", setting, rep[1])
+		}
+	}
+	if _, err := c.Do("GRAPH.CONFIG", "SET", "JOIN_PLANNER", "maybe"); err == nil {
+		t.Fatal("SET JOIN_PLANNER maybe must fail")
 	}
 }
 
