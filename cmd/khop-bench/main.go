@@ -14,12 +14,15 @@
 // parameterized plan cache vs the PLAN_CACHE_SIZE 0 re-plan baseline on a
 // 90/10 hot/cold shape mix), join-order (E13, hash joins for WHERE-bridged
 // components and the DP join-order search vs the greedy/rescan baseline),
-// or all.
+// concurrent-load (E14, the fair multi-tenant morsel scheduler vs the
+// FAIR_SCHEDULER 0 baseline on a 90/10 read/write mix at rising client
+// counts), or all.
 // -batch sets the batch size for the traverse-batch and pipeline-batch
 // experiments; -out writes the selected experiment's results as JSON (the
 // perf-trajectory artifacts BENCH_traverse.json / BENCH_rwmix.json /
 // BENCH_pipeline.json / BENCH_planner.json / BENCH_plancache.json /
-// BENCH_join.json).
+// BENCH_join.json / BENCH_concurrency.json), each stamped with a uniform
+// host block (GOMAXPROCS, CPU count, Go version, race detector).
 package main
 
 import (
@@ -36,7 +39,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 13, "graph scale: 2^scale vertices per dataset")
-	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | parallel-scaling | plan-cache | join-order | all")
+	experiment := flag.String("experiment", "all", "fig1 | khop | throughput | robust | traverse-batch | rw-mix | pipeline-batch | plan-order | kernel-select | parallel-scaling | plan-cache | join-order | concurrent-load | all")
 	queries := flag.Int("queries", 2048, "query count for the throughput and rw-mix experiments")
 	timeout := flag.Duration("timeout", 30*time.Second, "robustness experiment timeout per query")
 	batch := flag.Int("batch", 64, "batch size for the traverse-batch and pipeline-batch experiments")
@@ -105,6 +108,10 @@ func main() {
 		results := s.JoinOrder()
 		writeJSON(outFor("join-order"), "join-order", *scale, results)
 	}
+	if want("concurrent-load") {
+		results := s.ConcurrentLoad(*queries)
+		writeJSON(outFor("concurrent-load"), "concurrent-load", *scale, results)
+	}
 }
 
 // writeJSON writes one experiment's results as the perf-trajectory
@@ -114,10 +121,11 @@ func writeJSON(path, experiment string, scale int, results any) {
 		return
 	}
 	doc := struct {
-		Experiment string `json:"experiment"`
-		Scale      int    `json:"scale"`
-		Results    any    `json:"results"`
-	}{experiment, scale, results}
+		Experiment string         `json:"experiment"`
+		Scale      int            `json:"scale"`
+		Host       bench.HostInfo `json:"host"`
+		Results    any            `json:"results"`
+	}{experiment, scale, bench.Host(), results}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1400,3 +1400,177 @@ func (s *Suite) PlanCache(queries int) []PlanCacheResult {
 	fmt.Fprintln(s.w)
 	return out
 }
+
+// ConcurrentLoadResult is one client-count cell of the inter-query
+// concurrency experiment (E14): queries/sec and tail latency of a 90/10
+// read/write mix under the fair multi-tenant morsel scheduler versus the
+// FAIR_SCHEDULER 0 baseline (untagged pool, full requested parallelism per
+// query regardless of the active-query count). Read rows are compared for
+// equality between the two schedulers on every run.
+type ConcurrentLoadResult struct {
+	Dataset   string  `json:"dataset"`
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops"`
+	Writes    int     `json:"writes"`
+	FairQPS   float64 `json:"fair_qps"`
+	FairP50MS float64 `json:"fair_p50_ms"`
+	FairP99MS float64 `json:"fair_p99_ms"`
+	BaseQPS   float64 `json:"baseline_qps"`
+	BaseP50MS float64 `json:"baseline_p50_ms"`
+	BaseP99MS float64 `json:"baseline_p99_ms"`
+	// QPSRatio and P99Ratio compare fair against the baseline (>1 means the
+	// fair scheduler is higher-throughput / longer-tailed respectively).
+	QPSRatio  float64 `json:"qps_ratio_fair_vs_baseline"`
+	P99Ratio  float64 `json:"p99_ratio_fair_vs_baseline"`
+	RowsEqual bool    `json:"rows_equal"`
+}
+
+// ConcurrentLoad measures inter-query scheduling on the first dataset: at
+// each client count, every client issues parallel-eligible 2-hop count
+// reads with a 10% write stride (the RWMix create/delete pattern), once
+// under the fair scheduler (per-query morsel tagging + elastic thread
+// budget) and once with NoFairScheduler restoring the pre-admission-control
+// behavior. Each cell runs twice per scheduler and keeps the
+// higher-throughput rep; reads record their counts so the two schedulers'
+// rows can be compared for equality.
+func (s *Suite) ConcurrentLoad(totalOps int) []ConcurrentLoadResult {
+	fmt.Fprintln(s.w, "=== E14: concurrent-load — fair scheduler vs baseline (90/10 read/write) ===")
+	d := s.Datasets[0]
+	g := s.graphs[d.Name]
+	seeds := gen.Seeds(d.Edges, 256, 55)
+	const writeEvery = 10
+	// Reads request more threads than the budget / active-query ratio
+	// grants under load, so the elastic clamp has something to clamp.
+	reqThreads := pool.Parallelism()
+
+	readQ := func(seed int, cfg core.Config) int64 {
+		q := fmt.Sprintf(`MATCH (s:Node {uid: %d})-[:F]->(n)-[:F]->(m) RETURN count(m)`, seed)
+		rs, err := core.ROQuery(g, q, nil, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("bench: concurrent-load read: %v", err))
+		}
+		return rs.Rows[0][0].Int()
+	}
+	writeQ := func(i int, cfg core.Config) {
+		x := seeds[i%len(seeds)]
+		y := seeds[(i*7+3)%len(seeds)]
+		var q string
+		if i%2 == 0 {
+			q = fmt.Sprintf(`MATCH (a:Node {uid: %d}), (b:Node {uid: %d}) CREATE (a)-[:W]->(b)`, x, y)
+		} else {
+			q = fmt.Sprintf(`MATCH (a:Node {uid: %d})-[e:W]->(b) DELETE e`, x)
+		}
+		if _, err := core.Query(g, q, nil, cfg); err != nil {
+			panic(fmt.Sprintf("bench: concurrent-load write: %v", err))
+		}
+	}
+	cleanup := func() {
+		if _, err := core.Query(g, `MATCH (a)-[e:W]->(b) DELETE e`, nil, core.Config{OpThreads: 1}); err != nil {
+			panic(fmt.Sprintf("bench: concurrent-load cleanup: %v", err))
+		}
+		g.Lock()
+		g.Sync()
+		g.Unlock()
+	}
+
+	// run executes one cell: per-op latencies for the percentile figures and
+	// per-op read counts for the cross-scheduler row comparison.
+	run := func(clients int, fair bool) (qps float64, lat []float64, rows []int64, writes int) {
+		per := totalOps / clients
+		if per == 0 {
+			per = 1
+		}
+		total := per * clients
+		cfg := core.Config{OpThreads: reqThreads, NoFairScheduler: !fair}
+		lat = make([]float64, total)
+		rows = make([]int64, total)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					global := c*per + i
+					q0 := time.Now()
+					if global%writeEvery == writeEvery-1 {
+						writeQ(global/writeEvery, cfg)
+						rows[global] = -1
+					} else {
+						rows[global] = readQ(seeds[global%len(seeds)], cfg)
+					}
+					lat[global] = float64(time.Since(q0).Nanoseconds()) / 1e6
+				}
+			}(c)
+		}
+		wg.Wait()
+		el := time.Since(t0)
+		return float64(total) / el.Seconds(), lat, rows, total / writeEvery
+	}
+	pct := func(lat []float64, q float64) float64 {
+		sort.Float64s(lat)
+		i := int(q * float64(len(lat)))
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	// cell measures one client count: seven reps per scheduler, the two
+	// schedulers interleaved rep by rep so slow environmental drift (CPU
+	// contention from neighbors, thermal state) lands on both sides of the
+	// comparison instead of one block. Throughput is the best rep (rep 0
+	// absorbs the cold caches and GC debt left by dataset loading); the
+	// latency percentiles are computed over all reps' pooled samples — on a
+	// small host, GC cycles land on arbitrary reps, so a single rep's tail
+	// measures that lottery while the pooled tail converges on what each
+	// scheduler sustains. Read rows are identical across reps (reads never
+	// touch the :W edges the writes mutate), so the cross-scheduler row
+	// comparison uses the last rep's.
+	type cellStats struct {
+		qps    float64
+		pooled []float64
+		rows   []int64
+		writes int
+	}
+	cell := func(clients int) (fair, base cellStats) {
+		for rep := 0; rep < 7; rep++ {
+			for _, m := range []*cellStats{&fair, &base} {
+				runtime.GC()
+				q, l, r, w := run(clients, m == &fair)
+				cleanup()
+				m.qps = math.Max(m.qps, q)
+				m.pooled = append(m.pooled, l...)
+				m.rows, m.writes = r, w
+			}
+		}
+		return fair, base
+	}
+
+	var out []ConcurrentLoadResult
+	for _, clients := range []int{1, 4, 16, 64} {
+		fair, base := cell(clients)
+		fairQPS, fairP50, fairP99 := fair.qps, pct(fair.pooled, 0.50), pct(fair.pooled, 0.99)
+		baseQPS, baseP50, baseP99 := base.qps, pct(base.pooled, 0.50), pct(base.pooled, 0.99)
+		fairRows, baseRows, writes := fair.rows, base.rows, fair.writes
+		equal := len(fairRows) == len(baseRows)
+		for i := 0; equal && i < len(fairRows); i++ {
+			equal = fairRows[i] == baseRows[i]
+		}
+		r := ConcurrentLoadResult{
+			Dataset: d.Name, Clients: clients, Ops: len(fairRows), Writes: writes,
+			FairQPS: fairQPS, FairP50MS: fairP50, FairP99MS: fairP99,
+			BaseQPS: baseQPS, BaseP50MS: baseP50, BaseP99MS: baseP99,
+			QPSRatio: fairQPS / baseQPS, RowsEqual: equal,
+		}
+		r.P99Ratio = r.FairP99MS / r.BaseP99MS
+		out = append(out, r)
+		fmt.Fprintf(s.w, "  %-14s clients=%-3d fair %8.0f q/s p50 %7.2f p99 %7.2f ms | base %8.0f q/s p50 %7.2f p99 %7.2f ms | qps %4.2fx p99 %4.2fx rows-equal=%v\n",
+			r.Dataset, r.Clients, r.FairQPS, r.FairP50MS, r.FairP99MS,
+			r.BaseQPS, r.BaseP50MS, r.BaseP99MS, r.QPSRatio, r.P99Ratio, r.RowsEqual)
+		if !equal {
+			panic("bench: concurrent-load: fair and baseline schedulers returned different rows")
+		}
+	}
+	fmt.Fprintln(s.w)
+	return out
+}

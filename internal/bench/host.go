@@ -1,0 +1,23 @@
+package bench
+
+import "runtime"
+
+// HostInfo is the uniform host block stamped into every BENCH_*.json
+// artifact, so a perf trajectory across commits can tell a regression from a
+// host change (fewer cores, a different toolchain, an instrumented build).
+type HostInfo struct {
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"numcpu"`
+	GoVersion   string `json:"go_version"`
+	RaceEnabled bool   `json:"race_enabled"`
+}
+
+// Host snapshots the current process's host block.
+func Host() HostInfo {
+	return HostInfo{
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		GoVersion:   runtime.Version(),
+		RaceEnabled: raceEnabled,
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports whether the binary was built with the race detector
+// (set per build via the race build tag).
+const raceEnabled = true

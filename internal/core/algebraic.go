@@ -30,6 +30,16 @@ type algebraicOperand struct {
 	// over the global NVals/dim figure, which both ignores the frontier's
 	// label and dilutes the mean with the matrix's padded dimension.
 	meanDeg float64
+	// connCand, when positive, is the planner's conditioned connected-
+	// candidate count: how many output columns carry at least one entry in
+	// this operand's effective matrix (the relation's in-direction Conn
+	// cells, summed over the traversed types). A pull probe over an
+	// unconnected column terminates on a row-pointer check without scanning
+	// anything, so the chooser charges only the connected columns the full
+	// probe cost — on graphs where edges concentrate on a few columns this
+	// collapses the pull estimate by orders of magnitude. Zero means
+	// unknown: every candidate is assumed connected, the pre-hint formula.
+	connCand int
 }
 
 // algebraicExpr is the product RedisGraph builds for each traversal:
@@ -114,6 +124,11 @@ const (
 	// candidates have short in-lists and dense-frontier hits exit on the
 	// first couple of entries — so 1.2 biases the tie slightly toward push.
 	pullProbeCost = 1.2
+	// emptyProbeCost is the per-candidate cost of a pull probe that finds an
+	// empty in-list: two row-pointer loads and a compare, no entry scanned
+	// and no frontier lookup. Charged to the candidates beyond the operand's
+	// conditioned connected count (connCand), when the planner supplied one.
+	emptyProbeCost = 0.1
 	// expandProbeCost compares an expand-into point probe (a binary search,
 	// ~log degree) against building the record's whole ~mean-degree result
 	// row in the push path.
@@ -169,12 +184,26 @@ func (ctx *execCtx) choosePull(op *algebraicOperand, fnnz, candidates int) (*grb
 	// Both kernels now split their work across the shared morsel pool
 	// (row-partitioned push, column-partitioned pull), so the thread budget
 	// cancels out of the comparison.
-	pullCost := float64(candidates) * pullProbeCost
+	pullCost := pullCostEst(op, candidates)
 	if pushCost <= pullCost {
 		return nil, false
 	}
 	bt := ctx.resolveOperandT(op)
 	return bt, bt != nil
+}
+
+// pullCostEst prices a pull evaluation over `candidates` output positions.
+// With a conditioned connected-candidate hint, only connCand columns pay a
+// full early-exit probe; the rest are empty in-lists dismissed by a
+// row-pointer check. The hint is an upper bound summed over the traversed
+// types (shared columns counted once per type), so a hint at or above the
+// candidate count degenerates to the unconditioned all-connected formula.
+func pullCostEst(op *algebraicOperand, candidates int) float64 {
+	if op.connCand > 0 && op.connCand < candidates {
+		return float64(op.connCand)*pullProbeCost +
+			float64(candidates-op.connCand)*emptyProbeCost
+	}
+	return float64(candidates) * pullProbeCost
 }
 
 // choosePullVec is the vector-frontier chooser (per-record and var-length
@@ -195,7 +224,7 @@ func (ctx *execCtx) choosePullVec(op *algebraicOperand, frontier *grb.Vector, ca
 	if b == nil {
 		return nil, false
 	}
-	budget := float64(candidates) * pullProbeCost
+	budget := pullCostEst(op, candidates)
 	pushCost := 0.0
 	frontier.Iterate(func(i grb.Index, _ float64) bool {
 		pushCost += float64(b.RowDegree(i))

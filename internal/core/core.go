@@ -8,6 +8,7 @@ import (
 	"redisgraph/internal/cypher"
 	"redisgraph/internal/graph"
 	"redisgraph/internal/grb"
+	"redisgraph/internal/pool"
 	"redisgraph/internal/value"
 )
 
@@ -63,6 +64,38 @@ type Config struct {
 	// private instantiated clones. Nil plans every query from scratch —
 	// the differential baseline behind GRAPH.CONFIG SET PLAN_CACHE_SIZE 0.
 	PlanCache *PlanCache
+	// NoFairScheduler disables multi-tenant scheduling: the query does not
+	// register a scheduling context with the shared pool and runs with its
+	// full configured thread count regardless of concurrent load — the PR 8
+	// behaviour, kept as the differential baseline and safety valve
+	// (GRAPH.CONFIG SET FAIR_SCHEDULER 0).
+	NoFairScheduler bool
+
+	// sched is the query's scheduling context, set by beginSched once the
+	// query registers with the pool's fair dispatcher.
+	sched *pool.SchedCtx
+	// reqThreads preserves the configured thread count after OpThreads is
+	// clamped to the elastic share, for PROFILE's scheduler line.
+	reqThreads int
+}
+
+// beginSched registers one query execution with the pool's fair scheduler
+// and resolves the elastic thread budget: the configured thread count
+// clamped to this query's share of the global budget (budget divided by
+// active queries, floor 1). It must run before planning so segment counts
+// and thread-scaled batch sizes see the elastic value — and so the plan
+// cache keys on the effective count, which takes at most budget distinct
+// values. The caller must End() the returned context (nil under
+// NoFairScheduler).
+func beginSched(cfg Config) (Config, *pool.SchedCtx) {
+	if cfg.NoFairScheduler {
+		return cfg, nil
+	}
+	sc := pool.BeginQuery()
+	cfg.sched = sc
+	cfg.reqThreads = cfg.threads()
+	cfg.OpThreads = pool.EffectiveThreads(cfg.reqThreads)
+	return cfg, sc
 }
 
 // threads resolves OpThreads to the effective per-query thread budget
@@ -76,7 +109,7 @@ func (c Config) threads() int {
 }
 
 func (c Config) descriptor() *grb.Descriptor {
-	return &grb.Descriptor{NThreads: c.threads()}
+	return &grb.Descriptor{NThreads: c.threads(), Sched: c.sched}
 }
 
 // planFor resolves a query to an executable plan: through the plan cache
@@ -97,6 +130,10 @@ func planFor(g *graph.Graph, query string, cfg Config) (plan *Plan, cached bool,
 // Query parses, plans and executes a Cypher query against g, taking the
 // graph's write or read lock according to the query's effect.
 func Query(g *graph.Graph, query string, params map[string]value.Value, cfg Config) (*ResultSet, error) {
+	cfg, sc := beginSched(cfg)
+	if sc != nil {
+		defer sc.End()
+	}
 	plan, _, err := planFor(g, query, cfg)
 	if err != nil {
 		return nil, err
@@ -138,6 +175,10 @@ func maybeSyncLocked(g *graph.Graph) {
 
 // ROQuery executes a query that must be read-only (GRAPH.RO_QUERY).
 func ROQuery(g *graph.Graph, query string, params map[string]value.Value, cfg Config) (*ResultSet, error) {
+	cfg, sc := beginSched(cfg)
+	if sc != nil {
+		defer sc.End()
+	}
 	plan, _, err := planFor(g, query, cfg)
 	if err != nil {
 		return nil, err
@@ -174,6 +215,7 @@ func execute(g *graph.Graph, plan *Plan, params map[string]value.Value, cfg Conf
 		batch:   cfg.TraverseBatch,
 		threads: cfg.threads(),
 		kernel:  kernel,
+		sched:   cfg.sched,
 	}
 	if cfg.Timeout > 0 {
 		ctx.deadline = time.Now().Add(cfg.Timeout)
@@ -233,6 +275,15 @@ func planSourceLine(cfg Config, cached bool) (string, bool) {
 	return fmt.Sprintf("plan: %s | %s", src, pc.Counters()), true
 }
 
+// schedulerLine renders PROFILE's scheduler accounting: the effective
+// thread count the fair scheduler granted (vs the configured request), the
+// concurrent-query count it was derived from, and how much of the query's
+// morsel work pool workers ran.
+func schedulerLine(cfg Config, sc *pool.SchedCtx) string {
+	return fmt.Sprintf("scheduler: effective-threads: %d/%d | active-queries: %d | stolen-morsels: %d | worker-time: %.6f ms",
+		cfg.threads(), cfg.reqThreads, pool.ActiveQueries(), sc.StolenMorsels(), float64(sc.WorkerNanos())/1e6)
+}
+
 // estAnnotation renders an operation's estimated output cardinality for
 // EXPLAIN/PROFILE lines.
 func (p *Plan) estAnnotation(op operation) string {
@@ -261,6 +312,10 @@ func fmtEst(e float64) string {
 // Profile executes the query with per-operation accounting and returns the
 // annotated plan tree (GRAPH.PROFILE).
 func Profile(g *graph.Graph, query string, params map[string]value.Value, cfg Config) ([]string, error) {
+	cfg, sc := beginSched(cfg)
+	if sc != nil {
+		defer sc.End()
+	}
 	plan, cached, err := planFor(g, query, cfg)
 	if err != nil {
 		return nil, err
@@ -289,6 +344,9 @@ func Profile(g *graph.Graph, query string, params map[string]value.Value, cfg Co
 	var lines []string
 	if line, ok := planSourceLine(cfg, cached); ok {
 		lines = append(lines, line)
+	}
+	if sc != nil {
+		lines = append(lines, schedulerLine(cfg, sc))
 	}
 	printPlan(plan.root, 0, &lines, func(op operation) string {
 		s := plan.estAnnotation(op)

@@ -5,6 +5,7 @@ import (
 
 	"redisgraph/internal/graph"
 	"redisgraph/internal/grb"
+	"redisgraph/internal/pool"
 	"redisgraph/internal/value"
 )
 
@@ -34,6 +35,10 @@ type execCtx struct {
 	// deadline, when non-zero, aborts long queries (the benchmark's timeout
 	// guard; the paper reports RedisGraph had none on the large graphs).
 	deadline time.Time
+	// sched is the query's pool scheduling context (nil under
+	// FAIR_SCHEDULER 0): pipeline segments and kernel morsels submitted
+	// through it are attributed to this query by the fair dispatcher.
+	sched *pool.SchedCtx
 }
 
 type opCacheKey struct {
@@ -157,7 +162,7 @@ func scaledBatch(base, threads int) int {
 func (ctx *execCtx) forWorker() *execCtx {
 	c := *ctx
 	c.opCache = nil
-	c.desc = &grb.Descriptor{NThreads: 1}
+	c.desc = &grb.Descriptor{NThreads: 1, Sched: ctx.sched}
 	c.threads = 1
 	return &c
 }

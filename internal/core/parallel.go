@@ -261,7 +261,7 @@ type parallelSeg struct {
 // segment state afterwards without further synchronisation.
 func (s *parallelSeg) runSegments(ctx *execCtx, drain func(k int, wctx *execCtx) error) error {
 	errs := make([]error, len(s.segs))
-	pool.Parallel(len(s.segs), len(s.segs), func(k int) {
+	pool.ParallelCtx(ctx.sched, len(s.segs), len(s.segs), func(k int) {
 		start := time.Now()
 		errs[k] = drain(k, ctx.forWorker())
 		s.workerNanos.Add(time.Since(start).Nanoseconds())

@@ -637,6 +637,25 @@ func (b *planBuilder) buildHop(srcVar string, dstNode *cypher.NodePattern, dstVa
 	if hopDeg >= 0 {
 		rop.meanDeg = hopDeg
 	}
+	// Conditioned candidate estimate: the pull kernel probes every output
+	// column's in-list, but only columns with at least one entry in the
+	// effective matrix cost a real probe. The any-label Conn cells count
+	// exactly those columns — the IN-direction cell for a forward traversal
+	// (columns of R are edge destinations), the OUT cell for the transposed
+	// operand, both for undirected — so the chooser can price the empty
+	// remainder at a row-pointer check instead of a full probe.
+	if b.cond != nil && !anyType {
+		conn := 0
+		for _, tid := range typeIDs {
+			if dir != cypher.DirIn {
+				conn += b.cond.InCell(tid, -1).Conn
+			}
+			if dir != cypher.DirOut {
+				conn += b.cond.OutCell(tid, -1).Conn
+			}
+		}
+		rop.connCand = conn
+	}
 	ae := &algebraicExpr{operands: []algebraicOperand{rop}}
 
 	dstBound := b.bound[dstVar]

@@ -97,6 +97,10 @@ func countOps(op operation) int {
 type PlanCache struct {
 	mu       sync.Mutex
 	capacity int
+	// maxBytes bounds the summed estimated resident size of cached
+	// templates (0 = entries-only bounding): LRU entries evict until the
+	// estimate fits — the byte-budget policy on top of the PR 8 accounting.
+	maxBytes int64
 	lru      *list.List // of *planEntry; front = most recently used
 	entries  map[planKey]*list.Element
 
@@ -128,6 +132,26 @@ func (pc *PlanCache) Capacity() int {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	return pc.capacity
+}
+
+// SetMaxBytes rebounds the cache's byte budget (GRAPH.CONFIG SET
+// PLAN_CACHE_MAX_BYTES; 0 = no byte budget), evicting least-recently-used
+// templates until the resident estimate fits.
+func (pc *PlanCache) SetMaxBytes(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.maxBytes = n
+	pc.evictOver()
+}
+
+// MaxBytes returns the current byte budget (0 = none).
+func (pc *PlanCache) MaxBytes() int64 {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.maxBytes
 }
 
 // Len returns the number of cached templates.
@@ -213,9 +237,14 @@ func (pc *PlanCache) insert(ent *planEntry) {
 	pc.evictOver()
 }
 
-// evictOver drops least-recently-used entries past capacity. Caller holds mu.
+// evictOver drops least-recently-used entries past the entry capacity and,
+// when a byte budget is set, past the resident-size estimate — but never
+// the most-recently-used entry, so one oversized template still caches
+// (evicting it would only force a replan on the next request without
+// freeing anything the budget could use). Caller holds mu.
 func (pc *PlanCache) evictOver() {
-	for pc.lru.Len() > pc.capacity {
+	for pc.lru.Len() > pc.capacity ||
+		(pc.maxBytes > 0 && pc.bytes.Load() > pc.maxBytes && pc.lru.Len() > 1) {
 		el := pc.lru.Back()
 		if el == nil {
 			return
@@ -242,6 +271,8 @@ func (pc *PlanCache) refresh(ent *planEntry, tmpl *Plan, epoch, schemaVersion ui
 			pc.bytes.Add(size - ent.size)
 		}
 		ent.size = size
+		// A replanned template may be larger; re-apply the byte budget.
+		pc.evictOver()
 	}
 	ent.epoch, ent.schemaVersion, ent.stats = epoch, schemaVersion, st
 }

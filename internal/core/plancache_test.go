@@ -467,3 +467,75 @@ func TestPlanCacheBytes(t *testing.T) {
 		t.Errorf("InvalidateGraph left %d bytes", b)
 	}
 }
+
+// TestPlanCacheByteBudgetEviction pins the PLAN_CACHE_MAX_BYTES policy:
+// under byte pressure the cache evicts LRU templates until the resident
+// estimate fits, both when the budget shrinks (SetMaxBytes) and on every
+// insert while the budget holds — while the most-recently-used template
+// always survives, even when it alone exceeds the budget.
+func TestPlanCacheByteBudgetEviction(t *testing.T) {
+	g := adversarialGraph(t, 100)
+	pc := NewPlanCache(32)
+	cached := Config{PlanCache: pc}
+	uncached := Config{}
+	queries := []string{
+		`MATCH (a:Hub {uid: $id}) RETURN a.uid`,
+		`MATCH (a:Hub {uid: $id})-[:D]->(b) RETURN b.uid`,
+		`MATCH (a:Hub)-[:D]->(b:Hub) WHERE b.uid < $id RETURN count(b)`,
+		`MATCH (a:Rare) RETURN a.uid`,
+	}
+	for _, q := range queries {
+		runSortedP(t, g, q, intParam("id", 1), cached)
+	}
+	full := pc.Counters().Bytes
+	if full <= 0 || pc.Len() != len(queries) {
+		t.Fatalf("setup: %d templates, %d bytes", pc.Len(), full)
+	}
+	// Shrink the budget to roughly half the resident estimate: LRU entries
+	// must go until the sum fits, with evictions counted.
+	evBefore := pc.Counters().Evictions
+	pc.SetMaxBytes(full / 2)
+	c := pc.Counters()
+	if c.Bytes > full/2 {
+		t.Errorf("SetMaxBytes(%d) left %d resident bytes", full/2, c.Bytes)
+	}
+	if pc.Len() >= len(queries) {
+		t.Errorf("byte pressure evicted nothing: %d templates resident", pc.Len())
+	}
+	if c.Evictions == evBefore {
+		t.Errorf("byte-pressure evictions not counted")
+	}
+	// Inserts under a one-template-sized budget keep evicting LRU entries;
+	// results stay correct and the MRU template always survives.
+	pc.SetMaxBytes(full / int64(len(queries)))
+	for round := 0; round < 3; round++ {
+		for qi, q := range queries {
+			p := intParam("id", int64(round*10+qi))
+			got := runSortedP(t, g, q, p, cached)
+			want := runSortedP(t, g, q, p, uncached)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("round=%d divergence on %s", round, q)
+			}
+			if n := pc.Len(); n < 1 {
+				t.Errorf("budgeted cache must retain the MRU template, holds %d", n)
+			}
+		}
+	}
+	if pc.MaxBytes() != full/int64(len(queries)) {
+		t.Errorf("MaxBytes getter = %d", pc.MaxBytes())
+	}
+	// A budget below any single template still caches exactly one entry.
+	pc.SetMaxBytes(1)
+	runSortedP(t, g, queries[0], intParam("id", 99), cached)
+	if n := pc.Len(); n != 1 {
+		t.Errorf("one-byte budget holds %d templates, want 1 (MRU keepalive)", n)
+	}
+	// Lifting the budget restores entry-count-only bounding.
+	pc.SetMaxBytes(0)
+	for _, q := range queries {
+		runSortedP(t, g, q, intParam("id", 7), cached)
+	}
+	if pc.Len() != len(queries) {
+		t.Errorf("budget off: %d templates, want %d", pc.Len(), len(queries))
+	}
+}

@@ -1,5 +1,7 @@
 package grb
 
+import "redisgraph/internal/pool"
+
 // Descriptor modifies operation behaviour, mirroring GrB_Descriptor fields.
 // The zero value (and a nil *Descriptor) means default behaviour.
 type Descriptor struct {
@@ -18,6 +20,11 @@ type Descriptor struct {
 	// GxB_NTHREADS. 0 or 1 keeps the operation on the calling goroutine,
 	// which is the RedisGraph one-core-per-query configuration.
 	NThreads int
+	// Sched tags every morsel this operation submits with the owning
+	// query's scheduling context, so the shared pool's fair dispatcher can
+	// attribute and balance work across concurrent queries. Nil falls back
+	// to the pool's background context.
+	Sched *pool.SchedCtx
 }
 
 func (d *Descriptor) replace() bool {
@@ -45,6 +52,13 @@ func (d *Descriptor) nthreads() int {
 		return 1
 	}
 	return d.NThreads
+}
+
+func (d *Descriptor) sched() *pool.SchedCtx {
+	if d == nil {
+		return nil
+	}
+	return d.Sched
 }
 
 // DescT0 transposes the first input; DescT1 the second; DescRC is

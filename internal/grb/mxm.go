@@ -113,7 +113,7 @@ func mxmOnRows(c *Matrix, mask *Matrix, accum *BinaryOp, s Semiring, a *Matrix, 
 	}
 	parts := make([]partial, nparts)
 
-	parallelRanges(a.nrows, nth, mxmRowGrain, func(part, lo, hi int) {
+	parallelRanges(d.sched(), a.nrows, nth, mxmRowGrain, func(part, lo, hi int) {
 		ws := getMxMWorkspace(bncols)
 		wval, mark := ws.wval, ws.mark
 		base := mxmStamp.Add(int64(hi-lo)) - int64(hi-lo)

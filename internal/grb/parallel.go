@@ -47,18 +47,19 @@ func partitionParts(n, nthreads, grain int) int {
 
 // parallelRanges splits [0, n) into partitionParts(n, nthreads, grain)
 // contiguous ascending ranges and runs fn exactly once per range, fanning
-// the morsels out across the shared pool. Part indices order the ranges, so
-// per-part results concatenated in part order are deterministic regardless
-// of which participant ran which morsel or in what order. A single part runs
-// inline on the calling goroutine. All fn effects are visible when
-// parallelRanges returns.
-func parallelRanges(n, nthreads, grain int, fn func(part, lo, hi int)) {
+// the morsels out across the shared pool under the query's scheduling
+// context (nil = background). Part indices order the ranges, so per-part
+// results concatenated in part order are deterministic regardless of which
+// participant ran which morsel or in what order. A single part runs inline
+// on the calling goroutine. All fn effects are visible when parallelRanges
+// returns.
+func parallelRanges(sc *pool.SchedCtx, n, nthreads, grain int, fn func(part, lo, hi int)) {
 	parts := partitionParts(n, nthreads, grain)
 	if parts == 1 {
 		fn(0, 0, n)
 		return
 	}
-	pool.Parallel(nthreads, parts, func(p int) {
+	pool.ParallelCtx(sc, nthreads, parts, func(p int) {
 		fn(p, p*n/parts, (p+1)*n/parts)
 	})
 }

@@ -35,7 +35,7 @@ func TestParallelRangesCoversExactly(t *testing.T) {
 	for _, n := range []int{0, 1, 5, 64, 257, 1000} {
 		for _, nth := range []int{1, 2, 4, 8} {
 			counts := make([]int32, n)
-			parallelRanges(n, nth, 16, func(part, lo, hi int) {
+			parallelRanges(nil, n, nth, 16, func(part, lo, hi int) {
 				for i := lo; i < hi; i++ {
 					counts[i]++ // parts own disjoint ranges: no atomics needed
 				}

@@ -76,7 +76,7 @@ func pullVxM(w *Vector, mask *Vector, accum *BinaryOp, s Semiring, u *Vector, at
 		val []float64
 	}
 	parts := make([]partial, nparts)
-	parallelRanges(atR, nth, rangeGrain, func(part, lo, hi int) {
+	parallelRanges(d.sched(), atR, nth, rangeGrain, func(part, lo, hi int) {
 		p := &parts[part]
 		var rowBuf rowScratch
 		for i := lo; i < hi; i++ {
@@ -277,7 +277,7 @@ func MxMPull(c *Matrix, s Semiring, f *Matrix, bt rowSource, keep ColMask, d *De
 			bits []uint64
 		}
 		hits := make([]pullHits, nparts)
-		parallelRanges(btR, nth, rangeGrain, func(part, lo, hi int) {
+		parallelRanges(d.sched(), btR, nth, rangeGrain, func(part, lo, hi int) {
 			h := &hits[part]
 			pacc := make([]uint64, words)
 			var rowBuf rowScratch

@@ -97,7 +97,7 @@ func SelectCols(m *Matrix, keep ColMask, d *Descriptor) {
 		vv []float64
 	}
 	parts := make([]partial, nparts)
-	parallelRanges(m.nrows, nth, selectGrain, func(part, lo, hi int) {
+	parallelRanges(d.sched(), m.nrows, nth, selectGrain, func(part, lo, hi int) {
 		p := &parts[part]
 		p.rp = make([]int, hi-lo+1)
 		for i := lo; i < hi; i++ {

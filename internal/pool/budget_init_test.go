@@ -1,0 +1,19 @@
+package pool
+
+import "testing"
+
+// TestSetBudgetBeforePoolStart pins a regression: SetBudget used to
+// broadcast on sched.cond unconditionally, which is nil until the first
+// morsel job lazily starts the pool — so a server configured with
+// GLOBAL_THREAD_BUDGET panicked at startup (and left sched.mu held, turning
+// every later SetBudget into a deadlock). The file name sorts this test
+// ahead of the others in the package so it actually runs before anything
+// has started the pool; under -run filtering it reproduces regardless.
+func TestSetBudgetBeforePoolStart(t *testing.T) {
+	defer SetBudget(0)
+	SetBudget(2)
+	if got := Budget(); got != 2 {
+		t.Fatalf("Budget() = %d, want 2", got)
+	}
+	SetBudget(0)
+}

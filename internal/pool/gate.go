@@ -1,0 +1,172 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrBusy is returned by Gate.Acquire when the concurrent-query limit is
+// saturated and the queue-wait deadline expires before a slot frees. The
+// server surfaces it as a Redis -BUSY error so clients can back off and
+// retry instead of piling requests onto an overloaded pool.
+var ErrBusy = errors.New("BUSY max concurrent queries reached and queue wait exceeded the admission timeout")
+
+// Gate is the inter-query admission control: a bounded concurrent-query
+// semaphore with FIFO queueing. Queries past the limit wait in arrival
+// order up to a per-query deadline, then fail fast with ErrBusy — bounded
+// queueing instead of unbounded pile-up. A limit of 0 means unbounded
+// (admission control off), the differential baseline.
+type Gate struct {
+	mu       sync.Mutex
+	limit    int
+	inflight int
+	queue    []*gateWaiter
+
+	admitted    atomic.Int64 // queries admitted (immediately or after queueing)
+	queuedTotal atomic.Int64 // queries that had to queue
+	rejected    atomic.Int64 // queries that timed out waiting
+	waitNanos   atomic.Int64 // cumulative queue-wait time of admitted queries
+}
+
+type gateWaiter struct {
+	ready   chan struct{}
+	granted bool // set under Gate.mu before ready is closed
+}
+
+// NewGate returns a gate admitting up to limit concurrent queries
+// (0 = unbounded).
+func NewGate(limit int) *Gate {
+	if limit < 0 {
+		limit = 0
+	}
+	return &Gate{limit: limit}
+}
+
+// SetLimit changes the concurrency limit live. Raising it (or setting 0)
+// admits queued waiters immediately; lowering it never evicts queries
+// already running — the inflight count drains naturally.
+func (g *Gate) SetLimit(limit int) {
+	if limit < 0 {
+		limit = 0
+	}
+	g.mu.Lock()
+	g.limit = limit
+	g.admitQueuedLocked()
+	g.mu.Unlock()
+}
+
+// Limit reports the current concurrency limit (0 = unbounded).
+func (g *Gate) Limit() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.limit
+}
+
+// admitQueuedLocked promotes FIFO waiters while capacity allows.
+func (g *Gate) admitQueuedLocked() {
+	for len(g.queue) > 0 && (g.limit == 0 || g.inflight < g.limit) {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		g.inflight++
+		g.admitted.Add(1)
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// Acquire admits one query, queueing FIFO behind the limit for at most
+// timeout (<= 0 means fail immediately when saturated). It reports how long
+// the query waited; on timeout it returns ErrBusy and the query must not
+// run. Every successful Acquire must be paired with Release.
+func (g *Gate) Acquire(timeout time.Duration) (time.Duration, error) {
+	g.mu.Lock()
+	if g.limit == 0 || g.inflight < g.limit {
+		g.inflight++
+		g.admitted.Add(1)
+		g.mu.Unlock()
+		return 0, nil
+	}
+	if timeout <= 0 {
+		g.rejected.Add(1)
+		g.mu.Unlock()
+		return 0, ErrBusy
+	}
+	w := &gateWaiter{ready: make(chan struct{})}
+	g.queue = append(g.queue, w)
+	g.queuedTotal.Add(1)
+	g.mu.Unlock()
+
+	start := time.Now()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		wait := time.Since(start)
+		g.waitNanos.Add(wait.Nanoseconds())
+		return wait, nil
+	case <-timer.C:
+	}
+	// Deadline expired; a grant may have raced it. Decide under the lock.
+	g.mu.Lock()
+	if w.granted {
+		g.mu.Unlock()
+		wait := time.Since(start)
+		g.waitNanos.Add(wait.Nanoseconds())
+		return wait, nil
+	}
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			break
+		}
+	}
+	g.rejected.Add(1)
+	g.mu.Unlock()
+	return 0, ErrBusy
+}
+
+// Release returns one admission slot and promotes the next FIFO waiter.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	if g.inflight > 0 {
+		g.inflight--
+	}
+	g.admitQueuedLocked()
+	g.mu.Unlock()
+}
+
+// GateStats is a counter snapshot for observability.
+type GateStats struct {
+	Limit       int   `json:"limit"`
+	Inflight    int   `json:"inflight"`
+	QueuedNow   int   `json:"queued_now"`
+	Admitted    int64 `json:"admitted"`
+	QueuedTotal int64 `json:"queued_total"`
+	Rejected    int64 `json:"rejected"`
+	WaitNanos   int64 `json:"wait_nanos"`
+}
+
+// Snapshot reads the gate counters.
+func (g *Gate) Snapshot() GateStats {
+	g.mu.Lock()
+	limit, inflight, queued := g.limit, g.inflight, len(g.queue)
+	g.mu.Unlock()
+	return GateStats{
+		Limit:       limit,
+		Inflight:    inflight,
+		QueuedNow:   queued,
+		Admitted:    g.admitted.Load(),
+		QueuedTotal: g.queuedTotal.Load(),
+		Rejected:    g.rejected.Load(),
+		WaitNanos:   g.waitNanos.Load(),
+	}
+}
+
+// String renders the snapshot for PROFILE / logs.
+func (s GateStats) String() string {
+	return fmt.Sprintf("limit=%d inflight=%d queued=%d admitted=%d rejected=%d",
+		s.Limit, s.Inflight, s.QueuedNow, s.Admitted, s.Rejected)
+}

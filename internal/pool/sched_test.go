@@ -1,0 +1,246 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEffectiveThreads checks the elastic share: budget divided by active
+// queries, floor 1, clamped to the requested count.
+func TestEffectiveThreads(t *testing.T) {
+	SetBudget(8)
+	defer SetBudget(0)
+	if got := EffectiveThreads(16); got != 8 {
+		t.Fatalf("one active query: EffectiveThreads(16) = %d, want 8", got)
+	}
+	if got := EffectiveThreads(3); got != 3 {
+		t.Fatalf("request below share: EffectiveThreads(3) = %d, want 3", got)
+	}
+	scs := make([]*SchedCtx, 4)
+	for i := range scs {
+		scs[i] = BeginQuery()
+	}
+	if got := EffectiveThreads(16); got != 2 {
+		t.Fatalf("4 active queries, budget 8: EffectiveThreads(16) = %d, want 2", got)
+	}
+	for _, sc := range scs[1:] {
+		sc.End()
+	}
+	// 1 active query again (scs[0] still live).
+	if got := EffectiveThreads(16); got != 8 {
+		t.Fatalf("after End: EffectiveThreads(16) = %d, want 8", got)
+	}
+	scs[0].End()
+	SetBudget(1)
+	for i := 0; i < 3; i++ {
+		sc := BeginQuery()
+		defer sc.End()
+	}
+	if got := EffectiveThreads(16); got != 1 {
+		t.Fatalf("budget 1: EffectiveThreads(16) = %d, want 1 (floor)", got)
+	}
+}
+
+// TestParallelCtxAccounting checks a tagged job attributes its service time
+// and morsel counts to the submitting context.
+func TestParallelCtxAccounting(t *testing.T) {
+	sc := BeginQuery()
+	defer sc.End()
+	var sum atomic.Int64
+	ParallelCtx(sc, 4, 64, func(i int) {
+		sum.Add(int64(i))
+		time.Sleep(50 * time.Microsecond)
+	})
+	if want := int64(64 * 63 / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+	if sc.ServedNanos() <= 0 {
+		t.Fatalf("ServedNanos = %d, want > 0", sc.ServedNanos())
+	}
+	if sc.morsels.Load() != 64 {
+		t.Fatalf("morsels = %d, want 64", sc.morsels.Load())
+	}
+	if sc.StolenMorsels()+sc.morsels.Load() < 64 {
+		t.Fatalf("stolen %d exceeds morsel count", sc.StolenMorsels())
+	}
+}
+
+// TestBudgetOneIsCallerSerial checks GLOBAL_THREAD_BUDGET=1 keeps pool
+// workers out entirely: every morsel runs on the submitting goroutine.
+func TestBudgetOneIsCallerSerial(t *testing.T) {
+	SetBudget(1)
+	defer SetBudget(0)
+	sc := BeginQuery()
+	defer sc.End()
+	var ran atomic.Int32
+	ParallelCtx(sc, 8, 100, func(i int) { ran.Add(1) })
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d morsels, want 100", ran.Load())
+	}
+	if sc.StolenMorsels() != 0 {
+		t.Fatalf("budget 1: %d morsels ran on pool workers, want 0", sc.StolenMorsels())
+	}
+}
+
+// TestFairPickPrefersLeastServed checks the dispatcher's pick: a context
+// with heavy accumulated service loses to a fresh one at equal age.
+func TestFairPickPrefersLeastServed(t *testing.T) {
+	heavy, light := BeginQuery(), BeginQuery()
+	defer heavy.End()
+	defer light.End()
+	heavy.served.Store(int64(time.Second))
+	now := time.Now().UnixNano()
+	heavy.waitingSince, light.waitingSince = now, now
+	sched.mu.Lock()
+	sched.pending = append(sched.pending, heavy, light)
+	got := pickFair(now)
+	sched.pending = sched.pending[:len(sched.pending)-2]
+	sched.mu.Unlock()
+	if got != light {
+		t.Fatalf("pickFair chose the heavily-served context")
+	}
+	// Aging: once the heavy context has waited long enough, it wins again.
+	heavy.waitingSince = now - int64(2*time.Second)
+	sched.mu.Lock()
+	sched.pending = append(sched.pending, heavy, light)
+	got = pickFair(now)
+	sched.pending = sched.pending[:len(sched.pending)-2]
+	sched.mu.Unlock()
+	if got != heavy {
+		t.Fatalf("aged context did not regain priority")
+	}
+}
+
+// TestConcurrentTaggedJobs hammers the fair dispatcher with many contexts
+// submitting at once; every job must complete exactly.
+func TestConcurrentTaggedJobs(t *testing.T) {
+	const queries, n = 16, 128
+	var wg sync.WaitGroup
+	sums := make([]int64, queries)
+	for q := 0; q < queries; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			sc := BeginQuery()
+			defer sc.End()
+			var sum atomic.Int64
+			ParallelCtx(sc, 4, n, func(i int) { sum.Add(int64(i)) })
+			sums[q] = sum.Load()
+		}(q)
+	}
+	wg.Wait()
+	want := int64(n * (n - 1) / 2)
+	for q, got := range sums {
+		if got != want {
+			t.Fatalf("query %d: sum = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestGateImmediateAdmission checks under-limit and unbounded acquires
+// admit without queueing.
+func TestGateImmediateAdmission(t *testing.T) {
+	g := NewGate(0)
+	for i := 0; i < 100; i++ {
+		if _, err := g.Acquire(0); err != nil {
+			t.Fatalf("unbounded gate rejected: %v", err)
+		}
+	}
+	s := g.Snapshot()
+	if s.Admitted != 100 || s.Rejected != 0 || s.QueuedTotal != 0 {
+		t.Fatalf("unbounded stats: %+v", s)
+	}
+	b := NewGate(2)
+	if _, err := b.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Acquire(0); err != ErrBusy {
+		t.Fatalf("saturated gate with no timeout: err = %v, want ErrBusy", err)
+	}
+}
+
+// TestGateFIFOAndRelease checks queued waiters are admitted in arrival
+// order as slots free.
+func TestGateFIFOAndRelease(t *testing.T) {
+	g := NewGate(1)
+	if _, err := g.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan int, 2)
+	var started sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		started.Add(1)
+		go func(i int) {
+			// Stagger arrival so FIFO order is deterministic.
+			time.Sleep(time.Duration(i) * 20 * time.Millisecond)
+			started.Done()
+			if _, err := g.Acquire(5 * time.Second); err != nil {
+				t.Errorf("waiter %d rejected: %v", i, err)
+				order <- -i
+				return
+			}
+			order <- i
+			g.Release()
+		}(i)
+	}
+	started.Wait()
+	time.Sleep(50 * time.Millisecond) // both queued
+	g.Release()
+	if first := <-order; first != 1 {
+		t.Fatalf("first admitted waiter = %d, want 1 (FIFO)", first)
+	}
+	if second := <-order; second != 2 {
+		t.Fatalf("second admitted waiter = %d, want 2", second)
+	}
+}
+
+// TestGateTimeoutBusy checks the queue-wait deadline fails fast with
+// ErrBusy and the slot is reclaimed from the queue.
+func TestGateTimeoutBusy(t *testing.T) {
+	g := NewGate(1)
+	if _, err := g.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := g.Acquire(30 * time.Millisecond); err != ErrBusy {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("timeout took %v", waited)
+	}
+	s := g.Snapshot()
+	if s.Rejected != 1 || s.QueuedNow != 0 {
+		t.Fatalf("after timeout: %+v", s)
+	}
+	// Releasing now admits a fresh acquire immediately.
+	g.Release()
+	if _, err := g.Acquire(0); err != nil {
+		t.Fatalf("post-release acquire: %v", err)
+	}
+}
+
+// TestGateSetLimitPromotes checks raising the limit (or unbounding it)
+// admits queued waiters without a Release.
+func TestGateSetLimitPromotes(t *testing.T) {
+	g := NewGate(1)
+	if _, err := g.Acquire(0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(5 * time.Second)
+		done <- err
+	}()
+	for g.Snapshot().QueuedNow == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	g.SetLimit(0)
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after SetLimit(0): %v", err)
+	}
+}

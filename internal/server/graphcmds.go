@@ -5,9 +5,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"redisgraph/internal/core"
 	"redisgraph/internal/cypher"
+	"redisgraph/internal/pool"
 	"redisgraph/internal/resp"
 	"redisgraph/internal/value"
 )
@@ -26,14 +28,27 @@ func (s *Server) resolvedOpThreads() int {
 // server's options and live GRAPH.CONFIG state.
 func (s *Server) queryConfig() core.Config {
 	return core.Config{
-		OpThreads:      s.resolvedOpThreads(),
-		TraverseBatch:  int(s.traverseBatch.Load()),
-		Timeout:        s.opts.QueryTimeout,
-		NoCostPlanner:  !s.costPlanner.Load(),
-		NoJoinPlanner:  !s.joinPlanner.Load(),
-		TraverseKernel: s.traverseKernel.Load().(string),
-		PlanCache:      s.planCache,
+		OpThreads:       s.resolvedOpThreads(),
+		TraverseBatch:   int(s.traverseBatch.Load()),
+		Timeout:         s.opts.QueryTimeout,
+		NoCostPlanner:   !s.costPlanner.Load(),
+		NoJoinPlanner:   !s.joinPlanner.Load(),
+		TraverseKernel:  s.traverseKernel.Load().(string),
+		PlanCache:       s.planCache,
+		NoFairScheduler: !s.fairScheduler.Load(),
 	}
+}
+
+// admitQuery takes one admission-gate slot for an executing query command,
+// queueing FIFO up to the live ADMISSION_TIMEOUT. On deadline it returns a
+// -BUSY error reply (release == nil) so saturated clients fail fast and
+// back off instead of piling onto the pool.
+func (s *Server) admitQuery() (wait time.Duration, release func(), busy resp.ErrorReply) {
+	wait, err := s.gate.Acquire(s.admissionTimeout())
+	if err != nil {
+		return 0, nil, resp.ErrorReply(err.Error())
+	}
+	return wait, s.gate.Release, ""
 }
 
 // maxTraverseBatch caps GRAPH.CONFIG SET TRAVERSE_BATCH: beyond this the
@@ -42,7 +57,7 @@ const maxTraverseBatch = 1 << 16
 
 // configParams lists every GRAPH.CONFIG parameter, in the order GET *
 // reports them.
-var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "JOIN_PLANNER", "TRAVERSE_KERNEL", "PLAN_CACHE_SIZE"}
+var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "JOIN_PLANNER", "TRAVERSE_KERNEL", "PLAN_CACHE_SIZE", "PLAN_CACHE_MAX_BYTES", "MAX_CONCURRENT_QUERIES", "ADMISSION_TIMEOUT", "GLOBAL_THREAD_BUDGET", "FAIR_SCHEDULER"}
 
 // configValue reads one live configuration parameter (an int64, or a string
 // for the enum-valued TRAVERSE_KERNEL).
@@ -72,6 +87,21 @@ func (s *Server) configValue(name string) any {
 		return s.traverseKernel.Load().(string)
 	case "PLAN_CACHE_SIZE":
 		return int64(s.planCache.Capacity())
+	case "PLAN_CACHE_MAX_BYTES":
+		return s.planCache.MaxBytes()
+	case "MAX_CONCURRENT_QUERIES":
+		return int64(s.gate.Limit())
+	case "ADMISSION_TIMEOUT":
+		return s.admissionTimeoutMs.Load()
+	case "GLOBAL_THREAD_BUDGET":
+		// GET reports the resolved budget (SET 0 = auto), like
+		// MAX_QUERY_THREADS.
+		return int64(pool.Budget())
+	case "FAIR_SCHEDULER":
+		if s.fairScheduler.Load() {
+			return int64(1)
+		}
+		return int64(0)
 	}
 	return int64(0)
 }
@@ -99,6 +129,11 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 		if perr != nil {
 			return nil, fmt.Errorf("ERR %v", perr)
 		}
+		_, release, busy := s.admitQuery()
+		if release == nil {
+			return busy, nil
+		}
+		defer release()
 		cfg := s.queryConfig()
 		var rs *core.ResultSet
 		var err error
@@ -136,11 +171,19 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 		if perr != nil {
 			return nil, fmt.Errorf("ERR %v", perr)
 		}
+		wait, release, busy := s.admitQuery()
+		if release == nil {
+			return busy, nil
+		}
+		defer release()
 		lines, err := core.Profile(g, query, params, s.queryConfig())
 		if err != nil {
 			return nil, fmt.Errorf("ERR %v", err)
 		}
-		return toAnySlice(lines), nil
+		gs := s.gate.Snapshot()
+		admission := fmt.Sprintf("admission: wait: %.3f ms | queued: %d | admitted: %d | rejected: %d | limit: %d",
+			float64(wait.Nanoseconds())/1e6, gs.QueuedNow, gs.Admitted, gs.Rejected, gs.Limit)
+		return toAnySlice(append([]string{admission}, lines...)), nil
 
 	case "GRAPH.DELETE":
 		if len(args) != 1 {
@@ -218,10 +261,45 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 				}
 				s.planCache.SetCapacity(n)
 				return resp.SimpleString("OK"), nil
+			case "PLAN_CACHE_MAX_BYTES":
+				n, err := strconv.ParseInt(args[2], 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("ERR PLAN_CACHE_MAX_BYTES must be a non-negative integer (0 = no byte budget)")
+				}
+				s.planCache.SetMaxBytes(n)
+				return resp.SimpleString("OK"), nil
+			case "MAX_CONCURRENT_QUERIES":
+				n, err := strconv.Atoi(args[2])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("ERR MAX_CONCURRENT_QUERIES must be a non-negative integer (0 = unbounded)")
+				}
+				s.gate.SetLimit(n)
+				return resp.SimpleString("OK"), nil
+			case "ADMISSION_TIMEOUT":
+				n, err := strconv.ParseInt(args[2], 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("ERR ADMISSION_TIMEOUT must be a non-negative integer of milliseconds (0 = fail fast when saturated)")
+				}
+				s.admissionTimeoutMs.Store(n)
+				return resp.SimpleString("OK"), nil
+			case "GLOBAL_THREAD_BUDGET":
+				n, err := strconv.Atoi(args[2])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("ERR GLOBAL_THREAD_BUDGET must be a non-negative integer (0 = auto: match GOMAXPROCS)")
+				}
+				pool.SetBudget(n)
+				return resp.SimpleString("OK"), nil
+			case "FAIR_SCHEDULER":
+				on, err := parseBoolParam(args[2])
+				if err != nil {
+					return nil, fmt.Errorf("ERR FAIR_SCHEDULER must be 0|1|yes|no")
+				}
+				s.fairScheduler.Store(on)
+				return resp.SimpleString("OK"), nil
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|JOIN_PLANNER|TRAVERSE_KERNEL|PLAN_CACHE_SIZE",
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|JOIN_PLANNER|TRAVERSE_KERNEL|PLAN_CACHE_SIZE|PLAN_CACHE_MAX_BYTES|MAX_CONCURRENT_QUERIES|ADMISSION_TIMEOUT|GLOBAL_THREAD_BUDGET|FAIR_SCHEDULER",
 			strings.Join(configParams, "|"))
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))

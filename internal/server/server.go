@@ -63,6 +63,29 @@ type Options struct {
 	// SnapshotPath, when set, enables the SAVE command and loading the
 	// snapshot at Start (the role of an RDB file).
 	SnapshotPath string
+	// MaxConcurrentQueries bounds how many GRAPH.QUERY/RO_QUERY/PROFILE
+	// commands execute at once; excess queries queue FIFO up to
+	// AdmissionTimeout, then fail fast with a -BUSY error. 0 (default) is
+	// unbounded — admission control off, the differential baseline. Runtime
+	// changes go through GRAPH.CONFIG SET MAX_CONCURRENT_QUERIES.
+	MaxConcurrentQueries int
+	// AdmissionTimeout is the per-query queue-wait deadline behind the
+	// admission gate. 0 uses the default (1s); negative fails saturated
+	// queries immediately. Runtime changes go through GRAPH.CONFIG SET
+	// ADMISSION_TIMEOUT (milliseconds).
+	AdmissionTimeout time.Duration
+	// GlobalThreadBudget caps morsel-pool workers assisting across all
+	// concurrent queries (the process-wide budget behind elastic per-query
+	// parallelism). 0 (default) resolves to GOMAXPROCS (floor 4, matching
+	// the pool's sizing). Runtime changes go through GRAPH.CONFIG SET
+	// GLOBAL_THREAD_BUDGET. The budget is process-global: every server in
+	// the process shares the one morsel pool.
+	GlobalThreadBudget int
+	// NoFairScheduler disables multi-tenant scheduling: queries skip the
+	// pool's scheduling contexts and run with their full configured thread
+	// count regardless of load — the PR 8 behaviour, kept as the
+	// differential baseline (GRAPH.CONFIG SET FAIR_SCHEDULER 0).
+	NoFairScheduler bool
 }
 
 // Server is a Redis-like TCP server with the graph module loaded.
@@ -91,6 +114,17 @@ type Server struct {
 	// graph and worker. Its capacity is the live PLAN_CACHE_SIZE value
 	// (capacity 0 = caching off, the differential baseline).
 	planCache *core.PlanCache
+	// gate is the inter-query admission control (MAX_CONCURRENT_QUERIES,
+	// 0 = unbounded): executing GRAPH.QUERY/RO_QUERY/PROFILE commands hold
+	// one slot; saturated arrivals queue FIFO up to the admission timeout.
+	gate *pool.Gate
+	// admissionTimeoutMs is the live ADMISSION_TIMEOUT value in
+	// milliseconds (seeded from Options.AdmissionTimeout, mutable via
+	// GRAPH.CONFIG SET).
+	admissionTimeoutMs atomic.Int64
+	// fairScheduler is the live FAIR_SCHEDULER value (seeded from
+	// Options.NoFairScheduler, mutable via GRAPH.CONFIG SET).
+	fairScheduler atomic.Bool
 
 	mu       sync.RWMutex
 	graphs   map[string]*graph.Graph
@@ -150,7 +184,30 @@ func New(opts Options) *Server {
 		cacheSize = 0
 	}
 	s.planCache = core.NewPlanCache(cacheSize)
+	s.gate = pool.NewGate(opts.MaxConcurrentQueries)
+	switch {
+	case opts.AdmissionTimeout == 0:
+		s.admissionTimeoutMs.Store(defaultAdmissionTimeoutMs)
+	case opts.AdmissionTimeout < 0:
+		s.admissionTimeoutMs.Store(0)
+	default:
+		s.admissionTimeoutMs.Store(opts.AdmissionTimeout.Milliseconds())
+	}
+	s.fairScheduler.Store(!opts.NoFairScheduler)
+	if opts.GlobalThreadBudget > 0 {
+		pool.SetBudget(opts.GlobalThreadBudget)
+	}
 	return s
+}
+
+// defaultAdmissionTimeoutMs is the default queue-wait deadline behind the
+// admission gate: long enough to absorb bursts, short enough that clients
+// learn about overload instead of stacking up.
+const defaultAdmissionTimeoutMs = 1000
+
+// admissionTimeout resolves the live queue-wait deadline.
+func (s *Server) admissionTimeout() time.Duration {
+	return time.Duration(s.admissionTimeoutMs.Load()) * time.Millisecond
 }
 
 // Addr returns the bound listen address (valid after Start).
@@ -457,5 +514,19 @@ func (s *Server) info() string {
 	b.WriteString("# Server\r\nredisgraph_module:go-reproduction\r\n")
 	fmt.Fprintf(&b, "threadpool_size:%d\r\n", s.pool.Size())
 	fmt.Fprintf(&b, "graphs:%d\r\nkeys:%d\r\n", len(s.graphs), len(s.keyspace))
+	ps := pool.ReadStats()
+	gs := s.gate.Snapshot()
+	b.WriteString("# Scheduler\r\n")
+	fmt.Fprintf(&b, "global_thread_budget:%d\r\n", ps.Budget)
+	fmt.Fprintf(&b, "active_queries:%d\r\n", ps.ActiveQueries)
+	fmt.Fprintf(&b, "busy_workers:%d\r\n", ps.BusyWorkers)
+	fmt.Fprintf(&b, "stolen_morsels:%d\r\n", ps.StolenMorsels)
+	fmt.Fprintf(&b, "caller_morsels:%d\r\n", ps.CallerMorsels)
+	fmt.Fprintf(&b, "worker_time_ms:%.3f\r\n", float64(ps.WorkerNanos)/1e6)
+	fmt.Fprintf(&b, "admission_limit:%d\r\n", gs.Limit)
+	fmt.Fprintf(&b, "admission_inflight:%d\r\n", gs.Inflight)
+	fmt.Fprintf(&b, "admission_queued:%d\r\n", gs.QueuedNow)
+	fmt.Fprintf(&b, "admission_admitted:%d\r\n", gs.Admitted)
+	fmt.Fprintf(&b, "admission_rejected:%d\r\n", gs.Rejected)
 	return b.String()
 }

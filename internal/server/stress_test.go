@@ -1,0 +1,239 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redisgraph/internal/client"
+	"redisgraph/internal/pool"
+)
+
+// seedRing builds a directed :R ring of n :N nodes (uid 0..n-1) on graph "g",
+// so every read query below has a closed-form answer: from any uid there is
+// exactly one path of each length, hence count(b) over [:R*1..k] is k.
+func seedRing(t *testing.T, c *client.Client, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := c.Query("g", fmt.Sprintf(`CREATE (:N {uid: %d})`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		q := fmt.Sprintf(`MATCH (a:N {uid: %d}), (b:N {uid: %d}) CREATE (a)-[:R]->(b)`, i, (i+1)%n)
+		if _, err := c.Query("g", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// scalarRow extracts the single int64 cell of a query reply.
+func scalarRow(t *testing.T, rep any) int64 {
+	t.Helper()
+	rows := rep.([]any)[1].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("want 1 row, got %d", len(rows))
+	}
+	return rows[0].([]any)[0].(int64)
+}
+
+// TestStressAdmissionSchedulerGrid drives N concurrent clients of mixed
+// read/write traffic — cached plan shapes (literal-normalized repeats) and
+// uncached ones (distinct var-length bounds) — across the full
+// GLOBAL_THREAD_BUDGET x MAX_CONCURRENT_QUERIES grid from the issue. The
+// admission timeout is generous, so every query must be admitted eventually:
+// any -BUSY error is a failure, and every read must return its closed-form
+// row. Run with -race in CI to cover the scheduler and gate paths.
+func TestStressAdmissionSchedulerGrid(t *testing.T) {
+	const (
+		nClients = 6
+		nNodes   = 16
+		opsPer   = 10
+	)
+	// Options.GlobalThreadBudget mutates the process-global morsel pool;
+	// restore auto sizing for the rest of the package.
+	t.Cleanup(func() { pool.SetBudget(0) })
+	for _, budget := range []int{1, 2, nClients} {
+		for _, limit := range []int{1, 4, 0} {
+			t.Run(fmt.Sprintf("budget=%d/limit=%d", budget, limit), func(t *testing.T) {
+				s := New(Options{
+					Addr:                 "127.0.0.1:0",
+					ThreadCount:          nClients,
+					GlobalThreadBudget:   budget,
+					MaxConcurrentQueries: limit,
+					AdmissionTimeout:     30 * time.Second,
+				})
+				if err := s.Start(); err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				seedConn, err := client.Dial(s.Addr())
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer seedConn.Close()
+				seedRing(t, seedConn, nNodes)
+				// Ask for intra-query parallelism so the elastic budget
+				// split is actually exercised, not just the gate.
+				if _, err := seedConn.Do("GRAPH.CONFIG", "SET", "MAX_QUERY_THREADS", "4"); err != nil {
+					t.Fatal(err)
+				}
+
+				var wg sync.WaitGroup
+				errc := make(chan error, nClients)
+				for w := 0; w < nClients; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						c, err := client.Dial(s.Addr())
+						if err != nil {
+							errc <- err
+							return
+						}
+						defer c.Close()
+						for i := 0; i < opsPer; i++ {
+							uid := (w*7 + i) % nNodes
+							switch i % 4 {
+							case 0, 1:
+								// Hot shape: literals normalize to one
+								// cache entry, so this is the cached-plan
+								// path after the first execution.
+								rep, err := c.Do("GRAPH.RO_QUERY", "g",
+									fmt.Sprintf(`MATCH (a:N {uid: %d})-[:R]->(b) RETURN count(b)`, uid))
+								if err != nil {
+									errc <- fmt.Errorf("client %d cached read: %w", w, err)
+									return
+								}
+								if got := scalarRow(t, rep); got != 1 {
+									errc <- fmt.Errorf("client %d: 1-hop count = %d, want 1", w, got)
+									return
+								}
+							case 2:
+								// Cold shape: the var-length bound is part
+								// of the plan shape, so each k is a fresh
+								// plan (the uncached path). A ring has one
+								// path per length: count = k.
+								k := 1 + (w+i)%3
+								rep, err := c.Do("GRAPH.RO_QUERY", "g",
+									fmt.Sprintf(`MATCH (a:N {uid: %d})-[:R*1..%d]->(b) RETURN count(b)`, uid, k))
+								if err != nil {
+									errc <- fmt.Errorf("client %d uncached read: %w", w, err)
+									return
+								}
+								if got := scalarRow(t, rep); got != int64(k) {
+									errc <- fmt.Errorf("client %d: *1..%d count = %d, want %d", w, k, got, k)
+									return
+								}
+							case 3:
+								// Writers touch only :W edges, invisible to
+								// the [:R] readers above.
+								x, y := (w*13+i)%nNodes, (w*5+i*3)%nNodes
+								q := fmt.Sprintf(`MATCH (a:N {uid: %d}), (b:N {uid: %d}) CREATE (a)-[:W]->(b)`, x, y)
+								if i%2 == 1 {
+									q = fmt.Sprintf(`MATCH (a:N {uid: %d})-[e:W]->(b) DELETE e`, x)
+								}
+								if _, err := c.Query("g", q); err != nil {
+									errc <- fmt.Errorf("client %d write: %w", w, err)
+									return
+								}
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				close(errc)
+				for err := range errc {
+					if strings.Contains(err.Error(), "BUSY") {
+						t.Fatalf("busy error below the admission timeout: %v", err)
+					}
+					t.Fatal(err)
+				}
+				// The :R ring survived the churn.
+				rep, err := seedConn.Do("GRAPH.RO_QUERY", "g", `MATCH (a:N)-[:R]->(b:N) RETURN count(b)`)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := scalarRow(t, rep); got != nNodes {
+					t.Fatalf(":R ring damaged: count = %d, want %d", got, nNodes)
+				}
+			})
+		}
+	}
+}
+
+// TestStressAdmissionSaturation pins MAX_CONCURRENT_QUERIES to 1 with a
+// fail-fast admission timeout, parks a deliberately heavy query on the one
+// slot, and asserts arrivals are rejected with -BUSY while it runs — and
+// admitted again once it drains.
+func TestStressAdmissionSaturation(t *testing.T) {
+	s := New(Options{
+		Addr:                 "127.0.0.1:0",
+		ThreadCount:          4,
+		MaxConcurrentQueries: 1,
+		AdmissionTimeout:     -1, // fail saturated arrivals immediately
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := client.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Enough nodes that the cartesian-product query below holds the gate
+	// for a stretch the prober cannot miss.
+	g := s.Graph("g")
+	g.Lock()
+	for i := 0; i < 1500; i++ {
+		g.CreateNode([]string{"N"}, nil)
+	}
+	g.Sync()
+	g.Unlock()
+
+	var slowDone atomic.Bool
+	slowErr := make(chan error, 1)
+	go func() {
+		slow, err := client.Dial(s.Addr())
+		if err != nil {
+			slowErr <- err
+			return
+		}
+		defer slow.Close()
+		_, err = slow.Do("GRAPH.RO_QUERY", "g", `MATCH (a:N), (b:N) RETURN count(*)`)
+		slowDone.Store(true)
+		slowErr <- err
+	}()
+
+	// Probe until the slot is observably held: with limit 1 and a zero
+	// queue deadline, a probe overlapping the slow query must get -BUSY.
+	sawBusy := false
+	deadline := time.Now().Add(10 * time.Second)
+	for !sawBusy && time.Now().Before(deadline) && !slowDone.Load() {
+		_, err := c.Do("GRAPH.RO_QUERY", "g", `MATCH (a:N) RETURN count(a)`)
+		if err != nil {
+			if !strings.Contains(err.Error(), "BUSY") {
+				t.Fatalf("probe failed with a non-busy error: %v", err)
+			}
+			sawBusy = true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := <-slowErr; err != nil {
+		t.Fatalf("slow query: %v", err)
+	}
+	if !sawBusy {
+		t.Fatal("never observed a -BUSY rejection while the gate was saturated")
+	}
+	// Gate drained: queries are admitted again.
+	rep, err := c.Do("GRAPH.RO_QUERY", "g", `MATCH (a:N) RETURN count(a)`)
+	if err != nil {
+		t.Fatalf("after drain: %v", err)
+	}
+	if got := scalarRow(t, rep); got != 1500 {
+		t.Fatalf("after drain: count = %d, want 1500", got)
+	}
+}
