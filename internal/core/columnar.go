@@ -1,0 +1,244 @@
+package core
+
+import (
+	"strings"
+
+	"redisgraph/internal/graph"
+	"redisgraph/internal/grb"
+	"redisgraph/internal/value"
+)
+
+// Vectorized predicate evaluation over the columnar property store.
+//
+// A pushed-down scan predicate (`n.x > 5`) classically evaluates per row:
+// resolve the attribute name, look the value up in the node's property map,
+// box it into a value.Value, run compareValues. The columnar path compiles
+// the predicate once per scan pass into a colPred — a mode tag plus an
+// unboxed target — and then runs a tight typed loop over the column's flat
+// array, touching value.Value only for the rare overflow (mixed-type) rows.
+//
+// Semantics are pinned to compareValues exactly:
+//   - a row without the attribute compares as null and is dropped (any op);
+//   - numeric columns compare as float64 regardless of int/float mix, with
+//     compareValues' three-way outcome (NaN compares equal to everything
+//     numeric, matching value.Compare's default branch);
+//   - string = / <> reduce to interned-ID equality, orderings to
+//     strings.Compare;
+//   - a kind mismatch between a typed row and the target keeps the row for
+//     <> and drops it for every other operator (compareValues' incomparable
+//     branch);
+//   - overflow rows fall back to the boxed compareValues itself.
+//
+// compileColPred refuses (ok=false) whenever any of that cannot be decided
+// statically for the column — unknown attribute, no column yet, a column
+// that was never promoted to a typed layout, or a null/unresolved target —
+// and the caller keeps the per-row map path. A typed column's kind never
+// changes (propstore promotion is one-shot), so a compiled colPred stays
+// valid for the column's lifetime.
+
+type predMode uint8
+
+const (
+	predNum    predMode = iota // numeric column vs numeric target
+	predStrEq                  // string column, = against an interned target
+	predStrNe                  // string column, <> against an interned target
+	predStrOrd                 // string column, ordering against the target
+	predKeep                   // kind mismatch under <>: every typed row passes
+	predDrop                   // kind mismatch otherwise: no typed row passes
+)
+
+// colPred is one pushed predicate compiled against a typed column.
+type colPred struct {
+	col   *graph.Column
+	mode  predMode
+	op    string
+	wantF float64 // predNum target
+	wantS string  // predStrOrd target
+	sid   uint32  // predStrEq/predStrNe target (valid when sidOK)
+	sidOK bool
+	wantV value.Value // boxed target, for overflow rows
+}
+
+// compileColPred resolves one evaluated scan predicate against the store.
+// ok=false means the caller must keep the row-at-a-time map path.
+func compileColPred(ctx *execCtx, p scanPropCmp) (colPred, bool) {
+	out := colPred{op: p.op, wantV: p.want}
+	if out.op == "" {
+		out.op = "="
+	}
+	if p.want.IsNull() {
+		// compareValues(anything, null) is null for every operator; the map
+		// path drops every row, and so would we — but "nothing matches" and
+		// "fall back" are equally correct here, and falling back keeps the
+		// rare case on the single battle-tested path.
+		return out, false
+	}
+	aid, ok := ctx.g.Schema.AttrID(p.attr)
+	if !ok {
+		return out, false
+	}
+	col := ctx.g.PropColumn(aid)
+	if col == nil || col.Kind() == graph.ColNone {
+		return out, false
+	}
+	out.col = col
+	switch col.Kind() {
+	case graph.ColInt, graph.ColFloat:
+		if p.want.IsNumeric() {
+			out.mode = predNum
+			out.wantF = p.want.Float()
+		} else {
+			out.mode = mismatchMode(out.op)
+		}
+	case graph.ColString:
+		if p.want.Kind != value.KindString {
+			out.mode = mismatchMode(out.op)
+			break
+		}
+		switch out.op {
+		case "=", "<>":
+			sid, ok := ctx.g.PropStrings().StringID(p.want.Str())
+			out.sid, out.sidOK = sid, ok
+			if out.op == "=" {
+				out.mode = predStrEq
+			} else {
+				out.mode = predStrNe
+			}
+		default:
+			out.mode = predStrOrd
+			out.wantS = p.want.Str()
+		}
+	}
+	return out, true
+}
+
+// mismatchMode encodes compareValues' incomparable-kinds branch for typed
+// rows: both sides non-null, kinds incompatible → true only under <>.
+func mismatchMode(op string) predMode {
+	if op == "<>" {
+		return predKeep
+	}
+	return predDrop
+}
+
+// probe evaluates the predicate for one node ID, mirroring
+// cmpKeep(op, <column value>, want). The presence bitmap is checked first —
+// a typed row is never also in overflow, so the common case costs a bitmap
+// test plus an array read, and the overflow map is only consulted for rows
+// without a typed cell.
+func (p *colPred) probe(id uint64) bool {
+	if p.col.Present(id) {
+		switch p.mode {
+		case predNum:
+			return numKeep(p.op, p.col.NumAt(id), p.wantF)
+		case predStrEq:
+			return p.sidOK && p.col.StrIDAt(id) == p.sid
+		case predStrNe:
+			return !p.sidOK || p.col.StrIDAt(id) != p.sid
+		case predStrOrd:
+			return ordKeep(p.op, strings.Compare(p.col.StrAt(id), p.wantS))
+		case predKeep:
+			return true
+		default: // predDrop
+			return false
+		}
+	}
+	if v, ok := p.col.OverflowAt(id); ok {
+		return cmpKeep(p.op, v, p.wantV)
+	}
+	return false // absent ≡ null: dropped under every operator
+}
+
+// numKeep applies op to value.Compare's numeric three-way outcome: strict
+// < / > first, everything else (including NaN pairs) compares equal.
+func numKeep(op string, a, b float64) bool {
+	c := 0
+	switch {
+	case a < b:
+		c = -1
+	case a > b:
+		c = 1
+	}
+	return ordKeep(op, c)
+}
+
+func ordKeep(op string, c int) bool {
+	switch op {
+	case "=":
+		return c == 0
+	case "<>":
+		return c != 0
+	case "<":
+		return c < 0
+	case "<=":
+		return c <= 0
+	case ">":
+		return c > 0
+	default: // ">="
+		return c >= 0
+	}
+}
+
+// compileColPreds compiles every pushed predicate of a scan filter, or
+// reports ok=false if any one of them must stay on the map path (the scan
+// then evaluates all of them per row, exactly as before).
+func compileColPreds(ctx *execCtx, props []scanPropCmp) ([]colPred, bool) {
+	if !ctx.colStore || len(props) == 0 {
+		return nil, false
+	}
+	preds := make([]colPred, len(props))
+	for i, p := range props {
+		cp, ok := compileColPred(ctx, p)
+		if !ok {
+			return nil, false
+		}
+		preds[i] = cp
+	}
+	return preds, true
+}
+
+// colFilterGrain is the minimum candidate rows per morsel for the parallel
+// selection loop; a probe is a couple of array reads, so small lists run
+// inline.
+const colFilterGrain = 512
+
+// filterIDsColumnar compacts ids in place to the rows passing every
+// predicate, preserving ascending order. Large candidate lists fan out over
+// the morsel pool in contiguous ranges stitched back in part order, so the
+// result is deterministic regardless of scheduling. The caller must own the
+// ids slice (never an index posting or another shared backing array).
+func filterIDsColumnar(ctx *execCtx, preds []colPred, ids []uint64) []uint64 {
+	keep := func(id uint64) bool {
+		for i := range preds {
+			if !preds[i].probe(id) {
+				return false
+			}
+		}
+		return true
+	}
+	parts := grb.PartitionParts(len(ids), ctx.threads, colFilterGrain)
+	if parts == 1 {
+		out := ids[:0]
+		for _, id := range ids {
+			if keep(id) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	partIDs := make([][]uint64, parts)
+	grb.ParallelRanges(ctx.sched, len(ids), ctx.threads, colFilterGrain, func(part, lo, hi int) {
+		var mine []uint64
+		for _, id := range ids[lo:hi] {
+			if keep(id) {
+				mine = append(mine, id)
+			}
+		}
+		partIDs[part] = mine
+	})
+	out := ids[:0]
+	for _, p := range partIDs {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -32,6 +32,16 @@ type execCtx struct {
 	// kernel selects the traversal kernel direction (Config.TraverseKernel):
 	// density-adaptive per hop by default, forced for differential baselines.
 	kernel kernelMode
+	// colStore enables columnar property reads (PROPERTY_STORE columnar,
+	// the default): vectorized scan prefilters, column-probing destination
+	// masks, and map-free projection reads. It is set only for read-only
+	// plans: a write query could mutate schema, interner or entity state
+	// between batches — or project a just-deleted entity's stale map — and
+	// the columnar forms (prime-time prefilters, baked interner IDs, live
+	// columns) would legitimately diverge from the map path there. Write
+	// plans keep the per-node map reads; PROPERTY_STORE map forces them
+	// everywhere as the differential baseline.
+	colStore bool
 	// deadline, when non-zero, aborts long queries (the benchmark's timeout
 	// guard; the paper reports RedisGraph had none on the large graphs).
 	deadline time.Time

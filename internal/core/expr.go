@@ -95,6 +95,13 @@ func compileExpr(e cypher.Expr, st *symtab) (evalFn, error) {
 			case value.KindNull:
 				return value.Null, nil
 			case value.KindNode:
+				// Columnar projection read: same name resolution, but the
+				// value comes from a flat typed column instead of the node's
+				// property map. Resolution happens per row, so it tracks
+				// schema growth exactly like the map path.
+				if ctx.colStore {
+					return ctx.g.NodePropertyColumnar(v.ID, key), nil
+				}
 				return ctx.g.NodeProperty(v.Entity.(*graph.Node), key), nil
 			case value.KindEdge:
 				return ctx.g.EdgeProperty(v.Entity.(*graph.Edge), key), nil

@@ -98,11 +98,14 @@ func (f *scanFilter) describe() string {
 // one evaluation covers the whole pass.
 type compiledScanFilter struct {
 	mask  grb.ColMask
-	props []struct {
-		attr string
-		op   string
-		want value.Value
-	}
+	props []scanPropCmp
+}
+
+// scanPropCmp is one pushed property comparison with its target evaluated.
+type scanPropCmp struct {
+	attr string
+	op   string
+	want value.Value
 }
 
 func (f *scanFilter) compile(ctx *execCtx) (compiledScanFilter, error) {
@@ -133,11 +136,7 @@ func (f *scanFilter) compile(ctx *execCtx) (compiledScanFilter, error) {
 		if err != nil {
 			return out, err
 		}
-		out.props = append(out.props, struct {
-			attr string
-			op   string
-			want value.Value
-		}{p.attr, p.op, want})
+		out.props = append(out.props, scanPropCmp{p.attr, p.op, want})
 	}
 	f.cached, f.cachedEpoch, f.cachedOK = out, ctx.g.Epoch(), true
 	return out, nil
@@ -145,9 +144,18 @@ func (f *scanFilter) compile(ctx *execCtx) (compiledScanFilter, error) {
 
 // admit reports whether node id passes the compiled filter.
 func (c *compiledScanFilter) admit(ctx *execCtx, id uint64, n *graph.Node) bool {
-	if c.mask != nil && !c.mask(grb.Index(id)) {
-		return false
-	}
+	return c.admitMask(id) && c.admitProps(ctx, n)
+}
+
+// admitMask applies only the pushed label masks.
+func (c *compiledScanFilter) admitMask(id uint64) bool {
+	return c.mask == nil || c.mask(grb.Index(id))
+}
+
+// admitProps applies only the pushed property comparisons, through the
+// per-row map path. The columnar scans skip it: their candidate lists are
+// prefiltered by filterIDsColumnar before any record exists.
+func (c *compiledScanFilter) admitProps(ctx *execCtx, n *graph.Node) bool {
 	for _, p := range c.props {
 		if !cmpKeep(p.op, ctx.g.NodeProperty(n, p.attr), p.want) {
 			return false
@@ -173,9 +181,40 @@ type allNodeScanOp struct {
 
 	in     batchPuller
 	cur    record
+	arena  recordArena
 	nextID uint64
 	primed bool
 	done   bool
+
+	// Columnar pass state: when the pushed predicates compile against typed
+	// columns (compileColPreds), the scan swaps its full [0, Dim) sweep for
+	// the first column's candidate list, vectorially filtered at prime time —
+	// rows without the attribute can never pass a predicate, so they are
+	// skipped wholesale.
+	colIDs bool
+	ids    []uint64
+	pos    int
+}
+
+// loadColumnarIDs builds the fully filtered candidate list for one pass:
+// candidates from the first predicate's column, residue-class striping and
+// pushed label masks applied, then the vectorized predicate loop.
+func (o *allNodeScanOp) loadColumnarIDs(ctx *execCtx, cf *compiledScanFilter, preds []colPred) {
+	o.ids = preds[0].col.AppendIDs(o.ids[:0])
+	if o.parts > 1 || cf.mask != nil {
+		kept := o.ids[:0]
+		for _, id := range o.ids {
+			if o.parts > 1 && int(id)%o.parts != o.part {
+				continue
+			}
+			if !cf.admitMask(id) {
+				continue
+			}
+			kept = append(kept, id)
+		}
+		o.ids = kept
+	}
+	o.ids = filterIDsColumnar(ctx, preds, o.ids)
 }
 
 func (o *allNodeScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
@@ -208,7 +247,31 @@ func (o *allNodeScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 				o.cur = newRecord(o.width)
 			}
 			o.nextID = 0
+			o.colIDs = false
+			if preds, ok := compileColPreds(ctx, cf.props); ok {
+				o.loadColumnarIDs(ctx, &cf, preds)
+				o.colIDs, o.pos = true, 0
+			}
 			o.primed = true
+		}
+		if o.colIDs {
+			for o.pos < len(o.ids) && len(out) < bs {
+				id := o.ids[o.pos]
+				o.pos++
+				if n, ok := ctx.g.GetNode(id); ok {
+					r := o.arena.extended(o.cur, o.width)
+					r[o.slot] = value.NewNode(id, n)
+					out = append(out, r)
+				}
+			}
+			if o.pos >= len(o.ids) {
+				o.primed = false
+				if o.child == nil && len(out) == 0 {
+					o.done = true
+					break
+				}
+			}
+			continue
 		}
 		high := uint64(ctx.g.Dim())
 		for o.nextID < high && len(out) < bs {
@@ -218,7 +281,7 @@ func (o *allNodeScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 				continue
 			}
 			if n, ok := ctx.g.GetNode(id); ok && cf.admit(ctx, id, n) {
-				r := o.cur.extended(o.width)
+				r := o.arena.extended(o.cur, o.width)
 				r[o.slot] = value.NewNode(id, n)
 				out = append(out, r)
 			}
@@ -268,14 +331,21 @@ type labelScanOp struct {
 
 	in     batchPuller
 	cur    record
+	arena  recordArena
 	ids    []uint64
 	pos    int
 	primed bool
 	done   bool
+
+	// colFiltered marks a pass whose candidate list was already run through
+	// the vectorized predicate loop, so the emit loop skips per-row property
+	// checks entirely.
+	colFiltered bool
 }
 
 func (o *labelScanOp) loadIDs(ctx *execCtx, cf *compiledScanFilter) {
 	o.ids = o.ids[:0]
+	o.colFiltered = false
 	lid, ok := ctx.g.Schema.LabelID(o.label)
 	if !ok {
 		return
@@ -292,6 +362,12 @@ func (o *labelScanOp) loadIDs(ctx *execCtx, cf *compiledScanFilter) {
 		if cf.mask == nil || cf.mask(r) {
 			o.ids = append(o.ids, uint64(r))
 		}
+	}
+	// Striping happens on tuple positions above, exactly as in the map path,
+	// so each parallel segment filters the same stripe it always scanned.
+	if preds, ok := compileColPreds(ctx, cf.props); ok {
+		o.ids = filterIDsColumnar(ctx, preds, o.ids)
+		o.colFiltered = true
 	}
 }
 
@@ -335,18 +411,12 @@ func (o *labelScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 			if !ok {
 				continue
 			}
-			// Labels were masked in loadIDs; only property checks remain.
-			match := true
-			for _, p := range cf.props {
-				if !cmpKeep(p.op, ctx.g.NodeProperty(n, p.attr), p.want) {
-					match = false
-					break
-				}
-			}
-			if !match {
+			// Labels were masked in loadIDs; property checks remain unless
+			// the columnar prefilter already ran.
+			if !o.colFiltered && !cf.admitProps(ctx, n) {
 				continue
 			}
-			r := o.cur.extended(o.width)
+			r := o.arena.extended(o.cur, o.width)
 			r[o.slot] = value.NewNode(id, n)
 			out = append(out, r)
 		}
@@ -400,14 +470,20 @@ type indexScanOp struct {
 
 	in     batchPuller
 	cur    record
+	arena  recordArena
 	ids    []uint64
 	pos    int
 	primed bool
 	done   bool
+
+	// colFiltered marks a pass whose seed list was prefiltered by the
+	// vectorized predicate loop; the emit loop then applies only label masks.
+	colFiltered bool
 }
 
-func (o *indexScanOp) loadSeeds(ctx *execCtx) error {
+func (o *indexScanOp) loadSeeds(ctx *execCtx, cf *compiledScanFilter) error {
 	o.ids = nil
+	o.colFiltered = false
 	lid, okL := ctx.g.Schema.LabelID(o.label)
 	aid, okA := ctx.g.Schema.AttrID(o.attr)
 	if !okL || !okA {
@@ -430,6 +506,14 @@ func (o *indexScanOp) loadSeeds(ctx *execCtx) error {
 			}
 		}
 		o.ids = mine
+	}
+	if preds, ok := compileColPreds(ctx, cf.props); ok {
+		if o.parts <= 1 {
+			// Lookup returns the live posting list; copy before compacting.
+			o.ids = append([]uint64(nil), o.ids...)
+		}
+		o.ids = filterIDsColumnar(ctx, preds, o.ids)
+		o.colFiltered = true
 	}
 	return nil
 }
@@ -463,7 +547,7 @@ func (o *indexScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 				}
 				o.cur = newRecord(o.width)
 			}
-			if err := o.loadSeeds(ctx); err != nil {
+			if err := o.loadSeeds(ctx, &cf); err != nil {
 				return nil, err
 			}
 			o.pos = 0
@@ -472,11 +556,20 @@ func (o *indexScanOp) nextBatch(ctx *execCtx) (recordBatch, error) {
 		for o.pos < len(o.ids) && len(out) < bs {
 			id := o.ids[o.pos]
 			o.pos++
-			if n, ok := ctx.g.GetNode(id); ok && cf.admit(ctx, id, n) {
-				r := o.cur.extended(o.width)
-				r[o.slot] = value.NewNode(id, n)
-				out = append(out, r)
+			n, ok := ctx.g.GetNode(id)
+			if !ok {
+				continue
 			}
+			if o.colFiltered {
+				if !cf.admitMask(id) {
+					continue
+				}
+			} else if !cf.admit(ctx, id, n) {
+				continue
+			}
+			r := o.arena.extended(o.cur, o.width)
+			r[o.slot] = value.NewNode(id, n)
+			out = append(out, r)
 		}
 		if o.pos >= len(o.ids) {
 			o.primed = false
@@ -539,6 +632,24 @@ func describeSegment(part, parts int) string {
 		return ""
 	}
 	return fmt.Sprintf(" | segment %d/%d", part+1, parts)
+}
+
+// scanPushedProps reports whether op is a scan with pushed property
+// predicates — the operations the columnar store vectorizes. EXPLAIN uses it
+// to annotate those scans with the active property-store mode.
+func scanPushedProps(op operation) bool {
+	var f *scanFilter
+	switch s := op.(type) {
+	case *allNodeScanOp:
+		f = s.pushed
+	case *labelScanOp:
+		f = s.pushed
+	case *indexScanOp:
+		f = s.pushed
+	default:
+		return false
+	}
+	return f != nil && len(f.props) > 0
 }
 
 // nodeHasLabel filters by interned label id.

@@ -54,6 +54,20 @@ func (m *dstMask) compile(ctx *execCtx) (grb.ColMask, error) {
 			}
 		}
 	}
+	// Columnar probe: skip the node lookup and property-map access entirely
+	// and compare against the typed column cell. compileColPred mirrors
+	// compareValues bit for bit and declines (falling through to the map
+	// closure) whenever the column cannot answer exactly. Like every
+	// columnar read this only runs in read-only plans: the compiled probe
+	// bakes in schema and interner lookups that a same-query write could
+	// invalidate between batches.
+	if ctx.colStore {
+		if pred, ok := compileColPred(ctx, scanPropCmp{attr: m.attr, op: m.op, want: want}); ok {
+			return func(j grb.Index) bool {
+				return pred.probe(uint64(j))
+			}, nil
+		}
+	}
 	attr, op := m.attr, m.op
 	return func(j grb.Index) bool {
 		n, ok := ctx.g.GetNode(uint64(j))

@@ -539,3 +539,72 @@ func TestPlanCacheByteBudgetEviction(t *testing.T) {
 		t.Errorf("budget off: %d templates, want %d", pc.Len(), len(queries))
 	}
 }
+
+// TestPlanCacheWriteDifferential proves a cached write plan is equivalent to
+// a freshly planned one: the same parameterized CREATE/SET/DELETE script run
+// through one shared cache entry per shape and run with no cache leaves
+// bit-identical graph state and reports identical mutation statistics — and
+// the cached run really does serve repeats from the cache.
+func TestPlanCacheWriteDifferential(t *testing.T) {
+	type step struct {
+		q  string
+		id int64
+	}
+	var script []step
+	for i := int64(0); i < 10; i++ {
+		script = append(script, step{`CREATE (:W {uid: $id, v: $id})`, i})
+	}
+	for i := int64(0); i < 10; i++ {
+		script = append(script, step{`MATCH (n:W {uid: $id}) SET n.v = n.v + 100, n.tag = "t"`, i})
+	}
+	for i := int64(0); i < 10; i += 2 {
+		script = append(script, step{`MATCH (a:W {uid: $id}) CREATE (a)-[:R {w: $id}]->(a)`, i})
+	}
+	for i := int64(8); i < 10; i++ {
+		script = append(script, step{`MATCH (n:W {uid: $id}) DETACH DELETE n`, i})
+	}
+	checks := []string{
+		`MATCH (n:W) RETURN n.uid, n.v, n.tag`,
+		`MATCH (a)-[e:R]->(b) RETURN a.uid, e.w, b.uid`,
+		`MATCH (n:W) RETURN count(n)`,
+	}
+
+	run := func(cfg Config) ([][]string, []Statistics) {
+		g := graph.New("wdiff")
+		var stats []Statistics
+		for _, s := range script {
+			rs, err := Query(g, s.q, intParam("id", s.id), cfg)
+			if err != nil {
+				t.Fatalf("%s ($id=%d): %v", s.q, s.id, err)
+			}
+			st := rs.Stats
+			st.ExecutionTime = 0 // wall time is the one legitimate difference
+			stats = append(stats, st)
+		}
+		var rows [][]string
+		for _, c := range checks {
+			rows = append(rows, runSortedP(t, g, c, nil, cfg))
+		}
+		return rows, stats
+	}
+
+	pc := NewPlanCache(DefaultPlanCacheSize)
+	cachedRows, cachedStats := run(Config{PlanCache: pc})
+	uncachedRows, uncachedStats := run(Config{})
+
+	if pc.Counters().Hits == 0 {
+		t.Fatal("write shapes never hit the plan cache")
+	}
+	for i := range checks {
+		if strings.Join(cachedRows[i], "\n") != strings.Join(uncachedRows[i], "\n") {
+			t.Fatalf("state mismatch on %s:\ncached   %v\nuncached %v",
+				checks[i], cachedRows[i], uncachedRows[i])
+		}
+	}
+	for i := range script {
+		if cachedStats[i] != uncachedStats[i] {
+			t.Fatalf("stats mismatch on %s ($id=%d):\ncached   %+v\nuncached %+v",
+				script[i].q, script[i].id, cachedStats[i], uncachedStats[i])
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+
+	"redisgraph/internal/graph"
+	"redisgraph/internal/value"
+)
+
+// propStoreConfigs is the columnar differential grid: both store modes at
+// every batch size x thread count x kernel direction cell. Every cell must
+// return rows bit-identical to the serial map baseline.
+func propStoreConfigs() []Config {
+	threads := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var out []Config
+	for _, store := range []string{"map", "columnar"} {
+		for _, th := range threads {
+			for _, batch := range []int{1, 64} {
+				for _, kernel := range []string{"auto", "push", "pull"} {
+					out = append(out, Config{
+						OpThreads:      th,
+						TraverseBatch:  batch,
+						TraverseKernel: kernel,
+						PropertyStore:  store,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// propStoreGraph builds a graph that stresses every columnar layout case:
+// an int column holding values beyond 2^53 (where float64 comparison must
+// still match the map path because both sides compare through float64), a
+// float column with a NaN cell, an interned string column, a bool attribute
+// (never promoted, overflow-only), a mixed-type attribute (typed column
+// with overflow spill), attributes absent on some rows, and unlabelled
+// nodes so the all-node scan has work beyond :P.
+func propStoreGraph(t testing.TB, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New("propstore")
+	g.Lock()
+	defer g.Unlock()
+	ids := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		p := map[string]value.Value{
+			"uid":   value.NewInt(int64(i)),
+			"score": value.NewFloat(float64(i%50) * 0.5),
+			"name":  value.NewString([]string{"ash", "birch", "cedar", "fir", "oak"}[i%5]),
+			"flag":  value.NewBool(i%2 == 0),
+		}
+		if i%11 != 0 {
+			p["age"] = value.NewInt(int64(i % 97))
+		}
+		if i%29 == 0 {
+			p["age"] = value.NewInt(int64(1)<<60 + int64(i)) // beyond 2^53
+		}
+		if i%31 == 0 {
+			p["score"] = value.NewFloat(math.NaN())
+		}
+		switch i % 7 {
+		case 0:
+			p["mixed"] = value.NewInt(int64(i % 13))
+		case 1:
+			p["mixed"] = value.NewString("odd")
+		case 2:
+			p["mixed"] = value.NewFloat(2.5)
+		case 3:
+			p["mixed"] = value.NewArray([]value.Value{value.NewInt(1)})
+		}
+		node := g.CreateNode([]string{"P"}, p)
+		ids = append(ids, node.ID)
+	}
+	// Unlabelled nodes sharing the attribute space.
+	for i := 0; i < n/4; i++ {
+		g.CreateNode(nil, map[string]value.Value{
+			"uid":  value.NewInt(int64(10000 + i)),
+			"name": value.NewString([]string{"ash", "oak", "yew"}[i%3]),
+		})
+	}
+	for i, id := range ids {
+		if _, err := g.CreateEdge("E", id, ids[(i*3+1)%len(ids)], nil); err != nil {
+			t.Fatalf("edge: %v", err)
+		}
+	}
+	g.CreateIndex("P", "name")
+	g.Sync()
+	return g
+}
+
+// propStoreReadQueries cover the three scan shapes (all-node, label, index
+// seed) plus traversal destination masks and late-materialized projections,
+// with every operator and every compile-refusal path (unknown attribute,
+// untyped column, mixed-kind target).
+var propStoreReadQueries = []string{
+	// Label scan, numeric predicates: every operator, int and float columns.
+	`MATCH (n:P) WHERE n.age > 40 RETURN n.uid, n.age`,
+	`MATCH (n:P) WHERE n.age >= 40 RETURN count(*)`,
+	`MATCH (n:P) WHERE n.age < 12 RETURN n.uid`,
+	`MATCH (n:P) WHERE n.age <= 12 RETURN count(*)`,
+	`MATCH (n:P) WHERE n.age = 7 RETURN n.uid`,
+	`MATCH (n:P) WHERE n.age <> 7 RETURN count(*)`,
+	`MATCH (n:P) WHERE n.score > 10 RETURN count(*)`,
+	`MATCH (n:P) WHERE n.score <= 2.5 RETURN count(*)`,
+	// Cross-kind numeric targets: float target on the int column and back.
+	`MATCH (n:P) WHERE n.age = 3.0 RETURN count(*)`,
+	`MATCH (n:P) WHERE n.score >= 3 RETURN count(*)`,
+	// An int beyond 2^53: both paths compare through float64.
+	`MATCH (n:P) WHERE n.age >= 1152921504606846976 RETURN n.uid`,
+	// String column: interned equality, negation, ordering.
+	`MATCH (n:P) WHERE n.name = "cedar" RETURN n.uid`,
+	`MATCH (n:P) WHERE n.name <> "cedar" RETURN count(*)`,
+	`MATCH (n:P) WHERE n.name < "fir" RETURN count(*)`,
+	`MATCH (n:P) WHERE n.name >= "fir" RETURN count(*)`,
+	// A string never interned: = matches nothing, <> matches all present.
+	`MATCH (n:P) WHERE n.name = "nosuch" RETURN count(*)`,
+	`MATCH (n:P) WHERE n.name <> "nosuch" RETURN count(*)`,
+	// Kind mismatch between column and target (string col vs int target).
+	`MATCH (n:P) WHERE n.name = 5 RETURN count(*)`,
+	`MATCH (n:P) WHERE n.name <> 5 RETURN count(*)`,
+	// Untyped (bool-only) column and unknown attribute: compile refusal.
+	`MATCH (n:P) WHERE n.flag = true RETURN count(*)`,
+	`MATCH (n:P) WHERE n.nosuchattr = 1 RETURN count(*)`,
+	// Mixed-type attribute: typed rows plus overflow spill.
+	`MATCH (n:P) WHERE n.mixed = 7 RETURN n.uid`,
+	`MATCH (n:P) WHERE n.mixed <> "odd" RETURN count(*)`,
+	`MATCH (n:P) WHERE n.mixed >= 2 RETURN count(*)`,
+	// Conjunction of pushed predicates (all-or-nothing compilation).
+	`MATCH (n:P) WHERE n.age >= 40 AND n.score < 15.5 RETURN count(*)`,
+	`MATCH (n:P) WHERE n.age > 10 AND n.flag = true RETURN count(*)`,
+	// All-node scan: candidates come from the column, not [0, Dim).
+	`MATCH (n) WHERE n.name = "oak" RETURN n.uid`,
+	`MATCH (n) WHERE n.uid >= 10000 RETURN count(*)`,
+	`MATCH (n) WHERE n.age < 5 RETURN n.uid`,
+	// Index seed scan with a pushed residual predicate.
+	`MATCH (n:P {name: "cedar"}) WHERE n.age > 20 RETURN n.uid`,
+	`MATCH (n:P {name: "oak"}) WHERE n.score <= 10 RETURN n.uid, n.score`,
+	// Traversal destination mask reading the column directly.
+	`MATCH (a:P)-[:E]->(b) WHERE b.age > 80 RETURN a.uid, b.uid`,
+	`MATCH (a:P {name: "ash"})-[:E]->(b) WHERE b.name = "birch" RETURN b.uid`,
+	// Late-materialized projection of values the filter never touched.
+	`MATCH (n:P) WHERE n.age > 90 RETURN n.name, n.score, n.mixed`,
+	// Full-row entity return after a columnar prefilter.
+	`MATCH (n:P) WHERE n.age = 7 RETURN n`,
+}
+
+// TestPropStoreDifferentialReads proves columnar ≡ map on read pipelines:
+// identical rows for every query in every grid cell.
+func TestPropStoreDifferentialReads(t *testing.T) {
+	g := propStoreGraph(t, 240)
+	for _, q := range propStoreReadQueries {
+		var want []string
+		for _, cfg := range propStoreConfigs() {
+			got := runSorted(t, g, q, cfg)
+			if want == nil {
+				want = got
+				continue
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("prop-store differential mismatch on %s (cfg %+v):\nwant %v\ngot  %v", q, cfg, want, got)
+			}
+		}
+	}
+}
+
+// TestPropStoreDifferentialMutations interleaves writes — SET overwrites
+// that change a value's kind, SET null deletion, node DELETE, CREATE, and
+// index DDL — with columnar reads, and proves both store modes agree on
+// the post-mutation state in every grid cell. Each cell gets a fresh graph
+// so the write history is identical.
+func TestPropStoreDifferentialMutations(t *testing.T) {
+	steps := []string{
+		// Overwrite int cells with new ints, then with strings (kind change
+		// pushes rows into the overflow map).
+		`MATCH (n:P) WHERE n.age < 10 SET n.age = n.age + 100`,
+		`MATCH (n:P) WHERE n.age = 103 SET n.age = "retired"`,
+		// SET null removes the property entirely.
+		`MATCH (n:P) WHERE n.score > 20 SET n.score = null`,
+		// Delete a slice of nodes: their column cells must disappear.
+		`MATCH (n:P) WHERE n.uid >= 200 AND n.uid < 220 DETACH DELETE n`,
+		// Create fresh nodes reusing the columns (and new string values).
+		`CREATE (:P {uid: 9001, age: 41, name: "willow", score: 1.5})`,
+		`CREATE (:P {uid: 9002, age: 1152921504606846999, name: "cedar"})`,
+		// Index DDL between reads.
+		`CREATE INDEX ON :P(age)`,
+		`DROP INDEX ON :P(name)`,
+	}
+	checks := []string{
+		`MATCH (n:P) WHERE n.age > 100 RETURN n.uid, n.age`,
+		`MATCH (n:P) WHERE n.age = "retired" RETURN n.uid`,
+		`MATCH (n:P) WHERE n.score > 20 RETURN count(*)`,
+		`MATCH (n:P) WHERE n.score <= 20 RETURN count(*)`,
+		`MATCH (n:P) WHERE n.uid >= 200 AND n.uid < 220 RETURN count(*)`,
+		`MATCH (n:P) WHERE n.name = "willow" RETURN n.uid, n.age, n.score`,
+		`MATCH (n:P) WHERE n.age >= 1152921504606846976 RETURN n.uid`,
+		`MATCH (n:P {age: 41}) RETURN n.uid`,
+		`MATCH (n:P) WHERE n.name = "cedar" RETURN count(*)`,
+		`MATCH (n) WHERE n.age = 105 RETURN n.uid`,
+	}
+	var want [][]string
+	for _, cfg := range propStoreConfigs() {
+		g := propStoreGraph(t, 240)
+		for _, s := range steps {
+			if _, err := Query(g, s, nil, cfg); err != nil {
+				t.Fatalf("step %s (cfg %+v): %v", s, cfg, err)
+			}
+		}
+		var got [][]string
+		for _, q := range checks {
+			got = append(got, runSorted(t, g, q, cfg))
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range checks {
+			if strings.Join(got[i], "\n") != strings.Join(want[i], "\n") {
+				t.Fatalf("post-mutation mismatch on %s (cfg %+v):\nwant %v\ngot  %v",
+					checks[i], cfg, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestPropStoreWriteQueryReads pins the gating rule: plans that mutate the
+// graph never take the columnar read path, so reading a value inside the
+// same query that rewrites or deletes it behaves exactly like the map
+// baseline.
+func TestPropStoreWriteQueryReads(t *testing.T) {
+	queries := []string{
+		`MATCH (n:P) WHERE n.age = 7 SET n.age = 700 RETURN n.uid, n.age`,
+		`MATCH (n:P) WHERE n.uid < 5 DETACH DELETE n RETURN n.uid, n.name`,
+	}
+	for _, q := range queries {
+		var want []string
+		for _, store := range []string{"map", "columnar"} {
+			g := propStoreGraph(t, 120)
+			got := runSorted(t, g, q, Config{OpThreads: 1, PropertyStore: store})
+			if want == nil {
+				want = got
+				continue
+			}
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Fatalf("write-query read mismatch on %s:\nwant %v\ngot  %v", q, want, got)
+			}
+		}
+	}
+}
+
+// TestExplainColumnarAnnotation checks EXPLAIN marks scans whose pushed
+// predicates may take the vectorized path, and only under the columnar
+// store.
+func TestExplainColumnarAnnotation(t *testing.T) {
+	g := propStoreGraph(t, 60)
+	q := `MATCH (n:P) WHERE n.age > 40 RETURN n.uid`
+	lines, err := Explain(g, q, Config{PropertyStore: "columnar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(lines, "\n"), "store: columnar") {
+		t.Fatalf("EXPLAIN missing columnar annotation:\n%s", strings.Join(lines, "\n"))
+	}
+	lines, err = Explain(g, q, Config{PropertyStore: "map"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Join(lines, "\n"), "store: columnar") {
+		t.Fatalf("EXPLAIN must not annotate under the map store:\n%s", strings.Join(lines, "\n"))
+	}
+	// A write query never takes the columnar path, so it must not claim to.
+	lines, err = Explain(g, `MATCH (n:P) WHERE n.age > 40 SET n.x = 1`, Config{PropertyStore: "columnar"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(strings.Join(lines, "\n"), "store: columnar") {
+		t.Fatalf("EXPLAIN must not annotate write plans:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestInvalidPropertyStore checks the knob rejects unknown values.
+func TestInvalidPropertyStore(t *testing.T) {
+	g := propStoreGraph(t, 10)
+	if _, err := Query(g, `MATCH (n:P) RETURN count(n)`, nil, Config{PropertyStore: "rowwise"}); err == nil {
+		t.Fatal("expected an error for an invalid property store")
+	}
+}

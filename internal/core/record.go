@@ -69,14 +69,28 @@ func (r record) extended(n int) record {
 // clipped, so downstream in-place writes and appends stay safe.
 type recordArena struct {
 	buf []value.Value
+	// next is the size of the next chunk. It starts small and quadruples up
+	// to arenaChunk, so a point lookup emitting one record pays a few dozen
+	// slots while scatter-heavy passes still converge on chunk-sized
+	// allocations after a few refills.
+	next int
 }
 
-const arenaChunk = 4096
+const (
+	arenaChunk      = 4096
+	arenaFirstChunk = 64
+)
 
 // extended is the arena-backed equivalent of record.extended.
 func (a *recordArena) extended(r record, n int) record {
 	if len(a.buf) < n {
-		a.buf = make([]value.Value, max(arenaChunk, n))
+		switch {
+		case a.next == 0:
+			a.next = arenaFirstChunk
+		case a.next < arenaChunk:
+			a.next *= 4
+		}
+		a.buf = make([]value.Value, max(a.next, n))
 	}
 	out := record(a.buf[:n:n])
 	a.buf = a.buf[n:]

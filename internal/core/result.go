@@ -50,6 +50,21 @@ type ResultSet struct {
 	Stats   Statistics
 }
 
+// appendBatch materializes one record batch into result rows through a
+// single slab allocation: one backing array per batch instead of one per
+// row. Together with the arena-backed scan records this is the late half of
+// late materialization — values are copied into result storage only for rows
+// that survived every pushed predicate, and the per-row allocator never runs.
+func (rs *ResultSet) appendBatch(batch recordBatch, visible int) {
+	slab := make([]value.Value, len(batch)*visible)
+	for _, r := range batch {
+		row := slab[:visible:visible]
+		slab = slab[visible:]
+		copy(row, r[:min(visible, len(r))])
+		rs.Rows = append(rs.Rows, row)
+	}
+}
+
 // String renders the result as an aligned text table (CLI output).
 func (rs *ResultSet) String() string {
 	var b strings.Builder

@@ -1,0 +1,104 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCanonicalQueryText checks the plan-cache key transform on arbitrary
+// byte strings: it must never panic, must be idempotent (canonical text is
+// its own canonical form — re-keying a cached key cannot drift), must never
+// grow the input, and must be whitespace-insensitive outside quotes (the
+// whole point of the transform).
+func FuzzCanonicalQueryText(f *testing.F) {
+	seeds := []string{
+		"",
+		"MATCH (n) RETURN n",
+		"  MATCH\t(n:Hub)\n  WHERE n.uid > 5\r\n  RETURN n.uid  ",
+		`MATCH (n {name: "two  spaces"}) RETURN n`,
+		`MATCH (n {name: 'escaped \' quote  and  spaces'}) RETURN n`,
+		`RETURN "unterminated  string`,
+		`RETURN 'trailing backslash \`,
+		"CYPHER id=7 MATCH (n) RETURN n",
+		"MATCH (n) RETURN \"a\\\"b\"  ,  'c\\'d'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		c := CanonicalQueryText(q)
+		if len(c) > len(q) {
+			t.Fatalf("canonical form grew: %d > %d (%q -> %q)", len(c), len(q), q, c)
+		}
+		if again := CanonicalQueryText(c); again != c {
+			t.Fatalf("not idempotent: %q -> %q -> %q", q, c, again)
+		}
+		// Doubling whitespace must not change the key. Only safe when the
+		// query has no string literals at all: inside quotes, whitespace is
+		// data and the naive doubling below would corrupt it.
+		if !strings.ContainsAny(q, `"'\`) {
+			doubled := strings.NewReplacer(" ", "  ", "\t", "\t\t").Replace(q)
+			if CanonicalQueryText(doubled) != c {
+				t.Fatalf("whitespace-sensitive: %q vs %q", q, doubled)
+			}
+		}
+	})
+}
+
+// FuzzParseParams checks the CYPHER-prefix scanner on arbitrary inputs: no
+// panics, deterministic results, errors always return the input text
+// untouched, and a prefix-free query always passes through verbatim with
+// nil bindings.
+func FuzzParseParams(f *testing.F) {
+	seeds := []string{
+		"",
+		"MATCH (n) RETURN n",
+		"CYPHER id=7 MATCH (n) RETURN n",
+		"CYPHER a=1 b=2.5 c=true d=null e=alice MATCH (n) RETURN n",
+		`CYPHER s="quoted value" MATCH (n) RETURN n`,
+		`CYPHER s='esc\'aped' q=" \n\t\r\\ " RETURN 1`,
+		"CYPHER n=-3.2e5 m=+7 RETURN 1",
+		"CYPHER bad=7abc RETURN 1",
+		`CYPHER s='a'b RETURN 1`,
+		`CYPHER s='unterminated`,
+		"cypher lower=1 RETURN 1",
+		"CYPHER = RETURN 1",
+		"CYPHER x= RETURN 1",
+		"  \t\nCYPHER id=1 RETURN 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		params, rest, err := ParseParams(q)
+		if err != nil {
+			if rest != q {
+				t.Fatalf("error must return the input untouched: %q -> %q", q, rest)
+			}
+			return
+		}
+		trimmed := strings.TrimLeft(q, " \t\r\n")
+		hasPrefix := len(trimmed) >= 7 && strings.EqualFold(trimmed[:6], "CYPHER") && isParamSpace(trimmed[6])
+		if !hasPrefix {
+			if params != nil || rest != q {
+				t.Fatalf("prefix-free query must pass through: %q -> (%v, %q)", q, params, rest)
+			}
+			return
+		}
+		// The remainder must be a suffix of the trimmed input: the scanner
+		// only ever consumes from the front.
+		if !strings.HasSuffix(trimmed, rest) {
+			t.Fatalf("remainder %q is not a suffix of %q", rest, trimmed)
+		}
+		// Determinism: a second pass binds the same values.
+		params2, rest2, err2 := ParseParams(q)
+		if err2 != nil || rest2 != rest || len(params2) != len(params) {
+			t.Fatalf("non-deterministic parse of %q", q)
+		}
+		for k, v := range params {
+			if v2, ok := params2[k]; !ok || v2.String() != v.String() {
+				t.Fatalf("non-deterministic binding %s on %q", k, q)
+			}
+		}
+	})
+}

@@ -13,6 +13,12 @@ type Node struct {
 	ID     uint64
 	Labels []int
 	Props  map[int]value.Value
+
+	// schema resolves label and attribute names for String rendering. It is
+	// set by Graph.CreateNode and read through lock-free snapshots, because
+	// result sets render entities after the query's lock is released. Nil on
+	// hand-built nodes, which fall back to numeric IDs.
+	schema *Schema
 }
 
 // Edge is a typed, directed relationship between two nodes.
@@ -22,16 +28,25 @@ type Edge struct {
 	Src   uint64
 	Dst   uint64
 	Props map[int]value.Value
+
+	schema *Schema // see Node.schema
 }
 
-// String renders the node compactly for result sets and debugging.
+// String renders the node compactly for result sets and debugging: labels
+// and property keys print by name when the schema can resolve them
+// (`(3:Hub {uid:7})`), by numeric ID otherwise.
 func (n *Node) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "(%d", n.ID)
 	for _, l := range n.Labels {
-		fmt.Fprintf(&b, ":L%d", l)
+		if name := n.schema.labelNameSnap(l); name != "" {
+			b.WriteByte(':')
+			b.WriteString(name)
+		} else {
+			fmt.Fprintf(&b, ":L%d", l)
+		}
 	}
-	writeProps(&b, n.Props)
+	writeProps(&b, n.schema, n.Props)
 	b.WriteByte(')')
 	return b.String()
 }
@@ -39,13 +54,17 @@ func (n *Node) String() string {
 // String renders the edge compactly.
 func (e *Edge) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "[%d:T%d %d->%d", e.ID, e.Type, e.Src, e.Dst)
-	writeProps(&b, e.Props)
+	if name := e.schema.relNameSnap(e.Type); name != "" {
+		fmt.Fprintf(&b, "[%d:%s %d->%d", e.ID, name, e.Src, e.Dst)
+	} else {
+		fmt.Fprintf(&b, "[%d:T%d %d->%d", e.ID, e.Type, e.Src, e.Dst)
+	}
+	writeProps(&b, e.schema, e.Props)
 	b.WriteByte(']')
 	return b.String()
 }
 
-func writeProps(b *strings.Builder, props map[int]value.Value) {
+func writeProps(b *strings.Builder, s *Schema, props map[int]value.Value) {
 	if len(props) == 0 {
 		return
 	}
@@ -59,7 +78,11 @@ func writeProps(b *strings.Builder, props map[int]value.Value) {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(b, "%d:%s", k, props[k])
+		if name := s.attrNameSnap(k); name != "" {
+			fmt.Fprintf(b, "%s:%s", name, props[k])
+		} else {
+			fmt.Fprintf(b, "%d:%s", k, props[k])
+		}
 	}
 	b.WriteByte('}')
 }

@@ -59,6 +59,13 @@ type Graph struct {
 	nodes *datablock.DataBlock[Node]
 	edges *datablock.DataBlock[Edge]
 
+	// props is the columnar property store (propstore.go): a typed-column
+	// mirror of every node's Props map, maintained by the same
+	// exclusive-lock writes. Scan and mask kernels read it when
+	// PROPERTY_STORE is columnar; the maps stay the source of truth and the
+	// differential baseline.
+	props *PropStore
+
 	dim       int
 	adj       *grb.DeltaMatrix
 	tadj      *grb.DeltaMatrix
@@ -104,6 +111,7 @@ func New(name string) *Graph {
 		Schema:        NewSchema(),
 		nodes:         datablock.New[Node](),
 		edges:         datablock.New[Edge](),
+		props:         newPropStore(),
 		dim:           growthChunk,
 		adj:           grb.NewDeltaMatrix(growthChunk, growthChunk),
 		tadj:          grb.NewDeltaMatrix(growthChunk, growthChunk),
@@ -337,6 +345,7 @@ func (g *Graph) CreateNode(labels []string, props map[string]value.Value) *Node 
 	g.grow(id)
 	n.ID = id
 	n.Props = map[int]value.Value{}
+	n.schema = g.Schema
 	for _, lbl := range labels {
 		lid := g.Schema.AddLabel(lbl)
 		n.Labels = append(n.Labels, lid)
@@ -370,6 +379,7 @@ func (g *Graph) CreateEdge(typ string, src, dst uint64, props map[string]value.V
 	id, e := g.edges.Allocate()
 	e.ID, e.Type, e.Src, e.Dst = id, tid, src, dst
 	e.Props = map[int]value.Value{}
+	e.schema = g.Schema
 	for k, v := range props {
 		e.Props[g.Schema.AddAttr(k)] = v
 	}
@@ -486,6 +496,7 @@ func (g *Graph) DeleteNode(id uint64) (int, bool) {
 		}
 		_ = g.labels[lid].RemoveElement(int(id), int(id))
 	}
+	g.props.clearNode(id, n.Props)
 	g.nodes.Delete(id)
 	return len(victims), true
 }
@@ -509,6 +520,7 @@ func (g *Graph) setPropLocked(n *Node, aid int, v value.Value) {
 			}
 		}
 	}
+	g.props.set(n.ID, aid, v)
 	if v.IsNull() {
 		delete(n.Props, aid)
 		return
@@ -543,6 +555,33 @@ func (g *Graph) NodeProperty(n *Node, attr string) value.Value {
 		return value.Null
 	}
 	if v, ok := n.Props[aid]; ok {
+		return v
+	}
+	return value.Null
+}
+
+// PropColumn returns the typed column for an attribute ID, or nil when no
+// value was ever stored under it. Callers must hold at least the read lock.
+func (g *Graph) PropColumn(aid int) *Column { return g.props.Column(aid) }
+
+// PropStrings exposes the store's string interner for typed string-equality
+// kernels (equal strings share one interned ID).
+func (g *Graph) PropStrings() *PropStore { return g.props }
+
+// NodePropertyColumnar reads a node property through the columnar store:
+// one attribute-name lookup plus a flat array probe, no per-node map access.
+// The dual-write invariant makes it observationally identical to
+// NodeProperty at any point where the caller holds a lock.
+func (g *Graph) NodePropertyColumnar(id uint64, attr string) value.Value {
+	aid, ok := g.Schema.AttrID(attr)
+	if !ok {
+		return value.Null
+	}
+	c := g.props.Column(aid)
+	if c == nil {
+		return value.Null
+	}
+	if v, ok := c.Value(id); ok {
 		return v
 	}
 	return value.Null

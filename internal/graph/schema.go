@@ -1,6 +1,10 @@
 package graph
 
-import "redisgraph/internal/value"
+import (
+	"sync/atomic"
+
+	"redisgraph/internal/value"
+)
 
 // Schema interns label, relationship-type and attribute names to dense
 // integer IDs, and owns secondary indexes.
@@ -11,6 +15,14 @@ type Schema struct {
 	relName   []string
 	attrs     map[string]int
 	attrName  []string
+
+	// names is a copy-on-write snapshot of the three name tables, refreshed
+	// under the exclusive lock whenever a name is interned. Entities render
+	// themselves (Node.String, Edge.String) after the query's lock is
+	// released — results outlive the read lock — so name resolution must not
+	// touch the mutable slices. The tables are append-only, so a snapshot's
+	// prefix view stays valid forever.
+	names atomic.Pointer[nameSnap]
 
 	// indexes[label][attr] is the exact-match index, when created.
 	indexes map[int]map[int]*AttrIndex
@@ -25,14 +37,62 @@ type Schema struct {
 	version uint64
 }
 
+// nameSnap is one immutable view of the interned name tables.
+type nameSnap struct {
+	labels []string
+	rels   []string
+	attrs  []string
+}
+
 // NewSchema returns an empty schema.
 func NewSchema() *Schema {
-	return &Schema{
+	s := &Schema{
 		labels:   map[string]int{},
 		relTypes: map[string]int{},
 		attrs:    map[string]int{},
 		indexes:  map[int]map[int]*AttrIndex{},
 	}
+	s.names.Store(&nameSnap{})
+	return s
+}
+
+// refreshNames publishes the current name tables for lock-free readers.
+// Called under the exclusive lock after interning a name.
+func (s *Schema) refreshNames() {
+	s.names.Store(&nameSnap{labels: s.labelName, rels: s.relName, attrs: s.attrName})
+}
+
+// labelNameSnap / relNameSnap / attrNameSnap resolve a name against the
+// latest published snapshot, without any lock. They return "" for unknown
+// IDs and are safe on a nil schema (hand-built entities).
+func (s *Schema) labelNameSnap(id int) string {
+	if s == nil {
+		return ""
+	}
+	if ns := s.names.Load(); ns != nil && id >= 0 && id < len(ns.labels) {
+		return ns.labels[id]
+	}
+	return ""
+}
+
+func (s *Schema) relNameSnap(id int) string {
+	if s == nil {
+		return ""
+	}
+	if ns := s.names.Load(); ns != nil && id >= 0 && id < len(ns.rels) {
+		return ns.rels[id]
+	}
+	return ""
+}
+
+func (s *Schema) attrNameSnap(id int) string {
+	if s == nil {
+		return ""
+	}
+	if ns := s.names.Load(); ns != nil && id >= 0 && id < len(ns.attrs) {
+		return ns.attrs[id]
+	}
+	return ""
 }
 
 // Version returns the schema-mutation counter. The caller must hold at
@@ -54,6 +114,7 @@ func (s *Schema) AddLabel(name string) int {
 	s.labels[name] = id
 	s.labelName = append(s.labelName, name)
 	s.version++
+	s.refreshNames()
 	return id
 }
 
@@ -83,6 +144,7 @@ func (s *Schema) AddRelType(name string) int {
 	s.relTypes[name] = id
 	s.relName = append(s.relName, name)
 	s.version++
+	s.refreshNames()
 	return id
 }
 
@@ -112,6 +174,7 @@ func (s *Schema) AddAttr(name string) int {
 	s.attrs[name] = id
 	s.attrName = append(s.attrName, name)
 	s.version++
+	s.refreshNames()
 	return id
 }
 

@@ -41,3 +41,71 @@ func (b bitset) setAll(n int) {
 		b[len(b)-1] = (1 << tail) - 1
 	}
 }
+
+// Bitmap is the exported word-packed bitmap behind the columnar property
+// store's presence tracking and the vectorized selection kernels. Unlike the
+// frontier bitset above it is indexed by plain ints (node IDs) and every
+// accessor is bounds-tolerant: columns grow lazily, so a probe past the end
+// of the allocated words simply reports "absent" instead of forcing eager
+// growth to the matrix dimension.
+type Bitmap []uint64
+
+// NewBitmap returns an all-clear bitmap covering [0, n).
+func NewBitmap(n int) Bitmap { return make(Bitmap, (n+63)/64) }
+
+// Grown returns a bitmap covering at least [0, n), reusing b's words.
+func (b Bitmap) Grown(n int) Bitmap {
+	words := (n + 63) / 64
+	if words <= len(b) {
+		return b
+	}
+	nb := make(Bitmap, words)
+	copy(nb, b)
+	return nb
+}
+
+// Set marks bit i; the bitmap must already cover i (see Grown).
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Unset clears bit i if the bitmap covers it.
+func (b Bitmap) Unset(i int) {
+	if w := i >> 6; w < len(b) {
+		b[w] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Get reports bit i, treating indices past the allocated words as clear.
+func (b Bitmap) Get(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the number of set bits.
+func (b Bitmap) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns an independent copy.
+func (b Bitmap) Clone() Bitmap {
+	out := make(Bitmap, len(b))
+	copy(out, b)
+	return out
+}
+
+// Iterate calls fn for every set bit in ascending order; fn returning false
+// stops the iteration.
+func (b Bitmap) Iterate(fn func(i int) bool) {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			if !fn(base + bits.TrailingZeros64(w)) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}

@@ -63,3 +63,14 @@ func parallelRanges(sc *pool.SchedCtx, n, nthreads, grain int, fn func(part, lo,
 		fn(p, p*n/parts, (p+1)*n/parts)
 	})
 }
+
+// PartitionParts is the exported form of partitionParts for kernels built
+// outside this package (the executor's columnar filter loops): callers size
+// per-part result buffers with it before calling ParallelRanges.
+func PartitionParts(n, nthreads, grain int) int { return partitionParts(n, nthreads, grain) }
+
+// ParallelRanges is the exported form of parallelRanges, with the same
+// deterministic part-ordered contract.
+func ParallelRanges(sc *pool.SchedCtx, n, nthreads, grain int, fn func(part, lo, hi int)) {
+	parallelRanges(sc, n, nthreads, grain, fn)
+}

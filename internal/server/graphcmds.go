@@ -34,6 +34,7 @@ func (s *Server) queryConfig() core.Config {
 		NoCostPlanner:   !s.costPlanner.Load(),
 		NoJoinPlanner:   !s.joinPlanner.Load(),
 		TraverseKernel:  s.traverseKernel.Load().(string),
+		PropertyStore:   s.propertyStore.Load().(string),
 		PlanCache:       s.planCache,
 		NoFairScheduler: !s.fairScheduler.Load(),
 	}
@@ -57,7 +58,7 @@ const maxTraverseBatch = 1 << 16
 
 // configParams lists every GRAPH.CONFIG parameter, in the order GET *
 // reports them.
-var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "JOIN_PLANNER", "TRAVERSE_KERNEL", "PLAN_CACHE_SIZE", "PLAN_CACHE_MAX_BYTES", "MAX_CONCURRENT_QUERIES", "ADMISSION_TIMEOUT", "GLOBAL_THREAD_BUDGET", "FAIR_SCHEDULER"}
+var configParams = []string{"THREAD_COUNT", "TIMEOUT", "MAX_QUERY_THREADS", "TRAVERSE_BATCH", "COST_PLANNER", "JOIN_PLANNER", "TRAVERSE_KERNEL", "PROPERTY_STORE", "PLAN_CACHE_SIZE", "PLAN_CACHE_MAX_BYTES", "MAX_CONCURRENT_QUERIES", "ADMISSION_TIMEOUT", "GLOBAL_THREAD_BUDGET", "FAIR_SCHEDULER"}
 
 // configValue reads one live configuration parameter (an int64, or a string
 // for the enum-valued TRAVERSE_KERNEL).
@@ -85,6 +86,8 @@ func (s *Server) configValue(name string) any {
 		return int64(0)
 	case "TRAVERSE_KERNEL":
 		return s.traverseKernel.Load().(string)
+	case "PROPERTY_STORE":
+		return s.propertyStore.Load().(string)
 	case "PLAN_CACHE_SIZE":
 		return int64(s.planCache.Capacity())
 	case "PLAN_CACHE_MAX_BYTES":
@@ -254,6 +257,14 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 					return resp.SimpleString("OK"), nil
 				}
 				return nil, fmt.Errorf("ERR TRAVERSE_KERNEL must be auto|push|pull")
+			case "PROPERTY_STORE":
+				store := strings.ToLower(args[2])
+				switch store {
+				case "map", "columnar":
+					s.propertyStore.Store(store)
+					return resp.SimpleString("OK"), nil
+				}
+				return nil, fmt.Errorf("ERR PROPERTY_STORE must be map|columnar")
 			case "PLAN_CACHE_SIZE":
 				n, err := strconv.Atoi(args[2])
 				if err != nil || n < 0 {
@@ -299,7 +310,7 @@ func (s *Server) graphCommand(cmd string, args []string) (any, error) {
 			}
 			return nil, fmt.Errorf("ERR unknown configuration parameter %q", args[1])
 		}
-		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|JOIN_PLANNER|TRAVERSE_KERNEL|PLAN_CACHE_SIZE|PLAN_CACHE_MAX_BYTES|MAX_CONCURRENT_QUERIES|ADMISSION_TIMEOUT|GLOBAL_THREAD_BUDGET|FAIR_SCHEDULER",
+		return nil, fmt.Errorf("ERR GRAPH.CONFIG supports GET *|%s and SET MAX_QUERY_THREADS (0 = auto: match GOMAXPROCS)|TRAVERSE_BATCH|COST_PLANNER|JOIN_PLANNER|TRAVERSE_KERNEL|PROPERTY_STORE|PLAN_CACHE_SIZE|PLAN_CACHE_MAX_BYTES|MAX_CONCURRENT_QUERIES|ADMISSION_TIMEOUT|GLOBAL_THREAD_BUDGET|FAIR_SCHEDULER",
 			strings.Join(configParams, "|"))
 	}
 	return nil, fmt.Errorf("ERR unknown command '%s'", strings.ToLower(cmd))
